@@ -1,0 +1,71 @@
+// Paper §5.3 / Figures 4-5: pipelined GEMM + MPI_Reduce vs monolithic
+// GEMM + MPI_Allreduce for assembling Vhxc.
+//
+// Two effects to reproduce: (1) the pipelined path sends ~p times fewer
+// bytes (each output row lands on one owner instead of being replicated
+// everywhere) and each rank stores only its slice; (2) per-chunk reduces
+// interleave communication between GEMM pieces.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "la/blas.hpp"
+#include "par/pipeline.hpp"
+
+using namespace lrt;
+
+int main() {
+  const Index m = 20000;  // grid rows (distributed)
+  const Index k = 256;    // output rows (pair space)
+  const Index n = 256;
+
+  std::printf("Vhxc assembly model: C = Aᵀ B with A,B %td x %td/%td row-"
+              "distributed\n\n", m, k, n);
+
+  Table table("Fig 5 (model): GEMM+Allreduce vs pipelined GEMM+Reduce",
+              {"ranks", "strategy", "time [s]", "MB sent/rank",
+               "C rows held/rank"});
+
+  for (const int ranks : {2, 4, 8}) {
+    for (const bool pipelined : {false, true}) {
+      double seconds = 0;
+      long long bytes = 0;
+      Index rows_held = 0;
+      par::run(ranks, [&](par::Comm& comm) {
+        Rng rng(7 + comm.rank());
+        const par::BlockPartition part(m, comm.size());
+        const la::RealMatrix a = la::RealMatrix::random_normal(
+            part.count(comm.rank()), k, rng);
+        const la::RealMatrix b = la::RealMatrix::random_normal(
+            part.count(comm.rank()), n, rng);
+        comm.barrier();
+        Timer t;
+        if (pipelined) {
+          const par::PipelineResult r =
+              par::gram_reduce_pipelined(comm, a.view(), b.view(), 32);
+          if (comm.rank() == 0) rows_held = r.local_rows.rows();
+        } else {
+          const la::RealMatrix c =
+              par::gram_reduce_monolithic(comm, a.view(), b.view());
+          if (comm.rank() == 0) rows_held = c.rows();
+        }
+        comm.barrier();
+        if (comm.rank() == 0) {
+          seconds = t.seconds();
+          bytes = comm.bytes_sent();
+        }
+      });
+      table.row()
+          .cell(ranks)
+          .cell(pipelined ? "pipelined GEMM+Reduce" : "GEMM+Allreduce")
+          .cell(seconds, 3)
+          .cell(double(bytes) / 1e6, 2)
+          .cell(rows_held);
+    }
+  }
+  table.print();
+  std::printf(
+      "\npaper reference (§5.3): the optimization removes the all-to-all\n"
+      "replication — each rank keeps a Vhxc slice — and overlaps reduces\n"
+      "with remaining GEMM chunks. Compare bytes/rank and rows held.\n");
+  return 0;
+}

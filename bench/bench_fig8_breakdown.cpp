@@ -1,0 +1,56 @@
+// Paper Figure 8: strong-scaling breakdown of the Hamiltonian-construction
+// phases — K-Means, FFT, MPI, GEMM(+Allreduce) — for the accelerated
+// version, across rank counts.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "tddft/dist_driver.hpp"
+
+using namespace lrt;
+
+int main() {
+  const bench::Workload w{"Si16*", 24, 16, 14, 13.0, 16};
+  const tddft::CasidaProblem problem = bench::make_workload(w);
+  std::printf("system: Nr=%td Nv=%td Nc=%td  (implicit version)\n\n",
+              problem.nr(), problem.nv(), problem.nc());
+
+  Table table("Fig 8 (scaled): construction phase seconds (max over ranks)",
+              {"ranks", "kmeans", "fft", "mpi", "gemm", "diag",
+               "gemm+mpi share"});
+  for (const int ranks : {1, 2, 4, 8}) {
+    tddft::DistDriverStats stats;
+    par::run(ranks, [&](par::Comm& comm) {
+      tddft::DistDriverOptions opts;
+      opts.version = tddft::Version::kImplicit;
+      opts.num_states = 4;
+      opts.nmu_ratio = 4.0;
+      stats = tddft::solve_casida_distributed(comm, problem, opts);
+    });
+    double phase[6] = {0, 0, 0, 0, 0, 0};
+    double total = 0;
+    for (const auto& [name, seconds] : stats.phases) {
+      if (name == "kmeans") phase[0] = seconds;
+      if (name == "fft") phase[1] = seconds;
+      if (name == "mpi") phase[2] = seconds;
+      if (name == "gemm") phase[3] = seconds;
+      if (name == "diag") phase[4] = seconds;
+      total += seconds;
+    }
+    const double share =
+        total > 0 ? 100.0 * (phase[2] + phase[3]) / total : 0.0;
+    table.row()
+        .cell(ranks)
+        .cell(phase[0], 3)
+        .cell(phase[1], 3)
+        .cell(phase[2], 3)
+        .cell(phase[3], 3)
+        .cell(phase[4], 3)
+        .cell(format_real(share, 1) + "%");
+  }
+  table.print();
+  std::printf(
+      "\npaper reference (Fig 8): K-Means, FFT and GEMM scale almost\n"
+      "ideally while the MPI share grows with rank count; GEMM+Allreduce\n"
+      "stays a small fraction (12.87%% in the paper's test).\n");
+  return 0;
+}

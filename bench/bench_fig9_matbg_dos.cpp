@@ -1,0 +1,90 @@
+// Paper Figure 9: ground- and excited-state DOS of the bilayer-graphene
+// system at two interlayer distances (MATBG analog; DESIGN.md documents
+// the substitution of the 1,180-atom magic-angle cell by an AB-stacked
+// patch).
+//
+// Shape to reproduce: at D = 2.6 Å the interlayer coupling produces extra
+// states near the Fermi level that are absent at D = 4.0 Å, and the
+// excitation spectrum has a cluster of low-lying states.
+#include <cmath>
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "dft/scf.hpp"
+#include "tddft/spectrum.hpp"
+
+using namespace lrt;
+
+namespace {
+
+dft::KohnShamResult run_scf(Real dz_angstrom) {
+  const grid::Structure s = grid::make_bilayer_graphene(
+      1, 1, dz_angstrom * units::kAngstromToBohr, 4.5);
+  dft::ScfOptions scf;
+  scf.ecut = 5.0;
+  scf.num_conduction = 8;
+  scf.smearing = 0.005;
+  scf.density_tolerance = 1e-4;
+  scf.max_iterations = 50;
+  return dft::solve_ground_state(s, scf);
+}
+
+/// DOS integral around the Fermi level (|E-EF| < window eV).
+Real near_fermi_weight(const dft::KohnShamResult& ks, Real window_ev) {
+  Real count = 0;
+  for (const Real e : ks.eigenvalues) {
+    const Real de = std::abs(e - ks.fermi_level) * units::kHartreeToEv;
+    if (de < window_ev) count += 1;
+  }
+  return count;
+}
+
+}  // namespace
+
+int main() {
+  std::printf("bilayer graphene patch (8 C atoms/layer pair), Fig 9 analog\n\n");
+
+  const dft::KohnShamResult close_layers = run_scf(2.6);
+  const dft::KohnShamResult far_layers = run_scf(4.0);
+
+  Table dos("Fig 9a (scaled): states near the Fermi level",
+            {"interlayer D [A]", "SCF iters", "EF [eV]",
+             "# states |E-EF| < 1.5 eV", "# states |E-EF| < 3 eV"});
+  for (const auto* ks : {&close_layers, &far_layers}) {
+    dos.row()
+        .cell(ks == &close_layers ? "2.6" : "4.0")
+        .cell(ks->iterations)
+        .cell(ks->fermi_level * units::kHartreeToEv, 3)
+        .cell(static_cast<Index>(near_fermi_weight(*ks, 1.5)))
+        .cell(static_cast<Index>(near_fermi_weight(*ks, 3.0)));
+  }
+  dos.print();
+
+  // Excited states at D = 2.6 A.
+  const Index nv_use = std::min<Index>(6, close_layers.num_occupied);
+  const Index nc_use =
+      std::min<Index>(6, close_layers.orbitals.cols() -
+                             close_layers.num_occupied);
+  const tddft::CasidaProblem problem =
+      tddft::make_problem_from_scf(close_layers, nv_use, nc_use);
+  tddft::DriverOptions opts;
+  opts.version = tddft::Version::kImplicit;
+  opts.num_states = std::min<Index>(8, problem.ncv());
+  const tddft::DriverResult r = tddft::solve_casida(problem, opts);
+
+  Table exc("Fig 9b (scaled): low-lying excitation energies at D = 2.6 A",
+            {"state", "E [eV]"});
+  for (std::size_t i = 0; i < r.energies.size(); ++i) {
+    exc.row()
+        .cell(static_cast<Index>(i + 1))
+        .cell(r.energies[i] * units::kHartreeToEv, 3);
+  }
+  exc.print();
+  std::printf(
+      "\nlowest excitation: %.2f eV (a single AB-stacked cell has no moire\n"
+      "flat band, so the cluster sits higher than the paper's 0-0.5 eV;\n"
+      "the D = 2.6 vs 4.0 near-EF state count above is the transferable\n"
+      "observable — see EXPERIMENTS.md).\n",
+      r.energies.front() * units::kHartreeToEv);
+  return 0;
+}

@@ -1,0 +1,104 @@
+// Substrate micro-benchmarks (google-benchmark): the kernels whose costs
+// the paper's Table 2 accounts — GEMM, 3-D FFT, QRCP, K-Means, the
+// Hartree solve, and the implicit Hamiltonian apply.
+#include <benchmark/benchmark.h>
+
+#include "bench_util.hpp"
+#include "fft/fft3d.hpp"
+#include "isdf/qrcp_points.hpp"
+#include "isdf/kmeans_points.hpp"
+#include "la/blas.hpp"
+#include "la/qrcp.hpp"
+#include "tddft/casida_isdf.hpp"
+#include "tddft/implicit_hamiltonian.hpp"
+
+using namespace lrt;
+
+namespace {
+
+void BM_Gemm(benchmark::State& state) {
+  const Index n = state.range(0);
+  Rng rng(1);
+  const la::RealMatrix a = la::RealMatrix::random_normal(n, n, rng);
+  const la::RealMatrix b = la::RealMatrix::random_normal(n, n, rng);
+  la::RealMatrix c(n, n);
+  for (auto _ : state) {
+    la::gemm(la::Trans::kNo, la::Trans::kNo, 1.0, a.view(), b.view(), 0.0,
+             c.view());
+    benchmark::DoNotOptimize(c.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<int64_t>(2 * n * n * n));
+}
+BENCHMARK(BM_Gemm)->Arg(64)->Arg(128)->Arg(256);
+
+void BM_Fft3D(benchmark::State& state) {
+  const Index n = state.range(0);
+  const fft::Fft3D fft(n, n, n);
+  Rng rng(2);
+  std::vector<fft::Complex> x(static_cast<std::size_t>(fft.size()));
+  for (auto& v : x) v = fft::Complex(rng.normal(), rng.normal());
+  for (auto _ : state) {
+    fft.forward(x.data());
+    fft.inverse(x.data());
+    benchmark::DoNotOptimize(x.data());
+  }
+  state.SetItemsProcessed(state.iterations() * fft.size());
+}
+BENCHMARK(BM_Fft3D)->Arg(16)->Arg(21)->Arg(32);  // 21: Bluestein path
+
+void BM_QrcpTruncated(benchmark::State& state) {
+  const Index rank = state.range(0);
+  Rng rng(3);
+  const la::RealMatrix a = la::RealMatrix::random_normal(128, 4096, rng);
+  for (auto _ : state) {
+    la::QrcpOptions opts;
+    opts.max_rank = rank;
+    auto f = la::qrcp_factor(a.view(), opts);
+    benchmark::DoNotOptimize(f.rank);
+  }
+}
+BENCHMARK(BM_QrcpTruncated)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_KmeansSelect(benchmark::State& state) {
+  const Index nmu = state.range(0);
+  const grid::RealSpaceGrid g(grid::UnitCell::cubic(10.0), {16, 16, 16});
+  dft::SyntheticOptions sopts;
+  sopts.num_centers = 8;
+  const dft::SyntheticOrbitals orbs =
+      dft::make_synthetic_orbitals(g, 12, 8, sopts);
+  for (auto _ : state) {
+    auto km = isdf::select_points_kmeans(g, orbs.psi_v.view(),
+                                         orbs.psi_c.view(), nmu, {});
+    benchmark::DoNotOptimize(km.points.data());
+  }
+}
+BENCHMARK(BM_KmeansSelect)->Arg(32)->Arg(64)->Arg(128);
+
+void BM_ImplicitApply(benchmark::State& state) {
+  const bench::Workload w{"S", 16, 12, 12, 11.0, 12};
+  const tddft::CasidaProblem problem = bench::make_workload(w);
+  const grid::GVectors gv(problem.grid);
+  const tddft::HxcKernel kernel(problem.grid, gv, problem.ground_density,
+                                true);
+  isdf::IsdfOptions iopts;
+  iopts.nmu = 96;
+  const isdf::IsdfResult dec = isdf_decompose(
+      problem.grid, problem.psi_v.view(), problem.psi_c.view(), iopts);
+  const la::RealMatrix m = tddft::build_kernel_projection(dec, kernel);
+  const tddft::ImplicitHamiltonian h = tddft::make_implicit_hamiltonian(
+      tddft::energy_differences(problem), dec, la::to_matrix<Real>(m.view()));
+  Rng rng(4);
+  const la::RealMatrix x =
+      la::RealMatrix::random_normal(problem.ncv(), 8, rng);
+  la::RealMatrix y(problem.ncv(), 8);
+  for (auto _ : state) {
+    h.apply(x.view(), y.view());
+    benchmark::DoNotOptimize(y.data());
+  }
+}
+BENCHMARK(BM_ImplicitApply);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,110 @@
+// Paper Table 3: time spent selecting ISDF interpolation points —
+// QRCP vs K-Means — plus the seeding ablation of DESIGN.md §5.
+//
+// The paper sweeps Nμ ∈ {512, 1024, 2048} on Si64 with one core; we sweep
+// a scaled ladder on the synthetic silicon analog. The claim under test is
+// the *ratio*: K-Means selects points an order of magnitude faster, and
+// the resulting ISDF accuracy matches QRCP's.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "isdf/interpolation.hpp"
+#include "isdf/kmeans_points.hpp"
+#include "isdf/qrcp_points.hpp"
+
+using namespace lrt;
+
+int main() {
+  // One mid-sized problem, like the paper's fixed Si64 test system.
+  bench::Workload w{"Si16*", 24, 18, 18, 13.0, 16};
+  const tddft::CasidaProblem problem = bench::make_workload(w);
+  std::printf("system: %s  Nr=%td  Nv=%td Nc=%td (Ncv=%td)\n\n",
+              w.label.c_str(), problem.nr(), problem.nv(), problem.nc(),
+              problem.ncv());
+
+  Table table("Table 3 (scaled): interpolation point selection time [s]",
+              {"Nmu", "QRCP (plain)", "QRCP (randomized)", "K-Means",
+               "speedup KM vs QRCP", "ISDF err QRCP", "ISDF err KM"});
+
+  for (const Index nmu : {64, 128, 256}) {
+    isdf::QrcpPointOptions plain;
+    plain.randomized = false;
+    Timer t1;
+    const auto p_qrcp = isdf::select_points_qrcp(
+        problem.psi_v.view(), problem.psi_c.view(), nmu, plain);
+    const double qrcp_s = t1.seconds();
+
+    Timer t2;
+    const auto p_rand = isdf::select_points_qrcp(
+        problem.psi_v.view(), problem.psi_c.view(), nmu, {});
+    const double rand_s = t2.seconds();
+    (void)p_rand;
+
+    Timer t3;
+    const auto km = isdf::select_points_kmeans(
+        problem.grid, problem.psi_v.view(), problem.psi_c.view(), nmu, {});
+    const double km_s = t3.seconds();
+
+    const la::RealMatrix theta_qrcp = isdf::interpolation_vectors(
+        problem.psi_v.view(), problem.psi_c.view(), p_qrcp);
+    const Real err_qrcp = isdf::isdf_relative_error(
+        problem.psi_v.view(), problem.psi_c.view(), p_qrcp,
+        theta_qrcp.view());
+    const la::RealMatrix theta_km = isdf::interpolation_vectors(
+        problem.psi_v.view(), problem.psi_c.view(), km.points);
+    const Real err_km = isdf::isdf_relative_error(
+        problem.psi_v.view(), problem.psi_c.view(), km.points,
+        theta_km.view());
+
+    table.row()
+        .cell(nmu)
+        .cell(qrcp_s, 3)
+        .cell(rand_s, 3)
+        .cell(km_s, 3)
+        .cell(qrcp_s / km_s, 1)
+        .cell(err_qrcp, 4)
+        .cell(err_km, 4);
+  }
+  table.print();
+
+  // Seeding ablation (DESIGN.md §5.1): K-Means objective and iteration
+  // count under the three seeding policies at fixed Nμ.
+  const Index nmu = 128;
+  Table ablation("Ablation: K-Means seeding policies (Nmu = 128)",
+                 {"seeding", "iterations", "objective", "time [s]"});
+  const std::pair<kmeans::Seeding, const char*> modes[] = {
+      {kmeans::Seeding::kWeightedKpp, "weighted k-means++"},
+      {kmeans::Seeding::kTopWeight, "top-weight (paper)"},
+      {kmeans::Seeding::kUniformRandom, "uniform random"},
+  };
+  for (const auto& [mode, name] : modes) {
+    kmeans::KMeansOptions opts;
+    opts.seeding = mode;
+    Timer t;
+    const auto km = isdf::select_points_kmeans(
+        problem.grid, problem.psi_v.view(), problem.psi_c.view(), nmu, opts);
+    ablation.row()
+        .cell(name)
+        .cell(km.kmeans_iterations)
+        .cell(km.objective, 5)
+        .cell(t.seconds(), 3);
+  }
+  ablation.print();
+
+  // Pruning ablation: weight threshold vs kept points and time.
+  Table pruning("Ablation: weight-threshold pruning (Nmu = 128)",
+                {"threshold", "kept points (Nr')", "time [s]"});
+  for (const Real threshold : {0.0, 1e-8, 1e-6, 1e-4, 1e-3}) {
+    kmeans::KMeansOptions opts;
+    opts.weight_threshold = threshold;
+    Timer t;
+    const auto km = isdf::select_points_kmeans(
+        problem.grid, problem.psi_v.view(), problem.psi_c.view(), nmu, opts);
+    pruning.row()
+        .cell(format_real(threshold, 8))
+        .cell(problem.nr() - km.num_pruned)
+        .cell(t.seconds(), 3);
+  }
+  pruning.print();
+  return 0;
+}

@@ -1,0 +1,103 @@
+// Paper Table 5: numerical accuracy of the accelerated solver.
+//
+// The paper compares Quantum Espresso (accuracy oracle), its naive
+// LR-TDDFT, and ISDF-LOBPCG on H2O and Si64, reporting the three lowest
+// excitation energies and relative errors ΔE1/ΔE2. Our oracle is the
+// explicit dense Casida diagonalization on the same self-consistent
+// orbitals (the role QE plays in the paper; see DESIGN.md). Systems:
+// one H2O molecule in a box and periodic Si8, both from full SCF.
+#include <cstdio>
+
+#include "bench_util.hpp"
+#include "dft/scf.hpp"
+
+using namespace lrt;
+
+namespace {
+
+void run_system(const char* title, const grid::Structure& structure,
+                const dft::ScfOptions& scf_opts, Index nv_use, Index nc_use) {
+  const dft::KohnShamResult ks = dft::solve_ground_state(structure, scf_opts);
+  std::printf("%s: SCF %s (%td iters), Ecut = %.1f Ha, Nr = %td, gap = %.3f eV\n",
+              title, ks.converged ? "converged" : "UNCONVERGED",
+              ks.iterations, scf_opts.ecut, ks.grid.size(),
+              ks.band_gap * units::kHartreeToEv);
+
+  const tddft::CasidaProblem problem =
+      tddft::make_problem_from_scf(ks, nv_use, nc_use);
+  std::printf("Casida space: Nv = %td, Nc = %td\n", problem.nv(),
+              problem.nc());
+
+  // Oracle: dense diagonalization of the exact explicit Hamiltonian.
+  tddft::DriverOptions oracle;
+  oracle.version = tddft::Version::kNaive;
+  oracle.num_states = 3;
+  const tddft::DriverResult ref = tddft::solve_casida(problem, oracle);
+
+  // Naive LR-TDDFT == the same algorithm in this codebase, so the paper's
+  // LR-TDDFT column is played by a LOBPCG-on-naive-H run (version 4 with
+  // QRCP to differ meaningfully), and the ISDF-LOBPCG column by version 5.
+  // Constrain Nμ below the pair rank so the table shows the actual
+  // low-rank approximation error (at Nμ >= Nv·Nc ISDF is exact and every
+  // column would read 0.000%).
+  const Index nmu = std::max<Index>(4, (2 * problem.ncv()) / 3);
+
+  tddft::DriverOptions mid;
+  mid.version = tddft::Version::kKmeansIsdf;
+  mid.num_states = 3;
+  mid.nmu = nmu;
+  const tddft::DriverResult isdf_explicit = tddft::solve_casida(problem, mid);
+
+  tddft::DriverOptions fast;
+  fast.version = tddft::Version::kImplicit;
+  fast.num_states = 3;
+  fast.nmu = nmu;
+  const tddft::DriverResult accel = tddft::solve_casida(problem, fast);
+
+  std::printf("Nmu = %td of Ncv = %td\n", nmu, problem.ncv());
+  Table table(std::string("Table 5 (scaled): ") + title +
+                  " — three lowest excitation energies [Ha]",
+              {"oracle (dense Casida)", "Kmeans-ISDF", "ISDF-LOBPCG",
+               "dE1", "dE2"});
+  for (std::size_t i = 0; i < ref.energies.size(); ++i) {
+    const Real e0 = ref.energies[i];
+    const Real e1 = isdf_explicit.energies[i];
+    const Real e2 = accel.energies[i];
+    table.row()
+        .cell(e0, 6)
+        .cell(e1, 6)
+        .cell(e2, 6)
+        .cell(format_real(100.0 * (e0 - e1) / e0, 3) + "%")
+        .cell(format_real(100.0 * (e0 - e2) / e0, 3) + "%");
+  }
+  table.print();
+  std::printf("\n");
+}
+
+}  // namespace
+
+int main() {
+  {
+    dft::ScfOptions scf;
+    scf.ecut = 7.0;
+    scf.num_conduction = 4;
+    scf.smearing = 0.0;
+    scf.density_tolerance = 1e-6;
+    run_system("single water molecule H2O (14 Bohr box)",
+               grid::make_water_box(14.0), scf, 4, 4);
+  }
+  {
+    dft::ScfOptions scf;
+    scf.ecut = 5.0;
+    scf.num_conduction = 8;
+    scf.smearing = 0.003;
+    scf.density_tolerance = 3e-5;
+    run_system("periodic bulk silicon Si8", grid::make_silicon_supercell(1),
+               scf, 8, 6);
+  }
+  std::printf(
+      "paper reference: dE errors of 0.001%%..0.9%% (Table 5); the shape to\n"
+      "check is dE1 == dE2 to displayed digits (ISDF dominates the error,\n"
+      "LOBPCG adds nothing) and sub-percent magnitudes.\n");
+  return 0;
+}

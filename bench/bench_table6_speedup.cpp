@@ -1,0 +1,52 @@
+// Paper Table 6: wall-clock time and speedup, Naive vs ISDF-LOBPCG,
+// across system sizes (the paper reports 13.1x -> 6.3x from Si64 to
+// Si1000 on constrained memory).
+//
+// We sweep the scaled silicon ladder; the shape to reproduce is a solid
+// ~order-of-magnitude speedup that *decreases* slowly as the system grows
+// (the naive path's FFT count Nv·Nc grows quadratically, but its dense
+// diagonalization — cubic in Nv·Nc — starts from a smaller base here).
+#include <cstdio>
+
+#include "bench_util.hpp"
+
+using namespace lrt;
+
+int main() {
+  Table table("Table 6 (scaled): Naive vs Implicit-Kmeans-ISDF-LOBPCG [s]",
+              {"system", "Nv", "Nc", "Nr", "Naive", "ISDF-LOBPCG",
+               "Speedup", "E1 rel err"});
+
+  for (const bench::Workload& w : bench::silicon_ladder()) {
+    const tddft::CasidaProblem problem = bench::make_workload(w);
+
+    tddft::DriverOptions naive;
+    naive.version = tddft::Version::kNaive;
+    naive.num_states = 5;
+    const tddft::DriverResult ref = tddft::solve_casida(problem, naive);
+
+    tddft::DriverOptions fast;
+    fast.version = tddft::Version::kImplicit;
+    fast.num_states = 5;
+    fast.nmu_ratio = 4.0;
+    const tddft::DriverResult accel = tddft::solve_casida(problem, fast);
+
+    table.row()
+        .cell(w.label)
+        .cell(problem.nv())
+        .cell(problem.nc())
+        .cell(problem.nr())
+        .cell(ref.seconds_total, 2)
+        .cell(accel.seconds_total, 2)
+        .cell(ref.seconds_total / accel.seconds_total, 2)
+        .cell(format_real(100.0 * (ref.energies[0] - accel.energies[0]) /
+                              ref.energies[0],
+                          3) +
+              "%");
+  }
+  table.print();
+  std::printf(
+      "\npaper reference (Table 6): speedups 13.1, 9.9, 7.8, 6.3 from the\n"
+      "smallest to the largest system, with ISDF error well under 1%%.\n");
+  return 0;
+}

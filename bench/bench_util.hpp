@@ -1,0 +1,52 @@
+// Shared helpers for the paper-reproduction benches.
+//
+// Workloads are scaled-down versions of the paper's silicon series: the
+// synthetic-orbital generator produces localized orbital sets whose pair
+// products have the same low-rank structure ISDF exploits (DESIGN.md
+// documents the substitution). `SiWorkload` entries mimic the ratios
+// Nv ≈ Nc ≈ Ne/2, Nr ≈ 100..1000 x Ne of the paper's Table 2.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/table.hpp"
+#include "common/timer.hpp"
+#include "dft/synthetic.hpp"
+#include "tddft/driver.hpp"
+
+namespace lrt::bench {
+
+struct Workload {
+  std::string label;   ///< e.g. "Si8*" (scaled analog)
+  Index nv = 0;
+  Index nc = 0;
+  Index grid = 0;      ///< points per axis
+  Real cell = 10.0;    ///< cubic cell edge (Bohr)
+  Index centers = 8;   ///< synthetic atom count
+};
+
+inline tddft::CasidaProblem make_workload(const Workload& w,
+                                          unsigned seed = 1234) {
+  const grid::RealSpaceGrid g(grid::UnitCell::cubic(w.cell),
+                              {w.grid, w.grid, w.grid});
+  dft::SyntheticOptions opts;
+  opts.num_centers = w.centers;
+  opts.seed = seed;
+  return tddft::make_problem_from_synthetic(
+      g, dft::make_synthetic_orbitals(g, w.nv, w.nc, opts));
+}
+
+/// The scaled silicon ladder used by the speedup / weak-scaling benches.
+/// Atom counts follow the paper's labels divided by 8 (one conventional
+/// cell of the paper's system per 8 atoms here).
+inline std::vector<Workload> silicon_ladder() {
+  return {
+      {"Si8*", 16, 8, 10, 10.3, 8},
+      {"Si16*", 24, 12, 12, 13.0, 16},
+      {"Si27*", 32, 16, 14, 15.5, 27},
+      {"Si64*", 48, 24, 16, 20.5, 64},
+  };
+}
+
+}  // namespace lrt::bench

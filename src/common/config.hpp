@@ -1,0 +1,42 @@
+// Basic types and numeric constants shared across the library.
+//
+// All physical quantities are expressed in Hartree atomic units:
+// lengths in Bohr, energies in Hartree. Conversion helpers are provided
+// for the few places (reports, DOS plots) that print eV or Angstrom.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+namespace lrt {
+
+/// Index type used for matrix dimensions and grid sizes. Signed so that
+/// reverse loops and differences are well-defined (C++ Core Guidelines
+/// ES.100/ES.102).
+using Index = std::ptrdiff_t;
+
+/// Default floating point type of the whole library.
+using Real = double;
+
+namespace units {
+
+/// 1 Hartree in electron-volts.
+inline constexpr Real kHartreeToEv = 27.211386245988;
+
+/// 1 Bohr in Angstrom.
+inline constexpr Real kBohrToAngstrom = 0.529177210903;
+
+/// 1 Angstrom in Bohr.
+inline constexpr Real kAngstromToBohr = 1.0 / kBohrToAngstrom;
+
+}  // namespace units
+
+namespace constants {
+
+inline constexpr Real kPi = 3.14159265358979323846;
+inline constexpr Real kTwoPi = 2.0 * kPi;
+inline constexpr Real kFourPi = 4.0 * kPi;
+
+}  // namespace constants
+
+}  // namespace lrt

@@ -1,0 +1,51 @@
+// Error handling: precondition checks that throw, and debug assertions.
+//
+// Library code validates user-facing preconditions with LRT_CHECK (always
+// on, throws lrt::Error) and internal invariants with LRT_ASSERT
+// (compiled out in NDEBUG builds).
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace lrt {
+
+/// Exception thrown on violated preconditions or numerical failures
+/// (e.g. Cholesky of an indefinite matrix, non-converged eigensolver).
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+
+[[noreturn]] inline void throw_error(const char* expr, const char* file,
+                                     int line, const std::string& msg) {
+  std::ostringstream os;
+  os << file << ":" << line << ": check failed: " << expr;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+
+}  // namespace detail
+}  // namespace lrt
+
+/// Precondition check, always enabled. Usage:
+///   LRT_CHECK(n > 0, "matrix dimension must be positive, got " << n);
+#define LRT_CHECK(expr, ...)                                           \
+  do {                                                                 \
+    if (!(expr)) {                                                     \
+      std::ostringstream lrt_check_os_;                                \
+      lrt_check_os_ << "" __VA_ARGS__;                                 \
+      ::lrt::detail::throw_error(#expr, __FILE__, __LINE__,            \
+                                 lrt_check_os_.str());                 \
+    }                                                                  \
+  } while (false)
+
+/// Internal invariant; active unless NDEBUG.
+#ifdef NDEBUG
+#define LRT_ASSERT(expr, ...) ((void)0)
+#else
+#define LRT_ASSERT(expr, ...) LRT_CHECK(expr, __VA_ARGS__)
+#endif

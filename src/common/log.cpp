@@ -1,0 +1,40 @@
+#include "common/log.hpp"
+
+#include <atomic>
+#include <iostream>
+#include <mutex>
+
+namespace lrt::log {
+namespace {
+
+std::atomic<Level> g_level{Level::kWarn};
+std::mutex g_write_mutex;
+
+const char* level_name(Level level) {
+  switch (level) {
+    case Level::kDebug:
+      return "DEBUG";
+    case Level::kInfo:
+      return "INFO";
+    case Level::kWarn:
+      return "WARN";
+    case Level::kError:
+      return "ERROR";
+    case Level::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_level(Level level) { g_level.store(level, std::memory_order_relaxed); }
+
+Level level() { return g_level.load(std::memory_order_relaxed); }
+
+void write(Level level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_write_mutex);
+  std::cerr << "[lrt " << level_name(level) << "] " << message << "\n";
+}
+
+}  // namespace lrt::log

@@ -1,0 +1,50 @@
+// Minimal leveled logger writing to stderr.
+//
+// Intended for coarse progress reporting from drivers (SCF iterations,
+// LOBPCG convergence); inner kernels never log.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace lrt::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+/// Global threshold; messages below it are dropped. Default kWarn so that
+/// tests and benches stay quiet unless they opt in.
+void set_level(Level level);
+Level level();
+
+void write(Level level, const std::string& message);
+
+namespace detail {
+
+template <typename... Args>
+void emit(Level lvl, Args&&... args) {
+  if (lvl < level()) return;
+  std::ostringstream os;
+  (os << ... << args);
+  write(lvl, os.str());
+}
+
+}  // namespace detail
+
+template <typename... Args>
+void debug(Args&&... args) {
+  detail::emit(Level::kDebug, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void info(Args&&... args) {
+  detail::emit(Level::kInfo, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void warn(Args&&... args) {
+  detail::emit(Level::kWarn, std::forward<Args>(args)...);
+}
+template <typename... Args>
+void error(Args&&... args) {
+  detail::emit(Level::kError, std::forward<Args>(args)...);
+}
+
+}  // namespace lrt::log

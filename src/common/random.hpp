@@ -1,0 +1,91 @@
+// Deterministic pseudo-random number generation.
+//
+// A self-contained xoshiro256++ engine so that tests and benches are
+// reproducible across standard-library implementations (std::mt19937 is
+// portable, but distributions are not). All library randomness (K-Means
+// fallback seeding, randomized QRCP projections, synthetic workloads)
+// flows through Rng.
+#pragma once
+
+#include <cmath>
+#include <cstdint>
+
+#include "common/config.hpp"
+
+namespace lrt {
+
+/// xoshiro256++ generator (Blackman & Vigna, public domain algorithm).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ull) {
+    // SplitMix64 seeding to fill the state from one word.
+    std::uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ull;
+      std::uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  std::uint64_t next_u64() {
+    const std::uint64_t result = rotl(state_[0] + state_[3], 23) + state_[0];
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform double in [0, 1).
+  Real uniform() {
+    return static_cast<Real>(next_u64() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  Real uniform(Real lo, Real hi) { return lo + (hi - lo) * uniform(); }
+
+  /// Uniform integer in [0, n). Uses rejection to avoid modulo bias.
+  std::uint64_t uniform_index(std::uint64_t n) {
+    if (n == 0) return 0;
+    const std::uint64_t limit = ~std::uint64_t{0} - (~std::uint64_t{0} % n);
+    std::uint64_t value;
+    do {
+      value = next_u64();
+    } while (value >= limit);
+    return value % n;
+  }
+
+  /// Standard normal via Marsaglia polar method.
+  Real normal() {
+    if (has_cached_) {
+      has_cached_ = false;
+      return cached_;
+    }
+    Real u, v, s;
+    do {
+      u = uniform(-1.0, 1.0);
+      v = uniform(-1.0, 1.0);
+      s = u * u + v * v;
+    } while (s >= 1.0 || s == 0.0);
+    const Real factor = std::sqrt(-2.0 * std::log(s) / s);
+    cached_ = v * factor;
+    has_cached_ = true;
+    return u * factor;
+  }
+
+ private:
+  static std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::uint64_t state_[4];
+  bool has_cached_ = false;
+  Real cached_ = 0.0;
+};
+
+}  // namespace lrt

@@ -1,0 +1,89 @@
+#include "common/table.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <iostream>
+#include <sstream>
+
+#include "common/error.hpp"
+
+namespace lrt {
+
+std::string format_real(Real value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+Table::Table(std::string title, std::vector<std::string> columns)
+    : title_(std::move(title)), columns_(std::move(columns)) {
+  LRT_CHECK(!columns_.empty(), "table needs at least one column");
+}
+
+Table& Table::row() {
+  rows_.emplace_back();
+  return *this;
+}
+
+Table& Table::cell(const std::string& text) {
+  LRT_CHECK(!rows_.empty(), "call row() before cell()");
+  LRT_CHECK(rows_.back().size() < columns_.size(),
+            "row already has " << columns_.size() << " cells");
+  rows_.back().push_back(text);
+  return *this;
+}
+
+Table& Table::cell(const char* text) { return cell(std::string(text)); }
+
+Table& Table::cell(Real value, int precision) {
+  return cell(format_real(value, precision));
+}
+
+Table& Table::cell(Index value) { return cell(std::to_string(value)); }
+
+std::string Table::str() const {
+  std::vector<std::size_t> widths(columns_.size());
+  for (std::size_t c = 0; c < columns_.size(); ++c) {
+    widths[c] = columns_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::ostringstream os;
+  os << "== " << title_ << " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < columns_.size(); ++c) {
+      const std::string& text = c < cells.size() ? cells[c] : std::string();
+      os << std::left << std::setw(static_cast<int>(widths[c]) + 2) << text;
+    }
+    os << "\n";
+  };
+  emit_row(columns_);
+  std::size_t total = 0;
+  for (auto w : widths) total += w + 2;
+  os << std::string(total, '-') << "\n";
+  for (const auto& row : rows_) emit_row(row);
+  return os.str();
+}
+
+void Table::print() const { std::cout << str() << std::flush; }
+
+void Table::write_csv(const std::string& path) const {
+  std::ofstream out(path);
+  LRT_CHECK(out.good(), "cannot open '" << path << "' for writing");
+  out << "# " << title_ << "\n";
+  auto emit = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      if (c) out << ",";
+      out << cells[c];
+    }
+    out << "\n";
+  };
+  emit(columns_);
+  for (const auto& row : rows_) emit(row);
+}
+
+}  // namespace lrt

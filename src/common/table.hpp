@@ -1,0 +1,49 @@
+// Console table and CSV emission for the benchmark harness.
+//
+// Every bench prints a paper-style table (aligned columns) and can also
+// dump the same rows as CSV for plotting. Cells are stored as formatted
+// strings; numeric helpers format with sensible defaults.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+
+namespace lrt {
+
+class Table {
+ public:
+  /// `title` is printed above the table; `columns` are the header cells.
+  Table(std::string title, std::vector<std::string> columns);
+
+  /// Starts a new row. Calls to cell() append to the latest row.
+  Table& row();
+
+  Table& cell(const std::string& text);
+  Table& cell(const char* text);
+  Table& cell(Real value, int precision = 4);
+  Table& cell(Index value);
+  Table& cell(int value) { return cell(static_cast<Index>(value)); }
+
+  /// Renders the aligned table to a string (with title and separator).
+  std::string str() const;
+
+  /// Prints to stdout.
+  void print() const;
+
+  /// Writes `title` as a comment line followed by CSV rows to `path`.
+  void write_csv(const std::string& path) const;
+
+  Index num_rows() const { return static_cast<Index>(rows_.size()); }
+
+ private:
+  std::string title_;
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a Real with fixed precision (helper shared with benches).
+std::string format_real(Real value, int precision);
+
+}  // namespace lrt

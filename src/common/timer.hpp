@@ -1,0 +1,113 @@
+// Wall-clock timing utilities.
+//
+// Timer        — simple stopwatch.
+// WallProfiler — accumulates named phase durations; used by the benchmark
+//                harness to split Hamiltonian construction into the paper's
+//                Figure-8 categories (K-Means / FFT / MPI / GEMM+Allreduce).
+// ScopedPhase  — RAII guard adding its lifetime to one WallProfiler phase.
+#pragma once
+
+#include <chrono>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/config.hpp"
+
+namespace lrt {
+
+/// Monotonic stopwatch measuring seconds as double.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Seconds elapsed since construction or last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  void reset() { start_ = Clock::now(); }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+/// Per-thread CPU stopwatch (CLOCK_THREAD_CPUTIME_ID): counts only cycles
+/// this thread actually executed — excludes time blocked on condition
+/// variables *and* time descheduled while other rank-threads run. This is
+/// the honest "busy time" measure for the simulated-rank scaling benches
+/// on an oversubscribed core (see DESIGN.md).
+class ThreadCpuTimer {
+ public:
+  ThreadCpuTimer() : start_(now()) {}
+
+  double seconds() const { return now() - start_; }
+  void reset() { start_ = now(); }
+
+  static double now();
+
+ private:
+  double start_;
+};
+
+/// Accumulates wall time per named phase. Thread-safe: concurrent ranks of
+/// the par runtime may add to the same profiler.
+class WallProfiler {
+ public:
+  WallProfiler() = default;
+
+  /// Movable (so result structs can carry one); moving while another
+  /// thread is still adding is a caller bug, same as for containers.
+  WallProfiler(WallProfiler&& other) noexcept
+      : totals_(std::move(other.totals_)), order_(std::move(other.order_)) {}
+  WallProfiler& operator=(WallProfiler&& other) noexcept {
+    if (this != &other) {
+      totals_ = std::move(other.totals_);
+      order_ = std::move(other.order_);
+    }
+    return *this;
+  }
+  WallProfiler(const WallProfiler&) = delete;
+  WallProfiler& operator=(const WallProfiler&) = delete;
+
+  /// Adds `seconds` to phase `name`, creating the phase if needed.
+  void add(const std::string& name, double seconds);
+
+  /// Accumulated seconds for `name`; 0 if the phase never ran.
+  double total(const std::string& name) const;
+
+  /// Sum over all phases.
+  double grand_total() const;
+
+  /// Phase names in insertion order.
+  std::vector<std::string> phases() const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, double> totals_;
+  std::vector<std::string> order_;
+};
+
+/// RAII phase guard:
+///   { ScopedPhase p(profiler, "fft"); do_ffts(); }
+class ScopedPhase {
+ public:
+  ScopedPhase(WallProfiler& profiler, std::string name)
+      : profiler_(&profiler), name_(std::move(name)) {}
+
+  ScopedPhase(const ScopedPhase&) = delete;
+  ScopedPhase& operator=(const ScopedPhase&) = delete;
+
+  ~ScopedPhase() { profiler_->add(name_, timer_.seconds()); }
+
+ private:
+  WallProfiler* profiler_;
+  std::string name_;
+  Timer timer_;
+};
+
+}  // namespace lrt

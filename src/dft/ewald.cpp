@@ -1,0 +1,106 @@
+#include "dft/ewald.hpp"
+
+#include <cmath>
+#include <complex>
+
+namespace lrt::dft {
+
+using constants::kFourPi;
+using constants::kPi;
+using constants::kTwoPi;
+
+Real ewald_energy(const grid::Structure& structure) {
+  const grid::UnitCell& cell = structure.cell;
+  const Real volume = cell.volume();
+  const Index natoms = structure.num_atoms();
+  LRT_CHECK(natoms > 0, "ewald: empty structure");
+
+  auto charge = [&](Index a) {
+    return structure
+        .species[static_cast<std::size_t>(
+            structure.atoms[static_cast<std::size_t>(a)].species)]
+        .z_ion;
+  };
+
+  // Standard balanced splitting parameter.
+  const Real eta =
+      std::sqrt(kPi) *
+      std::pow(static_cast<Real>(natoms) / (volume * volume), Real{1.0 / 6.0});
+
+  // Accuracy target ~1e-10: erfc(x) < 1e-10 at x ≈ 4.75; exp(-y²) likewise.
+  const Real x_cut = 4.75;
+  const Real r_cut = x_cut / eta;
+  const Real g_cut = 2.0 * eta * x_cut;
+
+  Real total_charge = 0;
+  Real sum_q2 = 0;
+  for (Index a = 0; a < natoms; ++a) {
+    total_charge += charge(a);
+    sum_q2 += charge(a) * charge(a);
+  }
+
+  // Real-space sum over periodic images within r_cut.
+  Real e_real = 0;
+  std::array<Index, 3> nmax;
+  for (int ax = 0; ax < 3; ++ax) {
+    nmax[static_cast<std::size_t>(ax)] =
+        static_cast<Index>(std::ceil(r_cut / cell.length(ax))) + 1;
+  }
+  for (Index a = 0; a < natoms; ++a) {
+    for (Index b = 0; b < natoms; ++b) {
+      const Real qq = charge(a) * charge(b);
+      const grid::Vec3& ra = structure.atoms[static_cast<std::size_t>(a)].position;
+      const grid::Vec3& rb = structure.atoms[static_cast<std::size_t>(b)].position;
+      for (Index lx = -nmax[0]; lx <= nmax[0]; ++lx) {
+        for (Index ly = -nmax[1]; ly <= nmax[1]; ++ly) {
+          for (Index lz = -nmax[2]; lz <= nmax[2]; ++lz) {
+            if (a == b && lx == 0 && ly == 0 && lz == 0) continue;
+            const Real dx = rb[0] - ra[0] + static_cast<Real>(lx) * cell.length(0);
+            const Real dy = rb[1] - ra[1] + static_cast<Real>(ly) * cell.length(1);
+            const Real dz = rb[2] - ra[2] + static_cast<Real>(lz) * cell.length(2);
+            const Real r = std::sqrt(dx * dx + dy * dy + dz * dz);
+            if (r > r_cut) continue;
+            e_real += 0.5 * qq * std::erfc(eta * r) / r;
+          }
+        }
+      }
+    }
+  }
+
+  // Reciprocal-space sum.
+  Real e_recip = 0;
+  std::array<Index, 3> gmax;
+  for (int ax = 0; ax < 3; ++ax) {
+    gmax[static_cast<std::size_t>(ax)] =
+        static_cast<Index>(std::ceil(g_cut * cell.length(ax) / kTwoPi)) + 1;
+  }
+  for (Index mx = -gmax[0]; mx <= gmax[0]; ++mx) {
+    for (Index my = -gmax[1]; my <= gmax[1]; ++my) {
+      for (Index mz = -gmax[2]; mz <= gmax[2]; ++mz) {
+        if (mx == 0 && my == 0 && mz == 0) continue;
+        const Real gx = kTwoPi * static_cast<Real>(mx) / cell.length(0);
+        const Real gy = kTwoPi * static_cast<Real>(my) / cell.length(1);
+        const Real gz = kTwoPi * static_cast<Real>(mz) / cell.length(2);
+        const Real g2 = gx * gx + gy * gy + gz * gz;
+        if (g2 > g_cut * g_cut) continue;
+        std::complex<Real> s{0, 0};
+        for (Index a = 0; a < natoms; ++a) {
+          const grid::Vec3& r = structure.atoms[static_cast<std::size_t>(a)].position;
+          const Real phase = gx * r[0] + gy * r[1] + gz * r[2];
+          s += charge(a) * std::complex<Real>(std::cos(phase), std::sin(phase));
+        }
+        e_recip += (kTwoPi / volume) * std::exp(-g2 / (4.0 * eta * eta)) /
+                   g2 * std::norm(s);
+      }
+    }
+  }
+
+  // Self-interaction and neutralizing-background corrections.
+  const Real e_self = -eta / std::sqrt(kPi) * sum_q2;
+  const Real e_background =
+      -kPi / (2.0 * eta * eta * volume) * total_charge * total_charge;
+
+  return e_real + e_recip + e_self + e_background;
+}
+
+}  // namespace lrt::dft

@@ -1,0 +1,17 @@
+// Ewald summation of the ion-ion interaction energy for a neutral
+// periodic cell with a compensating uniform background.
+//
+// Needed for total-energy validation of the SCF substrate; excitation
+// energies never see it (it shifts all states equally).
+#pragma once
+
+#include "grid/crystal.hpp"
+
+namespace lrt::dft {
+
+/// Ion-ion Coulomb energy (Hartree) of the structure under periodic
+/// boundary conditions. Splitting parameter and lattice cutoffs are chosen
+/// automatically for ~1e-10 absolute convergence.
+Real ewald_energy(const grid::Structure& structure);
+
+}  // namespace lrt::dft

@@ -1,0 +1,12 @@
+#include "dft/hartree.hpp"
+
+namespace lrt::dft {
+
+fft::PoissonSolver make_poisson_solver(const grid::RealSpaceGrid& grid,
+                                       const grid::GVectors& gvectors) {
+  const auto shape = grid.shape();
+  return fft::PoissonSolver(fft::Fft3D(shape[0], shape[1], shape[2]),
+                            gvectors.g2_table());
+}
+
+}  // namespace lrt::dft

@@ -1,0 +1,14 @@
+// Hartree potential on the simulation grid: a thin grid-aware wrapper
+// around fft::PoissonSolver.
+#pragma once
+
+#include "fft/poisson.hpp"
+#include "grid/gvectors.hpp"
+
+namespace lrt::dft {
+
+/// Builds the Poisson solver for a grid (FFT plans + |G|² table).
+fft::PoissonSolver make_poisson_solver(const grid::RealSpaceGrid& grid,
+                                       const grid::GVectors& gvectors);
+
+}  // namespace lrt::dft

@@ -1,0 +1,40 @@
+#include "dft/lobpcg_gs.hpp"
+
+#include "common/random.hpp"
+
+namespace lrt::dft {
+
+la::LobpcgResult solve_bands(const KsHamiltonian& h, Index num_bands,
+                             la::RealMatrix initial,
+                             const BandSolveOptions& options) {
+  const Index nr = h.grid_size();
+  LRT_CHECK(num_bands >= 1 && 3 * num_bands <= nr,
+            "band count " << num_bands << " incompatible with grid " << nr);
+
+  if (initial.rows() != nr || initial.cols() != num_bands) {
+    Rng rng(options.seed);
+    initial = la::RealMatrix::random_normal(nr, num_bands, rng);
+  }
+
+  la::BlockOperator apply = [&h](la::RealConstView x, la::RealView y) {
+    h.apply(x, y);
+  };
+
+  // The Ritz value is a good per-column kinetic scale once the potential
+  // is roughly constant-shifted; clamp positive inside precondition().
+  la::BlockPreconditioner prec = [&h](la::RealView r,
+                                      const std::vector<Real>& theta) {
+    std::vector<Real> ekin(theta.size());
+    for (std::size_t j = 0; j < theta.size(); ++j) {
+      ekin[j] = std::max(std::abs(theta[j]), Real{0.5});
+    }
+    h.precondition(r, ekin);
+  };
+
+  la::LobpcgOptions opts;
+  opts.max_iterations = options.max_iterations;
+  opts.tolerance = options.tolerance;
+  return la::lobpcg(apply, prec, std::move(initial), opts);
+}
+
+}  // namespace lrt::dft

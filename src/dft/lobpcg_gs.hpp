@@ -1,0 +1,22 @@
+// Ground-state band solver: lowest Kohn-Sham eigenpairs via the generic
+// LOBPCG with the kinetic (Teter) preconditioner.
+#pragma once
+
+#include "dft/hamiltonian.hpp"
+#include "la/lobpcg.hpp"
+
+namespace lrt::dft {
+
+struct BandSolveOptions {
+  Index max_iterations = 120;
+  Real tolerance = 1e-6;
+  unsigned seed = 42;
+};
+
+/// Solves for the lowest `num_bands` states. `initial` may be empty (random
+/// start) or provide a warm start from the previous SCF iteration.
+la::LobpcgResult solve_bands(const KsHamiltonian& h, Index num_bands,
+                             la::RealMatrix initial,
+                             const BandSolveOptions& options = {});
+
+}  // namespace lrt::dft

@@ -1,0 +1,237 @@
+#include "dft/pseudopotential.hpp"
+
+#include <cmath>
+
+#include "fft/fft3d.hpp"
+
+namespace lrt::dft {
+
+using constants::kFourPi;
+using constants::kPi;
+using constants::kTwoPi;
+
+Real hgh_local_form_factor(const grid::Species& sp, Real g2) {
+  LRT_CHECK(g2 > 0, "form factor needs G != 0; use hgh_local_g0");
+  const Real x2 = g2 * sp.r_loc * sp.r_loc;
+  const Real x4 = x2 * x2;
+  const Real x6 = x4 * x2;
+  const Real gauss = std::exp(-0.5 * x2);
+  const Real coulomb = -kFourPi * sp.z_ion / g2;
+  const Real r3 = sp.r_loc * sp.r_loc * sp.r_loc;
+  const Real poly = sp.c1 + sp.c2 * (3.0 - x2) +
+                    sp.c3 * (15.0 - 10.0 * x2 + x4) +
+                    sp.c4 * (105.0 - 105.0 * x2 + 21.0 * x4 - x6);
+  return gauss * (coulomb + std::sqrt(8.0 * kPi * kPi * kPi) * r3 * poly);
+}
+
+Real hgh_local_g0(const grid::Species& sp) {
+  const Real r2 = sp.r_loc * sp.r_loc;
+  const Real r3 = r2 * sp.r_loc;
+  return kTwoPi * sp.z_ion * r2 +
+         std::pow(kTwoPi, Real{1.5}) * r3 *
+             (sp.c1 + 3.0 * sp.c2 + 15.0 * sp.c3 + 105.0 * sp.c4);
+}
+
+std::vector<Real> build_local_potential(const grid::RealSpaceGrid& grid,
+                                        const grid::GVectors& gvectors,
+                                        const grid::Structure& structure) {
+  const Index nr = grid.size();
+  const Real inv_volume = Real{1} / grid.cell().volume();
+  std::vector<fft::Complex> vg(static_cast<std::size_t>(nr),
+                               fft::Complex{0, 0});
+
+  // Precompute per-species form factors once per G shell? G vectors are
+  // not shelled here (orthorhombic), so evaluate directly — the grid is
+  // laptop-scale by construction.
+  for (Index ig = 0; ig < nr; ++ig) {
+    const Real g2 = gvectors.g2(ig);
+    const grid::Vec3 g = gvectors.g(ig);
+    fft::Complex total{0, 0};
+    for (const grid::Atom& atom : structure.atoms) {
+      const grid::Species& sp =
+          structure.species[static_cast<std::size_t>(atom.species)];
+      const Real form = (g2 > Real{1e-12}) ? hgh_local_form_factor(sp, g2)
+                                           : hgh_local_g0(sp);
+      const Real phase = -(g[0] * atom.position[0] + g[1] * atom.position[1] +
+                           g[2] * atom.position[2]);
+      total += form * fft::Complex(std::cos(phase), std::sin(phase));
+    }
+    vg[static_cast<std::size_t>(ig)] = total * inv_volume;
+  }
+
+  // V(r) = Σ_G Ṽ(G) e^{iGr}: undo the 1/N of the normalized inverse.
+  const auto shape = grid.shape();
+  fft::Fft3D fft3(shape[0], shape[1], shape[2]);
+  for (auto& v : vg) v *= static_cast<Real>(nr);
+  std::vector<Real> vloc(static_cast<std::size_t>(nr));
+  fft3.inverse_real(vg.data(), vloc.data());
+  return vloc;
+}
+
+namespace {
+
+/// HGH radial projector p_i^l(r) (HGH 1998 Eq. 8), normalized so that
+/// ∫ p² r² dr = 1.
+Real hgh_radial_projector(int l, int i, Real rl, Real r) {
+  // Γ(l + (4i-1)/2) for the cases used: (l=0,i=1) -> Γ(3/2) = √π/2,
+  // (l=0,i=2) -> Γ(7/2) = 15√π/8, (l=1,i=1) -> Γ(5/2) = 3√π/4.
+  Real gamma = 0;
+  const Real sqrt_pi = std::sqrt(kPi);
+  if (l == 0 && i == 1) gamma = 0.5 * sqrt_pi;
+  if (l == 0 && i == 2) gamma = 15.0 / 8.0 * sqrt_pi;
+  if (l == 1 && i == 1) gamma = 0.75 * sqrt_pi;
+  LRT_CHECK(gamma > 0, "unsupported projector channel l=" << l << " i=" << i);
+  const Real power = static_cast<Real>(l + 2 * (i - 1));
+  const Real exponent = static_cast<Real>(l) + (4.0 * i - 1.0) / 2.0;
+  return std::sqrt(2.0) * std::pow(r, power) *
+         std::exp(-0.5 * (r / rl) * (r / rl)) /
+         (std::pow(rl, exponent) * std::sqrt(gamma));
+}
+
+}  // namespace
+
+NonlocalProjectors::NonlocalProjectors(const grid::RealSpaceGrid& grid,
+                                       const grid::Structure& structure)
+    : dv_(grid.dv()) {
+  const Index nr = grid.size();
+
+  // One entry per (channel, i, m): l = 0 has m = 0 only; l = 1 has three.
+  struct Channel {
+    int l;
+    int i;
+    Real rl;
+    Real h;
+    int m;  ///< 0 for s; 0,1,2 = x,y,z for p
+  };
+
+  for (const grid::Atom& atom : structure.atoms) {
+    const grid::Species& sp =
+        structure.species[static_cast<std::size_t>(atom.species)];
+    std::vector<Channel> channels;
+    if (sp.r_s > 0 && sp.h11_s != 0) channels.push_back({0, 1, sp.r_s, sp.h11_s, 0});
+    if (sp.r_s > 0 && sp.h22_s != 0) channels.push_back({0, 2, sp.r_s, sp.h22_s, 0});
+    if (sp.r_p > 0 && sp.h11_p != 0) {
+      for (int m = 0; m < 3; ++m) channels.push_back({1, 1, sp.r_p, sp.h11_p, m});
+    }
+
+    for (const Channel& ch : channels) {
+      // Gaussian decay: 6 r_l captures ~1e-7 of the tail; also stay below
+      // half the smallest cell edge so the minimum image is unambiguous.
+      Real rcut = 6.0 * ch.rl;
+      for (int ax = 0; ax < 3; ++ax) {
+        rcut = std::min(rcut, 0.49 * grid.cell().length(ax));
+      }
+
+      Projector proj;
+      proj.h = ch.h;
+      const Real y00 = 1.0 / std::sqrt(4.0 * kPi);
+      const Real y1_norm = std::sqrt(3.0 / (4.0 * kPi));
+      for (Index g = 0; g < nr; ++g) {
+        const grid::Vec3 d =
+            grid.cell().minimum_image(atom.position, grid.position(g));
+        const Real r2 = grid::norm2(d);
+        if (r2 > rcut * rcut) continue;
+        const Real r = std::sqrt(r2);
+        Real value = 0;
+        if (ch.l == 0) {
+          value = hgh_radial_projector(0, ch.i, ch.rl, r) * y00;
+        } else {
+          // p_1^1 carries one power of r; fold it into the direction
+          // cosine so r -> 0 is regular: p(r) Y_1m = C · d_m · e^{...}.
+          const Real radial_over_r =
+              (r > 1e-12) ? hgh_radial_projector(1, 1, ch.rl, r) / r
+                          : hgh_radial_projector(1, 1, ch.rl, 1e-12) / 1e-12;
+          value = radial_over_r * y1_norm *
+                  d[static_cast<std::size_t>(ch.m)];
+        }
+        if (value != 0) {
+          proj.points.push_back(g);
+          proj.values.push_back(value);
+        }
+      }
+      if (proj.points.empty()) continue;
+
+      // Renormalize on the grid: the analytic norm ∫|w|² = 1 suffers on
+      // coarse meshes; rescaling restores ⟨p|p⟩ = 1 exactly in the grid
+      // metric so h keeps its meaning.
+      Real norm2_grid = 0;
+      for (const Real v : proj.values) norm2_grid += v * v;
+      norm2_grid *= dv_;
+      if (norm2_grid > 0) {
+        const Real scale = 1.0 / std::sqrt(norm2_grid);
+        for (Real& v : proj.values) v *= scale;
+      }
+      projectors_.push_back(std::move(proj));
+    }
+  }
+}
+
+void NonlocalProjectors::accumulate(la::RealConstView psi,
+                                    la::RealView out) const {
+  LRT_CHECK(psi.rows() == out.rows() && psi.cols() == out.cols(),
+            "nonlocal accumulate shape mismatch");
+  const Index k = psi.cols();
+  for (const Projector& proj : projectors_) {
+    const Index np = static_cast<Index>(proj.points.size());
+    for (Index j = 0; j < k; ++j) {
+      Real coeff = 0;
+      for (Index t = 0; t < np; ++t) {
+        coeff += proj.values[static_cast<std::size_t>(t)] *
+                 psi(proj.points[static_cast<std::size_t>(t)], j);
+      }
+      coeff *= dv_ * proj.h;
+      for (Index t = 0; t < np; ++t) {
+        out(proj.points[static_cast<std::size_t>(t)], j) +=
+            coeff * proj.values[static_cast<std::size_t>(t)];
+      }
+    }
+  }
+}
+
+Real NonlocalProjectors::energy(const Real* psi) const {
+  Real total = 0;
+  for (const Projector& proj : projectors_) {
+    Real coeff = 0;
+    for (std::size_t t = 0; t < proj.points.size(); ++t) {
+      coeff += proj.values[t] * psi[proj.points[t]];
+    }
+    coeff *= dv_;
+    total += proj.h * coeff * coeff;
+  }
+  return total;
+}
+
+std::vector<Real> initial_density(const grid::RealSpaceGrid& grid,
+                                  const grid::Structure& structure,
+                                  Real sigma) {
+  const Index nr = grid.size();
+  std::vector<Real> density(static_cast<std::size_t>(nr), Real{0});
+  const Real norm =
+      Real{1} / (std::pow(kPi, Real{1.5}) * sigma * sigma * sigma);
+  const Real inv_s2 = Real{1} / (sigma * sigma);
+
+  for (Index i = 0; i < nr; ++i) {
+    const grid::Vec3 r = grid.position(i);
+    Real value = 0;
+    for (const grid::Atom& atom : structure.atoms) {
+      const grid::Species& sp =
+          structure.species[static_cast<std::size_t>(atom.species)];
+      const grid::Vec3 d = grid.cell().minimum_image(atom.position, r);
+      value += sp.z_ion * norm * std::exp(-grid::norm2(d) * inv_s2);
+    }
+    density[static_cast<std::size_t>(i)] = value;
+  }
+
+  // Renormalize exactly to the electron count (the Gaussian tails are
+  // clipped by the minimum-image truncation).
+  Real total = 0;
+  for (const Real v : density) total += v;
+  total *= grid.dv();
+  const Real target = structure.num_electrons();
+  LRT_CHECK(total > 0, "empty initial density");
+  const Real scale = target / total;
+  for (Real& v : density) v *= scale;
+  return density;
+}
+
+}  // namespace lrt::dft

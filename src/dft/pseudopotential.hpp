@@ -1,0 +1,79 @@
+// HGH norm-conserving pseudopotential, local part.
+//
+// The analytic Fourier transform of the Hartwigsen-Goedecker-Hutter local
+// potential (HGH 1998, Eq 1; x = |G| r_loc):
+//   v(G) = (1/Ω) e^{-x²/2} [ -4π Z_ion/G²
+//          + √(8π³) r_loc³ (C1 + C2(3-x²) + C3(15-10x²+x⁴)
+//                           + C4(105-105x²+21x⁴-x⁶)) ]
+// The divergent -4πZ/G² piece at G=0 cancels against the Hartree and
+// Ewald backgrounds for a neutral cell; the finite G=0 remainder is the
+// standard "alpha Z" term  (1/Ω)[2π Z r_loc² + (2π)^{3/2} r_loc³
+// (C1 + 3C2 + 15C3 + 105C4)].
+//
+// Nonlocal projectors are intentionally omitted (documented substitution,
+// see DESIGN.md): the LR-TDDFT algorithms under study consume orbitals and
+// energies, not the pseudopotential form.
+#pragma once
+
+#include <vector>
+
+#include "grid/crystal.hpp"
+#include "grid/gvectors.hpp"
+#include "la/matrix.hpp"
+
+namespace lrt::dft {
+
+/// Species-local form factor v(|G|) * Ω (volume factor applied by caller).
+Real hgh_local_form_factor(const grid::Species& sp, Real g2);
+
+/// Finite G = 0 term of the form factor (times Ω).
+Real hgh_local_g0(const grid::Species& sp);
+
+/// Builds the total local ionic potential on the real-space grid by
+/// structure-factor summation in reciprocal space.
+std::vector<Real> build_local_potential(const grid::RealSpaceGrid& grid,
+                                        const grid::GVectors& gvectors,
+                                        const grid::Structure& structure);
+
+/// Superposition of atomic Gaussian charges, normalized to the total
+/// valence electron count — the SCF starting density.
+std::vector<Real> initial_density(const grid::RealSpaceGrid& grid,
+                                  const grid::Structure& structure,
+                                  Real sigma = 1.2);
+
+/// Nonlocal HGH channels in Kleinman-Bylander separable form,
+///   V_nl = Σ_{a,l,i,m} h_i^l |p_i^lm,a⟩⟨p_i^lm,a| ,
+/// with the Gaussian-type HGH radial projectors (HGH 1998 Eq. 8)
+///   p_i^l(r) = √2 r^{l+2(i-1)} e^{-r²/2r_l²} /
+///              (r_l^{l+(4i-1)/2} √Γ(l+(4i-1)/2))
+/// tabulated on real-space grid points inside a cutoff sphere and
+/// renormalized on the grid. Off-diagonal h12 couplings are dropped
+/// (diagonal-KB simplification; see DESIGN.md).
+class NonlocalProjectors {
+ public:
+  NonlocalProjectors(const grid::RealSpaceGrid& grid,
+                     const grid::Structure& structure);
+
+  Index num_projectors() const {
+    return static_cast<Index>(projectors_.size());
+  }
+
+  /// Accumulates V_nl ψ into `out` (both Nr x k). Works for any uniform
+  /// column normalization (the dv factors cancel; see implementation).
+  void accumulate(la::RealConstView psi, la::RealView out) const;
+
+  /// Nonlocal energy Σ_proj h ⟨p|ψ⟩² of one dv-normalized column.
+  Real energy(const Real* psi) const;
+
+ private:
+  struct Projector {
+    std::vector<Index> points;  ///< grid indices inside the cutoff sphere
+    std::vector<Real> values;   ///< projector values at those points
+    Real h = 0;                 ///< channel strength
+  };
+
+  std::vector<Projector> projectors_;
+  Real dv_ = 0;
+};
+
+}  // namespace lrt::dft

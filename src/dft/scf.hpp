@@ -1,0 +1,67 @@
+// Self-consistent field driver — the "PWDFT" ground-state substrate.
+//
+// Produces the inputs every LR-TDDFT calculation consumes: Kohn-Sham
+// orbital energies ε_i and real-space orbitals ψ_i(r) for N_v valence
+// (occupied) plus N_c conduction (virtual) states, all from a plane-wave
+// LDA calculation with HGH local pseudopotentials.
+#pragma once
+
+#include "dft/hamiltonian.hpp"
+#include "grid/crystal.hpp"
+#include "grid/gvectors.hpp"
+
+namespace lrt::dft {
+
+struct ScfOptions {
+  Real ecut = 8.0;              ///< kinetic cutoff, Hartree
+  Index num_conduction = 4;     ///< virtual states to converge beyond N_v
+  Index max_iterations = 40;
+  Real density_tolerance = 1e-6;  ///< ||n_out - n_in|| * dv convergence
+  Real mixing = 0.4;              ///< linear density mixing factor
+  /// Kerker screening wavevector q0 (bohr⁻¹): the density update is
+  /// filtered by G²/(G² + q0²), suppressing the long-wavelength charge
+  /// sloshing that plagues plain linear mixing. 0 disables.
+  Real kerker_q0 = 0.8;
+  /// Pulay (DIIS) mixing history length; 1 falls back to plain linear
+  /// mixing.
+  Index pulay_history = 5;
+  /// Fermi-Dirac smearing width (Hartree). Fractional occupations remove
+  /// the occupation flipping of near-degenerate frontier states that
+  /// otherwise stalls the SCF on small supercells. 0 = integer filling.
+  Real smearing = 0.01;
+  Index band_iterations = 80;     ///< LOBPCG cap per SCF step
+  Real band_tolerance = 1e-7;
+  unsigned seed = 42;
+  bool verbose = false;
+};
+
+struct KohnShamResult {
+  grid::RealSpaceGrid grid;
+  std::vector<Real> eigenvalues;  ///< all converged bands, ascending
+  /// Orbitals as Nr x Nb columns, normalized to ∫|ψ|² dv = 1 (dv metric).
+  la::RealMatrix orbitals;
+  Index num_occupied = 0;         ///< N_v (double occupation)
+  std::vector<Real> density;      ///< converged n(r), electrons/bohr³
+  std::vector<Real> veff;         ///< converged effective potential
+  std::vector<Real> occupations;  ///< per band, in [0, 2]
+  Real fermi_level = 0;           ///< smearing chemical potential
+  Real total_energy = 0;          ///< Hartree
+  Real band_gap = 0;              ///< ε_{Nv} - ε_{Nv-1}
+  bool converged = false;
+  Index iterations = 0;
+
+  /// Valence / conduction column blocks (views into `orbitals`).
+  la::RealConstView valence() const {
+    return orbitals.view().cols_block(0, num_occupied);
+  }
+  la::RealConstView conduction() const {
+    return orbitals.view().cols_block(
+        num_occupied, orbitals.cols() - num_occupied);
+  }
+};
+
+/// Runs the SCF loop to convergence.
+KohnShamResult solve_ground_state(const grid::Structure& structure,
+                                  const ScfOptions& options = {});
+
+}  // namespace lrt::dft

@@ -1,0 +1,118 @@
+#include "dft/synthetic.hpp"
+
+#include <cmath>
+
+#include "common/random.hpp"
+#include "la/ortho.hpp"
+
+namespace lrt::dft {
+namespace {
+
+/// Fills `out` (Nr x nb) with random Gaussian-lobe combinations and
+/// orthonormalizes in the l2 metric.
+la::RealMatrix make_block(const grid::RealSpaceGrid& grid, Index nb,
+                          const std::vector<grid::Vec3>& centers, Real width,
+                          Rng& rng) {
+  const Index nr = grid.size();
+  const Index nat = static_cast<Index>(centers.size());
+  la::RealMatrix block(nr, nb);
+
+  // Per-center lobe values, computed once (Nr x centers).
+  la::RealMatrix lobes(nr, nat);
+  const Real inv_w2 = Real{1} / (width * width);
+  for (Index i = 0; i < nr; ++i) {
+    const grid::Vec3 r = grid.position(i);
+    for (Index a = 0; a < nat; ++a) {
+      const grid::Vec3 d = grid.cell().minimum_image(
+          centers[static_cast<std::size_t>(a)], r);
+      lobes(i, a) = std::exp(-grid::norm2(d) * inv_w2);
+    }
+  }
+
+  // Each orbital: random signed combination of a few lobes with a random
+  // low-order plane-wave modulation to break degeneracy (mimicking bonding
+  // / antibonding character).
+  for (Index j = 0; j < nb; ++j) {
+    std::vector<Real> coeff(static_cast<std::size_t>(nat));
+    for (Index a = 0; a < nat; ++a) {
+      coeff[static_cast<std::size_t>(a)] = rng.normal();
+    }
+    const Real kx = constants::kTwoPi *
+                    static_cast<Real>(rng.uniform_index(3)) /
+                    grid.cell().length(0);
+    const Real phase = rng.uniform(0.0, constants::kTwoPi);
+    for (Index i = 0; i < nr; ++i) {
+      Real value = 0;
+      for (Index a = 0; a < nat; ++a) {
+        value += coeff[static_cast<std::size_t>(a)] * lobes(i, a);
+      }
+      const grid::Vec3 r = grid.position(i);
+      block(i, j) = value * (Real{1} + Real{0.3} * std::cos(kx * r[0] + phase));
+    }
+  }
+  la::cholqr2(block.view());
+  return block;
+}
+
+}  // namespace
+
+SyntheticOrbitals make_synthetic_orbitals(const grid::RealSpaceGrid& grid,
+                                          Index nv, Index nc,
+                                          const SyntheticOptions& options) {
+  LRT_CHECK(nv >= 1 && nc >= 1, "need at least one orbital per block");
+  Rng rng(options.seed);
+
+  // Synthetic atom lattice: jittered regular placement.
+  std::vector<grid::Vec3> centers;
+  const Index per_axis = std::max<Index>(
+      1, static_cast<Index>(std::round(std::cbrt(
+             static_cast<Real>(options.num_centers)))));
+  for (Index a = 0; a < options.num_centers; ++a) {
+    const Index ix = a % per_axis;
+    const Index iy = (a / per_axis) % per_axis;
+    const Index iz = a / (per_axis * per_axis);
+    grid::Vec3 c;
+    const Index cells[3] = {ix, iy, iz};
+    for (int ax = 0; ax < 3; ++ax) {
+      const Real l = grid.cell().length(ax);
+      c[static_cast<std::size_t>(ax)] =
+          (static_cast<Real>(cells[ax]) + Real{0.5} +
+           Real{0.15} * rng.uniform(-1.0, 1.0)) *
+          l / static_cast<Real>(per_axis);
+    }
+    centers.push_back(grid.cell().wrap(c));
+  }
+
+  SyntheticOrbitals result;
+  result.psi_v = make_block(grid, nv, centers, options.width, rng);
+  result.psi_c = make_block(grid, nc, centers, options.width * Real{1.3}, rng);
+  // Conduction block must be orthogonal to valence for a well-posed pair
+  // space; project and re-orthonormalize.
+  la::project_out(result.psi_v.view(), result.psi_c.view());
+  la::cholqr2(result.psi_c.view());
+
+  // Convert to physical dv normalization.
+  const Real to_physical = Real{1} / std::sqrt(grid.dv());
+  for (Index i = 0; i < grid.size(); ++i) {
+    for (Index j = 0; j < nv; ++j) result.psi_v(i, j) *= to_physical;
+    for (Index j = 0; j < nc; ++j) result.psi_c(i, j) *= to_physical;
+  }
+
+  // Energy ladders: ε_v ∈ [-span-gap/2, -gap/2], ε_c ∈ [gap/2, gap/2+span].
+  result.eps_v.resize(static_cast<std::size_t>(nv));
+  result.eps_c.resize(static_cast<std::size_t>(nc));
+  for (Index j = 0; j < nv; ++j) {
+    result.eps_v[static_cast<std::size_t>(j)] =
+        -options.gap / 2 - options.valence_span *
+                               static_cast<Real>(nv - 1 - j) /
+                               std::max<Index>(1, nv - 1);
+  }
+  for (Index j = 0; j < nc; ++j) {
+    result.eps_c[static_cast<std::size_t>(j)] =
+        options.gap / 2 + options.conduction_span * static_cast<Real>(j) /
+                              std::max<Index>(1, nc - 1);
+  }
+  return result;
+}
+
+}  // namespace lrt::dft

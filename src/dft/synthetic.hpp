@@ -1,0 +1,39 @@
+// Synthetic Kohn-Sham orbital generator for scaling studies.
+//
+// The paper's largest experiments (Si1000 … Si4096, Nr up to 4.6M) need a
+// cluster to generate self-consistent orbitals. For the complexity and
+// scaling benches we substitute orbitals with the same structure ISDF
+// exploits — smooth, spatially localized functions on the periodic grid
+// whose pair products are numerically low-rank — built as random linear
+// combinations of Gaussian lobes centered on a synthetic "atom" lattice,
+// then orthonormalized. Energies come as filled valence/conduction
+// ladders with a gap, matching silicon's spectrum shape.
+#pragma once
+
+#include "grid/rsgrid.hpp"
+#include "la/matrix.hpp"
+
+namespace lrt::dft {
+
+struct SyntheticOptions {
+  Index num_centers = 8;   ///< Gaussian centers ("atoms") in the cell
+  Real width = 1.8;        ///< lobe width, Bohr
+  Real gap = 0.1;          ///< Kohn-Sham gap between ε_v and ε_c ladders
+  Real valence_span = 0.4; ///< ε_v spread below the gap
+  Real conduction_span = 0.5;
+  unsigned seed = 1234;
+};
+
+struct SyntheticOrbitals {
+  la::RealMatrix psi_v;        ///< Nr x Nv, ∫ψψ dv = δ
+  la::RealMatrix psi_c;        ///< Nr x Nc
+  std::vector<Real> eps_v;     ///< ascending
+  std::vector<Real> eps_c;     ///< ascending, all > max(eps_v) + gap
+};
+
+/// Generates Nv valence and Nc conduction orbitals on `grid`.
+SyntheticOrbitals make_synthetic_orbitals(const grid::RealSpaceGrid& grid,
+                                          Index nv, Index nc,
+                                          const SyntheticOptions& options = {});
+
+}  // namespace lrt::dft

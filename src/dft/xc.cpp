@@ -1,0 +1,113 @@
+#include "dft/xc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace lrt::dft {
+namespace {
+
+using constants::kPi;
+
+// Slater exchange constant: εx = -Cx n^{1/3}, Cx = (3/4)(3/π)^{1/3}.
+const Real kCx = 0.75 * std::cbrt(3.0 / kPi);
+
+// PZ81 unpolarized correlation parameters.
+constexpr Real kGamma = -0.1423;
+constexpr Real kBeta1 = 1.0529;
+constexpr Real kBeta2 = 0.3334;
+constexpr Real kA = 0.0311;
+constexpr Real kB = -0.048;
+constexpr Real kC = 0.0020;
+constexpr Real kD = -0.0116;
+
+// Densities below this are treated as vacuum (kernel and potential 0);
+// avoids n^{-2/3} blowups in the empty regions of molecular boxes.
+constexpr Real kDensityFloor = 1e-12;
+
+Real rs_of(Real n) { return std::cbrt(3.0 / (4.0 * kPi * n)); }
+
+/// εc(rs) and dεc/drs.
+void pz_correlation(Real rs, Real& ec, Real& dec_drs) {
+  if (rs >= 1.0) {
+    const Real sq = std::sqrt(rs);
+    const Real den = 1.0 + kBeta1 * sq + kBeta2 * rs;
+    ec = kGamma / den;
+    dec_drs = -kGamma * (0.5 * kBeta1 / sq + kBeta2) / (den * den);
+  } else {
+    const Real ln = std::log(rs);
+    ec = kA * ln + kB + kC * rs * ln + kD * rs;
+    dec_drs = kA / rs + kC * (ln + 1.0) + kD;
+  }
+}
+
+/// d²εc/drs² (needed for fxc).
+Real pz_correlation_second(Real rs) {
+  if (rs >= 1.0) {
+    const Real sq = std::sqrt(rs);
+    const Real den = 1.0 + kBeta1 * sq + kBeta2 * rs;
+    const Real dden = 0.5 * kBeta1 / sq + kBeta2;
+    const Real d2den = -0.25 * kBeta1 / (rs * sq);
+    // ec = γ/den; ec'' = γ (2 den'² - den den'') / den³.
+    return kGamma * (2.0 * dden * dden - den * d2den) / (den * den * den);
+  }
+  return -kA / (rs * rs) + kC / rs;
+}
+
+}  // namespace
+
+Real lda_exc(Real n) {
+  if (n < kDensityFloor) return 0.0;
+  const Real ex = -kCx * std::cbrt(n);
+  Real ec, dec;
+  pz_correlation(rs_of(n), ec, dec);
+  return ex + ec;
+}
+
+Real lda_vxc(Real n) {
+  if (n < kDensityFloor) return 0.0;
+  // vx = d(n εx)/dn = (4/3) εx.
+  const Real vx = -(4.0 / 3.0) * kCx * std::cbrt(n);
+  const Real rs = rs_of(n);
+  Real ec, dec_drs;
+  pz_correlation(rs, ec, dec_drs);
+  // vc = εc - (rs/3) dεc/drs.
+  const Real vc = ec - (rs / 3.0) * dec_drs;
+  return vx + vc;
+}
+
+Real lda_fxc(Real n) {
+  if (n < kDensityFloor) return 0.0;
+  // Exchange: fx = dvx/dn = -(4/9) Cx n^{-2/3}.
+  const Real fx = -(4.0 / 9.0) * kCx / std::cbrt(n * n);
+  // Correlation: vc(n) = εc - (rs/3) εc'; with drs/dn = -rs/(3n),
+  // fc = dvc/dn = (rs/(9n)) (rs εc'' - 2 εc')... derive:
+  //   dvc/drs = εc' - (1/3)εc' - (rs/3) εc'' = (2/3) εc' - (rs/3) εc''
+  //   fc = dvc/drs * drs/dn = [(2/3)εc' - (rs/3)εc''] * (-rs/(3n))
+  const Real rs = rs_of(n);
+  Real ec, dec_drs;
+  pz_correlation(rs, ec, dec_drs);
+  const Real d2ec = pz_correlation_second(rs);
+  const Real dvc_drs = (2.0 / 3.0) * dec_drs - (rs / 3.0) * d2ec;
+  const Real fc = dvc_drs * (-rs / (3.0 * n));
+  return fx + fc;
+}
+
+std::vector<Real> lda_vxc_array(const std::vector<Real>& density) {
+  std::vector<Real> v(density.size());
+  std::transform(density.begin(), density.end(), v.begin(), lda_vxc);
+  return v;
+}
+
+std::vector<Real> lda_fxc_array(const std::vector<Real>& density) {
+  std::vector<Real> f(density.size());
+  std::transform(density.begin(), density.end(), f.begin(), lda_fxc);
+  return f;
+}
+
+Real lda_exc_energy(const std::vector<Real>& density, Real dv) {
+  Real sum = 0.0;
+  for (const Real n : density) sum += n * lda_exc(n);
+  return sum * dv;
+}
+
+}  // namespace lrt::dft

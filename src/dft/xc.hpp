@@ -1,0 +1,29 @@
+// Local density approximation (LDA) exchange-correlation.
+//
+// Slater exchange plus Perdew-Zunger 1981 parametrization of the Ceperley-
+// Alder correlation energy (unpolarized). Three quantities are exposed:
+//   exc(n)  — energy density per electron
+//   vxc(n)  — potential δ(n εxc)/δn, entering the KS Hamiltonian
+//   fxc(n)  — kernel δ²(n εxc)/δn² = dvxc/dn, the adiabatic-LDA (ALDA)
+//             exchange-correlation kernel of the Casida equation (paper
+//             Eq 4, second term).
+#pragma once
+
+#include <vector>
+
+#include "common/config.hpp"
+
+namespace lrt::dft {
+
+Real lda_exc(Real density);
+Real lda_vxc(Real density);
+Real lda_fxc(Real density);
+
+/// Vectorized helpers over a density array.
+std::vector<Real> lda_vxc_array(const std::vector<Real>& density);
+std::vector<Real> lda_fxc_array(const std::vector<Real>& density);
+
+/// E_xc[n] = ∫ n εxc(n) with volume element dv.
+Real lda_exc_energy(const std::vector<Real>& density, Real dv);
+
+}  // namespace lrt::dft

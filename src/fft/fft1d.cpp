@@ -1,0 +1,159 @@
+#include "fft/fft1d.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace lrt::fft {
+namespace {
+
+using constants::kPi;
+
+/// In-place iterative radix-2 transform; sign = -1 forward, +1 backward
+/// (unnormalized). `twiddle` holds exp(sign * 2πi k / n) for k < n/2.
+void radix2(Complex* x, Index n, const std::vector<Complex>& twiddle) {
+  // Bit-reversal permutation.
+  for (Index i = 1, j = 0; i < n; ++i) {
+    Index bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) std::swap(x[i], x[j]);
+  }
+  for (Index len = 2; len <= n; len <<= 1) {
+    const Index step = n / len;
+    const Index half = len / 2;
+    for (Index i = 0; i < n; i += len) {
+      for (Index k = 0; k < half; ++k) {
+        const Complex w = twiddle[static_cast<std::size_t>(k * step)];
+        const Complex u = x[i + k];
+        const Complex v = x[i + k + half] * w;
+        x[i + k] = u + v;
+        x[i + k + half] = u - v;
+      }
+    }
+  }
+}
+
+std::vector<Complex> make_twiddles(Index n, int sign) {
+  std::vector<Complex> tw(static_cast<std::size_t>(n / 2));
+  for (Index k = 0; k < n / 2; ++k) {
+    const Real angle = sign * 2.0 * kPi * static_cast<Real>(k) /
+                       static_cast<Real>(n);
+    tw[static_cast<std::size_t>(k)] = Complex(std::cos(angle), std::sin(angle));
+  }
+  return tw;
+}
+
+}  // namespace
+
+bool is_power_of_two(Index n) { return n >= 1 && (n & (n - 1)) == 0; }
+
+Index next_power_of_two(Index n) {
+  Index p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+struct Fft1D::Impl {
+  Index n = 0;
+
+  // Power-of-two path.
+  std::vector<Complex> tw_fwd;
+  std::vector<Complex> tw_bwd;
+
+  // Bluestein path (empty when n is a power of two).
+  Index m = 0;                      // padded power-of-two length >= 2n-1
+  std::vector<Complex> chirp;       // w_k = exp(-i π k² / n)
+  std::vector<Complex> b_spectrum;  // FFT of the chirp kernel
+  std::vector<Complex> m_tw_fwd;
+  std::vector<Complex> m_tw_bwd;
+
+  void forward_pow2(Complex* x) const { radix2(x, n, tw_fwd); }
+
+  void backward_pow2(Complex* x) const { radix2(x, n, tw_bwd); }
+
+  /// Bluestein forward transform: X_k = w_k * IFFT_m(FFT_m(x·w) · B)_k.
+  void forward_bluestein(Complex* x) const {
+    std::vector<Complex> a(static_cast<std::size_t>(m), Complex{0, 0});
+    for (Index k = 0; k < n; ++k) {
+      a[static_cast<std::size_t>(k)] = x[k] * chirp[static_cast<std::size_t>(k)];
+    }
+    radix2(a.data(), m, m_tw_fwd);
+    for (Index k = 0; k < m; ++k) {
+      a[static_cast<std::size_t>(k)] *= b_spectrum[static_cast<std::size_t>(k)];
+    }
+    radix2(a.data(), m, m_tw_bwd);
+    const Real inv_m = Real{1} / static_cast<Real>(m);
+    for (Index k = 0; k < n; ++k) {
+      x[k] = a[static_cast<std::size_t>(k)] * chirp[static_cast<std::size_t>(k)] *
+             inv_m;
+    }
+  }
+};
+
+Fft1D::Fft1D(Index n) : impl_(std::make_unique<Impl>()) {
+  LRT_CHECK(n >= 1, "FFT length must be >= 1, got " << n);
+  impl_->n = n;
+  if (is_power_of_two(n)) {
+    impl_->tw_fwd = make_twiddles(n, -1);
+    impl_->tw_bwd = make_twiddles(n, +1);
+    return;
+  }
+  // Bluestein setup.
+  const Index m = next_power_of_two(2 * n - 1);
+  impl_->m = m;
+  impl_->m_tw_fwd = make_twiddles(m, -1);
+  impl_->m_tw_bwd = make_twiddles(m, +1);
+  impl_->chirp.resize(static_cast<std::size_t>(n));
+  for (Index k = 0; k < n; ++k) {
+    // Reduce k² mod 2n before the trig call to keep the argument small for
+    // large n (k² overflows Real precision around n ~ 1e8 otherwise).
+    const long long k2 = (static_cast<long long>(k) * k) % (2 * n);
+    const Real angle = -kPi * static_cast<Real>(k2) / static_cast<Real>(n);
+    impl_->chirp[static_cast<std::size_t>(k)] =
+        Complex(std::cos(angle), std::sin(angle));
+  }
+  std::vector<Complex> b(static_cast<std::size_t>(m), Complex{0, 0});
+  for (Index k = 0; k < n; ++k) {
+    const Complex value = std::conj(impl_->chirp[static_cast<std::size_t>(k)]);
+    b[static_cast<std::size_t>(k)] = value;
+    if (k > 0) b[static_cast<std::size_t>(m - k)] = value;
+  }
+  radix2(b.data(), m, impl_->m_tw_fwd);
+  impl_->b_spectrum = std::move(b);
+}
+
+Fft1D::~Fft1D() = default;
+Fft1D::Fft1D(Fft1D&&) noexcept = default;
+Fft1D& Fft1D::operator=(Fft1D&&) noexcept = default;
+
+Index Fft1D::size() const { return impl_->n; }
+
+void Fft1D::forward(Complex* x) const {
+  if (impl_->m == 0) {
+    impl_->forward_pow2(x);
+  } else {
+    impl_->forward_bluestein(x);
+  }
+}
+
+void Fft1D::inverse(Complex* x) const {
+  const Index n = impl_->n;
+  if (impl_->m == 0) {
+    impl_->backward_pow2(x);
+    const Real inv = Real{1} / static_cast<Real>(n);
+    for (Index k = 0; k < n; ++k) x[k] *= inv;
+    return;
+  }
+  // Arbitrary n: inverse via conjugation, IFFT(x) = conj(FFT(conj(x)))/n.
+  for (Index k = 0; k < n; ++k) x[k] = std::conj(x[k]);
+  impl_->forward_bluestein(x);
+  const Real inv = Real{1} / static_cast<Real>(n);
+  for (Index k = 0; k < n; ++k) x[k] = std::conj(x[k]) * inv;
+}
+
+void fft_forward(Complex* x, Index n) { Fft1D(n).forward(x); }
+
+void fft_inverse(Complex* x, Index n) { Fft1D(n).inverse(x); }
+
+}  // namespace lrt::fft

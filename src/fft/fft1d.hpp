@@ -1,0 +1,57 @@
+// One-dimensional complex FFT.
+//
+// Power-of-two lengths use an iterative radix-2 Cooley-Tukey transform;
+// arbitrary lengths fall back to Bluestein's chirp-z algorithm built on a
+// padded radix-2 transform. This mirrors what FFTW provides to the paper's
+// code: the plane-wave grids are rarely powers of two (104, 166, ...).
+//
+// Normalization: forward is unnormalized, inverse divides by n, so
+// inverse(forward(x)) == x.
+#pragma once
+
+#include <complex>
+#include <memory>
+#include <vector>
+
+#include "common/config.hpp"
+
+namespace lrt::fft {
+
+using Complex = std::complex<Real>;
+
+/// Reusable transform plan for a fixed length (twiddles and, for
+/// non-power-of-two lengths, the Bluestein chirp spectra are precomputed).
+class Fft1D {
+ public:
+  explicit Fft1D(Index n);
+  ~Fft1D();
+
+  Fft1D(Fft1D&&) noexcept;
+  Fft1D& operator=(Fft1D&&) noexcept;
+  Fft1D(const Fft1D&) = delete;
+  Fft1D& operator=(const Fft1D&) = delete;
+
+  Index size() const;
+
+  /// In-place forward transform of n contiguous values.
+  void forward(Complex* x) const;
+
+  /// In-place inverse transform (normalized by 1/n).
+  void inverse(Complex* x) const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+/// One-shot convenience transforms.
+void fft_forward(Complex* x, Index n);
+void fft_inverse(Complex* x, Index n);
+
+/// True if n is a power of two (n >= 1).
+bool is_power_of_two(Index n);
+
+/// Smallest power of two >= n.
+Index next_power_of_two(Index n);
+
+}  // namespace lrt::fft

@@ -1,0 +1,81 @@
+#include "fft/fft3d.hpp"
+
+#include "common/error.hpp"
+
+namespace lrt::fft {
+
+Fft3D::Fft3D(Index n0, Index n1, Index n2)
+    : n_{n0, n1, n2}, plan0_(n0), plan1_(n1), plan2_(n2) {
+  LRT_CHECK(n0 >= 1 && n1 >= 1 && n2 >= 1,
+            "bad 3-D FFT shape " << n0 << "x" << n1 << "x" << n2);
+}
+
+void Fft3D::transform(Complex* x, bool inverse) const {
+  const Index n0 = n_[0], n1 = n_[1], n2 = n_[2];
+
+  // Axis 2: contiguous lines.
+  for (Index i0 = 0; i0 < n0; ++i0) {
+    for (Index i1 = 0; i1 < n1; ++i1) {
+      Complex* line = x + (i0 * n1 + i1) * n2;
+      if (inverse) {
+        plan2_.inverse(line);
+      } else {
+        plan2_.forward(line);
+      }
+    }
+  }
+
+  // Axis 1: stride n2 within each i0 slab.
+  std::vector<Complex> buffer(static_cast<std::size_t>(std::max(n0, n1)));
+  for (Index i0 = 0; i0 < n0; ++i0) {
+    Complex* slab = x + i0 * n1 * n2;
+    for (Index i2 = 0; i2 < n2; ++i2) {
+      for (Index i1 = 0; i1 < n1; ++i1) {
+        buffer[static_cast<std::size_t>(i1)] = slab[i1 * n2 + i2];
+      }
+      if (inverse) {
+        plan1_.inverse(buffer.data());
+      } else {
+        plan1_.forward(buffer.data());
+      }
+      for (Index i1 = 0; i1 < n1; ++i1) {
+        slab[i1 * n2 + i2] = buffer[static_cast<std::size_t>(i1)];
+      }
+    }
+  }
+
+  // Axis 0: stride n1*n2.
+  const Index stride0 = n1 * n2;
+  for (Index rem = 0; rem < stride0; ++rem) {
+    for (Index i0 = 0; i0 < n0; ++i0) {
+      buffer[static_cast<std::size_t>(i0)] = x[i0 * stride0 + rem];
+    }
+    if (inverse) {
+      plan0_.inverse(buffer.data());
+    } else {
+      plan0_.forward(buffer.data());
+    }
+    for (Index i0 = 0; i0 < n0; ++i0) {
+      x[i0 * stride0 + rem] = buffer[static_cast<std::size_t>(i0)];
+    }
+  }
+}
+
+void Fft3D::forward(Complex* x) const { transform(x, /*inverse=*/false); }
+
+void Fft3D::inverse(Complex* x) const { transform(x, /*inverse=*/true); }
+
+void Fft3D::forward(const Real* real_in, Complex* out) const {
+  const Index n = size();
+  for (Index i = 0; i < n; ++i) out[i] = Complex(real_in[i], Real{0});
+  forward(out);
+}
+
+void Fft3D::inverse_real(const Complex* in, Real* real_out) const {
+  const Index n = size();
+  std::vector<Complex> work(in, in + n);
+  inverse(work.data());
+  for (Index i = 0; i < n; ++i) real_out[i] = work[static_cast<std::size_t>(i)].real();
+}
+
+}  // namespace lrt::fft

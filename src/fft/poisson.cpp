@@ -1,0 +1,43 @@
+#include "fft/poisson.hpp"
+
+#include "common/error.hpp"
+
+namespace lrt::fft {
+
+PoissonSolver::PoissonSolver(Fft3D fft, std::vector<Real> g2)
+    : fft_(std::move(fft)), g2_(std::move(g2)) {
+  LRT_CHECK(static_cast<Index>(g2_.size()) == fft_.size(),
+            "g2 table size " << g2_.size() << " != grid size " << fft_.size());
+}
+
+void PoissonSolver::apply_kernel_g(Complex* rho_g) const {
+  const Index n = fft_.size();
+  rho_g[0] = Complex{0, 0};
+  for (Index i = 1; i < n; ++i) {
+    const Real g2 = g2_[static_cast<std::size_t>(i)];
+    if (g2 > Real{0}) {
+      rho_g[i] *= constants::kFourPi / g2;
+    } else {
+      rho_g[i] = Complex{0, 0};
+    }
+  }
+}
+
+void PoissonSolver::solve(const Real* density, Real* potential) const {
+  const Index n = fft_.size();
+  std::vector<Complex> work(static_cast<std::size_t>(n));
+  fft_.forward(density, work.data());
+  apply_kernel_g(work.data());
+  fft_.inverse_real(work.data(), potential);
+  (void)n;
+}
+
+Real PoissonSolver::energy(const Real* density, const Real* potential,
+                           Real dv) const {
+  const Index n = fft_.size();
+  Real sum = 0.0;
+  for (Index i = 0; i < n; ++i) sum += density[i] * potential[i];
+  return Real{0.5} * sum * dv;
+}
+
+}  // namespace lrt::fft

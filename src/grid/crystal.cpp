@@ -1,0 +1,142 @@
+#include "grid/crystal.hpp"
+
+#include <cmath>
+
+namespace lrt::grid {
+namespace {
+
+using units::kAngstromToBohr;
+
+}  // namespace
+
+Species species_silicon() {
+  // HGH LDA, Si: Zion=4, rloc=0.44, C1=-7.336103 (local part).
+  return Species{"Si", 4.0, 0.440000, -7.336103, 0.0, 0.0, 0.0,
+                 0.422738, 5.906928, 3.258196, 0.484278, 2.727013};
+}
+
+Species species_hydrogen() {
+  // HGH LDA, H: Zion=1, rloc=0.2, C1=-4.180237, C2=0.725075.
+  return Species{"H", 1.0, 0.200000, -4.180237, 0.725075, 0.0, 0.0,
+                 0.0, 0.0, 0.0, 0.0, 0.0};
+}
+
+Species species_oxygen() {
+  // HGH LDA, O: Zion=6, rloc=0.247621, C1=-16.580318, C2=2.395701.
+  return Species{"O", 6.0, 0.247621, -16.580318, 2.395701, 0.0, 0.0,
+                 0.221786, 18.266917, 0.0, 0.0, 0.0};
+}
+
+Species species_carbon() {
+  // HGH LDA, C: Zion=4, rloc=0.348830, C1=-8.513771, C2=1.228432.
+  return Species{"C", 4.0, 0.348830, -8.513771, 1.228432, 0.0, 0.0,
+                 0.304553, 9.522842, 0.0, 0.0, 0.0};
+}
+
+Real Structure::num_electrons() const {
+  Real total = 0;
+  for (const Atom& atom : atoms) {
+    total += species[static_cast<std::size_t>(atom.species)].z_ion;
+  }
+  return total;
+}
+
+Index Structure::num_occupied() const {
+  const Real electrons = num_electrons();
+  const Index n = static_cast<Index>(std::llround(electrons));
+  LRT_CHECK(n % 2 == 0, "closed-shell code needs an even electron count, got "
+                            << electrons);
+  return n / 2;
+}
+
+Structure make_silicon_supercell(Index n) {
+  LRT_CHECK(n >= 1, "supercell multiplier must be >= 1");
+  const Real a = 5.431 * kAngstromToBohr;  // conventional lattice constant
+
+  Structure s;
+  s.cell = UnitCell::cubic(a * static_cast<Real>(n));
+  s.species = {species_silicon()};
+
+  // Diamond basis: FCC lattice + (1/4,1/4,1/4) shifted second atom;
+  // 8 atoms in the conventional cubic cell, fractional coordinates.
+  const Real frac[8][3] = {
+      {0.00, 0.00, 0.00}, {0.50, 0.50, 0.00}, {0.50, 0.00, 0.50},
+      {0.00, 0.50, 0.50}, {0.25, 0.25, 0.25}, {0.75, 0.75, 0.25},
+      {0.75, 0.25, 0.75}, {0.25, 0.75, 0.75}};
+
+  for (Index cx = 0; cx < n; ++cx) {
+    for (Index cy = 0; cy < n; ++cy) {
+      for (Index cz = 0; cz < n; ++cz) {
+        for (const auto& f : frac) {
+          Atom atom;
+          atom.species = 0;
+          atom.position = {(static_cast<Real>(cx) + f[0]) * a,
+                           (static_cast<Real>(cy) + f[1]) * a,
+                           (static_cast<Real>(cz) + f[2]) * a};
+          s.atoms.push_back(atom);
+        }
+      }
+    }
+  }
+  return s;
+}
+
+Structure make_water_box(Real box_length) {
+  LRT_CHECK(box_length > 6.0, "water box too small");
+  Structure s;
+  s.cell = UnitCell::cubic(box_length);
+  s.species = {species_oxygen(), species_hydrogen()};
+
+  // Experimental geometry: O-H 0.9572 Å, H-O-H 104.52°, centered in box.
+  const Real oh = 0.9572 * kAngstromToBohr;
+  const Real half_angle = 0.5 * 104.52 * constants::kPi / 180.0;
+  const Real cx = 0.5 * box_length;
+
+  Atom o{0, {cx, cx, cx}};
+  Atom h1{1,
+          {cx + oh * std::sin(half_angle), cx, cx + oh * std::cos(half_angle)}};
+  Atom h2{1,
+          {cx - oh * std::sin(half_angle), cx, cx + oh * std::cos(half_angle)}};
+  s.atoms = {o, h1, h2};
+  return s;
+}
+
+Structure make_bilayer_graphene(Index nx, Index ny, Real dz, Real vacuum) {
+  LRT_CHECK(nx >= 1 && ny >= 1, "bad graphene patch size");
+  LRT_CHECK(dz > 0 && vacuum >= 0, "bad stacking parameters");
+
+  // Rectangular 4-atom graphene cell: a = 2.46 Å, cell (a, a*sqrt(3)).
+  const Real a = 2.46 * kAngstromToBohr;
+  const Real b = a * std::sqrt(Real{3});
+  const Real lx = a * static_cast<Real>(nx);
+  const Real ly = b * static_cast<Real>(ny);
+  const Real lz = 2.0 * dz + 2.0 * vacuum;
+
+  Structure s;
+  s.cell = UnitCell({lx, ly, lz});
+  s.species = {species_carbon()};
+
+  // Fractional in-plane positions of the rectangular 4-atom cell.
+  const Real frac[4][2] = {
+      {0.0, 0.0}, {0.5, 0.5}, {0.0, 1.0 / 3.0}, {0.5, 5.0 / 6.0}};
+  // AB (Bernal) stacking: the second layer is shifted by one bond length
+  // along y so half its atoms sit above layer-1 hexagon centers.
+  const Real ab_shift_y = 1.0 / 3.0;
+
+  const Real z1 = vacuum;
+  const Real z2 = vacuum + dz;
+  for (Index ix = 0; ix < nx; ++ix) {
+    for (Index iy = 0; iy < ny; ++iy) {
+      for (const auto& f : frac) {
+        const Real x = (static_cast<Real>(ix) + f[0]) * a;
+        const Real y0 = (static_cast<Real>(iy) + f[1]) * b;
+        s.atoms.push_back(Atom{0, {x, std::fmod(y0, ly), z1}});
+        const Real y2 = std::fmod(y0 + ab_shift_y * b, ly);
+        s.atoms.push_back(Atom{0, {x, y2, z2}});
+      }
+    }
+  }
+  return s;
+}
+
+}  // namespace lrt::grid

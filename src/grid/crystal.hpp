@@ -1,0 +1,78 @@
+// Atomic structures: species data and crystal builders.
+//
+// Species carry the parameters of the Hartwigsen-Goedecker-Hutter (HGH)
+// norm-conserving pseudopotential *local part* (see dft/pseudopotential).
+// Builders produce the systems of the paper's evaluation:
+//  - diamond-structure silicon supercells Si_{8 n³} (Si8, Si64, Si216, ...),
+//  - a single water molecule in a vacuum box (accuracy benchmark),
+//  - an AB-stacked bilayer-graphene patch with adjustable interlayer
+//    distance — the laptop-scale analog of the paper's 1,180-atom MATBG
+//    application (Fig 9); see DESIGN.md for the substitution rationale.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "grid/unitcell.hpp"
+
+namespace lrt::grid {
+
+struct Species {
+  std::string symbol;
+  Real z_ion = 0;    ///< valence (ionic) charge
+  Real r_loc = 0;    ///< HGH local radius (Bohr)
+  Real c1 = 0;       ///< HGH local C1
+  Real c2 = 0;       ///< HGH local C2
+  Real c3 = 0;
+  Real c4 = 0;
+
+  // Nonlocal (Kleinman-Bylander separable) channels. Off-diagonal h12
+  // couplings are omitted (diagonal-KB simplification, see DESIGN.md).
+  Real r_s = 0;      ///< s-channel radius; 0 disables the channel
+  Real h11_s = 0;    ///< first s projector strength
+  Real h22_s = 0;    ///< second s projector strength
+  Real r_p = 0;      ///< p-channel radius; 0 disables
+  Real h11_p = 0;    ///< first p projector strength
+};
+
+/// Built-in HGH local-part parameter sets (LDA, from the HGH paper).
+Species species_silicon();
+Species species_hydrogen();
+Species species_oxygen();
+Species species_carbon();
+
+struct Atom {
+  int species = 0;  ///< index into Structure::species
+  Vec3 position;    ///< Cartesian, Bohr, inside the cell
+};
+
+struct Structure {
+  UnitCell cell;
+  std::vector<Species> species;
+  std::vector<Atom> atoms;
+
+  Index num_atoms() const { return static_cast<Index>(atoms.size()); }
+
+  /// Total valence electron count (Σ Z_ion).
+  Real num_electrons() const;
+
+  /// Number of doubly occupied Kohn-Sham orbitals (electrons / 2,
+  /// requires an even electron count).
+  Index num_occupied() const;
+};
+
+/// Diamond silicon supercell with n x n x n conventional cubic cells
+/// (8 atoms each): n=1 -> Si8, n=2 -> Si64, n=3 -> Si216, ...
+/// Lattice constant 5.431 Å.
+Structure make_silicon_supercell(Index n);
+
+/// One H2O molecule centered in a cubic box of `box_length` Bohr
+/// (paper Table 5 uses an 11 Å box).
+Structure make_water_box(Real box_length);
+
+/// AB-stacked bilayer graphene: nx x ny rectangular 4-atom cells per
+/// layer, interlayer distance `dz` Bohr, vacuum padding above/below.
+/// The MATBG analog of the Fig 9 application.
+Structure make_bilayer_graphene(Index nx, Index ny, Real dz, Real vacuum);
+
+}  // namespace lrt::grid

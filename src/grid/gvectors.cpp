@@ -1,0 +1,43 @@
+#include "grid/gvectors.hpp"
+
+namespace lrt::grid {
+
+GVectors::GVectors(const RealSpaceGrid& grid) : grid_(&grid) {
+  const auto& shape = grid.shape();
+  g2_.resize(static_cast<std::size_t>(grid.size()));
+  const Real b0 = grid.cell().reciprocal(0);
+  const Real b1 = grid.cell().reciprocal(1);
+  const Real b2 = grid.cell().reciprocal(2);
+  Index flat = 0;
+  for (Index i0 = 0; i0 < shape[0]; ++i0) {
+    const Real g0 = static_cast<Real>(fft_frequency(i0, shape[0])) * b0;
+    for (Index i1 = 0; i1 < shape[1]; ++i1) {
+      const Real g1 = static_cast<Real>(fft_frequency(i1, shape[1])) * b1;
+      for (Index i2 = 0; i2 < shape[2]; ++i2) {
+        const Real g2v = static_cast<Real>(fft_frequency(i2, shape[2])) * b2;
+        g2_[static_cast<std::size_t>(flat++)] = g0 * g0 + g1 * g1 + g2v * g2v;
+      }
+    }
+  }
+}
+
+Vec3 GVectors::g(Index i) const {
+  const auto idx = grid_->unflatten(i);
+  const auto& shape = grid_->shape();
+  return {static_cast<Real>(fft_frequency(idx[0], shape[0])) *
+              grid_->cell().reciprocal(0),
+          static_cast<Real>(fft_frequency(idx[1], shape[1])) *
+              grid_->cell().reciprocal(1),
+          static_cast<Real>(fft_frequency(idx[2], shape[2])) *
+              grid_->cell().reciprocal(2)};
+}
+
+Index GVectors::count_within_cutoff(Real ecut) const {
+  Index count = 0;
+  for (const Real g2v : g2_) {
+    if (Real{0.5} * g2v <= ecut) ++count;
+  }
+  return count;
+}
+
+}  // namespace lrt::grid

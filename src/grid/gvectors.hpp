@@ -1,0 +1,43 @@
+// Reciprocal-space (G-vector) tables in FFT index layout.
+//
+// For FFT index i along an axis of n points, the wrapped frequency is
+// f(i) = i for i <= n/2, else i - n; the Cartesian component is
+// G = f(i) * 2π / L. The class precomputes |G|² for every grid point —
+// consumed by the kinetic operator, the Hartree kernel 4π/|G|², the
+// Teter-style preconditioner, and the local pseudopotential builder.
+#pragma once
+
+#include <vector>
+
+#include "grid/rsgrid.hpp"
+
+namespace lrt::grid {
+
+class GVectors {
+ public:
+  explicit GVectors(const RealSpaceGrid& grid);
+
+  Index size() const { return static_cast<Index>(g2_.size()); }
+
+  /// |G|² at FFT-layout flat index i.
+  Real g2(Index i) const { return g2_[static_cast<std::size_t>(i)]; }
+  const std::vector<Real>& g2_table() const { return g2_; }
+
+  /// Cartesian G vector at flat index i.
+  Vec3 g(Index i) const;
+
+  /// Number of G vectors with |G|²/2 <= ecut (plane-wave basis size at
+  /// that cutoff; reported by drivers).
+  Index count_within_cutoff(Real ecut) const;
+
+ private:
+  const RealSpaceGrid* grid_;
+  std::vector<Real> g2_;
+};
+
+/// Wrapped FFT frequency for index i out of n.
+inline Index fft_frequency(Index i, Index n) {
+  return i <= n / 2 ? i : i - n;
+}
+
+}  // namespace lrt::grid

@@ -1,0 +1,34 @@
+#include "grid/rsgrid.hpp"
+
+#include <cmath>
+
+namespace lrt::grid {
+
+RealSpaceGrid::RealSpaceGrid(const UnitCell& cell, std::array<Index, 3> shape)
+    : cell_(cell), shape_(shape) {
+  for (const Index n : shape_) {
+    LRT_CHECK(n >= 1, "grid dimension must be >= 1");
+  }
+}
+
+RealSpaceGrid RealSpaceGrid::from_cutoff(const UnitCell& cell, Real ecut) {
+  LRT_CHECK(ecut > 0, "cutoff must be positive");
+  std::array<Index, 3> shape;
+  for (int ax = 0; ax < 3; ++ax) {
+    const Real ideal =
+        std::sqrt(2.0 * ecut) * cell.length(ax) / constants::kPi;
+    shape[static_cast<std::size_t>(ax)] =
+        std::max<Index>(2, static_cast<Index>(std::ceil(ideal)));
+  }
+  return RealSpaceGrid(cell, shape);
+}
+
+std::vector<Vec3> RealSpaceGrid::positions() const {
+  std::vector<Vec3> pts(static_cast<std::size_t>(size()));
+  for (Index i = 0; i < size(); ++i) {
+    pts[static_cast<std::size_t>(i)] = position(i);
+  }
+  return pts;
+}
+
+}  // namespace lrt::grid

@@ -1,0 +1,62 @@
+// Real-space grid over the unit cell.
+//
+// The grid dimensions follow the paper's rule (§6.1):
+//   (Nr)_i = sqrt(2 Ecut) * L_i / π
+// rounded up, so the grid resolves plane waves up to the kinetic cutoff.
+// Flat indices use the row-major (i0, i1, i2) order shared with Fft3D.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "grid/unitcell.hpp"
+
+namespace lrt::grid {
+
+class RealSpaceGrid {
+ public:
+  RealSpaceGrid() = default;
+
+  RealSpaceGrid(const UnitCell& cell, std::array<Index, 3> shape);
+
+  /// Builds the grid from a kinetic energy cutoff (Hartree).
+  static RealSpaceGrid from_cutoff(const UnitCell& cell, Real ecut);
+
+  const UnitCell& cell() const { return cell_; }
+  const std::array<Index, 3>& shape() const { return shape_; }
+  Index size() const { return shape_[0] * shape_[1] * shape_[2]; }
+
+  /// Volume element Ω / Nr for grid quadrature.
+  Real dv() const { return cell_.volume() / static_cast<Real>(size()); }
+
+  Index flat_index(Index i0, Index i1, Index i2) const {
+    return (i0 * shape_[1] + i1) * shape_[2] + i2;
+  }
+
+  std::array<Index, 3> unflatten(Index flat) const {
+    const Index i2 = flat % shape_[2];
+    const Index i1 = (flat / shape_[2]) % shape_[1];
+    const Index i0 = flat / (shape_[1] * shape_[2]);
+    return {i0, i1, i2};
+  }
+
+  /// Cartesian position of grid point `flat` (Bohr).
+  Vec3 position(Index flat) const {
+    const auto idx = unflatten(flat);
+    return {static_cast<Real>(idx[0]) * cell_.length(0) /
+                static_cast<Real>(shape_[0]),
+            static_cast<Real>(idx[1]) * cell_.length(1) /
+                static_cast<Real>(shape_[1]),
+            static_cast<Real>(idx[2]) * cell_.length(2) /
+                static_cast<Real>(shape_[2])};
+  }
+
+  /// All positions as an N x 3 array (used by K-Means clustering).
+  std::vector<Vec3> positions() const;
+
+ private:
+  UnitCell cell_;
+  std::array<Index, 3> shape_ = {1, 1, 1};
+};
+
+}  // namespace lrt::grid

@@ -1,0 +1,3 @@
+// UnitCell is header-only; this TU exists to give the grid module a home
+// for future out-of-line definitions and to compile the header standalone.
+#include "grid/unitcell.hpp"

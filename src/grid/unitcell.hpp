@@ -1,0 +1,77 @@
+// Orthorhombic periodic simulation cell.
+//
+// All systems in the paper's evaluation (cubic silicon supercells, the
+// H2O box, the bilayer-graphene sheet) fit in an orthorhombic cell, so the
+// lattice is represented by its three edge lengths in Bohr. Reciprocal
+// lattice vectors are b_i = 2π / L_i along each axis.
+#pragma once
+
+#include <array>
+#include <cmath>
+
+#include "common/config.hpp"
+#include "common/error.hpp"
+
+namespace lrt::grid {
+
+using Vec3 = std::array<Real, 3>;
+
+class UnitCell {
+ public:
+  UnitCell() : lengths_{1, 1, 1} {}
+
+  explicit UnitCell(const Vec3& lengths) : lengths_(lengths) {
+    for (const Real l : lengths_) {
+      LRT_CHECK(l > 0, "cell lengths must be positive");
+    }
+  }
+
+  static UnitCell cubic(Real length) {
+    return UnitCell({length, length, length});
+  }
+
+  const Vec3& lengths() const { return lengths_; }
+  Real length(int axis) const { return lengths_[static_cast<std::size_t>(axis)]; }
+
+  Real volume() const { return lengths_[0] * lengths_[1] * lengths_[2]; }
+
+  /// Reciprocal lattice constant along `axis` (2π / L).
+  Real reciprocal(int axis) const {
+    return constants::kTwoPi / lengths_[static_cast<std::size_t>(axis)];
+  }
+
+  /// Minimum-image displacement from a to b (component-wise wrap).
+  Vec3 minimum_image(const Vec3& a, const Vec3& b) const {
+    Vec3 d;
+    for (int ax = 0; ax < 3; ++ax) {
+      Real delta = b[static_cast<std::size_t>(ax)] - a[static_cast<std::size_t>(ax)];
+      const Real l = lengths_[static_cast<std::size_t>(ax)];
+      delta -= l * std::round(delta / l);
+      d[static_cast<std::size_t>(ax)] = delta;
+    }
+    return d;
+  }
+
+  /// Wraps a position into [0, L) per axis.
+  Vec3 wrap(const Vec3& r) const {
+    Vec3 w;
+    for (int ax = 0; ax < 3; ++ax) {
+      const Real l = lengths_[static_cast<std::size_t>(ax)];
+      Real x = std::fmod(r[static_cast<std::size_t>(ax)], l);
+      if (x < 0) x += l;
+      w[static_cast<std::size_t>(ax)] = x;
+    }
+    return w;
+  }
+
+ private:
+  Vec3 lengths_;
+};
+
+inline Real dot(const Vec3& a, const Vec3& b) {
+  return a[0] * b[0] + a[1] * b[1] + a[2] * b[2];
+}
+
+inline Real norm2(const Vec3& a) { return dot(a, a); }
+
+}  // namespace lrt::grid

@@ -1,0 +1,28 @@
+// Gaussian cube file output for volumetric data (densities, orbitals,
+// pair-product weights). Readable by VMD/VESTA/Avogadro — the standard
+// way to inspect the isosurfaces the paper's Fig 6/9 insets show.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "grid/crystal.hpp"
+#include "grid/rsgrid.hpp"
+
+namespace lrt::io {
+
+/// Writes `values` (flat, in the grid's row-major layout) as a cube file.
+/// Atom charges use the species Z_ion. The `structure` may be empty
+/// (atoms section omitted gracefully with 0 atoms).
+void write_cube(std::ostream& out, const std::string& title,
+                const grid::RealSpaceGrid& grid,
+                const grid::Structure& structure,
+                const std::vector<Real>& values);
+
+void write_cube_file(const std::string& path, const std::string& title,
+                     const grid::RealSpaceGrid& grid,
+                     const grid::Structure& structure,
+                     const std::vector<Real>& values);
+
+}  // namespace lrt::io

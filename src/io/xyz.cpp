@@ -1,0 +1,91 @@
+#include "io/xyz.hpp"
+
+#include <fstream>
+#include <map>
+#include <sstream>
+
+namespace lrt::io {
+namespace {
+
+grid::Species species_for(const std::string& symbol) {
+  if (symbol == "H") return grid::species_hydrogen();
+  if (symbol == "C") return grid::species_carbon();
+  if (symbol == "O") return grid::species_oxygen();
+  if (symbol == "Si") return grid::species_silicon();
+  LRT_CHECK(false, "no built-in pseudopotential for element '" << symbol
+                                                               << "'");
+  return {};
+}
+
+}  // namespace
+
+void write_xyz(std::ostream& out, const grid::Structure& structure,
+               const std::string& comment) {
+  out << structure.num_atoms() << "\n" << comment << "\n";
+  out.precision(10);
+  for (const grid::Atom& atom : structure.atoms) {
+    const grid::Species& sp =
+        structure.species[static_cast<std::size_t>(atom.species)];
+    out << sp.symbol;
+    for (int ax = 0; ax < 3; ++ax) {
+      out << "  "
+          << atom.position[static_cast<std::size_t>(ax)] *
+                 units::kBohrToAngstrom;
+    }
+    out << "\n";
+  }
+}
+
+void write_xyz_file(const std::string& path,
+                    const grid::Structure& structure,
+                    const std::string& comment) {
+  std::ofstream out(path);
+  LRT_CHECK(out.good(), "cannot open '" << path << "' for writing");
+  write_xyz(out, structure, comment);
+}
+
+grid::Structure read_xyz(std::istream& in, const XyzReadOptions& options) {
+  std::string line;
+  LRT_CHECK(static_cast<bool>(std::getline(in, line)), "empty XYZ stream");
+  Index natoms = 0;
+  {
+    std::istringstream header(line);
+    LRT_CHECK(static_cast<bool>(header >> natoms) && natoms > 0,
+              "bad XYZ atom count line: '" << line << "'");
+  }
+  LRT_CHECK(static_cast<bool>(std::getline(in, line)),
+            "missing XYZ comment line");
+
+  grid::Structure structure;
+  structure.cell = options.cell;
+  std::map<std::string, int> species_index;
+
+  for (Index i = 0; i < natoms; ++i) {
+    LRT_CHECK(static_cast<bool>(std::getline(in, line)),
+              "XYZ truncated at atom " << i);
+    std::istringstream fields(line);
+    std::string symbol;
+    double x, y, z;
+    LRT_CHECK(static_cast<bool>(fields >> symbol >> x >> y >> z),
+              "malformed XYZ atom line: '" << line << "'");
+    auto [it, inserted] = species_index.try_emplace(
+        symbol, static_cast<int>(structure.species.size()));
+    if (inserted) structure.species.push_back(species_for(symbol));
+
+    grid::Vec3 position = {x * units::kAngstromToBohr,
+                           y * units::kAngstromToBohr,
+                           z * units::kAngstromToBohr};
+    if (options.wrap) position = options.cell.wrap(position);
+    structure.atoms.push_back(grid::Atom{it->second, position});
+  }
+  return structure;
+}
+
+grid::Structure read_xyz_file(const std::string& path,
+                              const XyzReadOptions& options) {
+  std::ifstream in(path);
+  LRT_CHECK(in.good(), "cannot open '" << path << "'");
+  return read_xyz(in, options);
+}
+
+}  // namespace lrt::io

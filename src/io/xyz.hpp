@@ -1,0 +1,36 @@
+// XYZ structure file I/O.
+//
+// The standard interchange format for atomic structures: atom count,
+// comment line, then "symbol x y z" in Angstrom. Reading maps symbols
+// onto the built-in HGH species table and wraps positions into the cell
+// given in the options.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "grid/crystal.hpp"
+
+namespace lrt::io {
+
+/// Writes `structure` in XYZ format (positions converted to Angstrom).
+void write_xyz(std::ostream& out, const grid::Structure& structure,
+               const std::string& comment = "");
+void write_xyz_file(const std::string& path,
+                    const grid::Structure& structure,
+                    const std::string& comment = "");
+
+struct XyzReadOptions {
+  /// Cell to attach (XYZ carries no lattice). Required.
+  grid::UnitCell cell;
+  /// Wrap atoms into the cell after conversion to Bohr.
+  bool wrap = true;
+};
+
+/// Parses an XYZ stream; throws lrt::Error on malformed content or on a
+/// symbol with no built-in species parameters (H, C, O, Si).
+grid::Structure read_xyz(std::istream& in, const XyzReadOptions& options);
+grid::Structure read_xyz_file(const std::string& path,
+                              const XyzReadOptions& options);
+
+}  // namespace lrt::io

@@ -1,0 +1,76 @@
+#include "isdf/interpolation.hpp"
+
+#include "isdf/pairproduct.hpp"
+#include "la/blas.hpp"
+#include "la/lstsq.hpp"
+
+namespace lrt::isdf {
+
+la::RealMatrix interpolation_vectors(la::RealConstView psi_v,
+                                     la::RealConstView psi_c,
+                                     const std::vector<Index>& points) {
+  LRT_CHECK(psi_v.rows() == psi_c.rows(), "orbital grids differ");
+  const Index nr = psi_v.rows();
+  const Index nmu = static_cast<Index>(points.size());
+
+  const la::RealMatrix psi_v_mu = sample_rows(psi_v, points);
+  const la::RealMatrix psi_c_mu = sample_rows(psi_c, points);
+
+  // Z Cᵀ via the separable Hadamard structure.
+  const la::RealMatrix av =
+      la::gemm(la::Trans::kNo, la::Trans::kYes, psi_v, psi_v_mu.view());
+  const la::RealMatrix ac =
+      la::gemm(la::Trans::kNo, la::Trans::kYes, psi_c, psi_c_mu.view());
+  la::RealMatrix zct(nr, nmu);
+#pragma omp parallel for schedule(static)
+  for (Index r = 0; r < nr; ++r) {
+    const Real* v = av.row_ptr(r);
+    const Real* c = ac.row_ptr(r);
+    Real* out = zct.row_ptr(r);
+    for (Index m = 0; m < nmu; ++m) out[m] = v[m] * c[m];
+  }
+
+  // C Cᵀ likewise (Nμ x Nμ).
+  const la::RealMatrix gv = la::gemm(la::Trans::kNo, la::Trans::kYes,
+                                     psi_v_mu.view(), psi_v_mu.view());
+  const la::RealMatrix gc = la::gemm(la::Trans::kNo, la::Trans::kYes,
+                                     psi_c_mu.view(), psi_c_mu.view());
+  la::RealMatrix cct(nmu, nmu);
+  for (Index m = 0; m < nmu; ++m) {
+    for (Index l = 0; l < nmu; ++l) cct(m, l) = gv(m, l) * gc(m, l);
+  }
+
+  // Θ = (Z Cᵀ)(C Cᵀ)⁻¹ — SPD system solved from the right.
+  return la::solve_gram_from_right(zct.view(), cct.view());
+}
+
+la::RealMatrix interpolation_vectors_direct(la::RealConstView psi_v,
+                                            la::RealConstView psi_c,
+                                            const std::vector<Index>& points) {
+  const la::RealMatrix z = pair_product_matrix(psi_v, psi_c);
+  const la::RealMatrix c = coefficient_matrix(psi_v, psi_c, points);
+  const la::RealMatrix zct =
+      la::gemm(la::Trans::kNo, la::Trans::kYes, z.view(), c.view());
+  const la::RealMatrix cct =
+      la::gemm(la::Trans::kNo, la::Trans::kYes, c.view(), c.view());
+  return la::solve_gram_from_right(zct.view(), cct.view());
+}
+
+Real isdf_relative_error(la::RealConstView psi_v, la::RealConstView psi_c,
+                         const std::vector<Index>& points,
+                         la::RealConstView theta) {
+  const la::RealMatrix z = pair_product_matrix(psi_v, psi_c);
+  const la::RealMatrix c = coefficient_matrix(psi_v, psi_c, points);
+  la::RealMatrix approx =
+      la::gemm(la::Trans::kNo, la::Trans::kNo, theta, c.view());
+  const Real denom = la::frobenius_norm(z.view());
+  for (Index i = 0; i < z.rows(); ++i) {
+    const Real* zr = z.row_ptr(i);
+    Real* ar = approx.row_ptr(i);
+    for (Index j = 0; j < z.cols(); ++j) ar[j] -= zr[j];
+  }
+  const Real num = la::frobenius_norm(approx.view());
+  return denom > 0 ? num / denom : Real{0};
+}
+
+}  // namespace lrt::isdf

@@ -1,0 +1,22 @@
+#include "isdf/kmeans_points.hpp"
+
+namespace lrt::isdf {
+
+KmeansPointResult select_points_kmeans(const grid::RealSpaceGrid& grid,
+                                       la::RealConstView psi_v,
+                                       la::RealConstView psi_c, Index nmu,
+                                       const kmeans::KMeansOptions& options) {
+  LRT_CHECK(grid.size() == psi_v.rows(), "grid/orbital size mismatch");
+  const std::vector<Real> weights = kmeans::pair_weights(psi_v, psi_c);
+  const std::vector<grid::Vec3> points = grid.positions();
+  kmeans::KMeansResult km = weighted_kmeans(points, weights, nmu, options);
+
+  KmeansPointResult result;
+  result.points = std::move(km.interpolation_points);
+  result.kmeans_iterations = km.iterations;
+  result.num_pruned = km.num_pruned;
+  result.objective = km.objective;
+  return result;
+}
+
+}  // namespace lrt::isdf

@@ -1,0 +1,24 @@
+// K-Means-based interpolation point selection (paper §4.2) — the drop-in
+// replacement for QRCP that this paper contributes.
+#pragma once
+
+#include <vector>
+
+#include "grid/rsgrid.hpp"
+#include "kmeans/kmeans.hpp"
+
+namespace lrt::isdf {
+
+struct KmeansPointResult {
+  std::vector<Index> points;  ///< Nμ sorted grid indices
+  Index kmeans_iterations = 0;
+  Index num_pruned = 0;  ///< grid points removed by weight pruning
+  Real objective = 0;
+};
+
+KmeansPointResult select_points_kmeans(
+    const grid::RealSpaceGrid& grid, la::RealConstView psi_v,
+    la::RealConstView psi_c, Index nmu,
+    const kmeans::KMeansOptions& options = {});
+
+}  // namespace lrt::isdf

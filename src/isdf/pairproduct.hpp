@@ -1,0 +1,33 @@
+// Orbital pair products (transposed block face-splitting product).
+//
+// Z = P_vc is the Nr x (Nv·Nc) matrix with Z(r, iv*Nc + ic) =
+// ψ_iv(r) φ_ic(r) — the object whose numerical rank deficiency ISDF
+// exploits (paper §4.1). Forming Z explicitly is the O(Nv Nc Nr) memory
+// hog of the naive path; the sampled variant only evaluates the rows at
+// selected interpolation points.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace lrt::isdf {
+
+/// Column index of the (iv, ic) pair.
+inline Index pair_index(Index iv, Index ic, Index nc) { return iv * nc + ic; }
+
+/// Explicit pair-product matrix Z (Nr x Nv*Nc).
+la::RealMatrix pair_product_matrix(la::RealConstView psi_v,
+                                   la::RealConstView psi_c);
+
+/// Rows of Z at the given grid points: the ISDF coefficient matrix
+/// C (Nμ x Nv*Nc) with C(μ, ij) = ψ_iv(r̂_μ) φ_ic(r̂_μ).
+la::RealMatrix coefficient_matrix(la::RealConstView psi_v,
+                                  la::RealConstView psi_c,
+                                  const std::vector<Index>& points);
+
+/// Orbital values sampled at grid points: (Nμ x cols) row-sample of psi.
+la::RealMatrix sample_rows(la::RealConstView psi,
+                           const std::vector<Index>& points);
+
+}  // namespace lrt::isdf

@@ -1,0 +1,70 @@
+#include "isdf/qrcp_points.hpp"
+
+#include <algorithm>
+
+#include "common/random.hpp"
+#include "isdf/pairproduct.hpp"
+#include "la/blas.hpp"
+#include "la/qrcp.hpp"
+
+namespace lrt::isdf {
+namespace {
+
+/// Khatri-Rao sketch: Y(s, r) = (Σ_i G1(s,i) ψ_i(r)) (Σ_j G2(s,j) φ_j(r)).
+la::RealMatrix khatri_rao_sketch(la::RealConstView psi_v,
+                                 la::RealConstView psi_c, Index rows,
+                                 Rng& rng) {
+  const Index nr = psi_v.rows();
+  la::RealMatrix g1 = la::RealMatrix::random_normal(rows, psi_v.cols(), rng);
+  la::RealMatrix g2 = la::RealMatrix::random_normal(rows, psi_c.cols(), rng);
+  // A = Ψ G1ᵀ (nr x rows), B = Φ G2ᵀ; Y = (A ⊙ B)ᵀ elementwise.
+  const la::RealMatrix a =
+      la::gemm(la::Trans::kNo, la::Trans::kYes, psi_v, g1.view());
+  const la::RealMatrix b =
+      la::gemm(la::Trans::kNo, la::Trans::kYes, psi_c, g2.view());
+  la::RealMatrix y(rows, nr);
+  for (Index r = 0; r < nr; ++r) {
+    const Real* ar = a.row_ptr(r);
+    const Real* br = b.row_ptr(r);
+    for (Index s = 0; s < rows; ++s) {
+      y(s, r) = ar[s] * br[s];
+    }
+  }
+  return y;
+}
+
+}  // namespace
+
+std::vector<Index> select_points_qrcp(la::RealConstView psi_v,
+                                      la::RealConstView psi_c, Index nmu,
+                                      const QrcpPointOptions& options) {
+  LRT_CHECK(psi_v.rows() == psi_c.rows(), "orbital grids differ");
+  const Index nr = psi_v.rows();
+  LRT_CHECK(nmu >= 1 && nmu <= nr, "bad Nμ " << nmu);
+
+  la::QrcpOptions qr_opts;
+  qr_opts.max_rank = nmu;
+
+  la::QrcpResult factor;
+  if (options.randomized) {
+    Rng rng(options.seed);
+    const Index sketch_rows =
+        std::min<Index>(nr, nmu + options.oversampling);
+    const la::RealMatrix y =
+        khatri_rao_sketch(psi_v, psi_c, sketch_rows, rng);
+    factor = la::qrcp_factor(y.view(), qr_opts);
+  } else {
+    const la::RealMatrix z = pair_product_matrix(psi_v, psi_c);
+    const la::RealMatrix zt = la::transpose<Real>(z.view());
+    factor = la::qrcp_factor(zt.view(), qr_opts);
+  }
+
+  LRT_CHECK(factor.rank >= nmu,
+            "QRCP truncated at rank " << factor.rank << " below Nμ " << nmu
+                                      << "; pair matrix is rank deficient");
+  std::vector<Index> points = la::qrcp_pivots(factor, nmu);
+  std::sort(points.begin(), points.end());
+  return points;
+}
+
+}  // namespace lrt::isdf

@@ -1,0 +1,30 @@
+// QRCP-based interpolation point selection (paper §4.1.1).
+//
+// Traditional ISDF: column-pivoted QR of Zᵀ ranks grid points by how much
+// independent pair-product information they carry; the first Nμ pivots are
+// the interpolation points. Two variants:
+//  - plain: QRCP of the full (Nv·Nc) x Nr transposed pair matrix, the
+//    expensive O(Ne³)-memory reference the paper's Table 3 times;
+//  - randomized: the rows of Zᵀ are compressed with a Khatri-Rao
+//    structured Gaussian sketch, (G1ᵀΨᵀ) ⊙ (G2ᵀΦᵀ), giving an
+//    (Nμ + oversampling) x Nr matrix at O(Nr (Nv+Nc) s) cost before the
+//    same pivoted QR (the "randomized sampling QRCP" the paper cites).
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace lrt::isdf {
+
+struct QrcpPointOptions {
+  bool randomized = true;
+  Index oversampling = 8;  ///< extra sketch rows beyond Nμ
+  unsigned seed = 99;
+};
+
+std::vector<Index> select_points_qrcp(la::RealConstView psi_v,
+                                      la::RealConstView psi_c, Index nmu,
+                                      const QrcpPointOptions& options = {});
+
+}  // namespace lrt::isdf

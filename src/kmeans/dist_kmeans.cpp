@@ -1,0 +1,183 @@
+#include "kmeans/dist_kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace lrt::kmeans {
+namespace {
+
+Real squared_distance(const grid::Vec3& a, const grid::Vec3& b) {
+  const Real dx = a[0] - b[0];
+  const Real dy = a[1] - b[1];
+  const Real dz = a[2] - b[2];
+  return dx * dx + dy * dy + dz * dz;
+}
+
+}  // namespace
+
+DistKMeansResult dist_weighted_kmeans(par::Comm& comm,
+                                      const std::vector<grid::Vec3>& points,
+                                      const std::vector<Real>& weights,
+                                      Index global_offset, Index k,
+                                      const KMeansOptions& options) {
+  const Index n_local = static_cast<Index>(points.size());
+  LRT_CHECK(static_cast<Index>(weights.size()) == n_local,
+            "points/weights size mismatch");
+
+  DistKMeansResult result;
+
+  // Global pruning threshold from the global max weight.
+  Real wmax = 0;
+  for (const Real w : weights) wmax = std::max(wmax, w);
+  comm.allreduce(&wmax, 1, par::ReduceOp::kMax);
+  LRT_CHECK(wmax > 0, "all weights are zero");
+  const Real cut = options.weight_threshold * wmax;
+
+  std::vector<Index> kept;  // local indices
+  for (Index i = 0; i < n_local; ++i) {
+    if (weights[static_cast<std::size_t>(i)] >= cut) kept.push_back(i);
+  }
+  Index pruned = n_local - static_cast<Index>(kept.size());
+  comm.allreduce(&pruned, 1, par::ReduceOp::kSum);
+  result.num_pruned = pruned;
+
+  // Seeding: every rank contributes its k heaviest kept points; the
+  // globally heaviest k of the allgathered candidates seed the clusters
+  // identically on every rank.
+  struct Candidate {
+    Real weight;
+    Real x, y, z;
+  };
+  static_assert(std::is_trivially_copyable_v<Candidate>);
+  const Index c_per_rank = std::min<Index>(k, static_cast<Index>(kept.size()));
+  std::vector<Index> order = kept;
+  std::partial_sort(order.begin(), order.begin() + c_per_rank, order.end(),
+                    [&](Index a, Index b) {
+                      return weights[static_cast<std::size_t>(a)] >
+                             weights[static_cast<std::size_t>(b)];
+                    });
+  std::vector<Candidate> mine(static_cast<std::size_t>(k),
+                              Candidate{-1, 0, 0, 0});
+  for (Index j = 0; j < c_per_rank; ++j) {
+    const Index p = order[static_cast<std::size_t>(j)];
+    mine[static_cast<std::size_t>(j)] =
+        Candidate{weights[static_cast<std::size_t>(p)],
+                  points[static_cast<std::size_t>(p)][0],
+                  points[static_cast<std::size_t>(p)][1],
+                  points[static_cast<std::size_t>(p)][2]};
+  }
+  std::vector<Candidate> all(static_cast<std::size_t>(k * comm.size()));
+  comm.allgather(mine.data(), k, all.data());
+  std::sort(all.begin(), all.end(), [](const Candidate& a, const Candidate& b) {
+    return a.weight > b.weight;
+  });
+  result.centroids.resize(static_cast<std::size_t>(k));
+  for (Index c = 0; c < k; ++c) {
+    LRT_CHECK(all[static_cast<std::size_t>(c)].weight >= 0,
+              "not enough kept points to seed " << k << " clusters");
+    result.centroids[static_cast<std::size_t>(c)] = {
+        all[static_cast<std::size_t>(c)].x, all[static_cast<std::size_t>(c)].y,
+        all[static_cast<std::size_t>(c)].z};
+  }
+
+  // Lloyd iterations with one Allreduce per step.
+  std::vector<Index> assignment(kept.size(), 0);
+  // Packed reduction buffer: per cluster [w, wx, wy, wz], then objective.
+  std::vector<Real> reduction(static_cast<std::size_t>(4 * k + 1));
+  Real previous_objective = std::numeric_limits<Real>::max();
+
+  for (Index iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+    std::fill(reduction.begin(), reduction.end(), Real{0});
+
+    for (std::size_t i = 0; i < kept.size(); ++i) {
+      const Index p = kept[i];
+      const grid::Vec3& r = points[static_cast<std::size_t>(p)];
+      Real best = std::numeric_limits<Real>::max();
+      Index best_c = 0;
+      for (Index c = 0; c < k; ++c) {
+        const Real d =
+            squared_distance(r, result.centroids[static_cast<std::size_t>(c)]);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      assignment[i] = best_c;
+      const Real w = weights[static_cast<std::size_t>(p)];
+      Real* slot = &reduction[static_cast<std::size_t>(4 * best_c)];
+      slot[0] += w;
+      slot[1] += w * r[0];
+      slot[2] += w * r[1];
+      slot[3] += w * r[2];
+      reduction[static_cast<std::size_t>(4 * k)] += w * best;
+    }
+
+    comm.allreduce(reduction.data(), static_cast<Index>(reduction.size()),
+                   par::ReduceOp::kSum);
+    result.objective = reduction[static_cast<std::size_t>(4 * k)];
+
+    for (Index c = 0; c < k; ++c) {
+      const Real* slot = &reduction[static_cast<std::size_t>(4 * c)];
+      if (slot[0] > 0) {
+        result.centroids[static_cast<std::size_t>(c)] = {
+            slot[1] / slot[0], slot[2] / slot[0], slot[3] / slot[0]};
+      }
+      // Empty clusters keep their previous centroid (deterministic across
+      // ranks; reseeding would need another round of agreement).
+    }
+
+    if (previous_objective < std::numeric_limits<Real>::max() &&
+        previous_objective - result.objective <=
+            options.tolerance * std::max(previous_objective, Real{1e-30})) {
+      break;
+    }
+    previous_objective = result.objective;
+  }
+
+  // Representative points: local nearest per cluster, then a global
+  // argmin via allgather of (distance, global index) candidates.
+  struct Rep {
+    Real distance;
+    long long global_index;
+  };
+  static_assert(std::is_trivially_copyable_v<Rep>);
+  std::vector<Rep> local_rep(static_cast<std::size_t>(k),
+                             Rep{std::numeric_limits<Real>::max(), -1});
+  for (std::size_t i = 0; i < kept.size(); ++i) {
+    const Index p = kept[i];
+    const Index c = assignment[i];
+    const Real d = squared_distance(points[static_cast<std::size_t>(p)],
+                                    result.centroids[static_cast<std::size_t>(c)]);
+    if (d < local_rep[static_cast<std::size_t>(c)].distance) {
+      local_rep[static_cast<std::size_t>(c)] =
+          Rep{d, static_cast<long long>(global_offset + p)};
+    }
+  }
+  std::vector<Rep> all_rep(static_cast<std::size_t>(k * comm.size()));
+  comm.allgather(local_rep.data(), k, all_rep.data());
+  result.interpolation_points.assign(static_cast<std::size_t>(k), -1);
+  std::vector<long long> used;
+  for (Index c = 0; c < k; ++c) {
+    Rep best{std::numeric_limits<Real>::max(), -1};
+    for (int r = 0; r < comm.size(); ++r) {
+      const Rep& cand = all_rep[static_cast<std::size_t>(r * k + c)];
+      if (cand.global_index < 0) continue;
+      if (std::find(used.begin(), used.end(), cand.global_index) != used.end()) {
+        continue;
+      }
+      if (cand.distance < best.distance) best = cand;
+    }
+    LRT_CHECK(best.global_index >= 0,
+              "cluster " << c << " has no representative point");
+    used.push_back(best.global_index);
+    result.interpolation_points[static_cast<std::size_t>(c)] =
+        static_cast<Index>(best.global_index);
+  }
+  std::sort(result.interpolation_points.begin(),
+            result.interpolation_points.end());
+  return result;
+}
+
+}  // namespace lrt::kmeans

@@ -1,0 +1,32 @@
+// Distributed weighted K-Means (paper §4.2, last paragraph).
+//
+// Grid points are row-block partitioned over ranks. Each iteration:
+// local assignment (embarrassingly parallel), then the per-cluster
+// weighted coordinate sums and total weights are combined with a single
+// Allreduce and the updated centroids are implicitly broadcast by the
+// reduction — exactly the communication pattern the paper describes.
+#pragma once
+
+#include "kmeans/kmeans.hpp"
+#include "par/comm.hpp"
+
+namespace lrt::kmeans {
+
+struct DistKMeansResult {
+  std::vector<grid::Vec3> centroids;        ///< replicated
+  std::vector<Index> interpolation_points;  ///< replicated global indices
+  Real objective = 0;
+  Index iterations = 0;
+  Index num_pruned = 0;  ///< global count
+};
+
+/// `points`/`weights` hold this rank's block; `global_offset` is the global
+/// index of the first local point. Seeding uses the globally heaviest
+/// points (allgathered candidates), so all ranks start identically.
+DistKMeansResult dist_weighted_kmeans(par::Comm& comm,
+                                      const std::vector<grid::Vec3>& points,
+                                      const std::vector<Real>& weights,
+                                      Index global_offset, Index k,
+                                      const KMeansOptions& options = {});
+
+}  // namespace lrt::kmeans

@@ -1,0 +1,287 @@
+#include "kmeans/kmeans.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+
+namespace lrt::kmeans {
+namespace {
+
+Real squared_distance(const grid::Vec3& a, const grid::Vec3& b,
+                      const grid::UnitCell* cell) {
+  if (cell) {
+    return grid::norm2(cell->minimum_image(a, b));
+  }
+  const Real dx = a[0] - b[0];
+  const Real dy = a[1] - b[1];
+  const Real dz = a[2] - b[2];
+  return dx * dx + dy * dy + dz * dz;
+}
+
+/// Seeds k centroids from the kept points according to the chosen policy.
+std::vector<grid::Vec3> seed_centroids(const std::vector<grid::Vec3>& points,
+                                       const std::vector<Real>& weights,
+                                       const std::vector<Index>& kept, Index k,
+                                       Seeding seeding, Rng& rng,
+                                       const grid::UnitCell* cell) {
+  const Index nkept = static_cast<Index>(kept.size());
+  std::vector<grid::Vec3> centroids;
+  centroids.reserve(static_cast<std::size_t>(k));
+
+  switch (seeding) {
+    case Seeding::kUniformRandom: {
+      // Sample k distinct kept points uniformly.
+      std::vector<Index> pool = kept;
+      for (Index j = 0; j < k; ++j) {
+        const Index pick =
+            static_cast<Index>(rng.uniform_index(
+                static_cast<std::uint64_t>(nkept - j)));
+        std::swap(pool[static_cast<std::size_t>(pick)],
+                  pool[static_cast<std::size_t>(nkept - 1 - j)]);
+        centroids.push_back(
+            points[static_cast<std::size_t>(pool[static_cast<std::size_t>(
+                nkept - 1 - j)])]);
+      }
+      break;
+    }
+    case Seeding::kTopWeight: {
+      // k heaviest kept points.
+      std::vector<Index> order = kept;
+      std::partial_sort(order.begin(), order.begin() + k, order.end(),
+                        [&](Index a, Index b) {
+                          return weights[static_cast<std::size_t>(a)] >
+                                 weights[static_cast<std::size_t>(b)];
+                        });
+      for (Index j = 0; j < k; ++j) {
+        centroids.push_back(
+            points[static_cast<std::size_t>(order[static_cast<std::size_t>(j)])]);
+      }
+      break;
+    }
+    case Seeding::kWeightedKpp: {
+      // First seed: heaviest point; then D²-weighted sampling.
+      Index first = kept.front();
+      for (const Index p : kept) {
+        if (weights[static_cast<std::size_t>(p)] >
+            weights[static_cast<std::size_t>(first)]) {
+          first = p;
+        }
+      }
+      centroids.push_back(points[static_cast<std::size_t>(first)]);
+      std::vector<Real> d2(static_cast<std::size_t>(nkept),
+                           std::numeric_limits<Real>::max());
+      while (static_cast<Index>(centroids.size()) < k) {
+        // Update D² against the newest centroid and build the sampling CDF.
+        const grid::Vec3& newest = centroids.back();
+        Real total = 0;
+        for (Index i = 0; i < nkept; ++i) {
+          const Index p = kept[static_cast<std::size_t>(i)];
+          Real& best = d2[static_cast<std::size_t>(i)];
+          best = std::min(best,
+                          squared_distance(points[static_cast<std::size_t>(p)],
+                                           newest, cell));
+          total += weights[static_cast<std::size_t>(p)] * best;
+        }
+        if (total <= Real{0}) {
+          // All mass already covered; fall back to an arbitrary kept point.
+          centroids.push_back(points[static_cast<std::size_t>(
+              kept[rng.uniform_index(static_cast<std::uint64_t>(nkept))])]);
+          continue;
+        }
+        Real target = rng.uniform() * total;
+        Index chosen = kept.back();
+        for (Index i = 0; i < nkept; ++i) {
+          const Index p = kept[static_cast<std::size_t>(i)];
+          target -= weights[static_cast<std::size_t>(p)] *
+                    d2[static_cast<std::size_t>(i)];
+          if (target <= 0) {
+            chosen = p;
+            break;
+          }
+        }
+        centroids.push_back(points[static_cast<std::size_t>(chosen)]);
+      }
+      break;
+    }
+  }
+  return centroids;
+}
+
+}  // namespace
+
+std::vector<Real> pair_weights(la::RealConstView psi_v,
+                               la::RealConstView psi_c) {
+  LRT_CHECK(psi_v.rows() == psi_c.rows(), "orbital grids differ");
+  const Index nr = psi_v.rows();
+  std::vector<Real> w(static_cast<std::size_t>(nr));
+#pragma omp parallel for schedule(static)
+  for (Index i = 0; i < nr; ++i) {
+    Real sv = 0;
+    const Real* rv = psi_v.row_ptr(i);
+    for (Index j = 0; j < psi_v.cols(); ++j) sv += rv[j] * rv[j];
+    Real sc = 0;
+    const Real* rc = psi_c.row_ptr(i);
+    for (Index j = 0; j < psi_c.cols(); ++j) sc += rc[j] * rc[j];
+    w[static_cast<std::size_t>(i)] = sv * sc;
+  }
+  return w;
+}
+
+KMeansResult weighted_kmeans(const std::vector<grid::Vec3>& points,
+                             const std::vector<Real>& weights, Index k,
+                             const KMeansOptions& options) {
+  const Index n = static_cast<Index>(points.size());
+  LRT_CHECK(static_cast<Index>(weights.size()) == n,
+            "points/weights size mismatch");
+  LRT_CHECK(k >= 1 && k <= n, "bad cluster count " << k << " for " << n
+                                                   << " points");
+
+  KMeansResult result;
+  Rng rng(options.seed);
+  const grid::UnitCell* cell = options.periodic_cell;
+
+  // Prune low-weight points (N_r -> N_r').
+  Real wmax = 0;
+  for (const Real w : weights) wmax = std::max(wmax, w);
+  LRT_CHECK(wmax > 0, "all weights are zero");
+  const Real cut = options.weight_threshold * wmax;
+  for (Index i = 0; i < n; ++i) {
+    if (weights[static_cast<std::size_t>(i)] >= cut) {
+      result.kept_points.push_back(i);
+    }
+  }
+  result.num_pruned = n - static_cast<Index>(result.kept_points.size());
+  LRT_CHECK(static_cast<Index>(result.kept_points.size()) >= k,
+            "pruning left fewer points than clusters; lower the threshold");
+
+  const std::vector<Index>& kept = result.kept_points;
+  const Index nkept = static_cast<Index>(kept.size());
+  result.centroids =
+      seed_centroids(points, weights, kept, k, options.seeding, rng,
+                     options.periodic_cell);
+
+  result.assignment.assign(static_cast<std::size_t>(nkept), 0);
+  std::vector<Real> sum_w(static_cast<std::size_t>(k));
+  std::vector<grid::Vec3> sum_wr(static_cast<std::size_t>(k));
+
+  Real previous_objective = std::numeric_limits<Real>::max();
+  for (Index iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    // Assignment step (paper: "the classification step ... can be locally
+    // computed for each group of grid points").
+    Real objective = 0;
+#pragma omp parallel for schedule(static) reduction(+ : objective)
+    for (Index i = 0; i < nkept; ++i) {
+      const Index p = kept[static_cast<std::size_t>(i)];
+      const grid::Vec3& r = points[static_cast<std::size_t>(p)];
+      Real best = std::numeric_limits<Real>::max();
+      Index best_c = 0;
+      for (Index c = 0; c < k; ++c) {
+        const Real d = squared_distance(
+            r, result.centroids[static_cast<std::size_t>(c)], cell);
+        if (d < best) {
+          best = d;
+          best_c = c;
+        }
+      }
+      result.assignment[static_cast<std::size_t>(i)] = best_c;
+      objective += weights[static_cast<std::size_t>(p)] * best;
+    }
+    result.objective = objective;
+
+    // Update step: weighted centroid of each cluster (paper Eq 13). In
+    // periodic mode the mean is taken over minimum-image DISPLACEMENTS
+    // from the current centroid (the standard linearization), so clusters
+    // straddling the cell boundary do not average to the box middle.
+    std::fill(sum_w.begin(), sum_w.end(), Real{0});
+    for (auto& s : sum_wr) s = {0, 0, 0};
+    for (Index i = 0; i < nkept; ++i) {
+      const Index p = kept[static_cast<std::size_t>(i)];
+      const Index c = result.assignment[static_cast<std::size_t>(i)];
+      const Real w = weights[static_cast<std::size_t>(p)];
+      sum_w[static_cast<std::size_t>(c)] += w;
+      grid::Vec3 contrib = points[static_cast<std::size_t>(p)];
+      if (cell) {
+        contrib = cell->minimum_image(
+            result.centroids[static_cast<std::size_t>(c)], contrib);
+      }
+      for (int ax = 0; ax < 3; ++ax) {
+        sum_wr[static_cast<std::size_t>(c)][static_cast<std::size_t>(ax)] +=
+            w * contrib[static_cast<std::size_t>(ax)];
+      }
+    }
+    for (Index c = 0; c < k; ++c) {
+      if (sum_w[static_cast<std::size_t>(c)] > 0) {
+        grid::Vec3& centroid = result.centroids[static_cast<std::size_t>(c)];
+        for (int ax = 0; ax < 3; ++ax) {
+          const Real mean =
+              sum_wr[static_cast<std::size_t>(c)][static_cast<std::size_t>(ax)] /
+              sum_w[static_cast<std::size_t>(c)];
+          centroid[static_cast<std::size_t>(ax)] =
+              cell ? centroid[static_cast<std::size_t>(ax)] + mean : mean;
+        }
+        if (cell) centroid = cell->wrap(centroid);
+      } else {
+        // Empty cluster: reseed at a random heavy kept point.
+        const Index p = kept[static_cast<std::size_t>(
+            rng.uniform_index(static_cast<std::uint64_t>(nkept)))];
+        result.centroids[static_cast<std::size_t>(c)] =
+            points[static_cast<std::size_t>(p)];
+      }
+    }
+
+    if (previous_objective < std::numeric_limits<Real>::max() &&
+        previous_objective - objective <=
+            options.tolerance * std::max(previous_objective, Real{1e-30})) {
+      break;
+    }
+    previous_objective = objective;
+  }
+
+  // Representative interpolation point per cluster: the kept point nearest
+  // to the centroid; duplicates resolved by claiming points greedily.
+  std::vector<char> claimed(static_cast<std::size_t>(n), 0);
+  result.interpolation_points.assign(static_cast<std::size_t>(k), -1);
+  for (Index c = 0; c < k; ++c) {
+    Real best = std::numeric_limits<Real>::max();
+    Index best_p = -1;
+    for (Index i = 0; i < nkept; ++i) {
+      if (result.assignment[static_cast<std::size_t>(i)] != c) continue;
+      const Index p = kept[static_cast<std::size_t>(i)];
+      if (claimed[static_cast<std::size_t>(p)]) continue;
+      const Real d = squared_distance(
+          points[static_cast<std::size_t>(p)],
+          result.centroids[static_cast<std::size_t>(c)], cell);
+      if (d < best) {
+        best = d;
+        best_p = p;
+      }
+    }
+    if (best_p < 0) {
+      // Cluster lost all points: take the globally nearest unclaimed point.
+      for (Index i = 0; i < nkept; ++i) {
+        const Index p = kept[static_cast<std::size_t>(i)];
+        if (claimed[static_cast<std::size_t>(p)]) continue;
+        const Real d = squared_distance(
+            points[static_cast<std::size_t>(p)],
+            result.centroids[static_cast<std::size_t>(c)], cell);
+        if (d < best) {
+          best = d;
+          best_p = p;
+        }
+      }
+    }
+    LRT_CHECK(best_p >= 0, "could not assign a representative point");
+    claimed[static_cast<std::size_t>(best_p)] = 1;
+    result.interpolation_points[static_cast<std::size_t>(c)] = best_p;
+  }
+  std::sort(result.interpolation_points.begin(),
+            result.interpolation_points.end());
+  return result;
+}
+
+}  // namespace lrt::kmeans

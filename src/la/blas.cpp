@@ -1,0 +1,215 @@
+#include "la/blas.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+namespace lrt::la {
+namespace {
+
+/// Panel size along the reduction (k) dimension; keeps a B panel of
+/// kKBlock rows hot in L2 while C rows are revisited.
+constexpr Index kKBlock = 256;
+/// Row-block size distributed across OpenMP threads.
+constexpr Index kIBlock = 64;
+
+/// Dimension product above which gemm spawns an OpenMP team.
+constexpr double kParallelFlopThreshold = 1e6;
+
+void gemm_nn(Real alpha, RealConstView a, RealConstView b, RealView c) {
+  const Index m = c.rows(), n = c.cols(), k = a.cols();
+  const bool parallel = 2.0 * double(m) * double(n) * double(k) >
+                        kParallelFlopThreshold;
+#pragma omp parallel for schedule(dynamic) if (parallel)
+  for (Index i0 = 0; i0 < m; i0 += kIBlock) {
+    const Index i1 = std::min(i0 + kIBlock, m);
+    for (Index k0 = 0; k0 < k; k0 += kKBlock) {
+      const Index k1 = std::min(k0 + kKBlock, k);
+      for (Index i = i0; i < i1; ++i) {
+        Real* ci = c.row_ptr(i);
+        const Real* ai = a.row_ptr(i);
+        for (Index kk = k0; kk < k1; ++kk) {
+          const Real aik = alpha * ai[kk];
+          if (aik == Real{0}) continue;
+          const Real* bk = b.row_ptr(kk);
+          for (Index j = 0; j < n; ++j) ci[j] += aik * bk[j];
+        }
+      }
+    }
+  }
+}
+
+void gemm_tn(Real alpha, RealConstView a, RealConstView b, RealView c) {
+  // C = Aᵀ B: C[i,:] += A[kk,i] * B[kk,:]
+  const Index m = c.rows(), n = c.cols(), k = a.rows();
+  const bool parallel = 2.0 * double(m) * double(n) * double(k) >
+                        kParallelFlopThreshold;
+#pragma omp parallel for schedule(dynamic) if (parallel)
+  for (Index i0 = 0; i0 < m; i0 += kIBlock) {
+    const Index i1 = std::min(i0 + kIBlock, m);
+    for (Index k0 = 0; k0 < k; k0 += kKBlock) {
+      const Index k1 = std::min(k0 + kKBlock, k);
+      for (Index kk = k0; kk < k1; ++kk) {
+        const Real* ak = a.row_ptr(kk);
+        const Real* bk = b.row_ptr(kk);
+        for (Index i = i0; i < i1; ++i) {
+          const Real aki = alpha * ak[i];
+          if (aki == Real{0}) continue;
+          Real* ci = c.row_ptr(i);
+          for (Index j = 0; j < n; ++j) ci[j] += aki * bk[j];
+        }
+      }
+    }
+  }
+}
+
+void gemm_nt(Real alpha, RealConstView a, RealConstView b, RealView c) {
+  // C[i,j] += dot(A[i,:], B[j,:]) — both rows contiguous.
+  const Index m = c.rows(), n = c.cols(), k = a.cols();
+  const bool parallel = 2.0 * double(m) * double(n) * double(k) >
+                        kParallelFlopThreshold;
+#pragma omp parallel for schedule(dynamic) if (parallel)
+  for (Index i = 0; i < m; ++i) {
+    const Real* ai = a.row_ptr(i);
+    Real* ci = c.row_ptr(i);
+    for (Index j = 0; j < n; ++j) {
+      ci[j] += alpha * dot(ai, b.row_ptr(j), k);
+    }
+  }
+}
+
+void gemm_tt(Real alpha, RealConstView a, RealConstView b, RealView c) {
+  // C = Aᵀ Bᵀ — rare; go through a transposed copy of A to reuse the
+  // contiguous NT kernel: C[i,j] = dot(Aᵀ[i,:], Bᵀ[j,:]) is not contiguous
+  // in B, so materialize Bᵀ instead and use TN ordering on it.
+  const RealMatrix bt = transpose(b);
+  gemm_tn(alpha, a, bt.view(), c);
+}
+
+}  // namespace
+
+Real dot(const Real* x, const Real* y, Index n) {
+  Real sum = 0.0;
+  for (Index i = 0; i < n; ++i) sum += x[i] * y[i];
+  return sum;
+}
+
+Real nrm2(const Real* x, Index n) { return std::sqrt(dot(x, x, n)); }
+
+void axpy(Real alpha, const Real* x, Real* y, Index n) {
+  for (Index i = 0; i < n; ++i) y[i] += alpha * x[i];
+}
+
+void scal(Real alpha, Real* x, Index n) {
+  for (Index i = 0; i < n; ++i) x[i] *= alpha;
+}
+
+void gemv(Trans trans, Real alpha, RealConstView a, const Real* x, Real beta,
+          Real* y) {
+  if (trans == Trans::kNo) {
+    const Index m = a.rows(), n = a.cols();
+    for (Index i = 0; i < m; ++i) {
+      y[i] = beta * y[i] + alpha * dot(a.row_ptr(i), x, n);
+    }
+  } else {
+    const Index m = a.rows(), n = a.cols();
+    for (Index j = 0; j < n; ++j) y[j] *= beta;
+    for (Index i = 0; i < m; ++i) {
+      const Real axi = alpha * x[i];
+      if (axi == Real{0}) continue;
+      axpy(axi, a.row_ptr(i), y, n);
+    }
+  }
+}
+
+void gemm(Trans ta, Trans tb, Real alpha, RealConstView a, RealConstView b,
+          Real beta, RealView c) {
+  const Index m = (ta == Trans::kNo) ? a.rows() : a.cols();
+  const Index ka = (ta == Trans::kNo) ? a.cols() : a.rows();
+  const Index kb = (tb == Trans::kNo) ? b.rows() : b.cols();
+  const Index n = (tb == Trans::kNo) ? b.cols() : b.rows();
+  LRT_CHECK(ka == kb, "gemm inner dimension mismatch: " << ka << " vs " << kb);
+  LRT_CHECK(c.rows() == m && c.cols() == n,
+            "gemm output shape mismatch: want " << m << "x" << n << ", got "
+                                                << c.rows() << "x" << c.cols());
+  if (beta == Real{0}) {
+    c.fill(Real{0});
+  } else if (beta != Real{1}) {
+    for (Index i = 0; i < m; ++i) scal(beta, c.row_ptr(i), n);
+  }
+  if (m == 0 || n == 0 || ka == 0 || alpha == Real{0}) return;
+
+  if (ta == Trans::kNo && tb == Trans::kNo) {
+    gemm_nn(alpha, a, b, c);
+  } else if (ta == Trans::kYes && tb == Trans::kNo) {
+    gemm_tn(alpha, a, b, c);
+  } else if (ta == Trans::kNo && tb == Trans::kYes) {
+    gemm_nt(alpha, a, b, c);
+  } else {
+    gemm_tt(alpha, a, b, c);
+  }
+}
+
+RealMatrix gemm(Trans ta, Trans tb, RealConstView a, RealConstView b) {
+  const Index m = (ta == Trans::kNo) ? a.rows() : a.cols();
+  const Index n = (tb == Trans::kNo) ? b.cols() : b.rows();
+  RealMatrix c(m, n);
+  gemm(ta, tb, Real{1}, a, b, Real{0}, c.view());
+  return c;
+}
+
+RealMatrix gram(RealConstView a) {
+  const Index n = a.cols();
+  RealMatrix g(n, n);
+  gemm(Trans::kYes, Trans::kNo, Real{1}, a, a, Real{0}, g.view());
+  // Symmetrize to kill roundoff asymmetry from the blocked kernel.
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = i + 1; j < n; ++j) {
+      const Real avg = 0.5 * (g(i, j) + g(j, i));
+      g(i, j) = avg;
+      g(j, i) = avg;
+    }
+  }
+  return g;
+}
+
+Real frobenius_norm(RealConstView a) {
+  Real sum = 0.0;
+  for (Index i = 0; i < a.rows(); ++i) {
+    const Real* r = a.row_ptr(i);
+    for (Index j = 0; j < a.cols(); ++j) sum += r[j] * r[j];
+  }
+  return std::sqrt(sum);
+}
+
+Real max_abs_diff(RealConstView a, RealConstView b) {
+  LRT_CHECK(a.rows() == b.rows() && a.cols() == b.cols(),
+            "max_abs_diff shape mismatch");
+  Real best = 0.0;
+  for (Index i = 0; i < a.rows(); ++i) {
+    const Real* ra = a.row_ptr(i);
+    const Real* rb = b.row_ptr(i);
+    for (Index j = 0; j < a.cols(); ++j) {
+      best = std::max(best, std::abs(ra[j] - rb[j]));
+    }
+  }
+  return best;
+}
+
+Real max_abs(RealConstView a) {
+  Real best = 0.0;
+  for (Index i = 0; i < a.rows(); ++i) {
+    const Real* r = a.row_ptr(i);
+    for (Index j = 0; j < a.cols(); ++j) best = std::max(best, std::abs(r[j]));
+  }
+  return best;
+}
+
+double gemm_flops(Index m, Index n, Index k) {
+  return 2.0 * double(m) * double(n) * double(k);
+}
+
+}  // namespace lrt::la

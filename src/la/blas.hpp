@@ -1,0 +1,60 @@
+// Dense BLAS-style kernels (levels 1-3) on row-major views.
+//
+// These stand in for the MKL calls the paper's implementation makes.
+// gemm is cache-blocked and OpenMP-threaded; loop orders are chosen per
+// transpose case so the innermost loop always streams contiguous memory.
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace lrt::la {
+
+enum class Trans { kNo, kYes };
+
+// ----- level 1 ------------------------------------------------------------
+
+/// <x, y> over n contiguous elements.
+Real dot(const Real* x, const Real* y, Index n);
+
+/// Euclidean norm of n contiguous elements (no overflow guard; values in
+/// this library are O(1) by construction).
+Real nrm2(const Real* x, Index n);
+
+/// y += alpha * x.
+void axpy(Real alpha, const Real* x, Real* y, Index n);
+
+/// x *= alpha.
+void scal(Real alpha, Real* x, Index n);
+
+// ----- level 2 ------------------------------------------------------------
+
+/// y = alpha * op(A) * x + beta * y.
+void gemv(Trans trans, Real alpha, RealConstView a, const Real* x, Real beta,
+          Real* y);
+
+// ----- level 3 ------------------------------------------------------------
+
+/// C = alpha * op(A) * op(B) + beta * C.
+void gemm(Trans ta, Trans tb, Real alpha, RealConstView a, RealConstView b,
+          Real beta, RealView c);
+
+/// Convenience: returns op(A) * op(B).
+RealMatrix gemm(Trans ta, Trans tb, RealConstView a, RealConstView b);
+
+/// Gram matrix Aᵀ A (n x n for an m x n input); exploits symmetry.
+RealMatrix gram(RealConstView a);
+
+// ----- norms / comparisons -------------------------------------------------
+
+Real frobenius_norm(RealConstView a);
+
+/// max_ij |a_ij - b_ij|; shapes must match.
+Real max_abs_diff(RealConstView a, RealConstView b);
+
+/// max_ij |a_ij|.
+Real max_abs(RealConstView a);
+
+/// Number of flops of a gemm with these shapes (2 m n k), for bench reports.
+double gemm_flops(Index m, Index n, Index k);
+
+}  // namespace lrt::la

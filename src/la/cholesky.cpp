@@ -1,0 +1,65 @@
+#include "la/cholesky.hpp"
+
+#include <cmath>
+
+#include "la/blas.hpp"
+#include "la/qr.hpp"
+
+namespace lrt::la {
+namespace {
+
+bool factor_in_place(RealMatrix& a) {
+  const Index n = a.rows();
+  for (Index j = 0; j < n; ++j) {
+    Real diag = a(j, j);
+    for (Index k = 0; k < j; ++k) diag -= a(j, k) * a(j, k);
+    if (!(diag > Real{0})) return false;
+    const Real ljj = std::sqrt(diag);
+    a(j, j) = ljj;
+    const Real inv = Real{1} / ljj;
+    for (Index i = j + 1; i < n; ++i) {
+      Real sum = a(i, j);
+      for (Index k = 0; k < j; ++k) sum -= a(i, k) * a(j, k);
+      a(i, j) = sum * inv;
+    }
+  }
+  // Zero the strict upper triangle so the result is exactly L.
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = i + 1; j < n; ++j) a(i, j) = Real{0};
+  }
+  return true;
+}
+
+}  // namespace
+
+RealMatrix cholesky(RealConstView a) {
+  LRT_CHECK(a.rows() == a.cols(), "cholesky needs a square matrix");
+  RealMatrix l = to_matrix(a);
+  LRT_CHECK(factor_in_place(l), "matrix is not positive definite");
+  return l;
+}
+
+bool try_cholesky(RealConstView a, RealMatrix& l) {
+  LRT_CHECK(a.rows() == a.cols(), "cholesky needs a square matrix");
+  l = to_matrix(a);
+  return factor_in_place(l);
+}
+
+void cholesky_solve(RealConstView l, RealView b) {
+  solve_lower_triangular(l, b);
+  solve_lower_transposed(l, b);
+}
+
+RealMatrix solve_spd(RealConstView a, RealConstView b) {
+  const RealMatrix l = cholesky(a);
+  RealMatrix x = to_matrix(b);
+  cholesky_solve(l.view(), x.view());
+  return x;
+}
+
+RealMatrix spd_inverse(RealConstView a) {
+  const Index n = a.rows();
+  return solve_spd(a, RealMatrix::identity(n).view());
+}
+
+}  // namespace lrt::la

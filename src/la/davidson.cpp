@@ -1,0 +1,137 @@
+#include "la/davidson.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/blas.hpp"
+#include "la/eig.hpp"
+#include "la/ortho.hpp"
+
+namespace lrt::la {
+
+DavidsonResult davidson(const BlockOperator& apply_h,
+                        const BlockPreconditioner& preconditioner,
+                        RealMatrix x0, const DavidsonOptions& options) {
+  const Index n = x0.rows();
+  const Index k = x0.cols();
+  LRT_CHECK(n > 0 && k > 0, "davidson: empty initial block");
+  const Index max_subspace =
+      options.max_subspace > 0
+          ? std::min(options.max_subspace, n)
+          : std::min<Index>(8 * k, n);
+  LRT_CHECK(max_subspace >= 2 * k,
+            "davidson: max_subspace must be at least 2k");
+
+  DavidsonResult result;
+  result.eigenvalues.assign(static_cast<std::size_t>(k), Real{0});
+  result.residual_norms.assign(static_cast<std::size_t>(k), Real{0});
+
+  // Growing basis V (n x m) and its image HV, stored side by side.
+  RealMatrix v(n, max_subspace);
+  RealMatrix hv(n, max_subspace);
+  Index m = k;
+
+  cholqr2(x0.view());
+  copy<Real>(x0.view(), v.view().cols_block(0, k));
+
+  {
+    RealView head = hv.view().cols_block(0, k);
+    apply_h(v.view().cols_block(0, k), head);
+    ++result.operator_applications;
+  }
+
+  RealMatrix ritz(n, k);    // current Ritz vectors
+  RealMatrix h_ritz(n, k);  // their images
+
+  for (Index iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    // Rayleigh-Ritz on the current basis.
+    const RealMatrix small_h = gemm(Trans::kYes, Trans::kNo,
+                                    v.view().cols_block(0, m),
+                                    hv.view().cols_block(0, m));
+    const EigResult small = syev(small_h.view());
+
+    // Lowest-k Ritz pairs and their images (no extra H applies).
+    const RealConstView coeff = small.vectors.view().cols_block(0, k);
+    gemm(Trans::kNo, Trans::kNo, Real{1}, v.view().cols_block(0, m), coeff,
+         Real{0}, ritz.view());
+    gemm(Trans::kNo, Trans::kNo, Real{1}, hv.view().cols_block(0, m), coeff,
+         Real{0}, h_ritz.view());
+    for (Index j = 0; j < k; ++j) {
+      result.eigenvalues[static_cast<std::size_t>(j)] =
+          small.values[static_cast<std::size_t>(j)];
+    }
+
+    // Residual block R = H x - θ x.
+    RealMatrix r = to_matrix<Real>(h_ritz.view());
+    bool all_converged = true;
+    for (Index j = 0; j < k; ++j) {
+      const Real theta = result.eigenvalues[static_cast<std::size_t>(j)];
+      Real norm = 0;
+      for (Index i = 0; i < n; ++i) {
+        r(i, j) -= theta * ritz(i, j);
+        norm += r(i, j) * r(i, j);
+      }
+      norm = std::sqrt(norm);
+      result.residual_norms[static_cast<std::size_t>(j)] = norm;
+      if (norm > options.tolerance * std::max(Real{1}, std::abs(theta))) {
+        all_converged = false;
+      }
+    }
+    if (all_converged) {
+      result.converged = true;
+      break;
+    }
+
+    if (preconditioner) preconditioner(r.view(), result.eigenvalues);
+
+    // Keep only the unconverged residual columns: normalizing a
+    // machine-zero residual would inject noise into the basis and stall
+    // the remaining pairs.
+    std::vector<Index> active;
+    for (Index j = 0; j < k; ++j) {
+      const Real scale = std::max(
+          Real{1}, std::abs(result.eigenvalues[static_cast<std::size_t>(j)]));
+      if (result.residual_norms[static_cast<std::size_t>(j)] >
+          Real{0.1} * options.tolerance * scale) {
+        active.push_back(j);
+      }
+    }
+    if (active.empty()) {
+      result.converged = true;
+      break;
+    }
+    const Index ka = static_cast<Index>(active.size());
+    RealMatrix r_active(n, ka);
+    for (Index t = 0; t < ka; ++t) {
+      const Index j = active[static_cast<std::size_t>(t)];
+      for (Index i = 0; i < n; ++i) r_active(i, t) = r(i, j);
+    }
+
+    // Thick restart when the basis is full: collapse to the Ritz block.
+    if (m + ka > max_subspace) {
+      copy<Real>(ritz.view(), v.view().cols_block(0, k));
+      copy<Real>(h_ritz.view(), hv.view().cols_block(0, k));
+      m = k;
+    }
+
+    // Orthonormalize the correction block against the basis and append.
+    project_out(v.view().cols_block(0, m), r_active.view());
+    cholqr2(r_active.view());
+    project_out(v.view().cols_block(0, m), r_active.view());
+    cholqr2(r_active.view());
+    copy<Real>(r_active.view(), v.view().cols_block(m, ka));
+    {
+      RealView new_hv = hv.view().cols_block(m, ka);
+      apply_h(v.view().cols_block(m, ka), new_hv);
+      ++result.operator_applications;
+    }
+    m += ka;
+  }
+
+  result.eigenvectors = std::move(ritz);
+  return result;
+}
+
+}  // namespace lrt::la

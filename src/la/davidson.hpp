@@ -1,0 +1,38 @@
+// Block Davidson eigensolver (Davidson 1975, the paper's reference [8]).
+//
+// The other standard iterative subspace method for the lowest k eigenpairs
+// of a symmetric operator: the search subspace GROWS by a block of
+// preconditioned residuals every iteration (up to max_subspace, then a
+// thick restart keeps the current Ritz vectors), unlike LOBPCG's fixed
+// three-block subspace. Davidson usually needs fewer iterations but more
+// memory; the eigensolver ablation bench compares both on the Casida
+// problem.
+#pragma once
+
+#include "la/lobpcg.hpp"  // BlockOperator / BlockPreconditioner
+
+namespace lrt::la {
+
+struct DavidsonOptions {
+  Index max_iterations = 200;
+  Real tolerance = 1e-6;      ///< ||H x - θ x|| <= tol * max(1, |θ|)
+  Index max_subspace = 0;     ///< basis cap; 0 -> 8 * k
+};
+
+struct DavidsonResult {
+  std::vector<Real> eigenvalues;  ///< ascending, size k
+  RealMatrix eigenvectors;        ///< n x k orthonormal columns
+  Index iterations = 0;
+  Index operator_applications = 0;  ///< block applies of H
+  bool converged = false;
+  std::vector<Real> residual_norms;
+};
+
+/// Lowest x0.cols() eigenpairs of the operator. The preconditioner (may be
+/// empty) is applied in place to the residual block with the current Ritz
+/// values, exactly as in lobpcg().
+DavidsonResult davidson(const BlockOperator& apply_h,
+                        const BlockPreconditioner& preconditioner,
+                        RealMatrix x0, const DavidsonOptions& options = {});
+
+}  // namespace lrt::la

@@ -1,0 +1,36 @@
+// Symmetric (and generalized symmetric-definite) dense eigensolvers.
+//
+// syev reduces the matrix to tridiagonal form with Householder reflections
+// and diagonalizes with the implicit-shift QL iteration (the classic
+// tred2/tql2 pair, as in EISPACK/LAPACK steqr). This is the serial
+// equivalent of the ScaLAPACK SYEVD call the paper's naive code uses.
+//
+// Eigenvalues are returned in ascending order; eigenvectors are the
+// *columns* of `vectors`, matching x_k = vectors(:, k).
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace lrt::la {
+
+struct EigResult {
+  std::vector<Real> values;  ///< ascending eigenvalues
+  RealMatrix vectors;        ///< orthonormal eigenvectors in columns
+};
+
+/// Full eigendecomposition of a symmetric matrix (symmetry is assumed; only
+/// the lower triangle needs to be meaningful after symmetrization upstream).
+EigResult syev(RealConstView a);
+
+/// Eigenvalues only (same algorithm, no accumulation).
+std::vector<Real> syev_values(RealConstView a);
+
+/// Generalized problem A x = λ B x with SPD B, via Cholesky reduction.
+EigResult sygv(RealConstView a, RealConstView b);
+
+/// Residual max_k ||A x_k - λ_k x_k||_2 — test/diagnostic helper.
+Real eig_residual(RealConstView a, const EigResult& result);
+
+}  // namespace lrt::la

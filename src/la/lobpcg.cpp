@@ -1,0 +1,207 @@
+#include "la/lobpcg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/blas.hpp"
+#include "la/cholesky.hpp"
+#include "la/eig.hpp"
+#include "la/ortho.hpp"
+
+namespace lrt::la {
+namespace {
+
+/// Builds the horizontal concatenation [a | b | c] (c may be empty).
+RealMatrix hcat(RealConstView a, RealConstView b, RealConstView c) {
+  const Index n = a.rows();
+  const Index k = a.cols() + b.cols() + c.cols();
+  RealMatrix s(n, k);
+  copy(a, s.view().cols_block(0, a.cols()));
+  copy(b, s.view().cols_block(a.cols(), b.cols()));
+  if (c.cols() > 0) {
+    copy(c, s.view().cols_block(a.cols() + b.cols(), c.cols()));
+  }
+  return s;
+}
+
+}  // namespace
+
+LobpcgResult lobpcg(const BlockOperator& apply_h,
+                    const BlockPreconditioner& preconditioner, RealMatrix x0,
+                    const LobpcgOptions& options) {
+  const Index n = x0.rows();
+  const Index k = x0.cols();
+  LRT_CHECK(n > 0 && k > 0, "lobpcg: empty initial block");
+  LRT_CHECK(3 * k <= n,
+            "lobpcg: block size " << k << " too large for dimension " << n
+                                  << " (needs 3k <= n)");
+
+  LobpcgResult result;
+  result.eigenvalues.assign(static_cast<std::size_t>(k), Real{0});
+  result.residual_norms.assign(static_cast<std::size_t>(k), Real{0});
+
+  RealMatrix x = std::move(x0);
+  cholqr2(x.view());
+
+  RealMatrix hx(n, k);
+  apply_h(x.view(), hx.view());
+
+  // Initial Rayleigh-Ritz inside span(X).
+  {
+    const RealMatrix xhx = gemm(Trans::kYes, Trans::kNo, x.view(), hx.view());
+    EigResult rr = syev(xhx.view());
+    x = gemm(Trans::kNo, Trans::kNo, x.view(), rr.vectors.view());
+    hx = gemm(Trans::kNo, Trans::kNo, hx.view(), rr.vectors.view());
+    result.eigenvalues = rr.values;
+  }
+
+  RealMatrix p;   // previous direction block (empty in iteration 0)
+  RealMatrix hp;  // H * P maintained alongside
+
+  std::vector<Real> previous_values = result.eigenvalues;
+
+  for (Index iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    // Residual block R = HX - X Θ.
+    RealMatrix r = to_matrix<Real>(hx.view());
+    for (Index j = 0; j < k; ++j) {
+      const Real theta = result.eigenvalues[static_cast<std::size_t>(j)];
+      for (Index i = 0; i < n; ++i) r(i, j) -= theta * x(i, j);
+    }
+
+    bool all_converged = true;
+    for (Index j = 0; j < k; ++j) {
+      Real norm = 0.0;
+      for (Index i = 0; i < n; ++i) norm += r(i, j) * r(i, j);
+      norm = std::sqrt(norm);
+      result.residual_norms[static_cast<std::size_t>(j)] = norm;
+      const Real scale = std::max(
+          Real{1}, std::abs(result.eigenvalues[static_cast<std::size_t>(j)]));
+      if (norm > options.tolerance * scale) all_converged = false;
+    }
+    if (all_converged) {
+      result.converged = true;
+      break;
+    }
+    if (options.value_tolerance > 0 && iter > 0) {
+      Real max_move = 0.0;
+      for (Index j = 0; j < k; ++j) {
+        max_move = std::max(
+            max_move, std::abs(result.eigenvalues[static_cast<std::size_t>(j)] -
+                               previous_values[static_cast<std::size_t>(j)]));
+      }
+      if (max_move < options.value_tolerance) {
+        result.converged = true;
+        break;
+      }
+    }
+    previous_values = result.eigenvalues;
+
+    // Preconditioned residual W (paper Eq 16-17), orthogonalized against X
+    // and P to keep the subspace basis well conditioned.
+    if (preconditioner) preconditioner(r.view(), result.eigenvalues);
+    project_out(x.view(), r.view());
+    if (p.cols() > 0) project_out(p.view(), r.view());
+    cholqr2(r.view());
+
+    RealMatrix hr(n, k);
+    apply_h(r.view(), hr.view());
+
+    // Projected problem on S = [X, W, P] (Eq 15): Hs C = Θ Gs C.
+    const RealMatrix s = hcat(x.view(), r.view(), p.view());
+    const RealMatrix hs_blocks = hcat(hx.view(), hr.view(), hp.view());
+    const Index m = s.cols();
+    RealMatrix hs = gemm(Trans::kYes, Trans::kNo, s.view(), hs_blocks.view());
+    RealMatrix gs = gram(s.view());
+    // Symmetrize Hs (roundoff).
+    for (Index i = 0; i < m; ++i) {
+      for (Index j = i + 1; j < m; ++j) {
+        const Real avg = 0.5 * (hs(i, j) + hs(j, i));
+        hs(i, j) = avg;
+        hs(j, i) = avg;
+      }
+    }
+
+    EigResult small;
+    bool used_p = p.cols() > 0;
+    try {
+      small = sygv(hs.view(), gs.view());
+    } catch (const Error&) {
+      // Gs numerically singular: drop P (soft restart) and retry with
+      // the orthonormal [X, W] basis, whose Gram matrix is near identity.
+      const RealMatrix s2 = hcat(x.view(), r.view(), RealMatrix().view());
+      const RealMatrix hs2_blocks =
+          hcat(hx.view(), hr.view(), RealMatrix().view());
+      hs = gemm(Trans::kYes, Trans::kNo, s2.view(), hs2_blocks.view());
+      gs = gram(s2.view());
+      small = sygv(hs.view(), gs.view());
+      used_p = false;
+      p.resize(0, 0);
+      hp.resize(0, 0);
+    }
+
+    // Coefficients of the k lowest Ritz vectors, partitioned into the
+    // X / W / P blocks (C1, C2, C3 in Eq 15).
+    const Index mm = used_p ? 3 * k : 2 * k;
+    RealMatrix c1(k, k), c2(k, k), c3(used_p ? k : 0, used_p ? k : 0);
+    for (Index j = 0; j < k; ++j) {
+      for (Index i = 0; i < k; ++i) c1(i, j) = small.vectors(i, j);
+      for (Index i = 0; i < k; ++i) c2(i, j) = small.vectors(k + i, j);
+      if (used_p) {
+        for (Index i = 0; i < k; ++i) c3(i, j) = small.vectors(2 * k + i, j);
+      }
+    }
+    (void)mm;
+
+    // New conjugate direction P = W C2 + P C3 and its image (Eq 18).
+    RealMatrix new_p = gemm(Trans::kNo, Trans::kNo, r.view(), c2.view());
+    RealMatrix new_hp = gemm(Trans::kNo, Trans::kNo, hr.view(), c2.view());
+    if (used_p) {
+      gemm(Trans::kNo, Trans::kNo, Real{1}, p.view(), c3.view(), Real{1},
+           new_p.view());
+      gemm(Trans::kNo, Trans::kNo, Real{1}, hp.view(), c3.view(), Real{1},
+           new_hp.view());
+    }
+
+    // New block X = X C1 + P_new and image HX likewise.
+    RealMatrix new_x = gemm(Trans::kNo, Trans::kNo, x.view(), c1.view());
+    RealMatrix new_hx = gemm(Trans::kNo, Trans::kNo, hx.view(), c1.view());
+    for (Index i = 0; i < n; ++i) {
+      for (Index j = 0; j < k; ++j) {
+        new_x(i, j) += new_p(i, j);
+        new_hx(i, j) += new_hp(i, j);
+      }
+    }
+
+    x = std::move(new_x);
+    hx = std::move(new_hx);
+    p = std::move(new_p);
+    hp = std::move(new_hp);
+
+    for (Index j = 0; j < k; ++j) {
+      result.eigenvalues[static_cast<std::size_t>(j)] =
+          small.values[static_cast<std::size_t>(j)];
+    }
+
+    // Periodically re-orthonormalize X and refresh HX by linear algebra
+    // drift control (every 20 iterations) — keeps long runs stable.
+    if ((iter + 1) % 20 == 0) {
+      cholqr2(x.view());
+      apply_h(x.view(), hx.view());
+      const RealMatrix xhx =
+          gemm(Trans::kYes, Trans::kNo, x.view(), hx.view());
+      EigResult rr = syev(xhx.view());
+      x = gemm(Trans::kNo, Trans::kNo, x.view(), rr.vectors.view());
+      hx = gemm(Trans::kNo, Trans::kNo, hx.view(), rr.vectors.view());
+      result.eigenvalues = rr.values;
+      p.resize(0, 0);
+      hp.resize(0, 0);
+    }
+  }
+
+  result.eigenvectors = std::move(x);
+  return result;
+}
+
+}  // namespace lrt::la

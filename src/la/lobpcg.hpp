@@ -1,0 +1,58 @@
+// Locally Optimal Block Preconditioned Conjugate Gradient (LOBPCG).
+//
+// Generic blocked eigensolver for the lowest k eigenpairs of a symmetric
+// operator given only as a block apply Y = H X. Used twice in this
+// library, matching the paper:
+//  - ground-state Kohn-Sham bands (dft/lobpcg_gs) with a kinetic-energy
+//    preconditioner, and
+//  - the LR-TDDFT Casida problem (tddft/lobpcg_tddft, paper Algorithm 2)
+//    with the orbital-energy-gap preconditioner of Eq (17), where H is the
+//    *implicitly factored* ISDF Hamiltonian.
+//
+// The iteration keeps the subspace S = [X, W, P] (current block,
+// preconditioned residuals, previous search directions), solves the
+// 3k x 3k projected problem Hs C = Θ Gs C (paper Eq 15-18), and never
+// re-applies H to X or P — their images are updated by the same linear
+// combinations, so each iteration costs exactly one block apply.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace lrt::la {
+
+struct LobpcgOptions {
+  Index max_iterations = 200;
+  /// Convergence: ||H x - θ x|| <= tolerance * max(1, |θ|) per column.
+  Real tolerance = 1e-6;
+  /// Stop early when the Ritz values move less than this between
+  /// iterations (0 disables).
+  Real value_tolerance = 0.0;
+};
+
+struct LobpcgResult {
+  std::vector<Real> eigenvalues;   ///< ascending, size k
+  RealMatrix eigenvectors;         ///< n x k, orthonormal columns
+  Index iterations = 0;
+  bool converged = false;
+  std::vector<Real> residual_norms;  ///< per eigenpair at exit
+};
+
+/// Block operator: writes H * x into y (both n x k column blocks).
+using BlockOperator = std::function<void(RealConstView x, RealView y)>;
+
+/// In-place preconditioner on the residual block; `theta` holds the
+/// current Ritz values (one per column).
+using BlockPreconditioner =
+    std::function<void(RealView r, const std::vector<Real>& theta)>;
+
+/// Computes the lowest x0.cols() eigenpairs. `x0` provides the initial
+/// guess (need not be orthonormal); pass an empty preconditioner for
+/// unpreconditioned iteration.
+LobpcgResult lobpcg(const BlockOperator& apply_h,
+                    const BlockPreconditioner& preconditioner, RealMatrix x0,
+                    const LobpcgOptions& options = {});
+
+}  // namespace lrt::la

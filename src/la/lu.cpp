@@ -1,0 +1,86 @@
+#include "la/lu.hpp"
+
+#include <cmath>
+
+namespace lrt::la {
+
+LuFactors lu_factor(RealConstView a) {
+  LRT_CHECK(a.rows() == a.cols(), "lu_factor needs a square matrix");
+  LuFactors f;
+  f.lu = to_matrix(a);
+  const Index n = a.rows();
+  f.pivot.resize(static_cast<std::size_t>(n));
+  RealMatrix& lu = f.lu;
+
+  for (Index k = 0; k < n; ++k) {
+    Index pivot = k;
+    Real best = std::abs(lu(k, k));
+    for (Index i = k + 1; i < n; ++i) {
+      const Real v = std::abs(lu(i, k));
+      if (v > best) {
+        best = v;
+        pivot = i;
+      }
+    }
+    LRT_CHECK(best > Real{0}, "matrix is singular at column " << k);
+    f.pivot[static_cast<std::size_t>(k)] = pivot;
+    if (pivot != k) {
+      for (Index j = 0; j < n; ++j) std::swap(lu(k, j), lu(pivot, j));
+      f.sign = -f.sign;
+    }
+    const Real inv = Real{1} / lu(k, k);
+    for (Index i = k + 1; i < n; ++i) {
+      const Real lik = lu(i, k) * inv;
+      lu(i, k) = lik;
+      if (lik == Real{0}) continue;
+      for (Index j = k + 1; j < n; ++j) lu(i, j) -= lik * lu(k, j);
+    }
+  }
+  return f;
+}
+
+void lu_solve(const LuFactors& f, RealView b) {
+  const Index n = f.lu.rows();
+  LRT_CHECK(b.rows() == n, "lu_solve rhs row mismatch");
+  const Index k = b.cols();
+  // Apply row permutation.
+  for (Index i = 0; i < n; ++i) {
+    const Index p = f.pivot[static_cast<std::size_t>(i)];
+    if (p != i) {
+      for (Index j = 0; j < k; ++j) std::swap(b(i, j), b(p, j));
+    }
+  }
+  // Forward substitution with unit-diagonal L.
+  for (Index i = 1; i < n; ++i) {
+    for (Index j = 0; j < k; ++j) {
+      Real sum = b(i, j);
+      for (Index p = 0; p < i; ++p) sum -= f.lu(i, p) * b(p, j);
+      b(i, j) = sum;
+    }
+  }
+  // Back substitution with U.
+  for (Index i = n - 1; i >= 0; --i) {
+    const Real uii = f.lu(i, i);
+    for (Index j = 0; j < k; ++j) {
+      Real sum = b(i, j);
+      for (Index p = i + 1; p < n; ++p) sum -= f.lu(i, p) * b(p, j);
+      b(i, j) = sum / uii;
+    }
+  }
+}
+
+RealMatrix solve(RealConstView a, RealConstView b) {
+  const LuFactors f = lu_factor(a);
+  RealMatrix x = to_matrix(b);
+  lu_solve(f, x.view());
+  return x;
+}
+
+Real determinant(RealConstView a) {
+  const LuFactors f = lu_factor(a);
+  Real det = static_cast<Real>(f.sign);
+  for (Index i = 0; i < f.lu.rows(); ++i) det *= f.lu(i, i);
+  return det;
+}
+
+}  // namespace lrt::la

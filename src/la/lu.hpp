@@ -1,0 +1,28 @@
+// LU factorization with partial pivoting and general linear solves.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace lrt::la {
+
+struct LuFactors {
+  RealMatrix lu;             ///< packed L (unit diagonal) and U
+  std::vector<Index> pivot;  ///< row swapped with i at step i
+  int sign = 1;              ///< permutation parity (for determinants)
+};
+
+/// Factors a square matrix; throws on exact singularity.
+LuFactors lu_factor(RealConstView a);
+
+/// Solves A X = B in place on B given the factors.
+void lu_solve(const LuFactors& f, RealView b);
+
+/// One-call general solve.
+RealMatrix solve(RealConstView a, RealConstView b);
+
+/// Determinant via LU.
+Real determinant(RealConstView a);
+
+}  // namespace lrt::la

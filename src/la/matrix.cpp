@@ -1,0 +1,12 @@
+// Explicit instantiations for the matrix templates used across the library.
+// Keeps one translation unit responsible for emitting the common symbols.
+#include "la/matrix.hpp"
+
+namespace lrt::la {
+
+template class Matrix<Real>;
+template class Matrix<std::complex<Real>>;
+template class MatrixView<Real>;
+template class ConstMatrixView<Real>;
+
+}  // namespace lrt::la

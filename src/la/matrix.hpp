@@ -1,0 +1,287 @@
+// Dense matrix storage and views.
+//
+// Matrix<T> is an owning, row-major dense matrix. MatrixView/ConstMatrixView
+// are non-owning windows with an explicit leading dimension (row stride),
+// so blocked algorithms (QR panels, GEMM tiles, LOBPCG sub-blocks) can
+// operate in place without copies. All kernels in la/ take views; Matrix
+// converts implicitly.
+//
+// Conventions
+//  - row-major: element (i, j) lives at data[i * ld + j].
+//  - Index is signed; dimensions must be >= 0.
+//  - Real specializations get convenience aliases RealMatrix etc.
+#pragma once
+
+#include <complex>
+#include <initializer_list>
+#include <utility>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/error.hpp"
+#include "common/random.hpp"
+
+namespace lrt::la {
+
+template <typename T>
+class Matrix;
+
+/// Non-owning mutable window into a row-major matrix.
+template <typename T>
+class MatrixView {
+ public:
+  MatrixView() : data_(nullptr), rows_(0), cols_(0), ld_(0) {}
+
+  MatrixView(T* data, Index rows, Index cols, Index ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    LRT_ASSERT(rows >= 0 && cols >= 0 && ld >= cols,
+               "bad view: " << rows << "x" << cols << " ld=" << ld);
+  }
+
+  MatrixView(Matrix<T>& m);  // NOLINT(google-explicit-constructor)
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  Index ld() const { return ld_; }
+  T* data() const { return data_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  T& operator()(Index i, Index j) const {
+    LRT_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_,
+               "index (" << i << "," << j << ") out of " << rows_ << "x"
+                         << cols_);
+    return data_[i * ld_ + j];
+  }
+
+  T* row_ptr(Index i) const { return data_ + i * ld_; }
+
+  /// Sub-window rows [r0, r0+nr), cols [c0, c0+nc).
+  MatrixView block(Index r0, Index c0, Index nr, Index nc) const {
+    LRT_ASSERT(r0 >= 0 && c0 >= 0 && nr >= 0 && nc >= 0 && r0 + nr <= rows_ &&
+                   c0 + nc <= cols_,
+               "block out of range");
+    return MatrixView(data_ + r0 * ld_ + c0, nr, nc, ld_);
+  }
+
+  MatrixView rows_block(Index r0, Index nr) const {
+    return block(r0, 0, nr, cols_);
+  }
+  MatrixView cols_block(Index c0, Index nc) const {
+    return block(0, c0, rows_, nc);
+  }
+
+  void fill(const T& value) const {
+    for (Index i = 0; i < rows_; ++i) {
+      T* r = row_ptr(i);
+      for (Index j = 0; j < cols_; ++j) r[j] = value;
+    }
+  }
+
+ private:
+  T* data_;
+  Index rows_, cols_, ld_;
+};
+
+/// Non-owning read-only window.
+template <typename T>
+class ConstMatrixView {
+ public:
+  ConstMatrixView() : data_(nullptr), rows_(0), cols_(0), ld_(0) {}
+
+  ConstMatrixView(const T* data, Index rows, Index cols, Index ld)
+      : data_(data), rows_(rows), cols_(cols), ld_(ld) {
+    LRT_ASSERT(rows >= 0 && cols >= 0 && ld >= cols,
+               "bad view: " << rows << "x" << cols << " ld=" << ld);
+  }
+
+  ConstMatrixView(const Matrix<T>& m);  // NOLINT(google-explicit-constructor)
+  ConstMatrixView(MatrixView<T> v)      // NOLINT(google-explicit-constructor)
+      : data_(v.data()), rows_(v.rows()), cols_(v.cols()), ld_(v.ld()) {}
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  Index ld() const { return ld_; }
+  const T* data() const { return data_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  const T& operator()(Index i, Index j) const {
+    LRT_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_,
+               "index (" << i << "," << j << ") out of " << rows_ << "x"
+                         << cols_);
+    return data_[i * ld_ + j];
+  }
+
+  const T* row_ptr(Index i) const { return data_ + i * ld_; }
+
+  ConstMatrixView block(Index r0, Index c0, Index nr, Index nc) const {
+    LRT_ASSERT(r0 >= 0 && c0 >= 0 && nr >= 0 && nc >= 0 && r0 + nr <= rows_ &&
+                   c0 + nc <= cols_,
+               "block out of range");
+    return ConstMatrixView(data_ + r0 * ld_ + c0, nr, nc, ld_);
+  }
+
+  ConstMatrixView rows_block(Index r0, Index nr) const {
+    return block(r0, 0, nr, cols_);
+  }
+  ConstMatrixView cols_block(Index c0, Index nc) const {
+    return block(0, c0, rows_, nc);
+  }
+
+ private:
+  const T* data_;
+  Index rows_, cols_, ld_;
+};
+
+/// Owning row-major dense matrix.
+template <typename T>
+class Matrix {
+ public:
+  Matrix() : rows_(0), cols_(0) {}
+
+  Matrix(Index rows, Index cols)
+      : rows_(rows), cols_(cols), data_(checked_size(rows, cols), T{}) {}
+
+  Matrix(Index rows, Index cols, const T& value)
+      : rows_(rows), cols_(cols), data_(checked_size(rows, cols), value) {}
+
+  /// Row-major initializer: Matrix<double>({{1,2},{3,4}}).
+  Matrix(std::initializer_list<std::initializer_list<T>> rows) {
+    rows_ = static_cast<Index>(rows.size());
+    cols_ = rows_ ? static_cast<Index>(rows.begin()->size()) : 0;
+    data_.reserve(static_cast<std::size_t>(rows_ * cols_));
+    for (const auto& r : rows) {
+      LRT_CHECK(static_cast<Index>(r.size()) == cols_,
+                "ragged initializer list");
+      data_.insert(data_.end(), r.begin(), r.end());
+    }
+  }
+
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  Index ld() const { return cols_; }
+  Index size() const { return rows_ * cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  T* data() { return data_.data(); }
+  const T* data() const { return data_.data(); }
+
+  T& operator()(Index i, Index j) {
+    LRT_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_,
+               "index (" << i << "," << j << ") out of " << rows_ << "x"
+                         << cols_);
+    return data_[static_cast<std::size_t>(i * cols_ + j)];
+  }
+  const T& operator()(Index i, Index j) const {
+    LRT_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_,
+               "index (" << i << "," << j << ") out of " << rows_ << "x"
+                         << cols_);
+    return data_[static_cast<std::size_t>(i * cols_ + j)];
+  }
+
+  T* row_ptr(Index i) { return data() + i * cols_; }
+  const T* row_ptr(Index i) const { return data() + i * cols_; }
+
+  MatrixView<T> view() { return MatrixView<T>(data(), rows_, cols_, cols_); }
+  ConstMatrixView<T> view() const {
+    return ConstMatrixView<T>(data(), rows_, cols_, cols_);
+  }
+
+  MatrixView<T> block(Index r0, Index c0, Index nr, Index nc) {
+    return view().block(r0, c0, nr, nc);
+  }
+  ConstMatrixView<T> block(Index r0, Index c0, Index nr, Index nc) const {
+    return view().block(r0, c0, nr, nc);
+  }
+
+  void fill(const T& value) { std::fill(data_.begin(), data_.end(), value); }
+
+  void resize(Index rows, Index cols) {
+    rows_ = rows;
+    cols_ = cols;
+    data_.assign(checked_size(rows, cols), T{});
+  }
+
+  static Matrix zeros(Index rows, Index cols) { return Matrix(rows, cols); }
+
+  static Matrix identity(Index n) {
+    Matrix m(n, n);
+    for (Index i = 0; i < n; ++i) m(i, i) = T{1};
+    return m;
+  }
+
+  /// Matrix with i.i.d. uniform(-1,1) entries (deterministic given rng).
+  static Matrix random_uniform(Index rows, Index cols, Rng& rng) {
+    Matrix m(rows, cols);
+    for (auto& x : m.data_) x = static_cast<T>(rng.uniform(-1.0, 1.0));
+    return m;
+  }
+
+  /// Matrix with i.i.d. standard normal entries.
+  static Matrix random_normal(Index rows, Index cols, Rng& rng) {
+    Matrix m(rows, cols);
+    for (auto& x : m.data_) x = static_cast<T>(rng.normal());
+    return m;
+  }
+
+ private:
+  static std::size_t checked_size(Index rows, Index cols) {
+    LRT_CHECK(rows >= 0 && cols >= 0,
+              "negative matrix dimensions " << rows << "x" << cols);
+    return static_cast<std::size_t>(rows) * static_cast<std::size_t>(cols);
+  }
+
+  Index rows_, cols_;
+  std::vector<T> data_;
+};
+
+template <typename T>
+MatrixView<T>::MatrixView(Matrix<T>& m)
+    : data_(m.data()), rows_(m.rows()), cols_(m.cols()), ld_(m.cols()) {}
+
+template <typename T>
+ConstMatrixView<T>::ConstMatrixView(const Matrix<T>& m)
+    : data_(m.data()), rows_(m.rows()), cols_(m.cols()), ld_(m.cols()) {}
+
+using RealMatrix = Matrix<Real>;
+using ComplexMatrix = Matrix<std::complex<Real>>;
+using RealView = MatrixView<Real>;
+using RealConstView = ConstMatrixView<Real>;
+
+/// Deep copy of an arbitrary (possibly strided) view into a fresh Matrix.
+template <typename T>
+Matrix<T> to_matrix(ConstMatrixView<T> v) {
+  Matrix<T> m(v.rows(), v.cols());
+  for (Index i = 0; i < v.rows(); ++i) {
+    const T* src = v.row_ptr(i);
+    T* dst = m.row_ptr(i);
+    for (Index j = 0; j < v.cols(); ++j) dst[j] = src[j];
+  }
+  return m;
+}
+
+/// Copies src into dst (dimensions must match; strides may differ).
+template <typename T>
+void copy(ConstMatrixView<T> src, MatrixView<T> dst) {
+  LRT_CHECK(src.rows() == dst.rows() && src.cols() == dst.cols(),
+            "copy shape mismatch: " << src.rows() << "x" << src.cols()
+                                    << " vs " << dst.rows() << "x"
+                                    << dst.cols());
+  for (Index i = 0; i < src.rows(); ++i) {
+    const T* s = src.row_ptr(i);
+    T* d = dst.row_ptr(i);
+    for (Index j = 0; j < src.cols(); ++j) d[j] = s[j];
+  }
+}
+
+/// Transpose into a fresh matrix.
+template <typename T>
+Matrix<T> transpose(ConstMatrixView<T> a) {
+  Matrix<T> t(a.cols(), a.rows());
+  for (Index i = 0; i < a.rows(); ++i) {
+    const T* src = a.row_ptr(i);
+    for (Index j = 0; j < a.cols(); ++j) t(j, i) = src[j];
+  }
+  return t;
+}
+
+}  // namespace lrt::la

@@ -1,0 +1,32 @@
+// Orthonormalization of tall-skinny column blocks.
+//
+// LOBPCG (both ground-state and LR-TDDFT) repeatedly orthonormalizes the
+// columns of its search subspace. CholQR is the cheap path (one Gram
+// matrix + Cholesky + triangular solve); when the block is ill-conditioned
+// Cholesky fails and we fall back to Householder QR. cholqr2 runs CholQR
+// twice, which restores full orthogonality to machine precision.
+#pragma once
+
+#include "la/matrix.hpp"
+
+namespace lrt::la {
+
+/// Orthonormalizes the columns of `a` in place (m x n, m >= n).
+/// Returns false if the fallback QR path had to be taken.
+bool cholqr(RealView a);
+
+/// CholQR applied twice — orthogonality at machine precision even for
+/// moderately ill-conditioned input blocks.
+void cholqr2(RealView a);
+
+/// Householder-QR based orthonormalization (robust path).
+void ortho_qr(RealView a);
+
+/// Max |QᵀQ - I| — orthogonality diagnostic used by tests.
+Real orthogonality_error(RealConstView q);
+
+/// Projects the columns of `x` against the orthonormal columns of `q`:
+/// x := x - q (qᵀ x).
+void project_out(RealConstView q, RealView x);
+
+}  // namespace lrt::la

@@ -1,0 +1,181 @@
+#include "la/qr.hpp"
+
+#include <cmath>
+
+#include "la/blas.hpp"
+
+namespace lrt::la {
+namespace {
+
+/// Computes a Householder reflector for the column x (length len) such that
+/// (I - tau v vᵀ) x = (beta, 0, ..., 0)ᵀ with v(0) = 1.
+/// On exit x[0] = beta and x[1:] = v[1:]. Returns tau (0 if x is already
+/// collinear with e1).
+Real make_reflector(Real* x, Index len) {
+  if (len <= 1) return Real{0};
+  const Real alpha = x[0];
+  const Real xnorm = nrm2(x + 1, len - 1);
+  if (xnorm == Real{0}) return Real{0};
+  Real beta = -std::copysign(std::hypot(alpha, xnorm), alpha);
+  const Real tau = (beta - alpha) / beta;
+  const Real inv = Real{1} / (alpha - beta);
+  for (Index i = 1; i < len; ++i) x[i] *= inv;
+  x[0] = beta;
+  return tau;
+}
+
+/// Applies H = I - tau v vᵀ (v packed in column `col` of `a`, rows
+/// [col..m), implicit leading 1) to columns [c0, c1) of `a`.
+void apply_reflector_to_block(RealView a, Index col, Real tau, Index c0,
+                              Index c1) {
+  if (tau == Real{0}) return;
+  const Index m = a.rows();
+  for (Index j = c0; j < c1; ++j) {
+    // w = vᵀ a(:, j)
+    Real w = a(col, j);
+    for (Index i = col + 1; i < m; ++i) w += a(i, col) * a(i, j);
+    w *= tau;
+    a(col, j) -= w;
+    for (Index i = col + 1; i < m; ++i) a(i, j) -= w * a(i, col);
+  }
+}
+
+}  // namespace
+
+QrFactors qr_factor(RealConstView a) {
+  LRT_CHECK(a.rows() >= a.cols(),
+            "qr_factor requires m >= n, got " << a.rows() << "x" << a.cols());
+  QrFactors f;
+  f.a = to_matrix(a);
+  const Index n = a.cols();
+  f.tau.assign(static_cast<std::size_t>(n), Real{0});
+  RealView packed = f.a.view();
+  const Index m = a.rows();
+
+  std::vector<Real> column(static_cast<std::size_t>(m));
+  for (Index k = 0; k < n; ++k) {
+    const Index len = m - k;
+    for (Index i = 0; i < len; ++i) column[i] = packed(k + i, k);
+    const Real tau = make_reflector(column.data(), len);
+    for (Index i = 0; i < len; ++i) packed(k + i, k) = column[i];
+    f.tau[static_cast<std::size_t>(k)] = tau;
+    apply_reflector_to_block(packed, k, tau, k + 1, n);
+  }
+  return f;
+}
+
+RealMatrix qr_form_q(const QrFactors& f, Index ncols) {
+  const Index m = f.a.rows();
+  const Index n = f.a.cols();
+  LRT_CHECK(ncols >= 0 && ncols <= m, "ncols out of range");
+  RealMatrix q(m, ncols);
+  for (Index j = 0; j < std::min(ncols, m); ++j) q(j, j) = Real{1};
+  // Q = H_0 ... H_{n-1}; apply reflectors in reverse to the identity.
+  for (Index k = n - 1; k >= 0; --k) {
+    const Real tau = f.tau[static_cast<std::size_t>(k)];
+    if (tau == Real{0}) continue;
+    RealView qv = q.view();
+    for (Index j = 0; j < ncols; ++j) {
+      Real w = qv(k, j);
+      for (Index i = k + 1; i < m; ++i) w += f.a(i, k) * qv(i, j);
+      w *= tau;
+      qv(k, j) -= w;
+      for (Index i = k + 1; i < m; ++i) qv(i, j) -= w * f.a(i, k);
+    }
+  }
+  return q;
+}
+
+RealMatrix qr_form_r(const QrFactors& f) {
+  const Index n = f.a.cols();
+  RealMatrix r(n, n);
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = i; j < n; ++j) r(i, j) = f.a(i, j);
+  }
+  return r;
+}
+
+void qr_apply_qt(const QrFactors& f, RealView b) {
+  LRT_CHECK(b.rows() == f.a.rows(), "qr_apply_qt row mismatch");
+  const Index m = f.a.rows();
+  const Index n = f.a.cols();
+  const Index k = b.cols();
+  // Qᵀ = H_{n-1} ... H_0.
+  for (Index col = 0; col < n; ++col) {
+    const Real tau = f.tau[static_cast<std::size_t>(col)];
+    if (tau == Real{0}) continue;
+    for (Index j = 0; j < k; ++j) {
+      Real w = b(col, j);
+      for (Index i = col + 1; i < m; ++i) w += f.a(i, col) * b(i, j);
+      w *= tau;
+      b(col, j) -= w;
+      for (Index i = col + 1; i < m; ++i) b(i, j) -= w * f.a(i, col);
+    }
+  }
+}
+
+void qr_apply_q(const QrFactors& f, RealView b) {
+  LRT_CHECK(b.rows() == f.a.rows(), "qr_apply_q row mismatch");
+  const Index m = f.a.rows();
+  const Index n = f.a.cols();
+  const Index k = b.cols();
+  for (Index col = n - 1; col >= 0; --col) {
+    const Real tau = f.tau[static_cast<std::size_t>(col)];
+    if (tau == Real{0}) continue;
+    for (Index j = 0; j < k; ++j) {
+      Real w = b(col, j);
+      for (Index i = col + 1; i < m; ++i) w += f.a(i, col) * b(i, j);
+      w *= tau;
+      b(col, j) -= w;
+      for (Index i = col + 1; i < m; ++i) b(i, j) -= w * f.a(i, col);
+    }
+  }
+}
+
+void solve_upper_triangular(RealConstView r, RealView b) {
+  const Index n = r.cols();
+  LRT_CHECK(r.rows() >= n, "triangular matrix too short");
+  LRT_CHECK(b.rows() >= n, "rhs too short");
+  const Index k = b.cols();
+  for (Index i = n - 1; i >= 0; --i) {
+    const Real rii = r(i, i);
+    LRT_CHECK(std::abs(rii) > Real{0}, "singular triangular factor at " << i);
+    for (Index j = 0; j < k; ++j) {
+      Real sum = b(i, j);
+      for (Index l = i + 1; l < n; ++l) sum -= r(i, l) * b(l, j);
+      b(i, j) = sum / rii;
+    }
+  }
+}
+
+void solve_lower_triangular(RealConstView l, RealView b) {
+  const Index n = l.cols();
+  LRT_CHECK(l.rows() >= n && b.rows() >= n, "shape mismatch");
+  const Index k = b.cols();
+  for (Index i = 0; i < n; ++i) {
+    const Real lii = l(i, i);
+    LRT_CHECK(std::abs(lii) > Real{0}, "singular triangular factor at " << i);
+    for (Index j = 0; j < k; ++j) {
+      Real sum = b(i, j);
+      for (Index p = 0; p < i; ++p) sum -= l(i, p) * b(p, j);
+      b(i, j) = sum / lii;
+    }
+  }
+}
+
+void solve_lower_transposed(RealConstView l, RealView b) {
+  const Index n = l.cols();
+  LRT_CHECK(l.rows() >= n && b.rows() >= n, "shape mismatch");
+  const Index k = b.cols();
+  for (Index i = n - 1; i >= 0; --i) {
+    const Real lii = l(i, i);
+    LRT_CHECK(std::abs(lii) > Real{0}, "singular triangular factor at " << i);
+    for (Index j = 0; j < k; ++j) {
+      Real sum = b(i, j);
+      for (Index p = i + 1; p < n; ++p) sum -= l(p, i) * b(p, j);
+      b(i, j) = sum / lii;
+    }
+  }
+}
+
+}  // namespace lrt::la

@@ -1,0 +1,136 @@
+#include "la/qrcp.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/blas.hpp"
+
+namespace lrt::la {
+namespace {
+
+/// Recomputation guard: when the downdated squared norm has lost this much
+/// relative accuracy, recompute it from scratch (standard dgeqp3 safeguard).
+constexpr Real kNormRecomputeTol = 1e-12;
+
+Real column_norm_tail(RealConstView a, Index col, Index first_row) {
+  Real sum = 0.0;
+  for (Index i = first_row; i < a.rows(); ++i) sum += a(i, col) * a(i, col);
+  return std::sqrt(sum);
+}
+
+}  // namespace
+
+QrcpResult qrcp_factor(RealConstView input, const QrcpOptions& options) {
+  QrcpResult result;
+  result.a = to_matrix(input);
+  RealView a = result.a.view();
+  const Index m = a.rows();
+  const Index n = a.cols();
+  const Index max_steps =
+      options.max_rank >= 0 ? std::min(options.max_rank, std::min(m, n))
+                            : std::min(m, n);
+  result.perm.resize(static_cast<std::size_t>(n));
+  for (Index j = 0; j < n; ++j) result.perm[static_cast<std::size_t>(j)] = j;
+  result.tau.reserve(static_cast<std::size_t>(max_steps));
+  result.rdiag.reserve(static_cast<std::size_t>(max_steps));
+
+  // Running (downdated) column norms plus the reference norms used by the
+  // recomputation guard.
+  std::vector<Real> norms(static_cast<std::size_t>(n));
+  std::vector<Real> ref_norms(static_cast<std::size_t>(n));
+  for (Index j = 0; j < n; ++j) {
+    norms[static_cast<std::size_t>(j)] = column_norm_tail(a, j, 0);
+    ref_norms[static_cast<std::size_t>(j)] = norms[static_cast<std::size_t>(j)];
+  }
+
+  Real first_diag = 0.0;
+  std::vector<Real> column(static_cast<std::size_t>(m));
+
+  for (Index k = 0; k < max_steps; ++k) {
+    // Pivot: bring the largest remaining column to position k.
+    Index pivot = k;
+    for (Index j = k + 1; j < n; ++j) {
+      if (norms[static_cast<std::size_t>(j)] >
+          norms[static_cast<std::size_t>(pivot)]) {
+        pivot = j;
+      }
+    }
+    if (pivot != k) {
+      for (Index i = 0; i < m; ++i) std::swap(a(i, k), a(i, pivot));
+      std::swap(norms[static_cast<std::size_t>(k)],
+                norms[static_cast<std::size_t>(pivot)]);
+      std::swap(ref_norms[static_cast<std::size_t>(k)],
+                ref_norms[static_cast<std::size_t>(pivot)]);
+      std::swap(result.perm[static_cast<std::size_t>(k)],
+                result.perm[static_cast<std::size_t>(pivot)]);
+    }
+
+    // Householder step on column k.
+    const Index len = m - k;
+    for (Index i = 0; i < len; ++i) column[static_cast<std::size_t>(i)] = a(k + i, k);
+    Real tau = 0.0;
+    {
+      // Inline reflector computation (same as qr.cpp's make_reflector).
+      Real* x = column.data();
+      if (len > 1) {
+        const Real alpha = x[0];
+        const Real xnorm = nrm2(x + 1, len - 1);
+        if (xnorm != Real{0}) {
+          const Real beta = -std::copysign(std::hypot(alpha, xnorm), alpha);
+          tau = (beta - alpha) / beta;
+          const Real inv = Real{1} / (alpha - beta);
+          for (Index i = 1; i < len; ++i) x[i] *= inv;
+          x[0] = beta;
+        }
+      }
+    }
+    for (Index i = 0; i < len; ++i) a(k + i, k) = column[static_cast<std::size_t>(i)];
+    result.tau.push_back(tau);
+
+    const Real diag = std::abs(a(k, k));
+    if (k == 0) first_diag = diag;
+    // Threshold truncation (paper: stop when the (Nmu+1)-th diagonal falls
+    // under the tolerance).
+    if (options.rel_threshold > 0.0 && k > 0 &&
+        diag < options.rel_threshold * first_diag) {
+      result.tau.pop_back();
+      break;
+    }
+    result.rdiag.push_back(diag);
+    result.rank = k + 1;
+
+    // Apply the reflector to the trailing columns and downdate norms.
+    if (tau != Real{0}) {
+      for (Index j = k + 1; j < n; ++j) {
+        Real w = a(k, j);
+        for (Index i = k + 1; i < m; ++i) w += a(i, k) * a(i, j);
+        w *= tau;
+        a(k, j) -= w;
+        for (Index i = k + 1; i < m; ++i) a(i, j) -= w * a(i, k);
+      }
+    }
+    for (Index j = k + 1; j < n; ++j) {
+      Real& nj = norms[static_cast<std::size_t>(j)];
+      if (nj == Real{0}) continue;
+      const Real t = std::abs(a(k, j)) / nj;
+      const Real factor = std::max(Real{0}, (Real{1} - t) * (Real{1} + t));
+      const Real scaled = nj * std::sqrt(factor);
+      const Real ref = ref_norms[static_cast<std::size_t>(j)];
+      if (ref > Real{0} && (scaled / ref) * (scaled / ref) < kNormRecomputeTol) {
+        nj = column_norm_tail(a, j, k + 1);
+        ref_norms[static_cast<std::size_t>(j)] = nj;
+      } else {
+        nj = scaled;
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<Index> qrcp_pivots(const QrcpResult& result, Index count) {
+  LRT_CHECK(count >= 0 && count <= result.rank,
+            "requested " << count << " pivots, rank is " << result.rank);
+  return std::vector<Index>(result.perm.begin(), result.perm.begin() + count);
+}
+
+}  // namespace lrt::la

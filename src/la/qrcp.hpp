@@ -1,0 +1,37 @@
+// QR factorization with column pivoting (QRCP), LAPACK dgeqp3-style.
+//
+// This is the traditional interpolation-point selector for ISDF (paper
+// §4.1.1): pivot columns by largest remaining norm, stop when the next
+// diagonal of R drops below a relative threshold. The pivot order ranks
+// columns (grid points, after transposing the pair-product matrix) by how
+// much new information they carry.
+#pragma once
+
+#include <vector>
+
+#include "la/matrix.hpp"
+
+namespace lrt::la {
+
+struct QrcpResult {
+  RealMatrix a;              ///< packed R + reflectors after pivoting
+  std::vector<Real> tau;     ///< reflector scalars (length = factored steps)
+  std::vector<Index> perm;   ///< perm[k] = original index of k-th pivot column
+  std::vector<Real> rdiag;   ///< |R(k,k)| for each completed step
+  Index rank = 0;            ///< steps completed before truncation
+};
+
+struct QrcpOptions {
+  /// Stop when |R(k,k)| < rel_threshold * |R(0,0)|. 0 disables.
+  Real rel_threshold = 0.0;
+  /// Stop after max_rank steps. -1 means min(m, n).
+  Index max_rank = -1;
+};
+
+/// Column-pivoted Householder QR of an m x n matrix (any aspect ratio).
+QrcpResult qrcp_factor(RealConstView a, const QrcpOptions& options = {});
+
+/// Convenience: the first `count` pivot column indices (count <= rank).
+std::vector<Index> qrcp_pivots(const QrcpResult& result, Index count);
+
+}  // namespace lrt::la

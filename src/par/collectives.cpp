@@ -1,0 +1,32 @@
+// Explicit instantiations of the collective templates for the element
+// types used across the library, keeping template expansion in one TU.
+#include <complex>
+
+#include "par/comm.hpp"
+
+namespace lrt::par {
+
+#define LRT_INSTANTIATE_COLLECTIVES(T)                                        \
+  template void Comm::bcast<T>(T*, Index, int);                               \
+  template void Comm::reduce<T>(T*, Index, ReduceOp, int);                    \
+  template void Comm::allreduce<T>(T*, Index, ReduceOp);                      \
+  template void Comm::alltoall<T>(const T*, T*, Index);                       \
+  template void Comm::alltoallv<T>(const T*, const std::vector<Index>&,       \
+                                   const std::vector<Index>&, T*,             \
+                                   const std::vector<Index>&,                 \
+                                   const std::vector<Index>&);                \
+  template void Comm::allgather<T>(const T*, Index, T*);                      \
+  template void Comm::allgatherv<T>(const T*, Index, T*,                      \
+                                    const std::vector<Index>&,                \
+                                    const std::vector<Index>&);               \
+  template void Comm::gather<T>(const T*, Index, T*, int);                    \
+  template void Comm::scatter<T>(const T*, Index, T*, int)
+
+LRT_INSTANTIATE_COLLECTIVES(double);
+LRT_INSTANTIATE_COLLECTIVES(int);
+LRT_INSTANTIATE_COLLECTIVES(long);
+LRT_INSTANTIATE_COLLECTIVES(long long);
+
+#undef LRT_INSTANTIATE_COLLECTIVES
+
+}  // namespace lrt::par

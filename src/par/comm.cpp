@@ -1,0 +1,101 @@
+#include "par/comm.hpp"
+
+#include <algorithm>
+#include <cstring>
+
+namespace lrt::par {
+
+Comm::Comm(Runtime* runtime, int rank, std::vector<int> world_ranks,
+           long long context)
+    : runtime_(runtime),
+      rank_(rank),
+      world_ranks_(std::move(world_ranks)),
+      context_(context) {
+  LRT_CHECK(runtime_ != nullptr, "null runtime");
+  LRT_CHECK(rank_ >= 0 && rank_ < size(), "rank out of range");
+}
+
+void Comm::send_bytes(const void* data, std::size_t bytes, int dst, int tag) {
+  LRT_CHECK(dst >= 0 && dst < size(), "send to bad rank " << dst);
+  CommTimerGuard guard(*this);
+  detail::Message message;
+  message.src = rank_;
+  message.tag = tag;
+  message.context = context_;
+  message.payload.resize(bytes);
+  if (bytes > 0) std::memcpy(message.payload.data(), data, bytes);
+  bytes_sent_ += static_cast<long long>(bytes);
+  runtime_->mailbox(world_rank_of(dst)).push(std::move(message));
+}
+
+void Comm::recv_bytes(void* data, std::size_t bytes, int src, int tag) {
+  LRT_CHECK(src >= 0 && src < size(), "recv from bad rank " << src);
+  CommTimerGuard guard(*this);
+  detail::Message message =
+      runtime_->mailbox(world_rank_of(rank_)).pop(src, tag, context_);
+  LRT_CHECK(message.payload.size() == bytes,
+            "message size mismatch: expected " << bytes << " bytes from rank "
+                                               << src << " tag " << tag
+                                               << ", got "
+                                               << message.payload.size());
+  if (bytes > 0) std::memcpy(data, message.payload.data(), bytes);
+}
+
+void Comm::barrier() {
+  CommTimerGuard guard(*this);
+  const int p = size();
+  char token = 0;
+  // Dissemination barrier: log2(p) rounds of shifted exchanges.
+  for (int distance = 1; distance < p; distance <<= 1) {
+    const int to = (rank_ + distance) % p;
+    const int from = (rank_ - distance + p) % p;
+    sendrecv(&token, 1, to, &token, 1, from, detail::kTagBarrier);
+  }
+}
+
+Comm Comm::split(int color, int key) {
+  CommTimerGuard guard(*this);
+  const int p = size();
+
+  // Gather (color, key) from everyone.
+  struct Entry {
+    int color;
+    int key;
+    int rank;
+  };
+  Entry mine{color, key, rank_};
+  std::vector<Entry> all(static_cast<std::size_t>(p));
+  allgather(&mine, 1, all.data());
+
+  // My group: ranks with my color, ordered by (key, old rank).
+  std::vector<Entry> group;
+  for (const Entry& e : all) {
+    if (e.color == color) group.push_back(e);
+  }
+  std::sort(group.begin(), group.end(), [](const Entry& a, const Entry& b) {
+    return a.key != b.key ? a.key < b.key : a.rank < b.rank;
+  });
+
+  std::vector<int> new_world_ranks;
+  int new_rank = -1;
+  new_world_ranks.reserve(group.size());
+  for (std::size_t i = 0; i < group.size(); ++i) {
+    new_world_ranks.push_back(world_rank_of(group[i].rank));
+    if (group[i].rank == rank_) new_rank = static_cast<int>(i);
+  }
+  LRT_CHECK(new_rank >= 0, "split: calling rank missing from its own group");
+
+  // Derive a context id all members agree on without extra traffic: every
+  // rank saw the same (color -> lowest old rank) mapping, so hash it with a
+  // per-parent split counter. Counter advances identically on all ranks
+  // because split is collective.
+  const int lowest_old_rank = group.front().rank;
+  const long long child_context =
+      context_ * 1315423911ll + (static_cast<long long>(split_counter_) << 24) +
+      (static_cast<long long>(color) << 8) + lowest_old_rank + 1;
+  ++split_counter_;
+
+  return Comm(runtime_, new_rank, std::move(new_world_ranks), child_context);
+}
+
+}  // namespace lrt::par

@@ -1,0 +1,387 @@
+// Communicator: MPI-style ranks, tagged p2p, and collectives.
+//
+// A Comm names a group of ranks (a subset of the runtime's world) plus a
+// context id that isolates its traffic from other communicators — the
+// thread-runtime equivalent of an MPI communicator. Collectives are built
+// from point-to-point messages with textbook algorithms (binomial trees,
+// ring allgather, shifted pairwise alltoall), so their cost *structure*
+// matches what the paper's MPI runs see.
+//
+// Time spent inside communication calls is accumulated in comm_seconds();
+// the scaling benches subtract it from wall time to get per-rank busy time
+// (see DESIGN.md, strong-scaling substitution).
+#pragma once
+
+#include <type_traits>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "par/runtime.hpp"
+
+namespace lrt::par {
+
+enum class ReduceOp { kSum, kMax, kMin };
+
+class Comm {
+ public:
+  /// Ranks in `world_ranks` are runtime (world) ranks; `rank` is this
+  /// rank's index within the group. Users normally get a Comm from
+  /// par::run or Comm::split.
+  Comm(Runtime* runtime, int rank, std::vector<int> world_ranks,
+       long long context);
+
+  int rank() const { return rank_; }
+  int size() const { return static_cast<int>(world_ranks_.size()); }
+
+  // ----- point-to-point ----------------------------------------------------
+
+  void send_bytes(const void* data, std::size_t bytes, int dst, int tag);
+
+  /// Receives from `src` (must be explicit; collectives never wildcard) and
+  /// requires the payload to be exactly `bytes` long.
+  void recv_bytes(void* data, std::size_t bytes, int src, int tag);
+
+  template <typename T>
+  void send(const T* data, Index count, int dst, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    send_bytes(data, sizeof(T) * static_cast<std::size_t>(count), dst, tag);
+  }
+
+  template <typename T>
+  void recv(T* data, Index count, int src, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    recv_bytes(data, sizeof(T) * static_cast<std::size_t>(count), src, tag);
+  }
+
+  /// Simultaneous exchange with a partner (both sides call sendrecv).
+  template <typename T>
+  void sendrecv(const T* send_data, Index send_count, int dst,
+                T* recv_data, Index recv_count, int src, int tag) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    // Deliver first, then block on the inbound message; mailboxes are
+    // unbounded so this cannot deadlock.
+    send(send_data, send_count, dst, tag);
+    recv(recv_data, recv_count, src, tag);
+  }
+
+  // ----- collectives --------------------------------------------------------
+
+  /// Dissemination barrier (O(log p) rounds).
+  void barrier();
+
+  /// Binomial-tree broadcast from `root`.
+  template <typename T>
+  void bcast(T* data, Index count, int root);
+
+  /// Binomial-tree reduction onto `root` (in place on every rank's buffer;
+  /// non-root buffers are clobbered with partial results).
+  template <typename T>
+  void reduce(T* data, Index count, ReduceOp op, int root);
+
+  /// reduce to rank 0 + broadcast.
+  template <typename T>
+  void allreduce(T* data, Index count, ReduceOp op);
+
+  /// Every rank sends `count` elements to every rank. send/recv buffers are
+  /// size*count long, laid out by destination/source rank.
+  template <typename T>
+  void alltoall(const T* send_buf, T* recv_buf, Index count);
+
+  /// Variable-count alltoall. counts/displs are per-rank element counts and
+  /// offsets into the respective buffers.
+  template <typename T>
+  void alltoallv(const T* send_buf, const std::vector<Index>& send_counts,
+                 const std::vector<Index>& send_displs, T* recv_buf,
+                 const std::vector<Index>& recv_counts,
+                 const std::vector<Index>& recv_displs);
+
+  /// Ring allgather: each rank contributes `count` elements; recv buffer
+  /// holds size*count, ordered by rank.
+  template <typename T>
+  void allgather(const T* send_buf, Index count, T* recv_buf);
+
+  template <typename T>
+  void allgatherv(const T* send_buf, Index count, T* recv_buf,
+                  const std::vector<Index>& counts,
+                  const std::vector<Index>& displs);
+
+  /// Root collects `count` elements from each rank (recv_buf significant at
+  /// root only, size*count elements).
+  template <typename T>
+  void gather(const T* send_buf, Index count, T* recv_buf, int root);
+
+  template <typename T>
+  void scatter(const T* send_buf, Index count, T* recv_buf, int root);
+
+  // ----- communicator management --------------------------------------------
+
+  /// Collective: partitions ranks by `color`; within a color, ranks are
+  /// ordered by (key, old rank). Every rank must call split.
+  Comm split(int color, int key);
+
+  // ----- diagnostics ---------------------------------------------------------
+
+  /// Seconds this rank has spent inside communication calls on this Comm.
+  double comm_seconds() const { return comm_seconds_; }
+  void reset_comm_seconds() { comm_seconds_ = 0.0; }
+
+  /// Bytes sent through p2p on this Comm (collectives included).
+  long long bytes_sent() const { return bytes_sent_; }
+
+ private:
+  int world_rank_of(int group_rank) const {
+    return world_ranks_[static_cast<std::size_t>(group_rank)];
+  }
+
+  /// RAII timer accumulating into comm_seconds_, counting only the
+  /// outermost communication call (collectives nest p2p).
+  class CommTimerGuard {
+   public:
+    explicit CommTimerGuard(Comm& comm) : comm_(comm) {
+      if (comm_.timer_depth_++ == 0) timer_.reset();
+    }
+    ~CommTimerGuard() {
+      if (--comm_.timer_depth_ == 0) comm_.comm_seconds_ += timer_.seconds();
+    }
+
+   private:
+    Comm& comm_;
+    Timer timer_;
+  };
+
+  Runtime* runtime_;
+  int rank_;
+  std::vector<int> world_ranks_;
+  long long context_;
+  int split_counter_ = 0;
+
+  double comm_seconds_ = 0.0;
+  int timer_depth_ = 0;
+  long long bytes_sent_ = 0;
+};
+
+namespace detail {
+
+template <typename T>
+void apply_reduce(ReduceOp op, T* acc, const T* in, Index count) {
+  switch (op) {
+    case ReduceOp::kSum:
+      for (Index i = 0; i < count; ++i) acc[i] += in[i];
+      break;
+    case ReduceOp::kMax:
+      for (Index i = 0; i < count; ++i) acc[i] = acc[i] < in[i] ? in[i] : acc[i];
+      break;
+    case ReduceOp::kMin:
+      for (Index i = 0; i < count; ++i) acc[i] = in[i] < acc[i] ? in[i] : acc[i];
+      break;
+  }
+}
+
+// Internal tag bases; user tags live below kUserTagLimit.
+inline constexpr int kUserTagLimit = 1 << 16;
+inline constexpr int kTagBarrier = kUserTagLimit + 1;
+inline constexpr int kTagBcast = kUserTagLimit + 2;
+inline constexpr int kTagReduce = kUserTagLimit + 3;
+inline constexpr int kTagAlltoall = kUserTagLimit + 4;
+inline constexpr int kTagAllgather = kUserTagLimit + 5;
+inline constexpr int kTagGather = kUserTagLimit + 6;
+inline constexpr int kTagScatter = kUserTagLimit + 7;
+inline constexpr int kTagSplit = kUserTagLimit + 8;
+
+}  // namespace detail
+
+// ----- template implementations ----------------------------------------------
+
+template <typename T>
+void Comm::bcast(T* data, Index count, int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  CommTimerGuard guard(*this);
+  const int p = size();
+  if (p == 1) return;
+  // Re-root so the tree logic can assume root 0.
+  const int vrank = (rank_ - root + p) % p;
+  // Binomial tree: in round k, ranks with vrank < 2^k having the data send
+  // to vrank + 2^k.
+  for (int offset = 1; offset < p; offset <<= 1) {
+    if (vrank < offset) {
+      const int peer = vrank + offset;
+      if (peer < p) {
+        send(data, count, (peer + root) % p, detail::kTagBcast);
+      }
+    } else if (vrank < 2 * offset) {
+      const int peer = vrank - offset;
+      recv(data, count, (peer + root) % p, detail::kTagBcast);
+    }
+  }
+}
+
+template <typename T>
+void Comm::reduce(T* data, Index count, ReduceOp op, int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  CommTimerGuard guard(*this);
+  const int p = size();
+  if (p == 1) return;
+  const int vrank = (rank_ - root + p) % p;
+  std::vector<T> incoming(static_cast<std::size_t>(count));
+  // Reversed binomial tree: in each round the upper half sends down.
+  int limit = 1;
+  while (limit < p) limit <<= 1;
+  for (int offset = limit >> 1; offset >= 1; offset >>= 1) {
+    if (vrank < offset) {
+      const int peer = vrank + offset;
+      if (peer < p) {
+        recv(incoming.data(), count, (peer + root) % p, detail::kTagReduce);
+        detail::apply_reduce(op, data, incoming.data(), count);
+      }
+    } else if (vrank < 2 * offset) {
+      const int peer = vrank - offset;
+      send(data, count, (peer + root) % p, detail::kTagReduce);
+      // This rank's contribution is merged; it stops participating.
+      break;
+    }
+  }
+}
+
+template <typename T>
+void Comm::allreduce(T* data, Index count, ReduceOp op) {
+  CommTimerGuard guard(*this);
+  reduce(data, count, op, /*root=*/0);
+  bcast(data, count, /*root=*/0);
+}
+
+template <typename T>
+void Comm::alltoall(const T* send_buf, T* recv_buf, Index count) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  CommTimerGuard guard(*this);
+  const int p = size();
+  // Shifted pairwise exchange, valid for any p: in step s, send to
+  // (rank+s) mod p and receive from (rank-s) mod p.
+  for (int s = 0; s < p; ++s) {
+    const int dst = (rank_ + s) % p;
+    const int src = (rank_ - s + p) % p;
+    if (dst == rank_) {
+      for (Index i = 0; i < count; ++i) {
+        recv_buf[static_cast<Index>(rank_) * count + i] =
+            send_buf[static_cast<Index>(rank_) * count + i];
+      }
+      continue;
+    }
+    sendrecv(send_buf + static_cast<Index>(dst) * count, count, dst,
+             recv_buf + static_cast<Index>(src) * count, count, src,
+             detail::kTagAlltoall);
+  }
+}
+
+template <typename T>
+void Comm::alltoallv(const T* send_buf, const std::vector<Index>& send_counts,
+                     const std::vector<Index>& send_displs, T* recv_buf,
+                     const std::vector<Index>& recv_counts,
+                     const std::vector<Index>& recv_displs) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  CommTimerGuard guard(*this);
+  const int p = size();
+  LRT_CHECK(static_cast<int>(send_counts.size()) == p &&
+                static_cast<int>(recv_counts.size()) == p,
+            "alltoallv counts must have one entry per rank");
+  for (int s = 0; s < p; ++s) {
+    const int dst = (rank_ + s) % p;
+    const int src = (rank_ - s + p) % p;
+    const Index scount = send_counts[static_cast<std::size_t>(dst)];
+    const Index rcount = recv_counts[static_cast<std::size_t>(src)];
+    const T* sptr = send_buf + send_displs[static_cast<std::size_t>(dst)];
+    T* rptr = recv_buf + recv_displs[static_cast<std::size_t>(src)];
+    if (dst == rank_) {
+      for (Index i = 0; i < scount; ++i) rptr[i] = sptr[i];
+      continue;
+    }
+    sendrecv(sptr, scount, dst, rptr, rcount, src, detail::kTagAlltoall);
+  }
+}
+
+template <typename T>
+void Comm::allgather(const T* send_buf, Index count, T* recv_buf) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  CommTimerGuard guard(*this);
+  const int p = size();
+  for (Index i = 0; i < count; ++i) {
+    recv_buf[static_cast<Index>(rank_) * count + i] = send_buf[i];
+  }
+  // Ring: in step s, forward the block that originated at rank - s.
+  for (int s = 0; s < p - 1; ++s) {
+    const int to = (rank_ + 1) % p;
+    const int from = (rank_ - 1 + p) % p;
+    const int send_block = (rank_ - s + p) % p;
+    const int recv_block = (rank_ - s - 1 + p) % p;
+    sendrecv(recv_buf + static_cast<Index>(send_block) * count, count, to,
+             recv_buf + static_cast<Index>(recv_block) * count, count, from,
+             detail::kTagAllgather);
+  }
+}
+
+template <typename T>
+void Comm::allgatherv(const T* send_buf, Index count, T* recv_buf,
+                      const std::vector<Index>& counts,
+                      const std::vector<Index>& displs) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  CommTimerGuard guard(*this);
+  const int p = size();
+  LRT_CHECK(static_cast<int>(counts.size()) == p, "allgatherv counts size");
+  LRT_CHECK(counts[static_cast<std::size_t>(rank_)] == count,
+            "allgatherv count mismatch on rank " << rank_);
+  for (Index i = 0; i < count; ++i) {
+    recv_buf[displs[static_cast<std::size_t>(rank_)] + i] = send_buf[i];
+  }
+  for (int s = 0; s < p - 1; ++s) {
+    const int to = (rank_ + 1) % p;
+    const int from = (rank_ - 1 + p) % p;
+    const int send_block = (rank_ - s + p) % p;
+    const int recv_block = (rank_ - s - 1 + p) % p;
+    sendrecv(recv_buf + displs[static_cast<std::size_t>(send_block)],
+             counts[static_cast<std::size_t>(send_block)], to,
+             recv_buf + displs[static_cast<std::size_t>(recv_block)],
+             counts[static_cast<std::size_t>(recv_block)], from,
+             detail::kTagAllgather);
+  }
+}
+
+template <typename T>
+void Comm::gather(const T* send_buf, Index count, T* recv_buf, int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  CommTimerGuard guard(*this);
+  const int p = size();
+  if (rank_ == root) {
+    for (Index i = 0; i < count; ++i) {
+      recv_buf[static_cast<Index>(root) * count + i] = send_buf[i];
+    }
+    for (int r = 0; r < p; ++r) {
+      if (r == root) continue;
+      recv(recv_buf + static_cast<Index>(r) * count, count, r,
+           detail::kTagGather);
+    }
+  } else {
+    send(send_buf, count, root, detail::kTagGather);
+  }
+}
+
+template <typename T>
+void Comm::scatter(const T* send_buf, Index count, T* recv_buf, int root) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  CommTimerGuard guard(*this);
+  const int p = size();
+  if (rank_ == root) {
+    for (int r = 0; r < p; ++r) {
+      if (r == root) {
+        for (Index i = 0; i < count; ++i) {
+          recv_buf[i] = send_buf[static_cast<Index>(root) * count + i];
+        }
+      } else {
+        send(send_buf + static_cast<Index>(r) * count, count, r,
+             detail::kTagScatter);
+      }
+    }
+  } else {
+    recv(recv_buf, count, root, detail::kTagScatter);
+  }
+}
+
+}  // namespace lrt::par

@@ -1,0 +1,220 @@
+#include "par/dist_lobpcg.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/blas.hpp"
+#include "la/cholesky.hpp"
+#include "la/eig.hpp"
+#include "la/qr.hpp"
+#include "par/distblas.hpp"
+
+namespace lrt::par {
+namespace {
+
+/// Distributed CholQR²: orthonormalizes the global columns of a
+/// row-slab-distributed block in place.
+void dist_cholqr2(Comm& comm, la::RealView a_local) {
+  for (int pass = 0; pass < 2; ++pass) {
+    const la::RealMatrix g = dist_gram(comm, a_local);
+    la::RealMatrix l;
+    if (!la::try_cholesky(g.view(), l)) {
+      // Rank-deficient block: regularize instead of a QR fallback (which
+      // would need the full matrix on one rank).
+      la::RealMatrix g2 = g;
+      Real trace = 0;
+      for (Index i = 0; i < g2.rows(); ++i) trace += g2(i, i);
+      for (Index i = 0; i < g2.rows(); ++i) {
+        g2(i, i) += 1e-12 * std::max(trace, Real{1});
+      }
+      l = la::cholesky(g2.view());
+    }
+    // a := a L⁻ᵀ (local rows; the triangular factor is replicated).
+    la::RealMatrix at = la::transpose<Real>(a_local);
+    la::solve_lower_triangular(l.view(), at.view());
+    const la::RealMatrix back = la::transpose<Real>(at.view());
+    la::copy<Real>(back.view(), a_local);
+  }
+}
+
+/// x_local := x_local - q_local (qᵀ x) with the dot products reduced.
+void dist_project_out(Comm& comm, la::RealConstView q_local,
+                      la::RealView x_local) {
+  if (q_local.cols() == 0 || x_local.cols() == 0) return;
+  const la::RealMatrix coeff = dist_gemm_tn(comm, q_local, x_local);
+  la::gemm(la::Trans::kNo, la::Trans::kNo, Real{-1}, q_local, coeff.view(),
+           Real{1}, x_local);
+}
+
+la::RealMatrix hcat(la::RealConstView a, la::RealConstView b,
+                    la::RealConstView c) {
+  const Index n = a.rows();
+  const Index k = a.cols() + b.cols() + c.cols();
+  la::RealMatrix s(n, k);
+  la::copy<Real>(a, s.view().cols_block(0, a.cols()));
+  la::copy<Real>(b, s.view().cols_block(a.cols(), b.cols()));
+  if (c.cols() > 0) {
+    la::copy<Real>(c, s.view().cols_block(a.cols() + b.cols(), c.cols()));
+  }
+  return s;
+}
+
+}  // namespace
+
+la::LobpcgResult dist_lobpcg(Comm& comm, const DistBlockOperator& apply_h,
+                             const DistBlockPreconditioner& preconditioner,
+                             la::RealMatrix x0_local,
+                             const la::LobpcgOptions& options) {
+  const Index n_local = x0_local.rows();
+  const Index k = x0_local.cols();
+  LRT_CHECK(k > 0, "dist_lobpcg: empty block");
+
+  la::LobpcgResult result;
+  result.eigenvalues.assign(static_cast<std::size_t>(k), Real{0});
+  result.residual_norms.assign(static_cast<std::size_t>(k), Real{0});
+
+  la::RealMatrix x = std::move(x0_local);
+  dist_cholqr2(comm, x.view());
+
+  la::RealMatrix hx(n_local, k);
+  apply_h(x.view(), hx.view());
+
+  {
+    const la::RealMatrix xhx = dist_gemm_tn(comm, x.view(), hx.view());
+    la::EigResult rr = la::syev(xhx.view());
+    x = la::gemm(la::Trans::kNo, la::Trans::kNo, x.view(), rr.vectors.view());
+    hx = la::gemm(la::Trans::kNo, la::Trans::kNo, hx.view(),
+                  rr.vectors.view());
+    result.eigenvalues = rr.values;
+  }
+
+  la::RealMatrix p;
+  la::RealMatrix hp;
+
+  for (Index iter = 0; iter < options.max_iterations; ++iter) {
+    result.iterations = iter + 1;
+
+    la::RealMatrix r = la::to_matrix<Real>(hx.view());
+    for (Index j = 0; j < k; ++j) {
+      const Real theta = result.eigenvalues[static_cast<std::size_t>(j)];
+      for (Index i = 0; i < n_local; ++i) r(i, j) -= theta * x(i, j);
+    }
+
+    // Global residual norms (column-wise) in one reduction.
+    std::vector<Real> norms(static_cast<std::size_t>(k), Real{0});
+    for (Index j = 0; j < k; ++j) {
+      for (Index i = 0; i < n_local; ++i) {
+        norms[static_cast<std::size_t>(j)] += r(i, j) * r(i, j);
+      }
+    }
+    comm.allreduce(norms.data(), k, ReduceOp::kSum);
+    bool all_converged = true;
+    for (Index j = 0; j < k; ++j) {
+      const Real norm = std::sqrt(norms[static_cast<std::size_t>(j)]);
+      result.residual_norms[static_cast<std::size_t>(j)] = norm;
+      const Real scale = std::max(
+          Real{1}, std::abs(result.eigenvalues[static_cast<std::size_t>(j)]));
+      if (norm > options.tolerance * scale) all_converged = false;
+    }
+    if (all_converged) {
+      result.converged = true;
+      break;
+    }
+
+    if (preconditioner) preconditioner(r.view(), result.eigenvalues);
+    dist_project_out(comm, x.view(), r.view());
+    if (p.cols() > 0) dist_project_out(comm, p.view(), r.view());
+    dist_cholqr2(comm, r.view());
+
+    la::RealMatrix hr(n_local, k);
+    apply_h(r.view(), hr.view());
+
+    const la::RealMatrix s = hcat(x.view(), r.view(), p.view());
+    const la::RealMatrix hs_blocks = hcat(hx.view(), hr.view(), hp.view());
+    la::RealMatrix hs = dist_gemm_tn(comm, s.view(), hs_blocks.view());
+    la::RealMatrix gs = dist_gram(comm, s.view());
+    const Index m = s.cols();
+    for (Index i = 0; i < m; ++i) {
+      for (Index j = i + 1; j < m; ++j) {
+        const Real avg = 0.5 * (hs(i, j) + hs(j, i));
+        hs(i, j) = avg;
+        hs(j, i) = avg;
+      }
+    }
+
+    la::EigResult small;
+    bool used_p = p.cols() > 0;
+    try {
+      small = la::sygv(hs.view(), gs.view());
+    } catch (const Error&) {
+      const la::RealMatrix s2 =
+          hcat(x.view(), r.view(), la::RealMatrix().view());
+      const la::RealMatrix hs2 =
+          hcat(hx.view(), hr.view(), la::RealMatrix().view());
+      hs = dist_gemm_tn(comm, s2.view(), hs2.view());
+      gs = dist_gram(comm, s2.view());
+      small = la::sygv(hs.view(), gs.view());
+      used_p = false;
+      p.resize(0, 0);
+      hp.resize(0, 0);
+    }
+
+    la::RealMatrix c1(k, k), c2(k, k), c3(used_p ? k : 0, used_p ? k : 0);
+    for (Index j = 0; j < k; ++j) {
+      for (Index i = 0; i < k; ++i) c1(i, j) = small.vectors(i, j);
+      for (Index i = 0; i < k; ++i) c2(i, j) = small.vectors(k + i, j);
+      if (used_p) {
+        for (Index i = 0; i < k; ++i) c3(i, j) = small.vectors(2 * k + i, j);
+      }
+    }
+
+    la::RealMatrix new_p =
+        la::gemm(la::Trans::kNo, la::Trans::kNo, r.view(), c2.view());
+    la::RealMatrix new_hp =
+        la::gemm(la::Trans::kNo, la::Trans::kNo, hr.view(), c2.view());
+    if (used_p) {
+      la::gemm(la::Trans::kNo, la::Trans::kNo, Real{1}, p.view(), c3.view(),
+               Real{1}, new_p.view());
+      la::gemm(la::Trans::kNo, la::Trans::kNo, Real{1}, hp.view(), c3.view(),
+               Real{1}, new_hp.view());
+    }
+    la::RealMatrix new_x =
+        la::gemm(la::Trans::kNo, la::Trans::kNo, x.view(), c1.view());
+    la::RealMatrix new_hx =
+        la::gemm(la::Trans::kNo, la::Trans::kNo, hx.view(), c1.view());
+    for (Index i = 0; i < n_local; ++i) {
+      for (Index j = 0; j < k; ++j) {
+        new_x(i, j) += new_p(i, j);
+        new_hx(i, j) += new_hp(i, j);
+      }
+    }
+    x = std::move(new_x);
+    hx = std::move(new_hx);
+    p = std::move(new_p);
+    hp = std::move(new_hp);
+
+    for (Index j = 0; j < k; ++j) {
+      result.eigenvalues[static_cast<std::size_t>(j)] =
+          small.values[static_cast<std::size_t>(j)];
+    }
+
+    if ((iter + 1) % 20 == 0) {
+      dist_cholqr2(comm, x.view());
+      apply_h(x.view(), hx.view());
+      const la::RealMatrix xhx = dist_gemm_tn(comm, x.view(), hx.view());
+      la::EigResult rr = la::syev(xhx.view());
+      x = la::gemm(la::Trans::kNo, la::Trans::kNo, x.view(),
+                   rr.vectors.view());
+      hx = la::gemm(la::Trans::kNo, la::Trans::kNo, hx.view(),
+                    rr.vectors.view());
+      result.eigenvalues = rr.values;
+      p.resize(0, 0);
+      hp.resize(0, 0);
+    }
+  }
+
+  result.eigenvectors = std::move(x);
+  return result;
+}
+
+}  // namespace lrt::par

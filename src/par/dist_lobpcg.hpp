@@ -1,0 +1,38 @@
+// Distributed LOBPCG: the paper's Algorithm 2 with the long (pair-space)
+// dimension row-block partitioned over ranks.
+//
+// Each rank owns a contiguous row slab of every tall block (X, W, P and
+// their operator images); the 3k x 3k projected problem, its
+// eigendecomposition and all coefficient updates are replicated. The only
+// communication per iteration is the handful of Allreduces behind the
+// Gram/projection products — identical in structure to the paper's
+// parallel LOBPCG.
+#pragma once
+
+#include <functional>
+
+#include "la/lobpcg.hpp"
+#include "par/comm.hpp"
+
+namespace lrt::par {
+
+/// Applies the operator to this rank's row slab: y_local = (H x)_local.
+/// Implementations communicate internally if H mixes rows (the implicit
+/// Casida operator does, through the Nμ-space contraction).
+using DistBlockOperator =
+    std::function<void(la::RealConstView x_local, la::RealView y_local)>;
+
+/// In-place preconditioner on the local residual slab.
+using DistBlockPreconditioner =
+    std::function<void(la::RealView r_local, const std::vector<Real>& theta)>;
+
+/// Lowest-k eigenpairs; `x0_local` is this rank's slab of the initial
+/// block (global row count implied by the sum over ranks). The returned
+/// eigenvectors are this rank's slab. Deterministic across rank counts up
+/// to roundoff. Collective.
+la::LobpcgResult dist_lobpcg(Comm& comm, const DistBlockOperator& apply_h,
+                             const DistBlockPreconditioner& preconditioner,
+                             la::RealMatrix x0_local,
+                             const la::LobpcgOptions& options = {});
+
+}  // namespace lrt::par

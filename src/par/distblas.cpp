@@ -1,0 +1,42 @@
+#include "par/distblas.hpp"
+
+#include <cmath>
+
+namespace lrt::par {
+
+la::RealMatrix dist_gemm_tn(Comm& comm, la::RealConstView a_local,
+                            la::RealConstView b_local) {
+  LRT_CHECK(a_local.rows() == b_local.rows(),
+            "dist_gemm_tn: local row blocks must align");
+  la::RealMatrix c =
+      la::gemm(la::Trans::kYes, la::Trans::kNo, a_local, b_local);
+  comm.allreduce(c.data(), c.size(), ReduceOp::kSum);
+  return c;
+}
+
+la::RealMatrix dist_gram(Comm& comm, la::RealConstView a_local) {
+  la::RealMatrix g = la::gram(a_local);
+  comm.allreduce(g.data(), g.size(), ReduceOp::kSum);
+  return g;
+}
+
+la::RealMatrix local_gemm_nn(la::RealConstView a_local, la::RealConstView b) {
+  return la::gemm(la::Trans::kNo, la::Trans::kNo, a_local, b);
+}
+
+Real dist_frobenius_norm(Comm& comm, la::RealConstView a_local) {
+  Real sum = 0.0;
+  for (Index i = 0; i < a_local.rows(); ++i) {
+    const Real* row = a_local.row_ptr(i);
+    for (Index j = 0; j < a_local.cols(); ++j) sum += row[j] * row[j];
+  }
+  comm.allreduce(&sum, 1, ReduceOp::kSum);
+  return std::sqrt(sum);
+}
+
+Real dist_sum(Comm& comm, Real value) {
+  comm.allreduce(&value, 1, ReduceOp::kSum);
+  return value;
+}
+
+}  // namespace lrt::par

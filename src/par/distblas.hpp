@@ -1,0 +1,34 @@
+// Distributed matrix products used by the LR-TDDFT driver.
+//
+// The paper's hot pattern is Vhxc = Pvcᵀ (K Pvc) with Pvc row-block
+// distributed over the grid dimension: every rank multiplies its local
+// slabs and the partial products are summed with an Allreduce (paper
+// Algorithm 1, lines 7-8). dist_gemm_tn implements exactly that. The
+// row-block x replicated product needs no communication at all.
+#pragma once
+
+#include "la/blas.hpp"
+#include "par/comm.hpp"
+
+namespace lrt::par {
+
+/// C = Aᵀ B where A (m_loc x k) and B (m_loc x n) are row-block distributed
+/// slabs of global matrices; the k x n result is summed across ranks and
+/// returned replicated on every rank.
+la::RealMatrix dist_gemm_tn(Comm& comm, la::RealConstView a_local,
+                            la::RealConstView b_local);
+
+/// Replicated Gram matrix AᵀA of a row-block distributed A.
+la::RealMatrix dist_gram(Comm& comm, la::RealConstView a_local);
+
+/// C_local = A_local * B with A row-block distributed and B replicated;
+/// the result inherits A's row distribution. Pure local compute.
+la::RealMatrix local_gemm_nn(la::RealConstView a_local, la::RealConstView b);
+
+/// Frobenius norm of a row-block distributed matrix.
+Real dist_frobenius_norm(Comm& comm, la::RealConstView a_local);
+
+/// Sum of a scalar across ranks.
+Real dist_sum(Comm& comm, Real value);
+
+}  // namespace lrt::par

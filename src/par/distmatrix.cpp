@@ -1,0 +1,102 @@
+#include "par/distmatrix.hpp"
+
+namespace lrt::par {
+
+DistMatrix::DistMatrix(const Layout& layout, int rank)
+    : layout_(layout), rank_(rank) {
+  LRT_CHECK(rank >= 0 && rank < layout.nranks(),
+            "rank " << rank << " outside layout with " << layout.nranks()
+                    << " ranks");
+  local_.resize(layout.local_rows(rank), layout.local_cols(rank));
+}
+
+void DistMatrix::fill_global(const std::function<Real(Index, Index)>& f) {
+  for (Index li = 0; li < local_.rows(); ++li) {
+    const Index gi = layout_.global_row(rank_, li);
+    for (Index lj = 0; lj < local_.cols(); ++lj) {
+      const Index gj = layout_.global_col(rank_, lj);
+      local_(li, lj) = f(gi, gj);
+    }
+  }
+}
+
+la::RealMatrix DistMatrix::gather(Comm& comm, int root) const {
+  const int p = comm.size();
+  LRT_CHECK(p == layout_.nranks(), "comm size != layout ranks");
+
+  // Serialize the local block as (global flat index, value) pairs and use
+  // gatherv-style point-to-point to the root, which scatters into place.
+  const Index my_count = local_.rows() * local_.cols();
+  std::vector<Index> counts(static_cast<std::size_t>(p));
+  comm.allgather(&my_count, 1, counts.data());
+
+  la::RealMatrix full;
+  if (comm.rank() == root) {
+    full.resize(layout_.rows(), layout_.cols());
+  }
+
+  // Pack my pairs.
+  std::vector<Real> values(static_cast<std::size_t>(my_count));
+  std::vector<Index> indices(static_cast<std::size_t>(my_count));
+  Index pos = 0;
+  for (Index li = 0; li < local_.rows(); ++li) {
+    const Index gi = layout_.global_row(rank_, li);
+    for (Index lj = 0; lj < local_.cols(); ++lj) {
+      const Index gj = layout_.global_col(rank_, lj);
+      indices[static_cast<std::size_t>(pos)] = gi * layout_.cols() + gj;
+      values[static_cast<std::size_t>(pos)] = local_(li, lj);
+      ++pos;
+    }
+  }
+
+  constexpr int kTagIdx = 301;
+  constexpr int kTagVal = 302;
+  if (comm.rank() == root) {
+    auto place = [&](const std::vector<Index>& idx,
+                     const std::vector<Real>& val) {
+      for (std::size_t k = 0; k < idx.size(); ++k) {
+        const Index flat = idx[k];
+        full(flat / layout_.cols(), flat % layout_.cols()) = val[k];
+      }
+    };
+    place(indices, values);
+    for (int r = 0; r < p; ++r) {
+      if (r == root) continue;
+      const Index count = counts[static_cast<std::size_t>(r)];
+      std::vector<Index> idx(static_cast<std::size_t>(count));
+      std::vector<Real> val(static_cast<std::size_t>(count));
+      comm.recv(idx.data(), count, r, kTagIdx);
+      comm.recv(val.data(), count, r, kTagVal);
+      place(idx, val);
+    }
+  } else {
+    comm.send(indices.data(), my_count, root, kTagIdx);
+    comm.send(values.data(), my_count, root, kTagVal);
+  }
+  return full;
+}
+
+la::RealMatrix DistMatrix::allgather_full(Comm& comm) const {
+  la::RealMatrix full = gather(comm, /*root=*/0);
+  if (comm.rank() != 0) full.resize(layout_.rows(), layout_.cols());
+  comm.bcast(full.data(), full.size(), /*root=*/0);
+  return full;
+}
+
+DistMatrix DistMatrix::scatter(Comm& comm, const Layout& layout,
+                               la::RealConstView global, int root) {
+  DistMatrix result(layout, comm.rank());
+  if (comm.rank() == root) {
+    LRT_CHECK(global.rows() == layout.rows() && global.cols() == layout.cols(),
+              "scatter: global shape mismatch");
+  }
+  // Broadcast the full matrix then take the local part — simple and fine
+  // for the scales the tests use; redistribute() is the scalable path.
+  la::RealMatrix full(layout.rows(), layout.cols());
+  if (comm.rank() == root) la::copy(global, full.view());
+  comm.bcast(full.data(), full.size(), root);
+  result.fill_global([&](Index i, Index j) { return full(i, j); });
+  return result;
+}
+
+}  // namespace lrt::par

@@ -1,0 +1,58 @@
+// Distributed dense matrix.
+//
+// A DistMatrix pairs a Layout with this rank's local block. All ranks of
+// the owning communicator construct the same global picture; methods that
+// need communication take the Comm explicitly so call sites read like the
+// MPI code they stand in for.
+#pragma once
+
+#include <functional>
+
+#include "la/matrix.hpp"
+#include "par/comm.hpp"
+#include "par/layout.hpp"
+
+namespace lrt::par {
+
+class DistMatrix {
+ public:
+  /// Creates a zero-initialized distributed matrix; every rank calls this
+  /// with the same layout.
+  DistMatrix(const Layout& layout, int rank);
+
+  const Layout& layout() const { return layout_; }
+  int rank() const { return rank_; }
+  Index global_rows() const { return layout_.rows(); }
+  Index global_cols() const { return layout_.cols(); }
+
+  la::RealMatrix& local() { return local_; }
+  const la::RealMatrix& local() const { return local_; }
+
+  /// Fills the local block from a global generator f(i, j) — collective by
+  /// convention (each rank fills its own part; no communication).
+  void fill_global(const std::function<Real(Index, Index)>& f);
+
+  /// Gathers the full matrix on `root` (other ranks get an empty matrix).
+  la::RealMatrix gather(Comm& comm, int root = 0) const;
+
+  /// Gathers and broadcasts so every rank holds the full matrix.
+  la::RealMatrix allgather_full(Comm& comm) const;
+
+  /// Scatters a root-resident global matrix into the distributed blocks.
+  static DistMatrix scatter(Comm& comm, const Layout& layout,
+                            la::RealConstView global, int root = 0);
+
+ private:
+  Layout layout_;
+  int rank_;
+  la::RealMatrix local_;
+};
+
+/// pdgemr2d analog: redistributes src into the destination layout over the
+/// same communicator. Implemented with a single alltoallv of (index, value)
+/// pairs — the generic path that handles every scheme pair, including the
+/// row-block -> 2-D block-cyclic conversion before SYEVD in the paper.
+DistMatrix redistribute(Comm& comm, const DistMatrix& src,
+                        const Layout& dst_layout);
+
+}  // namespace lrt::par

@@ -1,0 +1,136 @@
+#include "par/layout.hpp"
+
+namespace lrt::par {
+
+Index numroc(Index n, Index nb, int iproc, int nprocs) {
+  LRT_CHECK(n >= 0 && nb >= 1 && iproc >= 0 && iproc < nprocs, "bad numroc");
+  const Index nblocks = n / nb;
+  const Index base = (nblocks / nprocs) * nb;
+  const Index extra_blocks = nblocks % nprocs;
+  Index result = base;
+  if (static_cast<Index>(iproc) < extra_blocks) {
+    result += nb;
+  } else if (static_cast<Index>(iproc) == extra_blocks) {
+    result += n % nb;
+  }
+  return result;
+}
+
+Layout Layout::block_row(Index rows, Index cols, int nranks) {
+  LRT_CHECK(rows >= 0 && cols >= 0 && nranks >= 1, "bad layout");
+  Layout l;
+  l.scheme_ = DistScheme::kBlockRow;
+  l.rows_ = rows;
+  l.cols_ = cols;
+  l.nranks_ = nranks;
+  return l;
+}
+
+Layout Layout::block_col(Index rows, Index cols, int nranks) {
+  LRT_CHECK(rows >= 0 && cols >= 0 && nranks >= 1, "bad layout");
+  Layout l;
+  l.scheme_ = DistScheme::kBlockCol;
+  l.rows_ = rows;
+  l.cols_ = cols;
+  l.nranks_ = nranks;
+  return l;
+}
+
+Layout Layout::block_cyclic_2d(Index rows, Index cols, int prow, int pcol,
+                               Index mb, Index nb) {
+  LRT_CHECK(rows >= 0 && cols >= 0 && prow >= 1 && pcol >= 1 && mb >= 1 &&
+                nb >= 1,
+            "bad block-cyclic layout");
+  Layout l;
+  l.scheme_ = DistScheme::kBlockCyclic2D;
+  l.rows_ = rows;
+  l.cols_ = cols;
+  l.nranks_ = prow * pcol;
+  l.prow_ = prow;
+  l.pcol_ = pcol;
+  l.mb_ = mb;
+  l.nb_ = nb;
+  return l;
+}
+
+Index Layout::local_rows(int rank) const {
+  switch (scheme_) {
+    case DistScheme::kBlockRow:
+      return BlockPartition(rows_, nranks_).count(rank);
+    case DistScheme::kBlockCol:
+      return rows_;
+    case DistScheme::kBlockCyclic2D:
+      return numroc(rows_, mb_, rank / pcol_, prow_);
+  }
+  return 0;
+}
+
+Index Layout::local_cols(int rank) const {
+  switch (scheme_) {
+    case DistScheme::kBlockRow:
+      return cols_;
+    case DistScheme::kBlockCol:
+      return BlockPartition(cols_, nranks_).count(rank);
+    case DistScheme::kBlockCyclic2D:
+      return numroc(cols_, nb_, rank % pcol_, pcol_);
+  }
+  return 0;
+}
+
+Layout::Location Layout::locate(Index i, Index j) const {
+  LRT_ASSERT(i >= 0 && i < rows_ && j >= 0 && j < cols_, "locate out of range");
+  switch (scheme_) {
+    case DistScheme::kBlockRow: {
+      const BlockPartition part(rows_, nranks_);
+      const int rank = part.owner(i);
+      return {rank, i - part.offset(rank), j};
+    }
+    case DistScheme::kBlockCol: {
+      const BlockPartition part(cols_, nranks_);
+      const int rank = part.owner(j);
+      return {rank, i, j - part.offset(rank)};
+    }
+    case DistScheme::kBlockCyclic2D: {
+      const Index rb = i / mb_;
+      const Index cb = j / nb_;
+      const int pr = static_cast<int>(rb % prow_);
+      const int pc = static_cast<int>(cb % pcol_);
+      const Index li = (rb / prow_) * mb_ + i % mb_;
+      const Index lj = (cb / pcol_) * nb_ + j % nb_;
+      return {pr * pcol_ + pc, li, lj};
+    }
+  }
+  return {0, 0, 0};
+}
+
+Index Layout::global_row(int rank, Index li) const {
+  switch (scheme_) {
+    case DistScheme::kBlockRow:
+      return BlockPartition(rows_, nranks_).offset(rank) + li;
+    case DistScheme::kBlockCol:
+      return li;
+    case DistScheme::kBlockCyclic2D: {
+      const int pr = rank / pcol_;
+      const Index local_block = li / mb_;
+      return (local_block * prow_ + pr) * mb_ + li % mb_;
+    }
+  }
+  return 0;
+}
+
+Index Layout::global_col(int rank, Index lj) const {
+  switch (scheme_) {
+    case DistScheme::kBlockRow:
+      return lj;
+    case DistScheme::kBlockCol:
+      return BlockPartition(cols_, nranks_).offset(rank) + lj;
+    case DistScheme::kBlockCyclic2D: {
+      const int pc = rank % pcol_;
+      const Index local_block = lj / nb_;
+      return (local_block * pcol_ + pc) * nb_ + lj % nb_;
+    }
+  }
+  return 0;
+}
+
+}  // namespace lrt::par

@@ -1,0 +1,108 @@
+// Data distribution layouts (paper §5.2, Figure 3).
+//
+// Three schemes exactly as in the paper:
+//  - BlockRow: contiguous row blocks per rank — used for the face-splitting
+//    product and GEMM steps (each rank owns a slab of real-space grid
+//    points, all orbitals).
+//  - BlockCol: contiguous column blocks per rank — used for the FFT step
+//    (each rank owns whole orbital pair columns and transforms them
+//    independently).
+//  - BlockCyclic2D: ScaLAPACK-style 2-D block-cyclic over a prow x pcol
+//    process grid — used for the dense SYEVD diagonalization.
+#pragma once
+
+#include <array>
+
+#include "common/config.hpp"
+#include "common/error.hpp"
+
+namespace lrt::par {
+
+/// 1-D block partition of n items over p parts: part r gets n/p items plus
+/// one extra for the first n%p parts (ScaLAPACK-compatible "big blocks
+/// first" convention).
+struct BlockPartition {
+  Index n = 0;
+  int parts = 1;
+
+  BlockPartition() = default;
+  BlockPartition(Index n_, int parts_) : n(n_), parts(parts_) {
+    LRT_CHECK(n >= 0 && parts >= 1, "bad partition " << n << "/" << parts);
+  }
+
+  Index count(int r) const {
+    const Index base = n / parts;
+    const Index extra = n % parts;
+    return base + (r < extra ? 1 : 0);
+  }
+
+  Index offset(int r) const {
+    const Index base = n / parts;
+    const Index extra = n % parts;
+    const Index rr = static_cast<Index>(r);
+    return rr * base + (rr < extra ? rr : extra);
+  }
+
+  int owner(Index i) const {
+    LRT_ASSERT(i >= 0 && i < n, "index out of partition");
+    const Index base = n / parts;
+    const Index extra = n % parts;
+    const Index boundary = extra * (base + 1);
+    if (i < boundary) return static_cast<int>(i / (base + 1));
+    return static_cast<int>(extra + (i - boundary) / base);
+  }
+};
+
+/// numroc: number of rows/cols of a cyclically blocked dimension owned by
+/// process `iproc` out of `nprocs`, with block size `nb` (ScaLAPACK NUMROC
+/// with ISRCPROC = 0).
+Index numroc(Index n, Index nb, int iproc, int nprocs);
+
+enum class DistScheme { kBlockRow, kBlockCol, kBlockCyclic2D };
+
+/// Describes how a rows x cols global matrix is spread over nranks.
+class Layout {
+ public:
+  static Layout block_row(Index rows, Index cols, int nranks);
+  static Layout block_col(Index rows, Index cols, int nranks);
+
+  /// 2-D block cyclic over a prow x pcol grid (prow*pcol == nranks) with
+  /// mb x nb blocks. Rank r maps to grid position (r / pcol, r % pcol).
+  static Layout block_cyclic_2d(Index rows, Index cols, int prow, int pcol,
+                                Index mb, Index nb);
+
+  DistScheme scheme() const { return scheme_; }
+  Index rows() const { return rows_; }
+  Index cols() const { return cols_; }
+  int nranks() const { return nranks_; }
+
+  Index local_rows(int rank) const;
+  Index local_cols(int rank) const;
+
+  struct Location {
+    int rank;
+    Index local_row;
+    Index local_col;
+  };
+
+  /// Maps a global element to its owner and local coordinates.
+  Location locate(Index i, Index j) const;
+
+  /// Inverse map: global row index of local row `li` on `rank`.
+  Index global_row(int rank, Index li) const;
+  Index global_col(int rank, Index lj) const;
+
+  bool operator==(const Layout& other) const = default;
+
+ private:
+  Layout() = default;
+
+  DistScheme scheme_ = DistScheme::kBlockRow;
+  Index rows_ = 0, cols_ = 0;
+  int nranks_ = 1;
+  // Block-cyclic parameters (unused for 1-D schemes).
+  int prow_ = 1, pcol_ = 1;
+  Index mb_ = 1, nb_ = 1;
+};
+
+}  // namespace lrt::par

@@ -1,0 +1,82 @@
+#include "par/distmatrix.hpp"
+
+namespace lrt::par {
+
+DistMatrix redistribute(Comm& comm, const DistMatrix& src,
+                        const Layout& dst_layout) {
+  const Layout& sl = src.layout();
+  LRT_CHECK(sl.rows() == dst_layout.rows() && sl.cols() == dst_layout.cols(),
+            "redistribute: global shape mismatch");
+  LRT_CHECK(sl.nranks() == dst_layout.nranks() &&
+                dst_layout.nranks() == comm.size(),
+            "redistribute: rank count mismatch");
+
+  const int p = comm.size();
+  const int me = comm.rank();
+  DistMatrix dst(dst_layout, me);
+
+  struct Element {
+    Index flat;  ///< global row * cols + global col
+    Real value;
+  };
+  static_assert(std::is_trivially_copyable_v<Element>);
+
+  // Count, then pack, elements per destination rank.
+  const la::RealMatrix& local = src.local();
+  std::vector<Index> send_counts(static_cast<std::size_t>(p), 0);
+  for (Index li = 0; li < local.rows(); ++li) {
+    const Index gi = sl.global_row(me, li);
+    for (Index lj = 0; lj < local.cols(); ++lj) {
+      const Index gj = sl.global_col(me, lj);
+      ++send_counts[static_cast<std::size_t>(dst_layout.locate(gi, gj).rank)];
+    }
+  }
+  std::vector<Index> send_displs(static_cast<std::size_t>(p), 0);
+  for (int r = 1; r < p; ++r) {
+    send_displs[static_cast<std::size_t>(r)] =
+        send_displs[static_cast<std::size_t>(r - 1)] +
+        send_counts[static_cast<std::size_t>(r - 1)];
+  }
+  const Index total_send = send_displs.back() + send_counts.back();
+  std::vector<Element> send_buf(static_cast<std::size_t>(total_send));
+  {
+    std::vector<Index> cursor = send_displs;
+    for (Index li = 0; li < local.rows(); ++li) {
+      const Index gi = sl.global_row(me, li);
+      for (Index lj = 0; lj < local.cols(); ++lj) {
+        const Index gj = sl.global_col(me, lj);
+        const int target = dst_layout.locate(gi, gj).rank;
+        send_buf[static_cast<std::size_t>(
+            cursor[static_cast<std::size_t>(target)]++)] =
+            Element{gi * sl.cols() + gj, local(li, lj)};
+      }
+    }
+  }
+
+  // Exchange counts, then payloads.
+  std::vector<Index> recv_counts(static_cast<std::size_t>(p));
+  comm.alltoall(send_counts.data(), recv_counts.data(), 1);
+  std::vector<Index> recv_displs(static_cast<std::size_t>(p), 0);
+  for (int r = 1; r < p; ++r) {
+    recv_displs[static_cast<std::size_t>(r)] =
+        recv_displs[static_cast<std::size_t>(r - 1)] +
+        recv_counts[static_cast<std::size_t>(r - 1)];
+  }
+  const Index total_recv = recv_displs.back() + recv_counts.back();
+  std::vector<Element> recv_buf(static_cast<std::size_t>(total_recv));
+  comm.alltoallv(send_buf.data(), send_counts, send_displs, recv_buf.data(),
+                 recv_counts, recv_displs);
+
+  // Unpack into the destination local block.
+  la::RealMatrix& out = dst.local();
+  for (const Element& e : recv_buf) {
+    const Index gi = e.flat / sl.cols();
+    const Index gj = e.flat % sl.cols();
+    const Layout::Location loc = dst_layout.locate(gi, gj);
+    LRT_ASSERT(loc.rank == me, "element routed to wrong rank");
+    out(loc.local_row, loc.local_col) = e.value;
+  }
+  return dst;
+}
+
+}  // namespace lrt::par

@@ -1,0 +1,99 @@
+#include "par/runtime.hpp"
+
+#include <exception>
+#include <thread>
+
+#include "par/comm.hpp"
+
+namespace lrt::par {
+
+namespace detail {
+
+void Mailbox::push(Message message) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(message));
+  }
+  cv_.notify_all();
+}
+
+bool Mailbox::matches(const Message& m, int src, int tag,
+                      long long context) const {
+  if (m.context != context) return false;
+  if (m.tag != tag) return false;
+  return src == kAnySource || m.src == src;
+}
+
+Message Mailbox::pop(int src, int tag, long long context) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    if (poisoned_) throw AbortError();
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (matches(*it, src, tag, context)) {
+        Message m = std::move(*it);
+        queue_.erase(it);
+        return m;
+      }
+    }
+    cv_.wait(lock);
+  }
+}
+
+void Mailbox::poison() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    poisoned_ = true;
+  }
+  cv_.notify_all();
+}
+
+}  // namespace detail
+
+Runtime::Runtime(int nranks) {
+  LRT_CHECK(nranks >= 1, "need at least one rank, got " << nranks);
+  mailboxes_.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    mailboxes_.push_back(std::make_unique<detail::Mailbox>());
+  }
+}
+
+void Runtime::poison_all() {
+  for (auto& box : mailboxes_) box->poison();
+}
+
+void run(int nranks, const std::function<void(Comm&)>& body) {
+  Runtime runtime(nranks);
+
+  if (nranks == 1) {
+    Comm comm(&runtime, /*rank=*/0, /*world_ranks=*/{0}, /*context=*/0);
+    body(comm);
+    return;
+  }
+
+  std::vector<int> world_ranks(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) world_ranks[static_cast<std::size_t>(r)] = r;
+
+  std::mutex error_mutex;
+  std::exception_ptr first_error;
+
+  std::vector<std::thread> threads;
+  threads.reserve(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    threads.emplace_back([&, r]() {
+      try {
+        Comm comm(&runtime, r, world_ranks, /*context=*/0);
+        body(comm);
+      } catch (...) {
+        {
+          std::lock_guard<std::mutex> lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
+        runtime.poison_all();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace lrt::par

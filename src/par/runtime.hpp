@@ -1,0 +1,99 @@
+// Thread-backed message-passing runtime.
+//
+// The paper's implementation runs on MPI across Cori nodes. This container
+// has no MPI, so ranks are std::threads inside one process and messages
+// travel through per-rank mailboxes. The programming model is kept
+// MPI-shaped on purpose: explicit ranks, tagged point-to-point messages,
+// collectives built from p2p, communicator splitting — so the data
+// distribution schemes of paper §5 (row block / column block / 2-D block
+// cyclic, Alltoall redistribution, Reduce pipelines) run unchanged.
+//
+// Entry point:
+//   par::run(4, [](par::Comm& comm) { ... });  // body runs on 4 ranks
+//
+// Failure handling: if any rank throws, the runtime poisons all mailboxes
+// so blocked ranks wake up with AbortError instead of deadlocking, then
+// rethrows the first exception on the caller's thread.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "common/config.hpp"
+#include "common/error.hpp"
+
+namespace lrt::par {
+
+class Comm;
+
+/// Thrown inside ranks blocked on communication when another rank failed.
+class AbortError : public Error {
+ public:
+  AbortError() : Error("parallel runtime aborted by another rank") {}
+};
+
+namespace detail {
+
+struct Message {
+  int src = -1;
+  int tag = 0;
+  long long context = 0;
+  std::vector<std::byte> payload;
+};
+
+/// One mailbox per rank: a condition-variable protected queue with
+/// (source, tag, context) matching, FIFO per matching key (MPI ordering
+/// guarantee between a fixed sender/receiver pair).
+class Mailbox {
+ public:
+  void push(Message message);
+
+  /// Blocks until a message matching (src, tag, context) arrives.
+  /// src = kAnySource matches any sender.
+  Message pop(int src, int tag, long long context);
+
+  void poison();
+
+  static constexpr int kAnySource = -1;
+
+ private:
+  bool matches(const Message& m, int src, int tag, long long context) const;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  bool poisoned_ = false;
+};
+
+}  // namespace detail
+
+/// Owns the mailboxes of one parallel run. Created by par::run; user code
+/// only ever touches Comm.
+class Runtime {
+ public:
+  explicit Runtime(int nranks);
+
+  int size() const { return static_cast<int>(mailboxes_.size()); }
+
+  detail::Mailbox& mailbox(int rank) {
+    LRT_ASSERT(rank >= 0 && rank < size(), "bad rank " << rank);
+    return *mailboxes_[static_cast<std::size_t>(rank)];
+  }
+
+  void poison_all();
+
+ private:
+  std::vector<std::unique_ptr<detail::Mailbox>> mailboxes_;
+};
+
+/// Runs `body(comm)` on `nranks` rank threads and joins them. Rethrows the
+/// first rank exception. nranks == 1 runs inline on the calling thread.
+void run(int nranks, const std::function<void(Comm&)>& body);
+
+}  // namespace lrt::par

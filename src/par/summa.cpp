@@ -1,0 +1,92 @@
+#include "par/summa.hpp"
+
+#include <algorithm>
+
+namespace lrt::par {
+
+ProcessGrid2D::ProcessGrid2D(Comm& world, int prow, int pcol)
+    : prow_(prow),
+      pcol_(pcol),
+      my_row_(world.rank() / pcol),
+      my_col_(world.rank() % pcol),
+      // Key by the orthogonal coordinate so the sub-rank equals it.
+      row_comm_(world.split(my_row_, my_col_)),
+      col_comm_(world.split(pcol + my_col_, my_row_)) {
+  LRT_CHECK(prow >= 1 && pcol >= 1 && prow * pcol == world.size(),
+            "grid " << prow << "x" << pcol << " != comm size "
+                    << world.size());
+  LRT_ASSERT(row_comm_.rank() == my_col_, "row communicator key mismatch");
+  LRT_ASSERT(col_comm_.rank() == my_row_, "col communicator key mismatch");
+}
+
+la::RealMatrix summa_gemm(ProcessGrid2D& grid, la::RealConstView a_local,
+                          la::RealConstView b_local, Index m, Index n,
+                          Index k, const SummaOptions& options) {
+  const BlockPartition rows_m(m, grid.prow());
+  const BlockPartition cols_n(n, grid.pcol());
+  const BlockPartition k_by_col(k, grid.pcol());  // A's column split
+  const BlockPartition k_by_row(k, grid.prow());  // B's row split
+
+  const Index m_loc = rows_m.count(grid.my_row());
+  const Index n_loc = cols_n.count(grid.my_col());
+  LRT_CHECK(a_local.rows() == m_loc &&
+                a_local.cols() == k_by_col.count(grid.my_col()),
+            "summa: bad A block shape");
+  LRT_CHECK(b_local.rows() == k_by_row.count(grid.my_row()) &&
+                b_local.cols() == n_loc,
+            "summa: bad B block shape");
+
+  la::RealMatrix c(m_loc, n_loc);
+  la::RealMatrix a_panel(m_loc, options.panel);
+  la::RealMatrix b_panel(options.panel, n_loc);
+
+  Index k0 = 0;
+  while (k0 < k) {
+    // Panel clipped at both partitions' boundaries and the max width.
+    const int a_owner = k_by_col.owner(k0);
+    const int b_owner = k_by_row.owner(k0);
+    const Index a_end = k_by_col.offset(a_owner) + k_by_col.count(a_owner);
+    const Index b_end = k_by_row.offset(b_owner) + k_by_row.count(b_owner);
+    const Index k1 = std::min({k0 + options.panel, a_end, b_end, k});
+    const Index width = k1 - k0;
+
+    // Pack / broadcast the A panel along the process row (packed into a
+    // contiguous buffer so one broadcast carries it).
+    la::MatrixView<Real> ap = a_panel.view().cols_block(0, width);
+    {
+      std::vector<Real> packed(static_cast<std::size_t>(m_loc * width));
+      if (grid.my_col() == a_owner) {
+        const la::ConstMatrixView<Real> src =
+            a_local.cols_block(k0 - k_by_col.offset(a_owner), width);
+        for (Index i = 0; i < m_loc; ++i) {
+          for (Index j = 0; j < width; ++j) {
+            packed[static_cast<std::size_t>(i * width + j)] = src(i, j);
+          }
+        }
+      }
+      grid.row_comm().bcast(packed.data(), m_loc * width, a_owner);
+      for (Index i = 0; i < m_loc; ++i) {
+        for (Index j = 0; j < width; ++j) {
+          ap(i, j) = packed[static_cast<std::size_t>(i * width + j)];
+        }
+      }
+    }
+
+    // Pack / broadcast the B panel along the process column (rows are
+    // contiguous, one bcast suffices when width rows are packed).
+    la::MatrixView<Real> bp = b_panel.view().rows_block(0, width);
+    if (grid.my_row() == b_owner) {
+      la::copy<Real>(
+          b_local.rows_block(k0 - k_by_row.offset(b_owner), width), bp);
+    }
+    grid.col_comm().bcast(b_panel.data(), width * n_loc, b_owner);
+
+    la::gemm(la::Trans::kNo, la::Trans::kNo, Real{1},
+             la::ConstMatrixView<Real>(ap), la::ConstMatrixView<Real>(bp),
+             Real{1}, c.view());
+    k0 = k1;
+  }
+  return c;
+}
+
+}  // namespace lrt::par

@@ -1,0 +1,51 @@
+// SUMMA distributed matrix multiplication (van de Geijn & Watts).
+//
+// C = A B with all three matrices block-distributed over a prow x pcol
+// process grid (rank r at grid position (r / pcol, r % pcol); contiguous
+// blocks via BlockPartition in each dimension). For every panel of the
+// contraction dimension, the owning column of ranks broadcasts its A
+// panel along process rows, the owning row broadcasts its B panel along
+// process columns, and every rank accumulates a local GEMM — the
+// communication pattern behind ScaLAPACK's PDGEMM that the paper's
+// ScaLAPACK steps rely on.
+#pragma once
+
+#include "la/blas.hpp"
+#include "par/comm.hpp"
+#include "par/layout.hpp"
+
+namespace lrt::par {
+
+/// 2-D process grid with row and column subcommunicators.
+class ProcessGrid2D {
+ public:
+  /// Collective over `world`; prow * pcol must equal world.size().
+  ProcessGrid2D(Comm& world, int prow, int pcol);
+
+  int prow() const { return prow_; }
+  int pcol() const { return pcol_; }
+  int my_row() const { return my_row_; }
+  int my_col() const { return my_col_; }
+
+  Comm& row_comm() { return row_comm_; }  ///< ranks sharing my_row
+  Comm& col_comm() { return col_comm_; }  ///< ranks sharing my_col
+
+ private:
+  int prow_, pcol_, my_row_, my_col_;
+  Comm row_comm_;
+  Comm col_comm_;
+};
+
+struct SummaOptions {
+  Index panel = 64;  ///< max contraction-panel width
+};
+
+/// C_local = (A B)_local. `a_local` is this rank's (rows(m) x cols(k))
+/// block, `b_local` its (rows(k) x cols(n)) block, where rows(d)/cols(d)
+/// are the BlockPartition pieces of dimension d over prow/pcol. Returns
+/// this rank's block of C (rows(m) x cols(n)).
+la::RealMatrix summa_gemm(ProcessGrid2D& grid, la::RealConstView a_local,
+                          la::RealConstView b_local, Index m, Index n,
+                          Index k, const SummaOptions& options = {});
+
+}  // namespace lrt::par

@@ -1,0 +1,110 @@
+#include "par/transpose.hpp"
+
+namespace lrt::par {
+namespace {
+
+/// Shared core: exchanges rectangular intersections of (row part) x
+/// (col part). `to_cols` chooses the direction.
+la::RealMatrix exchange(Comm& comm, la::RealConstView local, Index n_rows,
+                        Index n_cols, bool to_cols) {
+  const int p = comm.size();
+  const int me = comm.rank();
+  const BlockPartition rows(n_rows, p);
+  const BlockPartition cols(n_cols, p);
+
+  // Validate the local shape.
+  if (to_cols) {
+    LRT_CHECK(local.rows() == rows.count(me) && local.cols() == n_cols,
+              "row_block_to_col_block: bad local shape");
+  } else {
+    LRT_CHECK(local.rows() == n_rows && local.cols() == cols.count(me),
+              "col_block_to_row_block: bad local shape");
+  }
+
+  // Pack: for destination rank q, the intersection rectangle is
+  // (my rows x q's cols) when to_cols, else (q's rows x my cols).
+  std::vector<Index> send_counts(static_cast<std::size_t>(p));
+  std::vector<Index> send_displs(static_cast<std::size_t>(p));
+  std::vector<Index> recv_counts(static_cast<std::size_t>(p));
+  std::vector<Index> recv_displs(static_cast<std::size_t>(p));
+  Index send_total = 0, recv_total = 0;
+  for (int q = 0; q < p; ++q) {
+    const Index sc = to_cols ? rows.count(me) * cols.count(q)
+                             : rows.count(q) * cols.count(me);
+    const Index rc = to_cols ? rows.count(q) * cols.count(me)
+                             : rows.count(me) * cols.count(q);
+    send_counts[static_cast<std::size_t>(q)] = sc;
+    recv_counts[static_cast<std::size_t>(q)] = rc;
+    send_displs[static_cast<std::size_t>(q)] = send_total;
+    recv_displs[static_cast<std::size_t>(q)] = recv_total;
+    send_total += sc;
+    recv_total += rc;
+  }
+
+  std::vector<Real> send_buf(static_cast<std::size_t>(send_total));
+  for (int q = 0; q < p; ++q) {
+    Real* out = send_buf.data() + send_displs[static_cast<std::size_t>(q)];
+    if (to_cols) {
+      const Index c0 = cols.offset(q);
+      const Index nc = cols.count(q);
+      for (Index i = 0; i < local.rows(); ++i) {
+        const Real* src = local.row_ptr(i) + c0;
+        for (Index j = 0; j < nc; ++j) *out++ = src[j];
+      }
+    } else {
+      const Index r0 = rows.offset(q);
+      const Index nr = rows.count(q);
+      for (Index i = 0; i < nr; ++i) {
+        const Real* src = local.row_ptr(r0 + i);
+        for (Index j = 0; j < local.cols(); ++j) *out++ = src[j];
+      }
+    }
+  }
+
+  std::vector<Real> recv_buf(static_cast<std::size_t>(recv_total));
+  comm.alltoallv(send_buf.data(), send_counts, send_displs, recv_buf.data(),
+                 recv_counts, recv_displs);
+
+  // Unpack.
+  la::RealMatrix result;
+  if (to_cols) {
+    result.resize(n_rows, cols.count(me));
+    for (int q = 0; q < p; ++q) {
+      const Real* in = recv_buf.data() + recv_displs[static_cast<std::size_t>(q)];
+      const Index r0 = rows.offset(q);
+      const Index nr = rows.count(q);
+      for (Index i = 0; i < nr; ++i) {
+        Real* dst = result.row_ptr(r0 + i);
+        for (Index j = 0; j < result.cols(); ++j) dst[j] = *in++;
+      }
+    }
+  } else {
+    result.resize(rows.count(me), n_cols);
+    for (int q = 0; q < p; ++q) {
+      const Real* in = recv_buf.data() + recv_displs[static_cast<std::size_t>(q)];
+      const Index c0 = cols.offset(q);
+      const Index nc = cols.count(q);
+      for (Index i = 0; i < result.rows(); ++i) {
+        Real* dst = result.row_ptr(i) + c0;
+        for (Index j = 0; j < nc; ++j) dst[j] = *in++;
+      }
+    }
+  }
+  return result;
+}
+
+}  // namespace
+
+la::RealMatrix row_block_to_col_block(Comm& comm,
+                                      la::RealConstView local_rows,
+                                      Index n_rows, Index n_cols) {
+  return exchange(comm, local_rows, n_rows, n_cols, /*to_cols=*/true);
+}
+
+la::RealMatrix col_block_to_row_block(Comm& comm,
+                                      la::RealConstView local_cols,
+                                      Index n_rows, Index n_cols) {
+  return exchange(comm, local_cols, n_rows, n_cols, /*to_cols=*/false);
+}
+
+}  // namespace lrt::par

@@ -1,0 +1,27 @@
+// Row-block <-> column-block redistribution of a dense matrix
+// (the MPI_Alltoall steps around the FFT in paper Algorithm 1 / Fig 3).
+//
+// Faster than the generic DistMatrix redistribute: block intersections of
+// the two 1-D partitions are contiguous rectangles, so payloads carry no
+// per-element indices.
+#pragma once
+
+#include "la/matrix.hpp"
+#include "par/comm.hpp"
+#include "par/layout.hpp"
+
+namespace lrt::par {
+
+/// Input: this rank's row block (local_rows x n_cols) of an
+/// (n_rows x n_cols) global matrix, rows partitioned by BlockPartition.
+/// Output: this rank's column block (n_rows x local_cols).
+la::RealMatrix row_block_to_col_block(Comm& comm,
+                                      la::RealConstView local_rows,
+                                      Index n_rows, Index n_cols);
+
+/// Inverse conversion.
+la::RealMatrix col_block_to_row_block(Comm& comm,
+                                      la::RealConstView local_cols,
+                                      Index n_rows, Index n_cols);
+
+}  // namespace lrt::par

@@ -1,0 +1,84 @@
+#include "tddft/casida_naive.hpp"
+
+#include "common/error.hpp"
+#include "isdf/pairproduct.hpp"
+#include "la/blas.hpp"
+#include "la/eig.hpp"
+
+namespace lrt::tddft {
+
+std::vector<Real> energy_differences(const CasidaProblem& problem) {
+  const Index nv = problem.nv();
+  const Index nc = problem.nc();
+  LRT_CHECK(static_cast<Index>(problem.eps_v.size()) == nv &&
+                static_cast<Index>(problem.eps_c.size()) == nc,
+            "energy array sizes do not match orbital counts");
+  std::vector<Real> d(static_cast<std::size_t>(nv * nc));
+  for (Index iv = 0; iv < nv; ++iv) {
+    for (Index ic = 0; ic < nc; ++ic) {
+      d[static_cast<std::size_t>(iv * nc + ic)] =
+          problem.eps_c[static_cast<std::size_t>(ic)] -
+          problem.eps_v[static_cast<std::size_t>(iv)];
+    }
+  }
+  return d;
+}
+
+la::RealMatrix build_hamiltonian_naive(const CasidaProblem& problem,
+                                       const HxcKernel& kernel,
+                                       WallProfiler* profiler) {
+  const Index ncv = problem.ncv();
+  const Real dv = problem.grid.dv();
+
+  // Line 2 of Algorithm 1: the face-splitting product.
+  la::RealMatrix pvc;
+  {
+    Timer t;
+    pvc = isdf::pair_product_matrix(problem.psi_v.view(),
+                                    problem.psi_c.view());
+    if (profiler) profiler->add("pair_product", t.seconds());
+  }
+
+  // Lines 4-5: kernel application to all pair densities (Nv*Nc FFTs).
+  la::RealMatrix kpvc(problem.nr(), ncv);
+  kernel.apply(pvc.view(), kpvc.view(), profiler);
+
+  // Line 7: Vhxc = Pvcᵀ (K Pvc) dv via one large GEMM.
+  la::RealMatrix h;
+  {
+    Timer t;
+    h = la::gemm(la::Trans::kYes, la::Trans::kNo, pvc.view(), kpvc.view());
+    if (profiler) profiler->add("gemm", t.seconds());
+  }
+
+  // H = D + 2 Vhxc (line 10); also symmetrize Vhxc roundoff.
+  const std::vector<Real> d = energy_differences(problem);
+  for (Index i = 0; i < ncv; ++i) {
+    for (Index j = i; j < ncv; ++j) {
+      const Real v = dv * (h(i, j) + h(j, i));  // = 2*avg*dv
+      h(i, j) = v;
+      h(j, i) = v;
+    }
+    h(i, i) += d[static_cast<std::size_t>(i)];
+  }
+  return h;
+}
+
+CasidaSolution diagonalize_dense(const la::RealMatrix& hamiltonian,
+                                 Index num_states, WallProfiler* profiler) {
+  const Index n = hamiltonian.rows();
+  LRT_CHECK(num_states >= 1 && num_states <= n,
+            "bad state count " << num_states);
+  Timer t;
+  la::EigResult eig = la::syev(hamiltonian.view());
+  if (profiler) profiler->add("diag", t.seconds());
+
+  CasidaSolution solution;
+  solution.energies.assign(eig.values.begin(),
+                           eig.values.begin() + num_states);
+  solution.wavefunctions =
+      la::to_matrix<Real>(eig.vectors.view().cols_block(0, num_states));
+  return solution;
+}
+
+}  // namespace lrt::tddft

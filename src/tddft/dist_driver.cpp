@@ -1,0 +1,298 @@
+#include "tddft/dist_driver.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "isdf/pairproduct.hpp"
+#include "kmeans/dist_kmeans.hpp"
+#include "la/blas.hpp"
+#include "la/lstsq.hpp"
+#include "par/disteig.hpp"
+#include "par/pipeline.hpp"
+#include "par/transpose.hpp"
+#include "tddft/dist_implicit.hpp"
+
+namespace lrt::tddft {
+namespace {
+
+struct PhaseClock {
+  std::map<std::string, double> seconds;
+  void add(const std::string& name, double s) { seconds[name] += s; }
+};
+
+/// This rank's contiguous row slab of a replicated Nr x m matrix.
+la::RealConstView my_rows(la::RealConstView full, const par::BlockPartition& part,
+                          int rank) {
+  return full.rows_block(part.offset(rank), part.count(rank));
+}
+
+/// Applies the kernel to a row-block distributed matrix: alltoall to
+/// column blocks, per-column FFT kernel, alltoall back. Phases: mpi, fft.
+la::RealMatrix kernel_apply_distributed(par::Comm& comm,
+                                        const HxcKernel& kernel,
+                                        la::RealConstView local_rows,
+                                        Index n_rows, Index n_cols,
+                                        PhaseClock& clock) {
+  ThreadCpuTimer t_mpi;
+  la::RealMatrix cols =
+      par::row_block_to_col_block(comm, local_rows, n_rows, n_cols);
+  clock.add("mpi", t_mpi.seconds());
+
+  la::RealMatrix kcols(cols.rows(), cols.cols());
+  ThreadCpuTimer t_fft;
+  kernel.apply(cols.view(), kcols.view(), nullptr);
+  clock.add("fft", t_fft.seconds());
+
+  ThreadCpuTimer t_mpi2;
+  la::RealMatrix result =
+      par::col_block_to_row_block(comm, kcols.view(), n_rows, n_cols);
+  clock.add("mpi", t_mpi2.seconds());
+  return result;
+}
+
+/// H = D + 2 dv sym(V) applied in place to a replicated raw product V.
+void finalize_hamiltonian(la::RealMatrix& h, const std::vector<Real>& d,
+                          Real dv) {
+  const Index n = h.rows();
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = i; j < n; ++j) {
+      const Real v = dv * (h(i, j) + h(j, i));
+      h(i, j) = v;
+      h(j, i) = v;
+    }
+    h(i, i) += d[static_cast<std::size_t>(i)];
+  }
+}
+
+std::vector<Real> solve_naive(par::Comm& comm, const CasidaProblem& problem,
+                              const HxcKernel& kernel,
+                              const DistDriverOptions& options,
+                              PhaseClock& clock) {
+  const int me = comm.rank();
+  const Index nr = problem.nr();
+  const Index ncv = problem.ncv();
+  const par::BlockPartition rows(nr, comm.size());
+
+  // Row-block pair products (Algorithm 1 line 2).
+  ThreadCpuTimer t_pair;
+  const la::RealMatrix p_loc = isdf::pair_product_matrix(
+      my_rows(problem.psi_v.view(), rows, me),
+      my_rows(problem.psi_c.view(), rows, me));
+  clock.add("pair_product", t_pair.seconds());
+
+  // Kernel with the alltoall sandwich (lines 3-6).
+  const la::RealMatrix kp_loc = kernel_apply_distributed(
+      comm, kernel, p_loc.view(), nr, ncv, clock);
+
+  // Vhxc assembly (lines 7-8): GEMM + Allreduce, or pipelined Reduce.
+  la::RealMatrix h;
+  ThreadCpuTimer t_gemm;
+  if (options.pipelined_reduce) {
+    par::PipelineResult piped = par::gram_reduce_pipelined(
+        comm, p_loc.view(), kp_loc.view(), options.pipeline_chunk);
+    // Replicate for the dense solve (rank rows -> full matrix).
+    h.resize(ncv, ncv);
+    std::vector<Index> counts(static_cast<std::size_t>(comm.size()));
+    std::vector<Index> displs(static_cast<std::size_t>(comm.size()));
+    const par::BlockPartition out_rows(ncv, comm.size());
+    for (int r = 0; r < comm.size(); ++r) {
+      counts[static_cast<std::size_t>(r)] = out_rows.count(r) * ncv;
+      displs[static_cast<std::size_t>(r)] = out_rows.offset(r) * ncv;
+    }
+    comm.allgatherv(piped.local_rows.data(), piped.local_rows.size(),
+                    h.data(), counts, displs);
+  } else {
+    h = par::gram_reduce_monolithic(comm, p_loc.view(), kp_loc.view());
+  }
+  clock.add("gemm", t_gemm.seconds());
+
+  finalize_hamiltonian(h, energy_differences(problem), problem.grid.dv());
+
+  // Dense diagonalization via the block-cyclic SYEVD stand-in (Fig 3c).
+  ThreadCpuTimer t_diag;
+  const par::Layout row_layout =
+      par::Layout::block_row(ncv, ncv, comm.size());
+  par::DistMatrix h_dist(row_layout, me);
+  h_dist.fill_global([&](Index i, Index j) { return h(i, j); });
+  par::DistEigResult eig = par::dist_syev(comm, h_dist, options.eig_method);
+  clock.add("diag", t_diag.seconds());
+
+  return std::vector<Real>(
+      eig.values.begin(), eig.values.begin() + options.num_states);
+}
+
+std::vector<Real> solve_implicit(par::Comm& comm,
+                                 const CasidaProblem& problem,
+                                 const HxcKernel& kernel,
+                                 const DistDriverOptions& options,
+                                 PhaseClock& clock) {
+  const int me = comm.rank();
+  const Index nr = problem.nr();
+  const Index nv = problem.nv();
+  const Index nc = problem.nc();
+  const par::BlockPartition rows(nr, comm.size());
+  const Index my_count = rows.count(me);
+  const Index my_offset = rows.offset(me);
+
+  Index nmu = options.nmu;
+  if (nmu <= 0) {
+    nmu = static_cast<Index>(
+        std::llround(options.nmu_ratio * static_cast<Real>(nv + nc)));
+  }
+  nmu = std::min({nmu, problem.ncv(), nr});
+
+  const la::RealConstView psi_v_loc = my_rows(problem.psi_v.view(), rows, me);
+  const la::RealConstView psi_c_loc = my_rows(problem.psi_c.view(), rows, me);
+
+  // Distributed K-Means on local grid slabs (paper §4.2).
+  ThreadCpuTimer t_kmeans;
+  const std::vector<Real> weights = kmeans::pair_weights(psi_v_loc, psi_c_loc);
+  std::vector<grid::Vec3> points(static_cast<std::size_t>(my_count));
+  for (Index i = 0; i < my_count; ++i) {
+    points[static_cast<std::size_t>(i)] = problem.grid.position(my_offset + i);
+  }
+  const kmeans::DistKMeansResult km = kmeans::dist_weighted_kmeans(
+      comm, points, weights, my_offset, nmu, options.kmeans);
+  clock.add("kmeans", t_kmeans.seconds());
+
+  // Sampled orbital rows, replicated by summation (each point is owned by
+  // exactly one rank).
+  ThreadCpuTimer t_mpi;
+  la::RealMatrix psi_v_mu(nmu, nv), psi_c_mu(nmu, nc);
+  for (Index m = 0; m < nmu; ++m) {
+    const Index gp = km.interpolation_points[static_cast<std::size_t>(m)];
+    if (gp >= my_offset && gp < my_offset + my_count) {
+      for (Index j = 0; j < nv; ++j) psi_v_mu(m, j) = psi_v_loc(gp - my_offset, j);
+      for (Index j = 0; j < nc; ++j) psi_c_mu(m, j) = psi_c_loc(gp - my_offset, j);
+    }
+  }
+  comm.allreduce(psi_v_mu.data(), psi_v_mu.size(), par::ReduceOp::kSum);
+  comm.allreduce(psi_c_mu.data(), psi_c_mu.size(), par::ReduceOp::kSum);
+  clock.add("mpi", t_mpi.seconds());
+
+  // Local rows of Θ via the separable products (paper Eq 10).
+  ThreadCpuTimer t_gemm;
+  const la::RealMatrix av = la::gemm(la::Trans::kNo, la::Trans::kYes,
+                                     psi_v_loc, psi_v_mu.view());
+  const la::RealMatrix ac = la::gemm(la::Trans::kNo, la::Trans::kYes,
+                                     psi_c_loc, psi_c_mu.view());
+  la::RealMatrix zct_loc(my_count, nmu);
+  for (Index r = 0; r < my_count; ++r) {
+    const Real* a = av.row_ptr(r);
+    const Real* b = ac.row_ptr(r);
+    Real* out = zct_loc.row_ptr(r);
+    for (Index m = 0; m < nmu; ++m) out[m] = a[m] * b[m];
+  }
+  const la::RealMatrix gv = la::gemm(la::Trans::kNo, la::Trans::kYes,
+                                     psi_v_mu.view(), psi_v_mu.view());
+  const la::RealMatrix gc = la::gemm(la::Trans::kNo, la::Trans::kYes,
+                                     psi_c_mu.view(), psi_c_mu.view());
+  la::RealMatrix cct(nmu, nmu);
+  for (Index m = 0; m < nmu; ++m) {
+    for (Index l = 0; l < nmu; ++l) cct(m, l) = gv(m, l) * gc(m, l);
+  }
+  const la::RealMatrix theta_loc =
+      la::solve_gram_from_right(zct_loc.view(), cct.view());
+  clock.add("gemm", t_gemm.seconds());
+
+  // M = Θᵀ K Θ dv: kernel sandwich + distributed Gram.
+  const la::RealMatrix ktheta_loc = kernel_apply_distributed(
+      comm, kernel, theta_loc.view(), nr, nmu, clock);
+  ThreadCpuTimer t_gemm2;
+  la::RealMatrix m_mat;
+  if (options.pipelined_reduce) {
+    par::PipelineResult piped = par::gram_reduce_pipelined(
+        comm, theta_loc.view(), ktheta_loc.view(), options.pipeline_chunk);
+    m_mat.resize(nmu, nmu);
+    std::vector<Index> counts(static_cast<std::size_t>(comm.size()));
+    std::vector<Index> displs(static_cast<std::size_t>(comm.size()));
+    const par::BlockPartition out_rows(nmu, comm.size());
+    for (int r = 0; r < comm.size(); ++r) {
+      counts[static_cast<std::size_t>(r)] = out_rows.count(r) * nmu;
+      displs[static_cast<std::size_t>(r)] = out_rows.offset(r) * nmu;
+    }
+    comm.allgatherv(piped.local_rows.data(), piped.local_rows.size(),
+                    m_mat.data(), counts, displs);
+  } else {
+    m_mat = par::gram_reduce_monolithic(comm, theta_loc.view(),
+                                        ktheta_loc.view());
+  }
+  const Real dv = problem.grid.dv();
+  for (Index i = 0; i < nmu; ++i) {
+    for (Index j = i; j < nmu; ++j) {
+      const Real avg = Real{0.5} * dv * (m_mat(i, j) + m_mat(j, i));
+      m_mat(i, j) = avg;
+      m_mat(j, i) = avg;
+    }
+  }
+  clock.add("gemm", t_gemm2.seconds());
+
+  // Distributed implicit LOBPCG (Algorithm 2): the excitation vectors are
+  // row-block partitioned over the pair space (valence blocks), the 3k x
+  // 3k projected problem is replicated — the paper's parallel layout.
+  ThreadCpuTimer t_diag;
+  const DistImplicitHamiltonian h(comm, energy_differences(problem),
+                                  std::move(m_mat), psi_v_mu.view(),
+                                  psi_c_mu.view());
+  TddftEigenOptions eig = options.eigen;
+  eig.num_states = options.num_states;
+  const DistCasidaSolution sol =
+      solve_casida_lobpcg_distributed(comm, h, eig);
+  clock.add("diag", t_diag.seconds());
+  return sol.energies;
+}
+
+}  // namespace
+
+DistDriverStats solve_casida_distributed(par::Comm& comm,
+                                         const CasidaProblem& problem,
+                                         const DistDriverOptions& options) {
+  LRT_CHECK(options.version == Version::kNaive ||
+                options.version == Version::kImplicit,
+            "distributed driver supports kNaive and kImplicit");
+
+  comm.reset_comm_seconds();
+  PhaseClock clock;
+  Timer wall;
+  ThreadCpuTimer cpu;
+
+  const grid::GVectors gvectors(problem.grid);
+  const HxcKernel kernel(problem.grid, gvectors, problem.ground_density,
+                         options.include_xc);
+
+  std::vector<Real> energies =
+      (options.version == Version::kNaive)
+          ? solve_naive(comm, problem, kernel, options, clock)
+          : solve_implicit(comm, problem, kernel, options, clock);
+
+  DistDriverStats stats;
+  stats.energies = std::move(energies);
+  stats.wall_seconds = wall.seconds();
+  stats.comm_seconds = comm.comm_seconds();
+  // Busy = this rank's actual CPU cycles (excludes both blocking waits and
+  // time descheduled in favour of other rank-threads; DESIGN.md).
+  stats.busy_seconds = cpu.seconds();
+
+  // Aggregate maxima across ranks (fixed phase key order so every rank
+  // reduces the same vector).
+  const char* keys[] = {"pair_product", "kmeans", "fft", "mpi", "gemm",
+                        "diag"};
+  std::vector<double> values;
+  for (const char* key : keys) values.push_back(clock.seconds[key]);
+  values.push_back(stats.wall_seconds);
+  values.push_back(stats.comm_seconds);
+  values.push_back(stats.busy_seconds);
+  comm.allreduce(values.data(), static_cast<Index>(values.size()),
+                 par::ReduceOp::kMax);
+  std::size_t idx = 0;
+  for (const char* key : keys) {
+    stats.phases.emplace_back(key, values[idx++]);
+  }
+  stats.wall_seconds = values[idx++];
+  stats.comm_seconds = values[idx++];
+  stats.busy_seconds = values[idx++];
+  return stats;
+}
+
+}  // namespace lrt::tddft

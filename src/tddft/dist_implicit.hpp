@@ -1,0 +1,62 @@
+// Distributed implicitly factored Casida Hamiltonian.
+//
+// The pair space (iv, ic) is partitioned over ranks by VALENCE blocks —
+// rank r owns pairs with iv in its block, all ic — so the Khatri-Rao
+// factored application still works locally:
+//   (C x)(μ)  = Σ_r Ψ_μ(:, block_r) Xmat_r Φ_μᵀ |_row μ   (one Allreduce)
+//   (Cᵀ w)_r  = Ψ_μ(:, block_r)ᵀ diag(w) Φ_μ              (local)
+// This distributes the excitation vectors X themselves — in the paper's
+// large systems Nv·Nc reaches millions, so X cannot live on one rank.
+#pragma once
+
+#include "isdf/isdf.hpp"
+#include "par/comm.hpp"
+#include "par/layout.hpp"
+#include "tddft/lobpcg_tddft.hpp"
+
+namespace lrt::tddft {
+
+class DistImplicitHamiltonian {
+ public:
+  /// All inputs replicated: `d_full` pair-ordered (Nv·Nc), `m` (Nμ x Nμ),
+  /// sampled orbitals (Nμ x Nv / Nc). The constructor slices this rank's
+  /// valence block. Collective by convention.
+  DistImplicitHamiltonian(par::Comm& comm, const std::vector<Real>& d_full,
+                          la::RealMatrix m, la::RealConstView psi_v_mu,
+                          la::RealConstView psi_c_mu);
+
+  Index global_dimension() const { return nv_global_ * nc_; }
+  Index local_dimension() const { return nv_local_ * nc_; }
+  Index valence_offset() const { return v_offset_; }
+  Index nv_local() const { return nv_local_; }
+  Index nc() const { return nc_; }
+
+  /// This rank's slice of the energy-difference diagonal.
+  const std::vector<Real>& local_d() const { return d_local_; }
+
+  /// y_local = (H x)_local; one Allreduce of the Nμ x k contraction.
+  void apply(la::RealConstView x_local, la::RealView y_local) const;
+
+ private:
+  par::Comm* comm_;
+  Index nv_global_, nv_local_, v_offset_, nc_;
+  std::vector<Real> d_local_;
+  la::RealMatrix m_;
+  la::RealMatrix psi_v_mu_local_;  ///< Nμ x nv_local (this rank's columns)
+  la::RealMatrix psi_c_mu_;        ///< Nμ x Nc (replicated)
+};
+
+/// Distributed Algorithm 2: LOBPCG on the distributed operator with the
+/// Eq (17) preconditioner. Energies replicated; eigenvector slabs local.
+struct DistCasidaSolution {
+  std::vector<Real> energies;
+  la::RealMatrix local_wavefunctions;  ///< local pair rows x k
+  Index iterations = 0;
+  bool converged = false;
+};
+
+DistCasidaSolution solve_casida_lobpcg_distributed(
+    par::Comm& comm, const DistImplicitHamiltonian& h,
+    const TddftEigenOptions& options);
+
+}  // namespace lrt::tddft

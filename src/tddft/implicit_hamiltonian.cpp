@@ -1,0 +1,108 @@
+#include "tddft/implicit_hamiltonian.hpp"
+
+#include "common/error.hpp"
+#include "la/blas.hpp"
+
+namespace lrt::tddft {
+
+ImplicitHamiltonian::ImplicitHamiltonian(std::vector<Real> d, la::RealMatrix m,
+                                         la::RealMatrix psi_v_mu,
+                                         la::RealMatrix psi_c_mu)
+    : d_(std::move(d)),
+      m_(std::move(m)),
+      psi_v_mu_(std::move(psi_v_mu)),
+      psi_c_mu_(std::move(psi_c_mu)) {
+  LRT_CHECK(m_.rows() == m_.cols(), "kernel projection must be square");
+  LRT_CHECK(psi_v_mu_.rows() == m_.rows() && psi_c_mu_.rows() == m_.rows(),
+            "sampled orbital row counts must equal Nμ");
+  LRT_CHECK(static_cast<Index>(d_.size()) ==
+                psi_v_mu_.cols() * psi_c_mu_.cols(),
+            "diagonal length must be Nv*Nc");
+}
+
+la::RealMatrix ImplicitHamiltonian::apply_c(la::RealConstView x) const {
+  const Index nv = psi_v_mu_.cols();
+  const Index nc = psi_c_mu_.cols();
+  const Index nmu = m_.rows();
+  const Index k = x.cols();
+  LRT_CHECK(x.rows() == nv * nc, "apply_c: pair dimension mismatch");
+
+  la::RealMatrix w(nmu, k);
+  la::RealMatrix xmat(nv, nc);
+  la::RealMatrix t(nmu, nc);
+  for (Index l = 0; l < k; ++l) {
+    for (Index iv = 0; iv < nv; ++iv) {
+      for (Index ic = 0; ic < nc; ++ic) {
+        xmat(iv, ic) = x(iv * nc + ic, l);
+      }
+    }
+    la::gemm(la::Trans::kNo, la::Trans::kNo, Real{1}, psi_v_mu_.view(),
+             xmat.view(), Real{0}, t.view());
+    for (Index mu = 0; mu < nmu; ++mu) {
+      w(mu, l) = la::dot(t.row_ptr(mu), psi_c_mu_.row_ptr(mu), nc);
+    }
+  }
+  return w;
+}
+
+la::RealMatrix ImplicitHamiltonian::apply_ct(la::RealConstView w) const {
+  const Index nv = psi_v_mu_.cols();
+  const Index nc = psi_c_mu_.cols();
+  const Index nmu = m_.rows();
+  const Index k = w.cols();
+  LRT_CHECK(w.rows() == nmu, "apply_ct: Nμ mismatch");
+
+  la::RealMatrix x(nv * nc, k);
+  la::RealMatrix scaled(nmu, nc);
+  la::RealMatrix xmat(nv, nc);
+  for (Index l = 0; l < k; ++l) {
+    for (Index mu = 0; mu < nmu; ++mu) {
+      const Real wl = w(mu, l);
+      const Real* src = psi_c_mu_.row_ptr(mu);
+      Real* dst = scaled.row_ptr(mu);
+      for (Index ic = 0; ic < nc; ++ic) dst[ic] = wl * src[ic];
+    }
+    la::gemm(la::Trans::kYes, la::Trans::kNo, Real{1}, psi_v_mu_.view(),
+             scaled.view(), Real{0}, xmat.view());
+    for (Index iv = 0; iv < nv; ++iv) {
+      for (Index ic = 0; ic < nc; ++ic) {
+        x(iv * nc + ic, l) = xmat(iv, ic);
+      }
+    }
+  }
+  return x;
+}
+
+void ImplicitHamiltonian::apply(la::RealConstView x, la::RealView y) const {
+  const Index n = dimension();
+  const Index k = x.cols();
+  LRT_CHECK(x.rows() == n && y.rows() == n && y.cols() == k,
+            "implicit apply shape mismatch");
+
+  const la::RealMatrix cx = apply_c(x);
+  const la::RealMatrix mcx =
+      la::gemm(la::Trans::kNo, la::Trans::kNo, m_.view(), cx.view());
+  const la::RealMatrix ct = apply_ct(mcx.view());
+  for (Index i = 0; i < n; ++i) {
+    const Real di = d_[static_cast<std::size_t>(i)];
+    for (Index j = 0; j < k; ++j) {
+      y(i, j) = di * x(i, j) + Real{2} * ct(i, j);
+    }
+  }
+}
+
+double ImplicitHamiltonian::memory_bytes() const {
+  return sizeof(Real) *
+         (static_cast<double>(m_.size()) + psi_v_mu_.size() +
+          psi_c_mu_.size() + static_cast<double>(d_.size()));
+}
+
+ImplicitHamiltonian make_implicit_hamiltonian(
+    std::vector<Real> d, const isdf::IsdfResult& isdf_result,
+    la::RealMatrix m) {
+  return ImplicitHamiltonian(std::move(d), std::move(m),
+                             la::to_matrix<Real>(isdf_result.psi_v_mu.view()),
+                             la::to_matrix<Real>(isdf_result.psi_c_mu.view()));
+}
+
+}  // namespace lrt::tddft

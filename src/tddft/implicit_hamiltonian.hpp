@@ -1,0 +1,58 @@
+// Implicitly factored LR-TDDFT Hamiltonian (paper §4.3).
+//
+// H is never formed. Its action on a block X of trial excitation vectors
+// (pair-ordered, Ncv x k) is
+//   H X = D ∘ X + 2 Cᵀ (M (C X))
+// and both C applications use the factored Khatri-Rao form of C
+// (C = Ψ_μ ⊙ Φ_μ row-wise), so total storage is O(Nμ²) + O(Nμ(Nv+Nc))
+// — the last line of paper Table 4.
+//
+//   (C x)(μ)   = Ψ_μ(μ,:) · Xmat · Φ_μ(μ,:)ᵀ     (Xmat: Nv x Nc reshape)
+//   (Cᵀ w)     = Ψ_μᵀ diag(w) Φ_μ                (reshaped back to pairs)
+#pragma once
+
+#include <vector>
+
+#include "isdf/isdf.hpp"
+#include "la/matrix.hpp"
+
+namespace lrt::tddft {
+
+class ImplicitHamiltonian {
+ public:
+  /// `d` is the pair-ordered diagonal ε_c - ε_v; `m` the Nμ x Nμ kernel
+  /// projection; sampled orbitals come from the IsdfResult.
+  ImplicitHamiltonian(std::vector<Real> d, la::RealMatrix m,
+                      la::RealMatrix psi_v_mu, la::RealMatrix psi_c_mu);
+
+  Index dimension() const { return static_cast<Index>(d_.size()); }
+  Index nmu() const { return m_.rows(); }
+  Index nv() const { return psi_v_mu_.cols(); }
+  Index nc() const { return psi_c_mu_.cols(); }
+  const std::vector<Real>& diagonal_d() const { return d_; }
+
+  /// y = H x for a block (Ncv x k).
+  void apply(la::RealConstView x, la::RealView y) const;
+
+  /// w = C x (Nμ x k) — exposed for tests.
+  la::RealMatrix apply_c(la::RealConstView x) const;
+
+  /// x = Cᵀ w (Ncv x k) — exposed for tests.
+  la::RealMatrix apply_ct(la::RealConstView w) const;
+
+  /// Estimated resident bytes of the factored representation.
+  double memory_bytes() const;
+
+ private:
+  std::vector<Real> d_;
+  la::RealMatrix m_;
+  la::RealMatrix psi_v_mu_;  ///< Nμ x Nv
+  la::RealMatrix psi_c_mu_;  ///< Nμ x Nc
+};
+
+/// Convenience assembly from a decomposition + kernel projection.
+ImplicitHamiltonian make_implicit_hamiltonian(
+    std::vector<Real> d, const isdf::IsdfResult& isdf_result,
+    la::RealMatrix m);
+
+}  // namespace lrt::tddft

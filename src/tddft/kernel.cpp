@@ -1,0 +1,47 @@
+#include "tddft/kernel.hpp"
+
+#include "common/error.hpp"
+#include "dft/xc.hpp"
+
+namespace lrt::tddft {
+
+HxcKernel::HxcKernel(const grid::RealSpaceGrid& grid,
+                     const grid::GVectors& gvectors,
+                     std::vector<Real> ground_density, bool include_xc)
+    : nr_(grid.size()),
+      dv_(grid.dv()),
+      poisson_(fft::Fft3D(grid.shape()[0], grid.shape()[1], grid.shape()[2]),
+               gvectors.g2_table()) {
+  LRT_CHECK(static_cast<Index>(ground_density.size()) == nr_,
+            "density size mismatch");
+  if (include_xc) {
+    fxc_ = dft::lda_fxc_array(ground_density);
+  } else {
+    fxc_.assign(static_cast<std::size_t>(nr_), Real{0});
+  }
+}
+
+void HxcKernel::apply(la::RealConstView f, la::RealView out,
+                      WallProfiler* profiler) const {
+  LRT_CHECK(f.rows() == nr_ && out.rows() == nr_ && f.cols() == out.cols(),
+            "kernel apply shape mismatch");
+  const Index k = f.cols();
+
+  Timer fft_timer;
+  std::vector<Real> column(static_cast<std::size_t>(nr_));
+  std::vector<Real> hartree(static_cast<std::size_t>(nr_));
+  for (Index j = 0; j < k; ++j) {
+    for (Index i = 0; i < nr_; ++i) {
+      column[static_cast<std::size_t>(i)] = f(i, j);
+    }
+    poisson_.solve(column.data(), hartree.data());
+    for (Index i = 0; i < nr_; ++i) {
+      out(i, j) = hartree[static_cast<std::size_t>(i)] +
+                  fxc_[static_cast<std::size_t>(i)] *
+                      column[static_cast<std::size_t>(i)];
+    }
+  }
+  if (profiler) profiler->add("fft", fft_timer.seconds());
+}
+
+}  // namespace lrt::tddft

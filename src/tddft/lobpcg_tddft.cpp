@@ -1,0 +1,95 @@
+#include "tddft/lobpcg_tddft.hpp"
+
+#include <cmath>
+
+#include "common/random.hpp"
+#include "la/blas.hpp"
+
+namespace lrt::tddft {
+namespace {
+
+/// Eq (17): divide each residual entry by (D_i - θ_j), regularized away
+/// from zero so near-resonant entries do not explode.
+la::BlockPreconditioner make_gap_preconditioner(const std::vector<Real>& d) {
+  return [&d](la::RealView r, const std::vector<Real>& theta) {
+    const Index n = r.rows();
+    const Index k = r.cols();
+    for (Index j = 0; j < k; ++j) {
+      const Real t = theta[static_cast<std::size_t>(j)];
+      for (Index i = 0; i < n; ++i) {
+        Real gap = d[static_cast<std::size_t>(i)] - t;
+        const Real floor = Real{1e-2};
+        if (std::abs(gap) < floor) gap = (gap < 0 ? -floor : floor);
+        r(i, j) /= gap;
+      }
+    }
+  };
+}
+
+/// Initial guess: unit vectors on the k smallest energy-difference pairs
+/// plus a small random perturbation (the physically dominant transitions).
+la::RealMatrix make_initial_guess(const std::vector<Real>& d, Index k,
+                                  unsigned seed) {
+  const Index n = static_cast<Index>(d.size());
+  std::vector<Index> order(static_cast<std::size_t>(n));
+  for (Index i = 0; i < n; ++i) order[static_cast<std::size_t>(i)] = i;
+  std::sort(order.begin(), order.end(), [&](Index a, Index b) {
+    return d[static_cast<std::size_t>(a)] < d[static_cast<std::size_t>(b)];
+  });
+  Rng rng(seed);
+  la::RealMatrix x(n, k);
+  for (Index j = 0; j < k; ++j) {
+    x(order[static_cast<std::size_t>(j)], j) = Real{1};
+    for (Index i = 0; i < n; ++i) {
+      x(i, j) += Real{0.01} * rng.normal();
+    }
+  }
+  return x;
+}
+
+}  // namespace
+
+la::LobpcgResult solve_casida_lobpcg(const ImplicitHamiltonian& h,
+                                     const TddftEigenOptions& options) {
+  const std::vector<Real>& d = h.diagonal_d();
+  la::BlockOperator apply = [&h](la::RealConstView x, la::RealView y) {
+    h.apply(x, y);
+  };
+  la::LobpcgOptions opts;
+  opts.max_iterations = options.max_iterations;
+  opts.tolerance = options.tolerance;
+  return la::lobpcg(apply, make_gap_preconditioner(d),
+                    make_initial_guess(d, options.num_states, options.seed),
+                    opts);
+}
+
+la::DavidsonResult solve_casida_davidson(const ImplicitHamiltonian& h,
+                                         const TddftEigenOptions& options) {
+  const std::vector<Real>& d = h.diagonal_d();
+  la::BlockOperator apply = [&h](la::RealConstView x, la::RealView y) {
+    h.apply(x, y);
+  };
+  la::DavidsonOptions opts;
+  opts.max_iterations = options.max_iterations;
+  opts.tolerance = options.tolerance;
+  return la::davidson(apply, make_gap_preconditioner(d),
+                      make_initial_guess(d, options.num_states, options.seed),
+                      opts);
+}
+
+la::LobpcgResult solve_casida_lobpcg_dense(const la::RealMatrix& h,
+                                           const std::vector<Real>& d,
+                                           const TddftEigenOptions& options) {
+  la::BlockOperator apply = [&h](la::RealConstView x, la::RealView y) {
+    la::gemm(la::Trans::kNo, la::Trans::kNo, Real{1}, h.view(), x, Real{0},
+             y);
+  };
+  la::LobpcgOptions opts;
+  opts.max_iterations = options.max_iterations;
+  opts.tolerance = options.tolerance;
+  return la::lobpcg(apply, make_gap_preconditioner(d),
+                    make_initial_guess(d, options.num_states, options.seed),
+                    opts);
+}
+
+}  // namespace lrt::tddft

@@ -1,0 +1,228 @@
+#include "tddft/rt_propagation.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+#include "dft/hartree.hpp"
+#include "dft/pseudopotential.hpp"
+#include "dft/xc.hpp"
+
+namespace lrt::tddft {
+
+using Complex = std::complex<Real>;
+
+ComplexKsOperator::ComplexKsOperator(const grid::RealSpaceGrid& grid,
+                                     const grid::GVectors& gvectors)
+    : nr_(grid.size()),
+      fft_(grid.shape()[0], grid.shape()[1], grid.shape()[2]),
+      half_g2_(static_cast<std::size_t>(nr_)),
+      veff_(static_cast<std::size_t>(nr_), Real{0}) {
+  for (Index i = 0; i < nr_; ++i) {
+    half_g2_[static_cast<std::size_t>(i)] = Real{0.5} * gvectors.g2(i);
+  }
+}
+
+void ComplexKsOperator::set_potential(std::vector<Real> veff) {
+  LRT_CHECK(static_cast<Index>(veff.size()) == nr_, "potential size mismatch");
+  veff_ = std::move(veff);
+}
+
+void ComplexKsOperator::apply(const ComplexMatrix& psi,
+                              ComplexMatrix& out) const {
+  LRT_CHECK(psi.rows() == nr_ && out.rows() == nr_ &&
+                psi.cols() == out.cols(),
+            "complex apply shape mismatch");
+  const Index k = psi.cols();
+  std::vector<Complex> work(static_cast<std::size_t>(nr_));
+
+  for (Index j = 0; j < k; ++j) {
+    for (Index i = 0; i < nr_; ++i) {
+      work[static_cast<std::size_t>(i)] = psi(i, j);
+    }
+    fft_.forward(work.data());
+    for (Index i = 0; i < nr_; ++i) {
+      work[static_cast<std::size_t>(i)] *= half_g2_[static_cast<std::size_t>(i)];
+    }
+    fft_.inverse(work.data());
+    for (Index i = 0; i < nr_; ++i) {
+      out(i, j) = work[static_cast<std::size_t>(i)] +
+                  veff_[static_cast<std::size_t>(i)] * psi(i, j);
+    }
+  }
+
+  if (nonlocal_) {
+    // The projectors are real: act on real and imaginary parts separately.
+    la::RealMatrix part(nr_, k), acc(nr_, k);
+    for (int comp = 0; comp < 2; ++comp) {
+      for (Index i = 0; i < nr_; ++i) {
+        for (Index j = 0; j < k; ++j) {
+          part(i, j) = comp == 0 ? psi(i, j).real() : psi(i, j).imag();
+        }
+      }
+      acc.fill(Real{0});
+      nonlocal_->accumulate(part.view(), acc.view());
+      for (Index i = 0; i < nr_; ++i) {
+        for (Index j = 0; j < k; ++j) {
+          out(i, j) += comp == 0 ? Complex(acc(i, j), 0)
+                                 : Complex(0, acc(i, j));
+        }
+      }
+    }
+  }
+}
+
+namespace {
+
+/// Density n(r) = Σ_j f_j |ψ_j(r)|² for dv-normalized complex orbitals.
+std::vector<Real> density_of(const ComplexMatrix& psi,
+                             const std::vector<Real>& occupations) {
+  const Index nr = psi.rows();
+  std::vector<Real> n(static_cast<std::size_t>(nr), Real{0});
+  for (Index j = 0; j < psi.cols(); ++j) {
+    const Real f = occupations[static_cast<std::size_t>(j)];
+    if (f < 1e-14) continue;
+    for (Index i = 0; i < nr; ++i) {
+      n[static_cast<std::size_t>(i)] += f * std::norm(psi(i, j));
+    }
+  }
+  return n;
+}
+
+Real dipole_of(const grid::RealSpaceGrid& grid, const std::vector<Real>& n,
+               int axis) {
+  const Real center = grid.cell().length(axis) / 2;
+  Real d = 0;
+  for (Index i = 0; i < grid.size(); ++i) {
+    d += n[static_cast<std::size_t>(i)] *
+         (grid.position(i)[static_cast<std::size_t>(axis)] - center);
+  }
+  return d * grid.dv();
+}
+
+}  // namespace
+
+RtResult propagate(const grid::RealSpaceGrid& grid,
+                   const grid::GVectors& gvectors,
+                   const grid::Structure& structure,
+                   la::RealConstView orbitals,
+                   const std::vector<Real>& occupations,
+                   const std::vector<Real>& vloc, const RtOptions& options) {
+  const Index nr = grid.size();
+  const Index nb = orbitals.cols();
+  LRT_CHECK(orbitals.rows() == nr, "orbital grid mismatch");
+  LRT_CHECK(static_cast<Index>(occupations.size()) == nb,
+            "occupations per orbital required");
+  LRT_CHECK(static_cast<Index>(vloc.size()) == nr, "vloc size mismatch");
+  LRT_CHECK(options.dt > 0 && options.steps >= 1 && options.taylor_order >= 2,
+            "bad propagation options");
+
+  ComplexKsOperator op(grid, gvectors);
+  auto nonlocal =
+      std::make_shared<const dft::NonlocalProjectors>(grid, structure);
+  op.set_nonlocal(nonlocal);
+  const fft::PoissonSolver poisson = dft::make_poisson_solver(grid, gvectors);
+
+  // δ-kick initial state: ψ_j -> e^{iκ x} ψ_j.
+  ComplexMatrix psi(nr, nb);
+  for (Index i = 0; i < nr; ++i) {
+    const Real x =
+        grid.position(i)[static_cast<std::size_t>(options.kick_axis)];
+    const Complex phase(std::cos(options.kick * x),
+                        std::sin(options.kick * x));
+    for (Index j = 0; j < nb; ++j) {
+      psi(i, j) = phase * orbitals(i, j);
+    }
+  }
+
+  // Effective potential builder from the instantaneous density.
+  std::vector<Real> vhartree(static_cast<std::size_t>(nr));
+  auto build_veff = [&](const std::vector<Real>& n) {
+    if (!options.include_hxc) return vloc;
+    poisson.solve(n.data(), vhartree.data());
+    const std::vector<Real> vxc = dft::lda_vxc_array(n);
+    std::vector<Real> veff(static_cast<std::size_t>(nr));
+    for (Index i = 0; i < nr; ++i) {
+      veff[static_cast<std::size_t>(i)] = vloc[static_cast<std::size_t>(i)] +
+                                          vhartree[static_cast<std::size_t>(i)] +
+                                          vxc[static_cast<std::size_t>(i)];
+    }
+    return veff;
+  };
+
+  std::vector<Real> density = density_of(psi, occupations);
+  op.set_potential(build_veff(density));
+  const Real d0 = dipole_of(grid, density, options.kick_axis);
+
+  RtResult result;
+  result.time.reserve(static_cast<std::size_t>(options.steps + 1));
+  result.dipole.reserve(static_cast<std::size_t>(options.steps + 1));
+  result.time.push_back(0);
+  result.dipole.push_back(0);
+  result.norm_drift.push_back(0);
+
+  ComplexMatrix term(nr, nb), h_term(nr, nb);
+  const Real dv = grid.dv();
+
+  for (Index step = 1; step <= options.steps; ++step) {
+    // ψ(t+Δt) = Σ_m (-iΔt)^m/m! H^m ψ(t)  (truncated Taylor propagator).
+    term = psi;
+    for (Index m = 1; m <= options.taylor_order; ++m) {
+      op.apply(term, h_term);
+      const Complex factor =
+          Complex(0, -options.dt) / static_cast<Real>(m);
+      for (Index i = 0; i < nr; ++i) {
+        for (Index j = 0; j < nb; ++j) {
+          term(i, j) = factor * h_term(i, j);
+          psi(i, j) += term(i, j);
+        }
+      }
+    }
+
+    density = density_of(psi, occupations);
+    if (options.self_consistent) {
+      op.set_potential(build_veff(density));
+    }
+
+    result.time.push_back(options.dt * static_cast<Real>(step));
+    result.dipole.push_back(dipole_of(grid, density, options.kick_axis) - d0);
+
+    Real drift = 0;
+    for (Index j = 0; j < nb; ++j) {
+      Real norm2 = 0;
+      for (Index i = 0; i < nr; ++i) norm2 += std::norm(psi(i, j));
+      drift = std::max(drift, std::abs(std::sqrt(norm2 * dv) - Real{1}));
+    }
+    result.norm_drift.push_back(drift);
+  }
+  return result;
+}
+
+std::vector<Real> dipole_spectrum(const std::vector<Real>& time,
+                                  const std::vector<Real>& dipole,
+                                  const std::vector<Real>& omega_grid,
+                                  Real damping) {
+  LRT_CHECK(time.size() == dipole.size() && time.size() >= 2,
+            "time/dipole size mismatch");
+  LRT_CHECK(damping >= 0, "damping must be nonnegative");
+  std::vector<Real> spectrum(omega_grid.size(), Real{0});
+  const Real dt = time[1] - time[0];
+  // Remove the DC component: a static dipole offset otherwise swamps the
+  // low-frequency end of the damped transform.
+  Real mean = 0;
+  for (const Real d : dipole) mean += d;
+  mean /= static_cast<Real>(dipole.size());
+  for (std::size_t w = 0; w < omega_grid.size(); ++w) {
+    const Real omega = omega_grid[w];
+    Real re = 0, im = 0;
+    for (std::size_t t = 0; t < time.size(); ++t) {
+      const Real weight =
+          std::exp(-damping * time[t]) * (dipole[t] - mean) * dt;
+      re += weight * std::cos(omega * time[t]);
+      im += weight * std::sin(omega * time[t]);
+    }
+    spectrum[w] = std::sqrt(re * re + im * im);
+  }
+  return spectrum;
+}
+
+}  // namespace lrt::tddft

@@ -1,0 +1,125 @@
+#include "tddft/spectrum.hpp"
+
+#include <cmath>
+
+#include "common/error.hpp"
+
+namespace lrt::tddft {
+
+std::vector<Real> gaussian_dos(const std::vector<Real>& energies,
+                               const std::vector<Real>& energy_grid,
+                               Real sigma,
+                               const std::vector<Real>* weights) {
+  LRT_CHECK(sigma > 0, "broadening must be positive");
+  if (weights) {
+    LRT_CHECK(weights->size() == energies.size(),
+              "weights/energies size mismatch");
+  }
+  const Real norm = Real{1} / (sigma * std::sqrt(constants::kTwoPi));
+  const Real inv_2s2 = Real{1} / (2 * sigma * sigma);
+  std::vector<Real> dos(energy_grid.size(), Real{0});
+  for (std::size_t g = 0; g < energy_grid.size(); ++g) {
+    Real sum = 0;
+    for (std::size_t n = 0; n < energies.size(); ++n) {
+      const Real d = energy_grid[g] - energies[n];
+      const Real w = weights ? (*weights)[n] : Real{1};
+      sum += w * std::exp(-d * d * inv_2s2);
+    }
+    dos[g] = sum * norm;
+  }
+  return dos;
+}
+
+std::vector<Real> linspace(Real e_min, Real e_max, Index count) {
+  LRT_CHECK(count >= 2, "linspace needs at least two samples");
+  std::vector<Real> grid(static_cast<std::size_t>(count));
+  const Real step = (e_max - e_min) / static_cast<Real>(count - 1);
+  for (Index i = 0; i < count; ++i) {
+    grid[static_cast<std::size_t>(i)] = e_min + step * static_cast<Real>(i);
+  }
+  return grid;
+}
+
+std::vector<std::array<Real, 3>> transition_dipoles(
+    const CasidaProblem& problem) {
+  const Index nr = problem.nr();
+  const Index nv = problem.nv();
+  const Index nc = problem.nc();
+  const Real dv = problem.grid.dv();
+  const grid::Vec3 center = {problem.grid.cell().length(0) / 2,
+                             problem.grid.cell().length(1) / 2,
+                             problem.grid.cell().length(2) / 2};
+
+  std::vector<std::array<Real, 3>> dipoles(
+      static_cast<std::size_t>(nv * nc), {0, 0, 0});
+  for (Index r = 0; r < nr; ++r) {
+    const grid::Vec3 pos = problem.grid.position(r);
+    const Real x = pos[0] - center[0];
+    const Real y = pos[1] - center[1];
+    const Real z = pos[2] - center[2];
+    const Real* v = problem.psi_v.row_ptr(r);
+    const Real* c = problem.psi_c.row_ptr(r);
+    for (Index iv = 0; iv < nv; ++iv) {
+      const Real vv = v[iv] * dv;
+      for (Index ic = 0; ic < nc; ++ic) {
+        auto& d = dipoles[static_cast<std::size_t>(iv * nc + ic)];
+        const Real p = vv * c[ic];
+        d[0] += p * x;
+        d[1] += p * y;
+        d[2] += p * z;
+      }
+    }
+  }
+  return dipoles;
+}
+
+Spectrum oscillator_spectrum(const CasidaProblem& problem,
+                             const std::vector<Real>& energies,
+                             la::RealConstView wavefunctions) {
+  const Index k = static_cast<Index>(energies.size());
+  LRT_CHECK(wavefunctions.cols() == k,
+            "wavefunction count must match energies");
+  LRT_CHECK(wavefunctions.rows() == problem.ncv(),
+            "wavefunctions must be pair-ordered");
+  const auto dipoles = transition_dipoles(problem);
+
+  Spectrum s;
+  s.energies = energies;
+  s.strengths.resize(static_cast<std::size_t>(k));
+  for (Index n = 0; n < k; ++n) {
+    std::array<Real, 3> total = {0, 0, 0};
+    for (Index ij = 0; ij < problem.ncv(); ++ij) {
+      const Real x = wavefunctions(ij, n);
+      for (int ax = 0; ax < 3; ++ax) {
+        total[static_cast<std::size_t>(ax)] +=
+            x * dipoles[static_cast<std::size_t>(ij)][static_cast<std::size_t>(ax)];
+      }
+    }
+    const Real d2 = total[0] * total[0] + total[1] * total[1] +
+                    total[2] * total[2];
+    s.strengths[static_cast<std::size_t>(n)] =
+        (Real{2} / Real{3}) * energies[static_cast<std::size_t>(n)] * d2;
+  }
+  return s;
+}
+
+std::vector<Real> absorption_spectrum(const Spectrum& spectrum,
+                                      const std::vector<Real>& energy_grid,
+                                      Real gamma) {
+  LRT_CHECK(gamma > 0, "broadening must be positive");
+  LRT_CHECK(spectrum.energies.size() == spectrum.strengths.size(),
+            "spectrum arrays out of sync");
+  std::vector<Real> sigma(energy_grid.size(), Real{0});
+  const Real norm = Real{1} / constants::kPi;
+  for (std::size_t g = 0; g < energy_grid.size(); ++g) {
+    Real sum = 0;
+    for (std::size_t n = 0; n < spectrum.energies.size(); ++n) {
+      const Real d = energy_grid[g] - spectrum.energies[n];
+      sum += spectrum.strengths[n] * gamma / (d * d + gamma * gamma);
+    }
+    sigma[g] = sum * norm;
+  }
+  return sigma;
+}
+
+}  // namespace lrt::tddft

@@ -1,0 +1,53 @@
+// Spectral post-processing: density of states and oscillator strengths.
+//
+// Used by the MATBG application bench (paper Fig 9): Gaussian-broadened
+// DOS of Kohn-Sham energies and of the excitation spectrum, plus dipole
+// oscillator strengths  f_n = (2/3) ω_n Σ_α |Σ_ij d_ij^α X_ij^n|².
+// Transition dipoles use positions relative to the cell center; for the
+// periodic-cell caveat see the doc comment on transition_dipoles.
+#pragma once
+
+#include <array>
+#include <vector>
+
+#include "tddft/casida_naive.hpp"
+
+namespace lrt::tddft {
+
+/// Gaussian-broadened density of states on `energy_grid`:
+///   DOS(E) = Σ_n w_n exp(-(E - E_n)²/2σ²) / (σ √(2π))
+/// `weights` defaults to 1 per state.
+std::vector<Real> gaussian_dos(const std::vector<Real>& energies,
+                               const std::vector<Real>& energy_grid,
+                               Real sigma,
+                               const std::vector<Real>* weights = nullptr);
+
+/// Uniform energy grid helper [e_min, e_max] with `count` samples.
+std::vector<Real> linspace(Real e_min, Real e_max, Index count);
+
+/// Pair transition dipoles d_ij = ∫ ψ_iv(r) (r - r_center) ψ_ic(r) dv,
+/// pair-ordered (Ncv x 3). Exact for the molecule-in-a-box geometry; for
+/// periodic crystals it is the standard length-gauge approximation on the
+/// wrapped coordinate (adequate for the qualitative Fig 9 DOS).
+std::vector<std::array<Real, 3>> transition_dipoles(
+    const CasidaProblem& problem);
+
+struct Spectrum {
+  std::vector<Real> energies;    ///< excitation energies, ascending
+  std::vector<Real> strengths;   ///< oscillator strengths f_n
+};
+
+/// Oscillator strengths of solved excitations (X columns over pairs).
+Spectrum oscillator_spectrum(const CasidaProblem& problem,
+                             const std::vector<Real>& energies,
+                             la::RealConstView wavefunctions);
+
+/// Lorentzian-broadened absorption cross-section on `energy_grid`:
+///   σ(E) ∝ Σ_n f_n γ / ((E - E_n)² + γ²)
+/// with half-width `gamma` — the standard presentation of a computed
+/// optical spectrum.
+std::vector<Real> absorption_spectrum(const Spectrum& spectrum,
+                                      const std::vector<Real>& energy_grid,
+                                      Real gamma);
+
+}  // namespace lrt::tddft

@@ -1,0 +1,149 @@
+// Tests for the common utilities: error macros, RNG, CLI, tables, timers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <fstream>
+#include <set>
+
+#include "common/cli.hpp"
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "common/table.hpp"
+#include "common/timer.hpp"
+
+namespace lrt {
+namespace {
+
+TEST(Error, CheckThrowsWithMessage) {
+  try {
+    LRT_CHECK(1 == 2, "expected " << 1 << " got " << 2);
+    FAIL() << "should have thrown";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("1 == 2"), std::string::npos);
+    EXPECT_NE(what.find("expected 1 got 2"), std::string::npos);
+  }
+}
+
+TEST(Error, CheckPassesSilently) {
+  EXPECT_NO_THROW(LRT_CHECK(2 + 2 == 4));
+}
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.next_u64(), b.next_u64());
+  }
+}
+
+TEST(Rng, UniformInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    const Real u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformIndexUnbiasedCoverage) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 400; ++i) seen.insert(rng.uniform_index(10));
+  EXPECT_EQ(seen.size(), 10u);  // all residues hit
+}
+
+TEST(Rng, NormalMomentsRoughlyStandard) {
+  Rng rng(5);
+  const int n = 20000;
+  Real sum = 0, sum2 = 0;
+  for (int i = 0; i < n; ++i) {
+    const Real x = rng.normal();
+    sum += x;
+    sum2 += x * x;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.05);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.05);
+}
+
+TEST(Cli, ParsesValuesAndDefaults) {
+  CliParser cli("test");
+  cli.add("n", "4", "count").add("x", "1.5", "value").add("flag", "false",
+                                                          "bool");
+  const char* argv[] = {"prog", "--n", "7", "--flag", "--x=2.25"};
+  cli.parse(5, argv);
+  EXPECT_EQ(cli.get_index("n"), 7);
+  EXPECT_DOUBLE_EQ(cli.get_real("x"), 2.25);
+  EXPECT_TRUE(cli.get_bool("flag"));
+}
+
+TEST(Cli, RejectsUnknownOption) {
+  CliParser cli("test");
+  cli.add("n", "4", "count");
+  const char* argv[] = {"prog", "--bogus", "1"};
+  EXPECT_THROW(cli.parse(3, argv), Error);
+}
+
+TEST(Cli, RejectsMalformedNumbers) {
+  CliParser cli("test");
+  cli.add("n", "4", "count");
+  const char* argv[] = {"prog", "--n", "4x"};
+  cli.parse(3, argv);
+  EXPECT_THROW(cli.get_index("n"), Error);
+}
+
+TEST(Table, AlignsAndCounts) {
+  Table t("demo", {"a", "bb"});
+  t.row().cell("x").cell(1.5, 2);
+  t.row().cell("longer").cell(Index{42});
+  EXPECT_EQ(t.num_rows(), 2);
+  const std::string s = t.str();
+  EXPECT_NE(s.find("demo"), std::string::npos);
+  EXPECT_NE(s.find("longer"), std::string::npos);
+  EXPECT_NE(s.find("1.50"), std::string::npos);
+}
+
+TEST(Table, CsvRoundTrip) {
+  Table t("csv", {"x", "y"});
+  t.row().cell(Index{1}).cell(Index{2});
+  const std::string path = testing::TempDir() + "/lrt_table_test.csv";
+  t.write_csv(path);
+  std::ifstream in(path);
+  std::string line;
+  std::getline(in, line);
+  EXPECT_EQ(line, "# csv");
+  std::getline(in, line);
+  EXPECT_EQ(line, "x,y");
+  std::getline(in, line);
+  EXPECT_EQ(line, "1,2");
+}
+
+TEST(WallProfiler, AccumulatesNamedPhases) {
+  WallProfiler p;
+  p.add("fft", 1.0);
+  p.add("gemm", 2.0);
+  p.add("fft", 0.5);
+  EXPECT_DOUBLE_EQ(p.total("fft"), 1.5);
+  EXPECT_DOUBLE_EQ(p.total("gemm"), 2.0);
+  EXPECT_DOUBLE_EQ(p.total("missing"), 0.0);
+  EXPECT_DOUBLE_EQ(p.grand_total(), 3.5);
+  const auto phases = p.phases();
+  ASSERT_EQ(phases.size(), 2u);
+  EXPECT_EQ(phases[0], "fft");  // insertion order preserved
+}
+
+TEST(WallProfiler, ScopedPhaseAddsTime) {
+  WallProfiler p;
+  { ScopedPhase guard(p, "work"); }
+  EXPECT_GE(p.total("work"), 0.0);
+  EXPECT_EQ(p.phases().size(), 1u);
+}
+
+TEST(Timer, MeasuresNonNegative) {
+  Timer t;
+  EXPECT_GE(t.seconds(), 0.0);
+  t.reset();
+  EXPECT_GE(t.seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace lrt

@@ -1,0 +1,167 @@
+// Pseudopotential, LDA exchange-correlation, and Ewald tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dft/ewald.hpp"
+#include "dft/pseudopotential.hpp"
+#include "dft/xc.hpp"
+#include "grid/crystal.hpp"
+
+namespace lrt::dft {
+namespace {
+
+TEST(HghLocal, FormFactorLimits) {
+  const grid::Species si = grid::species_silicon();
+  // Large G: everything is Gaussian-suppressed.
+  EXPECT_NEAR(hgh_local_form_factor(si, 1e4), 0.0, 1e-12);
+  // Small G: Coulomb tail dominates (negative, large magnitude).
+  EXPECT_LT(hgh_local_form_factor(si, 1e-2), -1000.0);
+  EXPECT_THROW(hgh_local_form_factor(si, 0.0), Error);
+}
+
+TEST(HghLocal, G0TermMatchesClosedForm) {
+  const grid::Species si = grid::species_silicon();
+  const Real r2 = si.r_loc * si.r_loc;
+  const Real expected =
+      constants::kTwoPi * si.z_ion * r2 +
+      std::pow(constants::kTwoPi, 1.5) * r2 * si.r_loc * si.c1;
+  EXPECT_NEAR(hgh_local_g0(si), expected, 1e-12);
+}
+
+TEST(HghLocal, PotentialIsRealAndAttractiveAtNuclei) {
+  const grid::Structure s = grid::make_silicon_supercell(1);
+  const grid::RealSpaceGrid g = grid::RealSpaceGrid::from_cutoff(s.cell, 5.0);
+  const grid::GVectors gv(g);
+  const std::vector<Real> v = build_local_potential(g, gv, s);
+  ASSERT_EQ(static_cast<Index>(v.size()), g.size());
+
+  // The potential must be most negative near an atom and higher far away.
+  // Atom 0 sits at the origin = grid point 0.
+  Real at_atom = v[0];
+  Real far = -1e9;
+  for (const Real value : v) far = std::max(far, value);
+  EXPECT_LT(at_atom, far);
+  EXPECT_LT(at_atom, 0.0);
+}
+
+TEST(HghLocal, PotentialTranslatesWithAtom) {
+  // Moving the atom by one grid spacing must shift the potential grid.
+  grid::Structure s;
+  s.cell = grid::UnitCell::cubic(8.0);
+  s.species = {grid::species_silicon()};
+  s.atoms = {grid::Atom{0, {0, 0, 0}}};
+  const grid::RealSpaceGrid g(s.cell, {8, 8, 8});
+  const grid::GVectors gv(g);
+  const std::vector<Real> v0 = build_local_potential(g, gv, s);
+
+  s.atoms[0].position = {1.0, 0, 0};  // one grid spacing along x
+  const std::vector<Real> v1 = build_local_potential(g, gv, s);
+  for (Index i0 = 0; i0 < 8; ++i0) {
+    const Real a = v0[static_cast<std::size_t>(g.flat_index(i0, 2, 3))];
+    const Real b = v1[static_cast<std::size_t>(g.flat_index((i0 + 1) % 8, 2, 3))];
+    EXPECT_NEAR(a, b, 1e-9);
+  }
+}
+
+TEST(InitialDensity, IntegratesToElectronCount) {
+  const grid::Structure s = grid::make_water_box(14.0);
+  const grid::RealSpaceGrid g(s.cell, {16, 16, 16});
+  const std::vector<Real> n = initial_density(g, s);
+  Real total = 0;
+  for (const Real v : n) total += v;
+  EXPECT_NEAR(total * g.dv(), s.num_electrons(), 1e-10);
+  for (const Real v : n) EXPECT_GE(v, 0.0);
+}
+
+TEST(Lda, ExchangeOnlyClosedForm) {
+  // For n = 1: εx = -(3/4)(3/π)^{1/3}.
+  const Real cx = 0.75 * std::cbrt(3.0 / constants::kPi);
+  // exc includes correlation; test vx against the known 4/3 relation via
+  // the derivative identity instead: vxc - exc has correct exchange part.
+  const Real n = 1.0;
+  const Real fd = (lda_exc(n + 1e-6) * (n + 1e-6) - lda_exc(n - 1e-6) * (n - 1e-6)) /
+                  2e-6;
+  EXPECT_NEAR(lda_vxc(n), fd, 1e-6);
+  EXPECT_LT(lda_exc(n), -cx + 0.0);  // correlation adds negative energy
+}
+
+TEST(Lda, VxcIsDerivativeOfEnergyDensity) {
+  for (const Real n : {0.01, 0.1, 0.3, 1.0, 5.0}) {
+    const Real h = 1e-6 * n;
+    const Real fd =
+        ((n + h) * lda_exc(n + h) - (n - h) * lda_exc(n - h)) / (2 * h);
+    EXPECT_NEAR(lda_vxc(n), fd, 1e-5 * std::abs(fd) + 1e-8) << "n=" << n;
+  }
+}
+
+TEST(Lda, FxcIsDerivativeOfVxc) {
+  for (const Real n : {0.01, 0.1, 0.3, 1.0, 5.0}) {
+    const Real h = 1e-6 * n;
+    const Real fd = (lda_vxc(n + h) - lda_vxc(n - h)) / (2 * h);
+    EXPECT_NEAR(lda_fxc(n), fd, 1e-4 * std::abs(fd) + 1e-8) << "n=" << n;
+  }
+}
+
+TEST(Lda, VacuumIsSafe) {
+  EXPECT_DOUBLE_EQ(lda_exc(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(lda_vxc(0.0), 0.0);
+  EXPECT_DOUBLE_EQ(lda_fxc(1e-30), 0.0);
+}
+
+TEST(Lda, ArraysAndEnergy) {
+  const std::vector<Real> n = {0.1, 0.2, 0.0};
+  const auto v = lda_vxc_array(n);
+  const auto f = lda_fxc_array(n);
+  EXPECT_EQ(v.size(), 3u);
+  EXPECT_DOUBLE_EQ(v[0], lda_vxc(0.1));
+  EXPECT_DOUBLE_EQ(f[1], lda_fxc(0.2));
+  const Real e = lda_exc_energy(n, 2.0);
+  EXPECT_NEAR(e, 2.0 * (0.1 * lda_exc(0.1) + 0.2 * lda_exc(0.2)), 1e-14);
+}
+
+TEST(Ewald, NaClStyleMadelungCheck) {
+  // Two opposite charges cannot be built from our neutral species, so
+  // check a simpler exact property instead: the Ewald energy of one ion
+  // in a cubic cell is the Madelung self-energy  E = -α q²/(2L) with
+  // α ≈ 2.8372974794806 (simple cubic point-charge lattice with
+  // neutralizing background).
+  grid::Structure s;
+  s.cell = grid::UnitCell::cubic(7.0);
+  s.species = {grid::Species{"Q", 1.0, 0.1, 0, 0, 0, 0}};
+  s.atoms = {grid::Atom{0, {0, 0, 0}}};
+  const Real e = ewald_energy(s);
+  EXPECT_NEAR(e, -2.8372974794806 / (2.0 * 7.0), 1e-6);
+}
+
+TEST(Ewald, ScalesWithChargeSquared) {
+  grid::Structure s;
+  s.cell = grid::UnitCell::cubic(9.0);
+  s.species = {grid::Species{"Q", 2.0, 0.1, 0, 0, 0, 0}};
+  s.atoms = {grid::Atom{0, {1, 2, 3}}};
+  const Real e2 = ewald_energy(s);
+  s.species[0].z_ion = 1.0;
+  const Real e1 = ewald_energy(s);
+  EXPECT_NEAR(e2, 4.0 * e1, 1e-9);
+}
+
+TEST(Ewald, TranslationInvariant) {
+  grid::Structure s = grid::make_silicon_supercell(1);
+  const Real e0 = ewald_energy(s);
+  for (auto& atom : s.atoms) {
+    atom.position = s.cell.wrap(
+        {atom.position[0] + 1.3, atom.position[1] - 0.7, atom.position[2]});
+  }
+  EXPECT_NEAR(ewald_energy(s), e0, 1e-8);
+}
+
+TEST(Ewald, SiliconValueIsNegativeAndSizeConsistent) {
+  const Real e1 = ewald_energy(grid::make_silicon_supercell(1));
+  EXPECT_LT(e1, 0.0);
+  // Doubling the supercell octuples the energy (same lattice, 8x atoms).
+  const Real e2 = ewald_energy(grid::make_silicon_supercell(2));
+  EXPECT_NEAR(e2 / e1, 8.0, 1e-6);
+}
+
+}  // namespace
+}  // namespace lrt::dft

@@ -1,0 +1,155 @@
+// Unit cell, real-space grid, G-vectors, and crystal builders.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "grid/crystal.hpp"
+#include "grid/gvectors.hpp"
+#include "grid/rsgrid.hpp"
+
+namespace lrt::grid {
+namespace {
+
+TEST(UnitCell, VolumeAndReciprocal) {
+  const UnitCell cell({2.0, 3.0, 4.0});
+  EXPECT_DOUBLE_EQ(cell.volume(), 24.0);
+  EXPECT_DOUBLE_EQ(cell.reciprocal(0), constants::kPi);
+  EXPECT_THROW(UnitCell({1.0, -1.0, 1.0}), Error);
+}
+
+TEST(UnitCell, MinimumImageWraps) {
+  const UnitCell cell = UnitCell::cubic(10.0);
+  const Vec3 d = cell.minimum_image({1, 1, 1}, {9.5, 1, 1});
+  EXPECT_NEAR(d[0], -1.5, 1e-14);  // wrapped, not +8.5
+  EXPECT_NEAR(d[1], 0.0, 1e-14);
+}
+
+TEST(UnitCell, WrapIntoCell) {
+  const UnitCell cell = UnitCell::cubic(5.0);
+  const Vec3 w = cell.wrap({-1.0, 6.0, 2.5});
+  EXPECT_NEAR(w[0], 4.0, 1e-14);
+  EXPECT_NEAR(w[1], 1.0, 1e-14);
+  EXPECT_NEAR(w[2], 2.5, 1e-14);
+}
+
+TEST(RealSpaceGrid, CutoffRuleMatchesPaperFormula) {
+  // (Nr)_i = sqrt(2 Ecut) L_i / π, rounded up.
+  const UnitCell cell = UnitCell::cubic(10.0);
+  const RealSpaceGrid g = RealSpaceGrid::from_cutoff(cell, 8.0);
+  const Real ideal = std::sqrt(16.0) * 10.0 / constants::kPi;  // 12.73
+  EXPECT_EQ(g.shape()[0], static_cast<Index>(std::ceil(ideal)));
+}
+
+TEST(RealSpaceGrid, FlattenRoundTrip) {
+  const RealSpaceGrid g(UnitCell::cubic(4.0), {3, 4, 5});
+  EXPECT_EQ(g.size(), 60);
+  for (Index f = 0; f < g.size(); ++f) {
+    const auto idx = g.unflatten(f);
+    EXPECT_EQ(g.flat_index(idx[0], idx[1], idx[2]), f);
+  }
+}
+
+TEST(RealSpaceGrid, PositionsAndVolumeElement) {
+  const RealSpaceGrid g(UnitCell::cubic(6.0), {3, 3, 3});
+  EXPECT_DOUBLE_EQ(g.dv(), 216.0 / 27.0);
+  const Vec3 p = g.position(g.flat_index(1, 2, 0));
+  EXPECT_DOUBLE_EQ(p[0], 2.0);
+  EXPECT_DOUBLE_EQ(p[1], 4.0);
+  EXPECT_DOUBLE_EQ(p[2], 0.0);
+  EXPECT_EQ(static_cast<Index>(g.positions().size()), g.size());
+}
+
+TEST(GVectors, FrequencyWrapAndG2) {
+  const RealSpaceGrid g(UnitCell::cubic(constants::kTwoPi), {4, 4, 4});
+  const GVectors gv(g);  // b = 1 for this cell
+  EXPECT_DOUBLE_EQ(gv.g2(0), 0.0);
+  // Index (0,0,1) -> G = (0,0,1).
+  EXPECT_DOUBLE_EQ(gv.g2(g.flat_index(0, 0, 1)), 1.0);
+  // Index (0,0,3) wraps to -1.
+  EXPECT_DOUBLE_EQ(gv.g2(g.flat_index(0, 0, 3)), 1.0);
+  // Index (2,0,0) is the Nyquist +2.
+  EXPECT_DOUBLE_EQ(gv.g2(g.flat_index(2, 0, 0)), 4.0);
+  const Vec3 gvec = gv.g(g.flat_index(0, 3, 0));
+  EXPECT_DOUBLE_EQ(gvec[1], -1.0);
+}
+
+TEST(GVectors, CutoffCountGrowsWithEcut) {
+  const RealSpaceGrid g(UnitCell::cubic(10.0), {12, 12, 12});
+  const GVectors gv(g);
+  const Index small = gv.count_within_cutoff(0.5);
+  const Index large = gv.count_within_cutoff(4.0);
+  EXPECT_GT(large, small);
+  EXPECT_GE(small, 1);  // at least G = 0
+}
+
+TEST(Crystal, SiliconSupercellCounts) {
+  for (const Index n : {Index{1}, Index{2}}) {
+    const Structure s = make_silicon_supercell(n);
+    EXPECT_EQ(s.num_atoms(), 8 * n * n * n);
+    EXPECT_DOUBLE_EQ(s.num_electrons(), 4.0 * 8 * n * n * n);
+    EXPECT_EQ(s.num_occupied(), 16 * n * n * n);
+    // All atoms inside the cell.
+    for (const Atom& a : s.atoms) {
+      for (int ax = 0; ax < 3; ++ax) {
+        EXPECT_GE(a.position[static_cast<std::size_t>(ax)], 0.0);
+        EXPECT_LT(a.position[static_cast<std::size_t>(ax)],
+                  s.cell.length(ax) + 1e-12);
+      }
+    }
+  }
+}
+
+TEST(Crystal, SiliconNearestNeighborDistance) {
+  // Diamond nearest-neighbor distance is a * sqrt(3)/4 ≈ 2.35 Å.
+  const Structure s = make_silicon_supercell(1);
+  const Real a = 5.431 * units::kAngstromToBohr;
+  Real min_dist = 1e9;
+  for (Index i = 0; i < s.num_atoms(); ++i) {
+    for (Index j = 0; j < s.num_atoms(); ++j) {
+      if (i == j) continue;
+      const Vec3 d = s.cell.minimum_image(
+          s.atoms[static_cast<std::size_t>(i)].position,
+          s.atoms[static_cast<std::size_t>(j)].position);
+      min_dist = std::min(min_dist, std::sqrt(norm2(d)));
+    }
+  }
+  EXPECT_NEAR(min_dist, a * std::sqrt(3.0) / 4.0, 1e-10);
+}
+
+TEST(Crystal, WaterGeometry) {
+  const Structure s = make_water_box(20.0);
+  ASSERT_EQ(s.num_atoms(), 3);
+  EXPECT_DOUBLE_EQ(s.num_electrons(), 8.0);
+  EXPECT_EQ(s.num_occupied(), 4);
+  const Vec3 d1 = s.cell.minimum_image(s.atoms[0].position,
+                                       s.atoms[1].position);
+  EXPECT_NEAR(std::sqrt(norm2(d1)), 0.9572 * units::kAngstromToBohr, 1e-10);
+}
+
+TEST(Crystal, BilayerGrapheneStacking) {
+  const Real dz = 2.6 * units::kAngstromToBohr;
+  const Structure s = make_bilayer_graphene(2, 1, dz, 4.0);
+  EXPECT_EQ(s.num_atoms(), 2 * 4 * 2);  // 4 atoms/cell/layer, 2 cells, 2 layers
+  // Exactly two distinct z planes separated by dz.
+  std::set<long long> zs;
+  for (const Atom& a : s.atoms) {
+    zs.insert(static_cast<long long>(std::llround(a.position[2] * 1e6)));
+  }
+  EXPECT_EQ(zs.size(), 2u);
+  const Real z_low = static_cast<Real>(*zs.begin()) * 1e-6;
+  const Real z_high = static_cast<Real>(*zs.rbegin()) * 1e-6;
+  // z values were keyed at 1e-6 resolution above, so compare at 1e-5.
+  EXPECT_NEAR(z_high - z_low, dz, 1e-5);
+}
+
+TEST(Crystal, SpeciesData) {
+  EXPECT_DOUBLE_EQ(species_silicon().z_ion, 4.0);
+  EXPECT_DOUBLE_EQ(species_oxygen().z_ion, 6.0);
+  EXPECT_DOUBLE_EQ(species_hydrogen().z_ion, 1.0);
+  EXPECT_DOUBLE_EQ(species_carbon().z_ion, 4.0);
+  EXPECT_GT(species_silicon().r_loc, 0.0);
+}
+
+}  // namespace
+}  // namespace lrt::grid

@@ -1,0 +1,135 @@
+// XYZ round trip and cube file structure tests.
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <sstream>
+
+#include "io/cube.hpp"
+#include "io/xyz.hpp"
+
+namespace lrt::io {
+namespace {
+
+TEST(Xyz, RoundTripPreservesGeometry) {
+  const grid::Structure original = grid::make_water_box(14.0);
+  std::stringstream stream;
+  write_xyz(stream, original, "water");
+
+  XyzReadOptions opts;
+  opts.cell = original.cell;
+  const grid::Structure parsed = read_xyz(stream, opts);
+
+  ASSERT_EQ(parsed.num_atoms(), original.num_atoms());
+  EXPECT_DOUBLE_EQ(parsed.num_electrons(), original.num_electrons());
+  for (Index i = 0; i < original.num_atoms(); ++i) {
+    const auto& a = original.atoms[static_cast<std::size_t>(i)];
+    const auto& b = parsed.atoms[static_cast<std::size_t>(i)];
+    const grid::Species& sa =
+        original.species[static_cast<std::size_t>(a.species)];
+    const grid::Species& sb =
+        parsed.species[static_cast<std::size_t>(b.species)];
+    EXPECT_EQ(sa.symbol, sb.symbol);
+    for (int ax = 0; ax < 3; ++ax) {
+      EXPECT_NEAR(a.position[static_cast<std::size_t>(ax)],
+                  b.position[static_cast<std::size_t>(ax)], 1e-8);
+    }
+  }
+}
+
+TEST(Xyz, SiliconSupercellRoundTrip) {
+  const grid::Structure original = grid::make_silicon_supercell(1);
+  std::stringstream stream;
+  write_xyz(stream, original);
+  XyzReadOptions opts;
+  opts.cell = original.cell;
+  const grid::Structure parsed = read_xyz(stream, opts);
+  EXPECT_EQ(parsed.num_atoms(), 8);
+  EXPECT_DOUBLE_EQ(parsed.species[0].r_loc, grid::species_silicon().r_loc);
+}
+
+TEST(Xyz, RejectsMalformedInput) {
+  XyzReadOptions opts;
+  opts.cell = grid::UnitCell::cubic(10.0);
+  {
+    std::stringstream s("not_a_number\ncomment\n");
+    EXPECT_THROW(read_xyz(s, opts), Error);
+  }
+  {
+    std::stringstream s("2\ncomment\nH 0 0 0\n");  // truncated
+    EXPECT_THROW(read_xyz(s, opts), Error);
+  }
+  {
+    std::stringstream s("1\ncomment\nXx 0 0 0\n");  // unknown element
+    EXPECT_THROW(read_xyz(s, opts), Error);
+  }
+}
+
+TEST(Xyz, WrapsAtomsIntoCell) {
+  XyzReadOptions opts;
+  opts.cell = grid::UnitCell::cubic(10.0);
+  std::stringstream s("1\ncomment\nH -1.0 0 0\n");
+  const grid::Structure parsed = read_xyz(s, opts);
+  EXPECT_GE(parsed.atoms[0].position[0], 0.0);
+  EXPECT_LT(parsed.atoms[0].position[0], 10.0);
+}
+
+TEST(Cube, HeaderAndDataLayout) {
+  const grid::Structure water = grid::make_water_box(12.0);
+  const grid::RealSpaceGrid g(water.cell, {4, 3, 5});
+  std::vector<Real> values(static_cast<std::size_t>(g.size()));
+  for (Index i = 0; i < g.size(); ++i) {
+    values[static_cast<std::size_t>(i)] = static_cast<Real>(i);
+  }
+
+  std::stringstream stream;
+  write_cube(stream, "test volume", g, water, values);
+  std::string line;
+  std::getline(stream, line);
+  EXPECT_EQ(line, "test volume");
+  std::getline(stream, line);  // generator comment
+  std::getline(stream, line);  // natoms + origin
+  {
+    std::istringstream fields(line);
+    int natoms;
+    fields >> natoms;
+    EXPECT_EQ(natoms, 3);
+  }
+  // Three axis lines with correct point counts.
+  int counts[3];
+  for (int ax = 0; ax < 3; ++ax) {
+    std::getline(stream, line);
+    std::istringstream fields(line);
+    fields >> counts[ax];
+  }
+  EXPECT_EQ(counts[0], 4);
+  EXPECT_EQ(counts[1], 3);
+  EXPECT_EQ(counts[2], 5);
+  // Atom lines: first is oxygen (charge 6).
+  std::getline(stream, line);
+  {
+    std::istringstream fields(line);
+    int z;
+    fields >> z;
+    EXPECT_EQ(z, 6);
+  }
+  std::getline(stream, line);
+  std::getline(stream, line);
+  // All 60 values present in the remaining stream.
+  std::vector<double> data;
+  double v;
+  while (stream >> v) data.push_back(v);
+  ASSERT_EQ(data.size(), 60u);
+  EXPECT_DOUBLE_EQ(data[0], 0.0);
+  EXPECT_DOUBLE_EQ(data[59], 59.0);
+}
+
+TEST(Cube, SizeMismatchThrows) {
+  const grid::Structure water = grid::make_water_box(12.0);
+  const grid::RealSpaceGrid g(water.cell, {4, 4, 4});
+  std::vector<Real> wrong(10);
+  std::stringstream stream;
+  EXPECT_THROW(write_cube(stream, "x", g, water, wrong), Error);
+}
+
+}  // namespace
+}  // namespace lrt::io

@@ -1,0 +1,90 @@
+// Parameterized ISDF property sweep: for every (Nv, Nc, method)
+// configuration, the decomposition must satisfy the same invariants —
+// valid distinct points, normal-equation optimality, and monotone-ish
+// error decay in Nμ. Complements the targeted cases in test_isdf.cpp.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <tuple>
+
+#include "dft/synthetic.hpp"
+#include "isdf/interpolation.hpp"
+#include "isdf/isdf.hpp"
+#include "la/blas.hpp"
+
+namespace lrt::isdf {
+namespace {
+
+struct SweepCase {
+  Index nv, nc;
+  PointMethod method;
+  unsigned seed;
+};
+
+class IsdfSweep : public ::testing::TestWithParam<SweepCase> {};
+
+TEST_P(IsdfSweep, InvariantsHoldAcrossConfigurations) {
+  const SweepCase c = GetParam();
+  const grid::RealSpaceGrid g(grid::UnitCell::cubic(8.0), {9, 9, 9});
+  dft::SyntheticOptions sopts;
+  sopts.num_centers = 8;
+  sopts.seed = c.seed;
+  const dft::SyntheticOrbitals orbs =
+      dft::make_synthetic_orbitals(g, c.nv, c.nc, sopts);
+
+  const Index ncv = c.nv * c.nc;
+  Real previous_error = 1e18;
+  for (const Real fraction : {0.3, 0.6, 0.95}) {
+    const Index nmu = std::max<Index>(2, static_cast<Index>(fraction * ncv));
+    IsdfOptions opts;
+    opts.nmu = nmu;
+    opts.method = c.method;
+    const IsdfResult r =
+        isdf_decompose(g, orbs.psi_v.view(), orbs.psi_c.view(), opts);
+
+    // Valid, distinct, sorted points.
+    ASSERT_EQ(r.nmu(), nmu);
+    std::set<Index> unique(r.points.begin(), r.points.end());
+    EXPECT_EQ(static_cast<Index>(unique.size()), nmu);
+    EXPECT_GE(*unique.begin(), 0);
+    EXPECT_LT(*unique.rbegin(), g.size());
+
+    // Factor shapes are consistent.
+    EXPECT_EQ(r.theta.rows(), g.size());
+    EXPECT_EQ(r.theta.cols(), nmu);
+    EXPECT_EQ(r.c.rows(), nmu);
+    EXPECT_EQ(r.c.cols(), ncv);
+
+    // Error behaves: bounded by 1 (Z itself) and does not grow
+    // significantly as Nμ increases.
+    const Real error = isdf_relative_error(
+        orbs.psi_v.view(), orbs.psi_c.view(), r.points, r.theta.view());
+    EXPECT_GE(error, 0.0);
+    EXPECT_LT(error, 1.0);
+    EXPECT_LT(error, previous_error * 1.25)
+        << "method=" << (c.method == PointMethod::kQrcp ? "qrcp" : "kmeans")
+        << " nmu=" << nmu;
+    previous_error = error;
+  }
+  // Near-full-rank decomposition is accurate for every configuration.
+  EXPECT_LT(previous_error, 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configurations, IsdfSweep,
+    ::testing::Values(SweepCase{3, 3, PointMethod::kQrcp, 1},
+                      SweepCase{3, 3, PointMethod::kKmeans, 1},
+                      SweepCase{6, 4, PointMethod::kQrcp, 2},
+                      SweepCase{6, 4, PointMethod::kKmeans, 2},
+                      SweepCase{8, 2, PointMethod::kQrcp, 3},
+                      SweepCase{8, 2, PointMethod::kKmeans, 3},
+                      SweepCase{2, 8, PointMethod::kKmeans, 4},
+                      SweepCase{10, 6, PointMethod::kKmeans, 5}),
+    [](const auto& info) {
+      return "nv" + std::to_string(info.param.nv) + "_nc" +
+             std::to_string(info.param.nc) + "_" +
+             (info.param.method == PointMethod::kQrcp ? "qrcp" : "kmeans");
+    });
+
+}  // namespace
+}  // namespace lrt::isdf

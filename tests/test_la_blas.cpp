@@ -1,0 +1,147 @@
+// BLAS kernel tests, including a parameterized sweep of gemm transpose
+// cases and shapes against a reference triple loop.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "la/blas.hpp"
+
+namespace lrt::la {
+namespace {
+
+RealMatrix reference_gemm(Trans ta, Trans tb, Real alpha, const RealMatrix& a,
+                          const RealMatrix& b, Real beta,
+                          const RealMatrix& c0) {
+  const Index m = (ta == Trans::kNo) ? a.rows() : a.cols();
+  const Index k = (ta == Trans::kNo) ? a.cols() : a.rows();
+  const Index n = (tb == Trans::kNo) ? b.cols() : b.rows();
+  RealMatrix c = c0;
+  for (Index i = 0; i < m; ++i) {
+    for (Index j = 0; j < n; ++j) {
+      Real sum = 0;
+      for (Index p = 0; p < k; ++p) {
+        const Real av = (ta == Trans::kNo) ? a(i, p) : a(p, i);
+        const Real bv = (tb == Trans::kNo) ? b(p, j) : b(j, p);
+        sum += av * bv;
+      }
+      c(i, j) = alpha * sum + beta * c(i, j);
+    }
+  }
+  return c;
+}
+
+TEST(Blas1, DotAxpyScalNrm2) {
+  const Real x[] = {1, 2, 3};
+  Real y[] = {4, 5, 6};
+  EXPECT_DOUBLE_EQ(dot(x, y, 3), 32.0);
+  EXPECT_DOUBLE_EQ(nrm2(x, 3), std::sqrt(14.0));
+  axpy(2.0, x, y, 3);
+  EXPECT_DOUBLE_EQ(y[2], 12.0);
+  scal(0.5, y, 3);
+  EXPECT_DOUBLE_EQ(y[0], 3.0);
+}
+
+TEST(Gemv, NoTransAndTrans) {
+  RealMatrix a{{1, 2}, {3, 4}, {5, 6}};
+  const Real x2[] = {1, 1};
+  Real y3[] = {0, 0, 0};
+  gemv(Trans::kNo, 1.0, a.view(), x2, 0.0, y3);
+  EXPECT_DOUBLE_EQ(y3[0], 3.0);
+  EXPECT_DOUBLE_EQ(y3[2], 11.0);
+
+  const Real x3[] = {1, 1, 1};
+  Real y2[] = {10, 10};
+  gemv(Trans::kYes, 1.0, a.view(), x3, 0.5, y2);
+  EXPECT_DOUBLE_EQ(y2[0], 9.0 + 5.0);
+  EXPECT_DOUBLE_EQ(y2[1], 12.0 + 5.0);
+}
+
+struct GemmCase {
+  Index m, n, k;
+  int ta, tb;
+  Real alpha, beta;
+};
+
+class GemmSweep : public ::testing::TestWithParam<GemmCase> {};
+
+TEST_P(GemmSweep, MatchesReference) {
+  const GemmCase p = GetParam();
+  Rng rng(static_cast<unsigned>(p.m * 131 + p.n * 17 + p.k));
+  const Trans ta = p.ta ? Trans::kYes : Trans::kNo;
+  const Trans tb = p.tb ? Trans::kYes : Trans::kNo;
+  const RealMatrix a = (ta == Trans::kNo)
+                           ? RealMatrix::random_uniform(p.m, p.k, rng)
+                           : RealMatrix::random_uniform(p.k, p.m, rng);
+  const RealMatrix b = (tb == Trans::kNo)
+                           ? RealMatrix::random_uniform(p.k, p.n, rng)
+                           : RealMatrix::random_uniform(p.n, p.k, rng);
+  RealMatrix c = RealMatrix::random_uniform(p.m, p.n, rng);
+  const RealMatrix expected =
+      reference_gemm(ta, tb, p.alpha, a, b, p.beta, c);
+  gemm(ta, tb, p.alpha, a.view(), b.view(), p.beta, c.view());
+  EXPECT_LT(max_abs_diff(c.view(), expected.view()), 1e-11)
+      << "m=" << p.m << " n=" << p.n << " k=" << p.k << " ta=" << p.ta
+      << " tb=" << p.tb;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ShapesAndTranspose, GemmSweep,
+    ::testing::Values(
+        GemmCase{1, 1, 1, 0, 0, 1.0, 0.0}, GemmCase{3, 5, 7, 0, 0, 1.0, 0.0},
+        GemmCase{3, 5, 7, 1, 0, 2.0, 0.0}, GemmCase{3, 5, 7, 0, 1, 1.0, 1.0},
+        GemmCase{3, 5, 7, 1, 1, -1.5, 0.5},
+        GemmCase{64, 64, 64, 0, 0, 1.0, 0.0},
+        GemmCase{65, 33, 129, 0, 0, 1.0, 0.0},
+        GemmCase{65, 33, 129, 1, 0, 1.0, 0.0},
+        GemmCase{65, 33, 129, 0, 1, 1.0, 0.0},
+        GemmCase{65, 33, 129, 1, 1, 1.0, 2.0},
+        GemmCase{130, 70, 300, 0, 0, 0.5, -1.0},
+        GemmCase{7, 300, 2, 0, 0, 1.0, 0.0}));
+
+TEST(Gemm, InnerDimensionMismatchThrows) {
+  RealMatrix a(2, 3), b(4, 2), c(2, 2);
+  EXPECT_THROW(
+      gemm(Trans::kNo, Trans::kNo, 1.0, a.view(), b.view(), 0.0, c.view()),
+      Error);
+}
+
+TEST(Gemm, StridedViewsWork) {
+  Rng rng(3);
+  const RealMatrix big_a = RealMatrix::random_uniform(8, 8, rng);
+  const RealMatrix big_b = RealMatrix::random_uniform(8, 8, rng);
+  RealConstView a = big_a.view().block(1, 2, 4, 3);
+  RealConstView b = big_b.view().block(0, 1, 3, 5);
+  RealMatrix c(4, 5);
+  gemm(Trans::kNo, Trans::kNo, 1.0, a, b, 0.0, c.view());
+  const RealMatrix a_copy = to_matrix(a);
+  const RealMatrix b_copy = to_matrix(b);
+  const RealMatrix expected = reference_gemm(
+      Trans::kNo, Trans::kNo, 1.0, a_copy, b_copy, 0.0, RealMatrix(4, 5));
+  EXPECT_LT(max_abs_diff(c.view(), expected.view()), 1e-12);
+}
+
+TEST(Gram, SymmetricAndCorrect) {
+  Rng rng(4);
+  const RealMatrix a = RealMatrix::random_uniform(20, 6, rng);
+  const RealMatrix g = gram(a.view());
+  const RealMatrix expected =
+      gemm(Trans::kYes, Trans::kNo, a.view(), a.view());
+  EXPECT_LT(max_abs_diff(g.view(), expected.view()), 1e-12);
+  for (Index i = 0; i < 6; ++i) {
+    for (Index j = 0; j < 6; ++j) {
+      EXPECT_DOUBLE_EQ(g(i, j), g(j, i));
+    }
+  }
+}
+
+TEST(Norms, FrobeniusAndMaxAbs) {
+  RealMatrix m{{3, 4}, {0, 0}};
+  EXPECT_DOUBLE_EQ(frobenius_norm(m.view()), 5.0);
+  EXPECT_DOUBLE_EQ(max_abs(m.view()), 4.0);
+  RealMatrix n{{3, 4}, {0, 1}};
+  EXPECT_DOUBLE_EQ(max_abs_diff(m.view(), n.view()), 1.0);
+}
+
+}  // namespace
+}  // namespace lrt::la

@@ -1,0 +1,129 @@
+// Symmetric and generalized eigensolver tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/blas.hpp"
+#include "la/eig.hpp"
+#include "la/ortho.hpp"
+
+namespace lrt::la {
+namespace {
+
+TEST(Syev, DiagonalMatrix) {
+  RealMatrix a{{3, 0, 0}, {0, 1, 0}, {0, 0, 2}};
+  const EigResult r = syev(a.view());
+  ASSERT_EQ(r.values.size(), 3u);
+  EXPECT_NEAR(r.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(r.values[1], 2.0, 1e-12);
+  EXPECT_NEAR(r.values[2], 3.0, 1e-12);
+}
+
+TEST(Syev, Known2x2) {
+  // [[2,1],[1,2]] has eigenvalues 1 and 3.
+  RealMatrix a{{2, 1}, {1, 2}};
+  const EigResult r = syev(a.view());
+  EXPECT_NEAR(r.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(r.values[1], 3.0, 1e-12);
+}
+
+TEST(Syev, OneByOneAndEmpty) {
+  RealMatrix a{{5}};
+  const EigResult r = syev(a.view());
+  EXPECT_NEAR(r.values[0], 5.0, 1e-14);
+  EXPECT_NEAR(r.vectors(0, 0), 1.0, 1e-14);
+}
+
+class SyevSizes : public ::testing::TestWithParam<Index> {};
+
+TEST_P(SyevSizes, ResidualAndOrthogonality) {
+  const Index n = GetParam();
+  Rng rng(static_cast<unsigned>(n));
+  RealMatrix a = RealMatrix::random_normal(n, n, rng);
+  // Symmetrize.
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < i; ++j) {
+      a(j, i) = a(i, j);
+    }
+  }
+  const EigResult r = syev(a.view());
+  EXPECT_LT(eig_residual(a.view(), r), 1e-9 * n);
+  EXPECT_LT(orthogonality_error(r.vectors.view()), 1e-11);
+  // Ascending.
+  for (Index i = 1; i < n; ++i) {
+    EXPECT_LE(r.values[static_cast<std::size_t>(i - 1)],
+              r.values[static_cast<std::size_t>(i)] + 1e-12);
+  }
+  // Trace preservation.
+  Real trace = 0, sum = 0;
+  for (Index i = 0; i < n; ++i) {
+    trace += a(i, i);
+    sum += r.values[static_cast<std::size_t>(i)];
+  }
+  EXPECT_NEAR(trace, sum, 1e-8 * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, SyevSizes,
+                         ::testing::Values<Index>(2, 3, 5, 10, 33, 64, 100));
+
+TEST(Syev, DegenerateEigenvaluesHandled) {
+  // Identity block plus shifted block: eigenvalues {1,1,1,4,4}.
+  RealMatrix a(5, 5);
+  for (Index i = 0; i < 3; ++i) a(i, i) = 1.0;
+  for (Index i = 3; i < 5; ++i) a(i, i) = 4.0;
+  const EigResult r = syev(a.view());
+  EXPECT_NEAR(r.values[0], 1.0, 1e-12);
+  EXPECT_NEAR(r.values[2], 1.0, 1e-12);
+  EXPECT_NEAR(r.values[3], 4.0, 1e-12);
+  EXPECT_LT(orthogonality_error(r.vectors.view()), 1e-12);
+}
+
+TEST(Sygv, MatchesDirectSubstitution) {
+  Rng rng(9);
+  const Index n = 12;
+  // A symmetric, B SPD.
+  RealMatrix a = RealMatrix::random_normal(n, n, rng);
+  for (Index i = 0; i < n; ++i) {
+    for (Index j = 0; j < i; ++j) a(j, i) = a(i, j);
+  }
+  const RealMatrix c = RealMatrix::random_normal(n, n, rng);
+  RealMatrix b = gram(c.view());
+  for (Index i = 0; i < n; ++i) b(i, i) += n;
+
+  const EigResult r = sygv(a.view(), b.view());
+  // Check A x = λ B x for each pair.
+  const RealMatrix ax = gemm(Trans::kNo, Trans::kNo, a.view(),
+                             r.vectors.view());
+  const RealMatrix bx = gemm(Trans::kNo, Trans::kNo, b.view(),
+                             r.vectors.view());
+  for (Index j = 0; j < n; ++j) {
+    Real err = 0;
+    for (Index i = 0; i < n; ++i) {
+      const Real d =
+          ax(i, j) - r.values[static_cast<std::size_t>(j)] * bx(i, j);
+      err += d * d;
+    }
+    EXPECT_LT(std::sqrt(err), 1e-8);
+  }
+  // B-orthonormality: XᵀBX = I.
+  const RealMatrix xtbx =
+      gemm(Trans::kYes, Trans::kNo, r.vectors.view(), bx.view());
+  EXPECT_LT(max_abs_diff(xtbx.view(), RealMatrix::identity(n).view()), 1e-9);
+}
+
+TEST(Sygv, IdentityBReducesToSyev) {
+  Rng rng(10);
+  RealMatrix a = RealMatrix::random_normal(6, 6, rng);
+  for (Index i = 0; i < 6; ++i) {
+    for (Index j = 0; j < i; ++j) a(j, i) = a(i, j);
+  }
+  const EigResult general = sygv(a.view(), RealMatrix::identity(6).view());
+  const EigResult plain = syev(a.view());
+  for (Index i = 0; i < 6; ++i) {
+    EXPECT_NEAR(general.values[static_cast<std::size_t>(i)],
+                plain.values[static_cast<std::size_t>(i)], 1e-10);
+  }
+}
+
+}  // namespace
+}  // namespace lrt::la

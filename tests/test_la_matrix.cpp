@@ -1,0 +1,108 @@
+// Matrix / view semantics: indexing, blocks, copies, transpose.
+#include <gtest/gtest.h>
+
+#include "la/matrix.hpp"
+
+namespace lrt::la {
+namespace {
+
+TEST(Matrix, ConstructAndIndex) {
+  RealMatrix m(2, 3);
+  EXPECT_EQ(m.rows(), 2);
+  EXPECT_EQ(m.cols(), 3);
+  EXPECT_EQ(m.size(), 6);
+  m(1, 2) = 5.0;
+  EXPECT_DOUBLE_EQ(m(1, 2), 5.0);
+  EXPECT_DOUBLE_EQ(m(0, 0), 0.0);
+}
+
+TEST(Matrix, InitializerList) {
+  RealMatrix m{{1, 2}, {3, 4}, {5, 6}};
+  EXPECT_EQ(m.rows(), 3);
+  EXPECT_EQ(m.cols(), 2);
+  EXPECT_DOUBLE_EQ(m(2, 1), 6.0);
+}
+
+TEST(Matrix, RaggedInitializerThrows) {
+  EXPECT_THROW((RealMatrix{{1, 2}, {3}}), Error);
+}
+
+TEST(Matrix, Identity) {
+  const RealMatrix eye = RealMatrix::identity(3);
+  for (Index i = 0; i < 3; ++i) {
+    for (Index j = 0; j < 3; ++j) {
+      EXPECT_DOUBLE_EQ(eye(i, j), i == j ? 1.0 : 0.0);
+    }
+  }
+}
+
+TEST(Matrix, NegativeDimensionsThrow) {
+  EXPECT_THROW(RealMatrix(-1, 2), Error);
+}
+
+TEST(MatrixView, BlockIsAliasedWindow) {
+  RealMatrix m{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  RealView b = m.view().block(1, 1, 2, 2);
+  EXPECT_EQ(b.rows(), 2);
+  EXPECT_EQ(b.cols(), 2);
+  EXPECT_DOUBLE_EQ(b(0, 0), 5.0);
+  b(0, 0) = -5.0;
+  EXPECT_DOUBLE_EQ(m(1, 1), -5.0);  // writes through
+}
+
+TEST(MatrixView, RowAndColBlocks) {
+  RealMatrix m{{1, 2, 3}, {4, 5, 6}};
+  EXPECT_DOUBLE_EQ(m.view().rows_block(1, 1)(0, 2), 6.0);
+  EXPECT_DOUBLE_EQ(m.view().cols_block(2, 1)(1, 0), 6.0);
+}
+
+TEST(MatrixView, FillOnStridedBlock) {
+  RealMatrix m(3, 3);
+  m.view().block(0, 1, 3, 1).fill(7.0);
+  for (Index i = 0; i < 3; ++i) {
+    EXPECT_DOUBLE_EQ(m(i, 1), 7.0);
+    EXPECT_DOUBLE_EQ(m(i, 0), 0.0);
+    EXPECT_DOUBLE_EQ(m(i, 2), 0.0);
+  }
+}
+
+TEST(MatrixOps, CopyHandlesStrides) {
+  RealMatrix src{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  RealMatrix dst(2, 2);
+  copy<Real>(src.view().block(0, 1, 2, 2), dst.view());
+  EXPECT_DOUBLE_EQ(dst(0, 0), 2.0);
+  EXPECT_DOUBLE_EQ(dst(1, 1), 6.0);
+}
+
+TEST(MatrixOps, CopyShapeMismatchThrows) {
+  RealMatrix a(2, 2), b(2, 3);
+  EXPECT_THROW(copy<Real>(a.view(), b.view()), Error);
+}
+
+TEST(MatrixOps, Transpose) {
+  RealMatrix m{{1, 2, 3}, {4, 5, 6}};
+  const RealMatrix t = transpose<Real>(m.view());
+  EXPECT_EQ(t.rows(), 3);
+  EXPECT_EQ(t.cols(), 2);
+  EXPECT_DOUBLE_EQ(t(2, 0), 3.0);
+  EXPECT_DOUBLE_EQ(t(0, 1), 4.0);
+}
+
+TEST(MatrixOps, ToMatrixFromStridedView) {
+  RealMatrix m{{1, 2, 3}, {4, 5, 6}, {7, 8, 9}};
+  const RealMatrix sub = to_matrix<Real>(m.view().block(1, 0, 2, 2));
+  EXPECT_EQ(sub.rows(), 2);
+  EXPECT_DOUBLE_EQ(sub(1, 1), 8.0);
+}
+
+TEST(Matrix, RandomReproducible) {
+  Rng r1(9), r2(9);
+  const RealMatrix a = RealMatrix::random_normal(4, 4, r1);
+  const RealMatrix b = RealMatrix::random_normal(4, 4, r2);
+  for (Index i = 0; i < 4; ++i) {
+    for (Index j = 0; j < 4; ++j) EXPECT_DOUBLE_EQ(a(i, j), b(i, j));
+  }
+}
+
+}  // namespace
+}  // namespace lrt::la

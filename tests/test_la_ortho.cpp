@@ -1,0 +1,92 @@
+// Orthonormalization utilities: CholQR, QR fallback, projection.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "la/blas.hpp"
+#include "la/ortho.hpp"
+
+namespace lrt::la {
+namespace {
+
+TEST(CholQr, OrthonormalizesWellConditionedBlock) {
+  Rng rng(1);
+  RealMatrix a = RealMatrix::random_normal(50, 8, rng);
+  EXPECT_TRUE(cholqr(a.view()));
+  EXPECT_LT(orthogonality_error(a.view()), 1e-10);
+}
+
+TEST(CholQr, PreservesColumnSpan) {
+  Rng rng(2);
+  const RealMatrix original = RealMatrix::random_normal(30, 4, rng);
+  RealMatrix q = original;
+  cholqr2(q.view());
+  // original columns must be expressible in the Q basis:
+  // ||original - Q Qᵀ original|| ≈ 0.
+  const RealMatrix coeff =
+      gemm(Trans::kYes, Trans::kNo, q.view(), original.view());
+  RealMatrix residual = original;
+  gemm(Trans::kNo, Trans::kNo, -1.0, q.view(), coeff.view(), 1.0,
+       residual.view());
+  EXPECT_LT(frobenius_norm(residual.view()),
+            1e-10 * frobenius_norm(original.view()));
+}
+
+TEST(CholQr, FallsBackOnRankDeficiency) {
+  // A zero column makes the Gram matrix exactly singular: Cholesky must
+  // fail and the QR fallback engage (reported via `false`).
+  RealMatrix a(10, 2);
+  for (Index i = 0; i < 10; ++i) {
+    a(i, 0) = static_cast<Real>(i + 1);
+    a(i, 1) = 0.0;
+  }
+  EXPECT_FALSE(cholqr(a.view()));
+}
+
+TEST(CholQr2, MachinePrecisionForIllConditioned) {
+  // Columns with wildly different scales.
+  Rng rng(3);
+  RealMatrix a = RealMatrix::random_normal(60, 6, rng);
+  for (Index i = 0; i < 60; ++i) {
+    a(i, 0) *= 1e-7;
+    a(i, 5) *= 1e+5;
+  }
+  cholqr2(a.view());
+  EXPECT_LT(orthogonality_error(a.view()), 1e-12);
+}
+
+TEST(OrthoQr, AlwaysOrthonormalizes) {
+  Rng rng(4);
+  RealMatrix a = RealMatrix::random_normal(25, 5, rng);
+  ortho_qr(a.view());
+  EXPECT_LT(orthogonality_error(a.view()), 1e-12);
+}
+
+TEST(ProjectOut, RemovesComponentsInQ) {
+  Rng rng(5);
+  RealMatrix q = RealMatrix::random_normal(40, 5, rng);
+  cholqr2(q.view());
+  RealMatrix x = RealMatrix::random_normal(40, 3, rng);
+  project_out(q.view(), x.view());
+  const RealMatrix overlap = gemm(Trans::kYes, Trans::kNo, q.view(), x.view());
+  EXPECT_LT(max_abs(overlap.view()), 1e-11);
+}
+
+TEST(ProjectOut, IdempotentOnOrthogonalInput) {
+  Rng rng(6);
+  RealMatrix q = RealMatrix::random_normal(40, 4, rng);
+  cholqr2(q.view());
+  RealMatrix x = RealMatrix::random_normal(40, 2, rng);
+  project_out(q.view(), x.view());
+  const RealMatrix before = x;
+  project_out(q.view(), x.view());
+  EXPECT_LT(max_abs_diff(before.view(), x.view()), 1e-11);
+}
+
+TEST(OrthogonalityError, ZeroForIdentityBasis) {
+  RealMatrix eye = RealMatrix::identity(5);
+  EXPECT_NEAR(orthogonality_error(eye.view()), 0.0, 1e-15);
+}
+
+}  // namespace
+}  // namespace lrt::la

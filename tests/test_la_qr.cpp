@@ -1,0 +1,100 @@
+// Householder QR: reconstruction, orthogonality, Q application, and
+// triangular solves.
+#include <gtest/gtest.h>
+
+#include "la/blas.hpp"
+#include "la/ortho.hpp"
+#include "la/qr.hpp"
+
+namespace lrt::la {
+namespace {
+
+class QrShapes : public ::testing::TestWithParam<std::pair<Index, Index>> {};
+
+TEST_P(QrShapes, ReconstructsAndIsOrthogonal) {
+  const auto [m, n] = GetParam();
+  Rng rng(static_cast<unsigned>(m * 100 + n));
+  const RealMatrix a = RealMatrix::random_uniform(m, n, rng);
+  const QrFactors f = qr_factor(a.view());
+  const RealMatrix q = qr_form_q(f, n);
+  const RealMatrix r = qr_form_r(f);
+
+  EXPECT_LT(orthogonality_error(q.view()), 1e-12);
+  const RealMatrix qr = gemm(Trans::kNo, Trans::kNo, q.view(), r.view());
+  EXPECT_LT(max_abs_diff(qr.view(), a.view()), 1e-12);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    TallAndSquare, QrShapes,
+    ::testing::Values(std::make_pair<Index, Index>(1, 1),
+                      std::make_pair<Index, Index>(5, 5),
+                      std::make_pair<Index, Index>(20, 5),
+                      std::make_pair<Index, Index>(100, 30),
+                      std::make_pair<Index, Index>(257, 64)));
+
+TEST(Qr, WideMatrixRejected) {
+  RealMatrix a(2, 5);
+  EXPECT_THROW(qr_factor(a.view()), Error);
+}
+
+TEST(Qr, ApplyQtThenQIsIdentity) {
+  Rng rng(2);
+  const RealMatrix a = RealMatrix::random_uniform(12, 4, rng);
+  const QrFactors f = qr_factor(a.view());
+  const RealMatrix b = RealMatrix::random_uniform(12, 3, rng);
+  RealMatrix work = b;
+  qr_apply_qt(f, work.view());
+  qr_apply_q(f, work.view());
+  EXPECT_LT(max_abs_diff(work.view(), b.view()), 1e-12);
+}
+
+TEST(Qr, QtAMatchesR) {
+  Rng rng(8);
+  const RealMatrix a = RealMatrix::random_uniform(10, 4, rng);
+  const QrFactors f = qr_factor(a.view());
+  RealMatrix qta = a;
+  qr_apply_qt(f, qta.view());
+  const RealMatrix r = qr_form_r(f);
+  for (Index i = 0; i < 4; ++i) {
+    for (Index j = 0; j < 4; ++j) {
+      EXPECT_NEAR(qta(i, j), r(i, j), 1e-12);
+    }
+  }
+  // Rows below the triangle must be annihilated.
+  for (Index i = 4; i < 10; ++i) {
+    for (Index j = 0; j < 4; ++j) {
+      EXPECT_NEAR(qta(i, j), 0.0, 1e-12);
+    }
+  }
+}
+
+TEST(TriangularSolves, UpperLowerAndTransposed) {
+  RealMatrix l{{2, 0, 0}, {1, 3, 0}, {-1, 2, 4}};
+  const RealMatrix u = transpose<Real>(l.view());
+  Rng rng(3);
+  const RealMatrix x_true = RealMatrix::random_uniform(3, 2, rng);
+
+  // L x = b
+  RealMatrix b = gemm(Trans::kNo, Trans::kNo, l.view(), x_true.view());
+  solve_lower_triangular(l.view(), b.view());
+  EXPECT_LT(max_abs_diff(b.view(), x_true.view()), 1e-12);
+
+  // U x = b
+  b = gemm(Trans::kNo, Trans::kNo, u.view(), x_true.view());
+  solve_upper_triangular(u.view(), b.view());
+  EXPECT_LT(max_abs_diff(b.view(), x_true.view()), 1e-12);
+
+  // Lᵀ x = b
+  b = gemm(Trans::kYes, Trans::kNo, l.view(), x_true.view());
+  solve_lower_transposed(l.view(), b.view());
+  EXPECT_LT(max_abs_diff(b.view(), x_true.view()), 1e-12);
+}
+
+TEST(TriangularSolves, SingularThrows) {
+  RealMatrix l{{1, 0}, {2, 0}};
+  RealMatrix b(2, 1);
+  EXPECT_THROW(solve_lower_triangular(l.view(), b.view()), Error);
+}
+
+}  // namespace
+}  // namespace lrt::la

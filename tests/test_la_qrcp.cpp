@@ -1,0 +1,117 @@
+// Column-pivoted QR: pivot quality, rank revelation, threshold truncation.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "la/blas.hpp"
+#include "la/qrcp.hpp"
+
+namespace lrt::la {
+namespace {
+
+/// Builds an m x n matrix of exact rank r with known column magnitudes.
+RealMatrix low_rank_matrix(Index m, Index n, Index r, Rng& rng) {
+  const RealMatrix u = RealMatrix::random_normal(m, r, rng);
+  const RealMatrix v = RealMatrix::random_normal(r, n, rng);
+  return gemm(Trans::kNo, Trans::kNo, u.view(), v.view());
+}
+
+TEST(Qrcp, DiagonalOfRIsNonIncreasing) {
+  Rng rng(1);
+  const RealMatrix a = RealMatrix::random_normal(30, 30, rng);
+  const QrcpResult f = qrcp_factor(a.view());
+  for (std::size_t k = 1; k < f.rdiag.size(); ++k) {
+    EXPECT_LE(f.rdiag[k], f.rdiag[k - 1] + 1e-10);
+  }
+}
+
+TEST(Qrcp, PermIsAPermutation) {
+  Rng rng(2);
+  const RealMatrix a = RealMatrix::random_normal(10, 18, rng);
+  const QrcpResult f = qrcp_factor(a.view());
+  std::vector<Index> perm = f.perm;
+  std::sort(perm.begin(), perm.end());
+  for (Index j = 0; j < 18; ++j) EXPECT_EQ(perm[static_cast<std::size_t>(j)], j);
+}
+
+TEST(Qrcp, RevealsNumericalRank) {
+  Rng rng(3);
+  const RealMatrix a = low_rank_matrix(40, 60, 7, rng);
+  QrcpOptions opts;
+  opts.rel_threshold = 1e-10;
+  const QrcpResult f = qrcp_factor(a.view(), opts);
+  EXPECT_EQ(f.rank, 7);
+}
+
+TEST(Qrcp, MaxRankStopsEarly) {
+  Rng rng(4);
+  const RealMatrix a = RealMatrix::random_normal(20, 20, rng);
+  QrcpOptions opts;
+  opts.max_rank = 5;
+  const QrcpResult f = qrcp_factor(a.view(), opts);
+  EXPECT_EQ(f.rank, 5);
+  EXPECT_EQ(qrcp_pivots(f, 5).size(), 5u);
+  EXPECT_THROW(qrcp_pivots(f, 6), Error);
+}
+
+TEST(Qrcp, FirstPivotIsLargestColumn) {
+  RealMatrix a(4, 3);
+  // Column norms: col0 = 1, col1 = 10, col2 = 2.
+  a(0, 0) = 1;
+  a(0, 1) = 10;
+  a(0, 2) = 2;
+  const QrcpResult f = qrcp_factor(a.view());
+  EXPECT_EQ(f.perm[0], 1);
+}
+
+TEST(Qrcp, LeadingPivotsSpanLowRankMatrix) {
+  // For a rank-r matrix, the first r pivot columns must span the range:
+  // projecting all columns onto them leaves ~0 residual.
+  Rng rng(5);
+  const Index r = 5;
+  const RealMatrix a = low_rank_matrix(30, 50, r, rng);
+  QrcpOptions opts;
+  opts.max_rank = r;
+  const QrcpResult f = qrcp_factor(a.view(), opts);
+  const std::vector<Index> pivots = qrcp_pivots(f, r);
+
+  // Gather pivot columns into S (30 x r), then residual = ||A - S S⁺ A||.
+  RealMatrix s(30, r);
+  for (Index j = 0; j < r; ++j) {
+    for (Index i = 0; i < 30; ++i) {
+      s(i, j) = a(i, pivots[static_cast<std::size_t>(j)]);
+    }
+  }
+  // Least squares via normal equations.
+  const RealMatrix g = gram(s.view());
+  const RealMatrix sta = gemm(Trans::kYes, Trans::kNo, s.view(), a.view());
+  // Solve g x = sta with a plain Gaussian pass (g is r x r SPD here).
+  RealMatrix x = sta;
+  {
+    RealMatrix gc = g;
+    for (Index k = 0; k < r; ++k) {
+      const Real piv = gc(k, k);
+      for (Index i = k + 1; i < r; ++i) {
+        const Real factor = gc(i, k) / piv;
+        for (Index j = k; j < r; ++j) gc(i, j) -= factor * gc(k, j);
+        for (Index j = 0; j < x.cols(); ++j) x(i, j) -= factor * x(k, j);
+      }
+    }
+    for (Index k = r - 1; k >= 0; --k) {
+      for (Index j = 0; j < x.cols(); ++j) {
+        Real sum = x(k, j);
+        for (Index i = k + 1; i < r; ++i) sum -= gc(k, i) * x(i, j);
+        x(k, j) = sum / gc(k, k);
+      }
+    }
+  }
+  RealMatrix residual = a;
+  gemm(Trans::kNo, Trans::kNo, -1.0, s.view(), x.view(), 1.0,
+       residual.view());
+  EXPECT_LT(frobenius_norm(residual.view()),
+            1e-8 * frobenius_norm(a.view()));
+}
+
+}  // namespace
+}  // namespace lrt::la

@@ -1,0 +1,285 @@
+// Message-passing runtime: p2p semantics and every collective, swept over
+// rank counts (including non-powers of two, which stress the tree and
+// ring algorithms).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+
+#include "par/comm.hpp"
+
+namespace lrt::par {
+namespace {
+
+class CommSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CommSweep, SendRecvRoundTrip) {
+  const int p = GetParam();
+  if (p < 2) GTEST_SKIP() << "needs two ranks";
+  run(p, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      std::vector<double> data = {1.5, 2.5, 3.5};
+      comm.send(data.data(), 3, 1, 42);
+    } else if (comm.rank() == 1) {
+      std::vector<double> data(3);
+      comm.recv(data.data(), 3, 0, 42);
+      EXPECT_DOUBLE_EQ(data[0], 1.5);
+      EXPECT_DOUBLE_EQ(data[2], 3.5);
+    }
+  });
+}
+
+TEST_P(CommSweep, TagMatchingIsSelective) {
+  const int p = GetParam();
+  if (p < 2) GTEST_SKIP();
+  run(p, [](Comm& comm) {
+    if (comm.rank() == 0) {
+      const double a = 1.0, b = 2.0;
+      comm.send(&a, 1, 1, 7);
+      comm.send(&b, 1, 1, 8);
+    } else if (comm.rank() == 1) {
+      double value = 0;
+      comm.recv(&value, 1, 0, 8);  // out-of-order tag first
+      EXPECT_DOUBLE_EQ(value, 2.0);
+      comm.recv(&value, 1, 0, 7);
+      EXPECT_DOUBLE_EQ(value, 1.0);
+    }
+  });
+}
+
+TEST_P(CommSweep, FifoOrderPerTag) {
+  const int p = GetParam();
+  if (p < 2) GTEST_SKIP();
+  run(p, [](Comm& comm) {
+    constexpr int kCount = 20;
+    if (comm.rank() == 0) {
+      for (int i = 0; i < kCount; ++i) {
+        const double v = i;
+        comm.send(&v, 1, 1, 5);
+      }
+    } else if (comm.rank() == 1) {
+      for (int i = 0; i < kCount; ++i) {
+        double v = -1;
+        comm.recv(&v, 1, 0, 5);
+        EXPECT_DOUBLE_EQ(v, i);
+      }
+    }
+  });
+}
+
+TEST_P(CommSweep, BarrierSynchronizes) {
+  const int p = GetParam();
+  run(p, [p](Comm& comm) {
+    static std::atomic<int> counter{0};
+    if (comm.rank() == 0) counter.store(0);
+    comm.barrier();
+    counter.fetch_add(1);
+    comm.barrier();
+    EXPECT_EQ(counter.load(), p);
+    comm.barrier();
+  });
+}
+
+TEST_P(CommSweep, BcastFromEveryRoot) {
+  const int p = GetParam();
+  run(p, [p](Comm& comm) {
+    for (int root = 0; root < p; ++root) {
+      std::vector<double> data(4, comm.rank() == root ? 3.25 : 0.0);
+      comm.bcast(data.data(), 4, root);
+      for (const double v : data) EXPECT_DOUBLE_EQ(v, 3.25);
+    }
+  });
+}
+
+TEST_P(CommSweep, ReduceSumToEveryRoot) {
+  const int p = GetParam();
+  run(p, [p](Comm& comm) {
+    for (int root = 0; root < p; ++root) {
+      std::vector<double> data = {double(comm.rank()), 1.0};
+      comm.reduce(data.data(), 2, ReduceOp::kSum, root);
+      if (comm.rank() == root) {
+        EXPECT_DOUBLE_EQ(data[0], p * (p - 1) / 2.0);
+        EXPECT_DOUBLE_EQ(data[1], p);
+      }
+    }
+  });
+}
+
+TEST_P(CommSweep, AllreduceSumMaxMin) {
+  const int p = GetParam();
+  run(p, [p](Comm& comm) {
+    double sum = comm.rank() + 1.0;
+    comm.allreduce(&sum, 1, ReduceOp::kSum);
+    EXPECT_DOUBLE_EQ(sum, p * (p + 1) / 2.0);
+
+    double mx = comm.rank();
+    comm.allreduce(&mx, 1, ReduceOp::kMax);
+    EXPECT_DOUBLE_EQ(mx, p - 1.0);
+
+    double mn = comm.rank();
+    comm.allreduce(&mn, 1, ReduceOp::kMin);
+    EXPECT_DOUBLE_EQ(mn, 0.0);
+  });
+}
+
+TEST_P(CommSweep, AlltoallExchangesBlocks) {
+  const int p = GetParam();
+  run(p, [p](Comm& comm) {
+    // Rank r sends value 100*r + q to rank q.
+    std::vector<double> send(static_cast<std::size_t>(p));
+    for (int q = 0; q < p; ++q) send[static_cast<std::size_t>(q)] = 100.0 * comm.rank() + q;
+    std::vector<double> recv(static_cast<std::size_t>(p));
+    comm.alltoall(send.data(), recv.data(), 1);
+    for (int q = 0; q < p; ++q) {
+      EXPECT_DOUBLE_EQ(recv[static_cast<std::size_t>(q)],
+                       100.0 * q + comm.rank());
+    }
+  });
+}
+
+TEST_P(CommSweep, AlltoallvVariableCounts) {
+  const int p = GetParam();
+  run(p, [p](Comm& comm) {
+    // Rank r sends (q+1) copies of value r*1000+q to rank q.
+    std::vector<Index> scounts(static_cast<std::size_t>(p));
+    std::vector<Index> sdispls(static_cast<std::size_t>(p));
+    Index total = 0;
+    for (int q = 0; q < p; ++q) {
+      scounts[static_cast<std::size_t>(q)] = q + 1;
+      sdispls[static_cast<std::size_t>(q)] = total;
+      total += q + 1;
+    }
+    std::vector<double> send(static_cast<std::size_t>(total));
+    for (int q = 0; q < p; ++q) {
+      for (Index i = 0; i < scounts[static_cast<std::size_t>(q)]; ++i) {
+        send[static_cast<std::size_t>(sdispls[static_cast<std::size_t>(q)] + i)] =
+            comm.rank() * 1000.0 + q;
+      }
+    }
+    // Everyone receives (rank+1) values from each source.
+    std::vector<Index> rcounts(static_cast<std::size_t>(p),
+                               comm.rank() + 1);
+    std::vector<Index> rdispls(static_cast<std::size_t>(p));
+    for (int q = 1; q < p; ++q) {
+      rdispls[static_cast<std::size_t>(q)] =
+          rdispls[static_cast<std::size_t>(q - 1)] + comm.rank() + 1;
+    }
+    std::vector<double> recv(
+        static_cast<std::size_t>(p * (comm.rank() + 1)));
+    comm.alltoallv(send.data(), scounts, sdispls, recv.data(), rcounts,
+                   rdispls);
+    for (int q = 0; q < p; ++q) {
+      for (Index i = 0; i < comm.rank() + 1; ++i) {
+        EXPECT_DOUBLE_EQ(
+            recv[static_cast<std::size_t>(rdispls[static_cast<std::size_t>(q)] + i)],
+            q * 1000.0 + comm.rank());
+      }
+    }
+  });
+}
+
+TEST_P(CommSweep, AllgatherRing) {
+  const int p = GetParam();
+  run(p, [p](Comm& comm) {
+    const double mine[2] = {double(comm.rank()), double(comm.rank()) * 10};
+    std::vector<double> all(static_cast<std::size_t>(2 * p));
+    comm.allgather(mine, 2, all.data());
+    for (int r = 0; r < p; ++r) {
+      EXPECT_DOUBLE_EQ(all[static_cast<std::size_t>(2 * r)], r);
+      EXPECT_DOUBLE_EQ(all[static_cast<std::size_t>(2 * r + 1)], 10.0 * r);
+    }
+  });
+}
+
+TEST_P(CommSweep, GatherAndScatter) {
+  const int p = GetParam();
+  run(p, [p](Comm& comm) {
+    const double mine = 7.0 + comm.rank();
+    std::vector<double> gathered(static_cast<std::size_t>(p));
+    comm.gather(&mine, 1, gathered.data(), 0);
+    if (comm.rank() == 0) {
+      for (int r = 0; r < p; ++r) {
+        EXPECT_DOUBLE_EQ(gathered[static_cast<std::size_t>(r)], 7.0 + r);
+      }
+      for (auto& v : gathered) v *= 2;
+    }
+    double back = 0;
+    comm.scatter(gathered.data(), 1, &back, 0);
+    EXPECT_DOUBLE_EQ(back, 2 * (7.0 + comm.rank()));
+  });
+}
+
+TEST_P(CommSweep, SplitByParity) {
+  const int p = GetParam();
+  if (p < 2) GTEST_SKIP();
+  run(p, [p](Comm& comm) {
+    const int color = comm.rank() % 2;
+    Comm sub = comm.split(color, comm.rank());
+    const int expected_size = p / 2 + (color == 0 ? p % 2 : 0);
+    EXPECT_EQ(sub.size(), expected_size);
+    EXPECT_EQ(sub.rank(), comm.rank() / 2);
+    // The subcommunicator must be functional and isolated.
+    double sum = 1.0;
+    sub.allreduce(&sum, 1, ReduceOp::kSum);
+    EXPECT_DOUBLE_EQ(sum, expected_size);
+  });
+}
+
+TEST_P(CommSweep, CommSecondsAccumulate) {
+  const int p = GetParam();
+  if (p < 2) GTEST_SKIP();
+  run(p, [](Comm& comm) {
+    comm.reset_comm_seconds();
+    EXPECT_DOUBLE_EQ(comm.comm_seconds(), 0.0);
+    comm.barrier();
+    EXPECT_GE(comm.comm_seconds(), 0.0);
+    EXPECT_GT(comm.bytes_sent(), 0);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, CommSweep,
+                         ::testing::Values(1, 2, 3, 4, 5, 8));
+
+TEST(Runtime, RankExceptionPropagatesWithoutDeadlock) {
+  EXPECT_THROW(run(4,
+                   [](Comm& comm) {
+                     if (comm.rank() == 2) {
+                       throw Error("rank 2 failed");
+                     }
+                     // Other ranks block on a message that never comes;
+                     // poisoning must wake them.
+                     double v;
+                     comm.recv(&v, 1, (comm.rank() + 1) % 4, 9);
+                   }),
+               Error);
+}
+
+TEST(Runtime, MessageSizeMismatchThrows) {
+  EXPECT_THROW(run(2,
+                   [](Comm& comm) {
+                     if (comm.rank() == 0) {
+                       double v[2] = {1, 2};
+                       comm.send(v, 2, 1, 1);
+                     } else {
+                       double v[3];
+                       comm.recv(v, 3, 0, 1);  // wrong count
+                     }
+                   }),
+               Error);
+}
+
+TEST(Runtime, SingleRankRunsInline) {
+  int calls = 0;
+  run(1, [&calls](Comm& comm) {
+    EXPECT_EQ(comm.size(), 1);
+    EXPECT_EQ(comm.rank(), 0);
+    double v = 5;
+    comm.allreduce(&v, 1, ReduceOp::kSum);
+    EXPECT_DOUBLE_EQ(v, 5.0);
+    ++calls;
+  });
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace lrt::par

@@ -1,0 +1,100 @@
+// Layout math: block partitions, numroc, global<->local index maps.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "par/layout.hpp"
+
+namespace lrt::par {
+namespace {
+
+TEST(BlockPartition, CountsSumToTotal) {
+  for (const Index n : {0, 1, 7, 10, 100}) {
+    for (const int p : {1, 2, 3, 4, 7}) {
+      const BlockPartition part(n, p);
+      Index total = 0;
+      for (int r = 0; r < p; ++r) total += part.count(r);
+      EXPECT_EQ(total, n) << "n=" << n << " p=" << p;
+    }
+  }
+}
+
+TEST(BlockPartition, OffsetsAreCumulative) {
+  const BlockPartition part(11, 3);  // blocks of 4, 4, 3
+  EXPECT_EQ(part.count(0), 4);
+  EXPECT_EQ(part.count(2), 3);
+  EXPECT_EQ(part.offset(0), 0);
+  EXPECT_EQ(part.offset(1), 4);
+  EXPECT_EQ(part.offset(2), 8);
+}
+
+TEST(BlockPartition, OwnerInvertsOffsets) {
+  const BlockPartition part(23, 5);
+  for (Index i = 0; i < 23; ++i) {
+    const int r = part.owner(i);
+    EXPECT_GE(i, part.offset(r));
+    EXPECT_LT(i, part.offset(r) + part.count(r));
+  }
+}
+
+TEST(Numroc, MatchesScalapackSemantics) {
+  // n=10, nb=2 over 3 procs: blocks 0..4 go to procs 0,1,2,0,1.
+  EXPECT_EQ(numroc(10, 2, 0, 3), 4);  // blocks 0 and 3
+  EXPECT_EQ(numroc(10, 2, 1, 3), 4);  // blocks 1 and 4
+  EXPECT_EQ(numroc(10, 2, 2, 3), 2);  // block 2
+  // Ragged tail: n=11 gives proc 0 an extra element (block 5 partial).
+  EXPECT_EQ(numroc(11, 2, 0, 3), 4);
+  EXPECT_EQ(numroc(11, 2, 1, 3), 4);
+  EXPECT_EQ(numroc(11, 2, 2, 3), 3);
+}
+
+class LayoutRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(LayoutRoundTrip, LocateAndGlobalAreInverse) {
+  const int scheme_id = GetParam();
+  const Index m = 13, n = 9;
+  Layout layout = Layout::block_row(m, n, 4);
+  if (scheme_id == 1) layout = Layout::block_col(m, n, 4);
+  if (scheme_id == 2) layout = Layout::block_cyclic_2d(m, n, 2, 2, 3, 2);
+
+  // Every global element maps to exactly one (rank, li, lj), and the
+  // inverse maps recover the global indices.
+  std::set<std::tuple<int, Index, Index>> seen;
+  for (Index i = 0; i < m; ++i) {
+    for (Index j = 0; j < n; ++j) {
+      const Layout::Location loc = layout.locate(i, j);
+      EXPECT_GE(loc.rank, 0);
+      EXPECT_LT(loc.rank, layout.nranks());
+      EXPECT_LT(loc.local_row, layout.local_rows(loc.rank));
+      EXPECT_LT(loc.local_col, layout.local_cols(loc.rank));
+      EXPECT_EQ(layout.global_row(loc.rank, loc.local_row), i);
+      EXPECT_EQ(layout.global_col(loc.rank, loc.local_col), j);
+      seen.insert({loc.rank, loc.local_row, loc.local_col});
+    }
+  }
+  EXPECT_EQ(seen.size(), static_cast<std::size_t>(m * n));
+
+  // Local sizes account for every element.
+  Index total = 0;
+  for (int r = 0; r < layout.nranks(); ++r) {
+    total += layout.local_rows(r) * layout.local_cols(r);
+  }
+  EXPECT_EQ(total, m * n);
+}
+
+INSTANTIATE_TEST_SUITE_P(Schemes, LayoutRoundTrip, ::testing::Values(0, 1, 2));
+
+TEST(Layout, BlockCyclicMatchesHandComputedMap) {
+  // 2x2 grid, 2x2 blocks, 6x6 matrix: row blocks 0,1,2 -> prow 0,1,0.
+  const Layout l = Layout::block_cyclic_2d(6, 6, 2, 2, 2, 2);
+  EXPECT_EQ(l.locate(0, 0).rank, 0);
+  EXPECT_EQ(l.locate(2, 0).rank, 2);  // row block 1 -> prow 1 -> rank 1*2+0
+  EXPECT_EQ(l.locate(0, 2).rank, 1);  // col block 1 -> pcol 1
+  EXPECT_EQ(l.locate(2, 2).rank, 3);
+  EXPECT_EQ(l.locate(4, 4).rank, 0);  // blocks wrap around
+  EXPECT_EQ(l.locate(4, 4).local_row, 2);
+  EXPECT_EQ(l.locate(4, 4).local_col, 2);
+}
+
+}  // namespace
+}  // namespace lrt::par

@@ -1,0 +1,86 @@
+// SUMMA distributed GEMM vs serial reference across grid shapes.
+#include <gtest/gtest.h>
+
+#include "la/blas.hpp"
+#include "par/summa.hpp"
+
+namespace lrt::par {
+namespace {
+
+struct SummaCase {
+  int prow, pcol;
+  Index m, n, k;
+  Index panel;
+};
+
+class SummaSweep : public ::testing::TestWithParam<SummaCase> {};
+
+TEST_P(SummaSweep, MatchesSerialGemm) {
+  const SummaCase c = GetParam();
+  const int p = c.prow * c.pcol;
+
+  Rng rng(42);
+  const la::RealMatrix a = la::RealMatrix::random_normal(c.m, c.k, rng);
+  const la::RealMatrix b = la::RealMatrix::random_normal(c.k, c.n, rng);
+  const la::RealMatrix expected =
+      la::gemm(la::Trans::kNo, la::Trans::kNo, a.view(), b.view());
+
+  run(p, [&](Comm& comm) {
+    ProcessGrid2D grid(comm, c.prow, c.pcol);
+    const BlockPartition rows_m(c.m, c.prow);
+    const BlockPartition cols_n(c.n, c.pcol);
+    const BlockPartition k_by_col(c.k, c.pcol);
+    const BlockPartition k_by_row(c.k, c.prow);
+
+    const auto a_loc = a.view().block(
+        rows_m.offset(grid.my_row()), k_by_col.offset(grid.my_col()),
+        rows_m.count(grid.my_row()), k_by_col.count(grid.my_col()));
+    const auto b_loc = b.view().block(
+        k_by_row.offset(grid.my_row()), cols_n.offset(grid.my_col()),
+        k_by_row.count(grid.my_row()), cols_n.count(grid.my_col()));
+
+    SummaOptions opts;
+    opts.panel = c.panel;
+    const la::RealMatrix c_loc =
+        summa_gemm(grid, a_loc, b_loc, c.m, c.n, c.k, opts);
+
+    const auto c_expected = expected.view().block(
+        rows_m.offset(grid.my_row()), cols_n.offset(grid.my_col()),
+        rows_m.count(grid.my_row()), cols_n.count(grid.my_col()));
+    EXPECT_LT(la::max_abs_diff(c_loc.view(), c_expected), 1e-10)
+        << "grid " << c.prow << "x" << c.pcol;
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    GridsAndShapes, SummaSweep,
+    ::testing::Values(SummaCase{1, 1, 12, 9, 7, 4},
+                      SummaCase{1, 4, 16, 12, 10, 3},
+                      SummaCase{4, 1, 16, 12, 10, 5},
+                      SummaCase{2, 2, 20, 20, 20, 8},
+                      SummaCase{2, 3, 17, 13, 11, 4},
+                      SummaCase{2, 2, 33, 21, 19, 64}));
+
+TEST(ProcessGrid2D, SubcommunicatorsHaveExpectedShape) {
+  run(6, [](Comm& comm) {
+    ProcessGrid2D grid(comm, 2, 3);
+    EXPECT_EQ(grid.row_comm().size(), 3);
+    EXPECT_EQ(grid.col_comm().size(), 2);
+    EXPECT_EQ(grid.row_comm().rank(), grid.my_col());
+    EXPECT_EQ(grid.col_comm().rank(), grid.my_row());
+    // Row members share my_row: verify by allreducing my_row over the
+    // row communicator (max == min == my_row).
+    double v = grid.my_row();
+    grid.row_comm().allreduce(&v, 1, ReduceOp::kMax);
+    EXPECT_DOUBLE_EQ(v, grid.my_row());
+  });
+}
+
+TEST(ProcessGrid2D, RejectsMismatchedGrid) {
+  run(4, [](Comm& comm) {
+    EXPECT_THROW(ProcessGrid2D(comm, 3, 2), Error);
+  });
+}
+
+}  // namespace
+}  // namespace lrt::par

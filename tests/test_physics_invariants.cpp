@@ -1,0 +1,134 @@
+// Cross-module physics invariants: symmetries that any correct
+// implementation must respect regardless of parameters.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dft/scf.hpp"
+#include "tddft/driver.hpp"
+
+namespace lrt {
+namespace {
+
+TEST(PhysicsInvariants, ScfEnergyIsTranslationInvariant) {
+  // Rigidly translating every atom by a GRID-COMMENSURATE vector
+  // (periodic wrap included) must leave the total energy and the spectrum
+  // unchanged: at these coarse cutoffs an arbitrary shift suffers the
+  // egg-box discretization error, but integer-grid shifts are an exact
+  // symmetry — exercising the phase factors of the pseudopotential
+  // builder, the Ewald sum, and the projector tabulation together.
+  dft::ScfOptions opts;
+  opts.ecut = 5.0;
+  opts.num_conduction = 6;  // smearing needs tail headroom (see test_dft_scf)
+  opts.smearing = 0.005;
+  opts.density_tolerance = 1e-4;
+  opts.max_iterations = 40;
+
+  grid::Structure base = grid::make_silicon_supercell(1);
+  const dft::KohnShamResult a = dft::solve_ground_state(base, opts);
+
+  // Shift by integer grid steps along each axis.
+  const auto shape = a.grid.shape();
+  const grid::Vec3 t = {2.0 * base.cell.length(0) / Real(shape[0]),
+                        3.0 * base.cell.length(1) / Real(shape[1]),
+                        1.0 * base.cell.length(2) / Real(shape[2])};
+  grid::Structure shifted = base;
+  for (auto& atom : shifted.atoms) {
+    atom.position = shifted.cell.wrap({atom.position[0] + t[0],
+                                       atom.position[1] + t[1],
+                                       atom.position[2] + t[2]});
+  }
+  const dft::KohnShamResult b = dft::solve_ground_state(shifted, opts);
+
+  EXPECT_TRUE(a.converged);
+  EXPECT_TRUE(b.converged);
+  EXPECT_NEAR(a.total_energy, b.total_energy, 1e-4 * std::abs(a.total_energy));
+  for (std::size_t i = 0; i < a.eigenvalues.size(); ++i) {
+    EXPECT_NEAR(a.eigenvalues[i], b.eigenvalues[i], 1e-3) << "band " << i;
+  }
+}
+
+TEST(PhysicsInvariants, ExcitationsAreGaugeInvariant) {
+  // Flipping the sign of any Kohn-Sham orbital is a gauge change: every
+  // excitation energy must be identical.
+  const grid::RealSpaceGrid g(grid::UnitCell::cubic(8.0), {10, 10, 10});
+  dft::SyntheticOptions sopts;
+  sopts.num_centers = 8;
+  sopts.seed = 61;
+  tddft::CasidaProblem problem = tddft::make_problem_from_synthetic(
+      g, dft::make_synthetic_orbitals(g, 4, 3, sopts));
+
+  tddft::DriverOptions opts;
+  opts.version = tddft::Version::kNaive;
+  opts.num_states = 4;
+  const tddft::DriverResult original = tddft::solve_casida(problem, opts);
+
+  // Flip ψ_v[1] and ψ_c[2].
+  for (Index i = 0; i < problem.nr(); ++i) {
+    problem.psi_v(i, 1) = -problem.psi_v(i, 1);
+    problem.psi_c(i, 2) = -problem.psi_c(i, 2);
+  }
+  const tddft::DriverResult flipped = tddft::solve_casida(problem, opts);
+  for (Index j = 0; j < 4; ++j) {
+    EXPECT_NEAR(original.energies[static_cast<std::size_t>(j)],
+                flipped.energies[static_cast<std::size_t>(j)], 1e-10);
+  }
+}
+
+TEST(PhysicsInvariants, ExcitationsBoundedBelowByGapMinusCoupling) {
+  // TDA with a positive-semidefinite Hartree-dominated kernel keeps the
+  // lowest excitation near or above the KS gap minus the xc softening —
+  // in particular it must stay positive for a gapped problem.
+  const grid::RealSpaceGrid g(grid::UnitCell::cubic(8.0), {10, 10, 10});
+  dft::SyntheticOptions sopts;
+  sopts.num_centers = 8;
+  sopts.gap = 0.2;
+  sopts.seed = 62;
+  const tddft::CasidaProblem problem = tddft::make_problem_from_synthetic(
+      g, dft::make_synthetic_orbitals(g, 4, 3, sopts));
+  tddft::DriverOptions opts;
+  opts.version = tddft::Version::kNaive;
+  opts.num_states = 3;
+  const tddft::DriverResult r = tddft::solve_casida(problem, opts);
+  EXPECT_GT(r.energies[0], 0.0);
+  // RPA-only (Hartree) kernel can only push excitations UP from D.
+  tddft::DriverOptions rpa = opts;
+  rpa.include_xc = false;
+  const tddft::DriverResult rr = tddft::solve_casida(problem, rpa);
+  const std::vector<Real> d = tddft::energy_differences(problem);
+  const Real d_min = *std::min_element(d.begin(), d.end());
+  EXPECT_GE(rr.energies[0], d_min - 1e-10);
+}
+
+TEST(PhysicsInvariants, KernelScalesWithCellVolume) {
+  // The same dimensionless problem in a scaled cell: Hartree couplings
+  // scale as 1/L (Coulomb), so excitation corrections shrink for larger
+  // boxes while D stays fixed. Verifies the dv/volume bookkeeping chain.
+  dft::SyntheticOptions sopts;
+  sopts.num_centers = 8;
+  sopts.seed = 63;
+
+  auto lowest_shift = [&](Real box) {
+    const grid::RealSpaceGrid g(grid::UnitCell::cubic(box), {10, 10, 10});
+    sopts.width = 0.22 * box;  // scale orbitals with the box
+    const tddft::CasidaProblem problem = tddft::make_problem_from_synthetic(
+        g, dft::make_synthetic_orbitals(g, 4, 3, sopts));
+    tddft::DriverOptions opts;
+    opts.version = tddft::Version::kNaive;
+    opts.num_states = 1;
+    opts.include_xc = false;  // pure Coulomb for clean scaling
+    const tddft::DriverResult r = tddft::solve_casida(problem, opts);
+    const std::vector<Real> d = tddft::energy_differences(problem);
+    return r.energies[0] - *std::min_element(d.begin(), d.end());
+  };
+
+  const Real shift_small = lowest_shift(6.0);
+  const Real shift_large = lowest_shift(12.0);
+  EXPECT_GT(shift_small, 0);
+  // 2x box -> roughly half the Coulomb shift (loose factor for shape
+  // mixing).
+  EXPECT_LT(shift_large, 0.8 * shift_small);
+}
+
+}  // namespace
+}  // namespace lrt

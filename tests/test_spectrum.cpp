@@ -1,0 +1,127 @@
+// DOS broadening and oscillator-strength post-processing.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "dft/synthetic.hpp"
+#include "tddft/driver.hpp"
+#include "tddft/spectrum.hpp"
+
+namespace lrt::tddft {
+namespace {
+
+TEST(GaussianDos, NormalizationIntegratesToStateCount) {
+  const std::vector<Real> energies = {0.2, 0.5, 0.55};
+  const std::vector<Real> grid = linspace(-1.0, 2.0, 3001);
+  const std::vector<Real> dos = gaussian_dos(energies, grid, 0.05);
+  Real integral = 0;
+  const Real de = grid[1] - grid[0];
+  for (const Real d : dos) integral += d * de;
+  EXPECT_NEAR(integral, 3.0, 1e-6);
+}
+
+TEST(GaussianDos, PeaksAtStateEnergies) {
+  const std::vector<Real> energies = {1.0};
+  const std::vector<Real> grid = linspace(0.0, 2.0, 201);
+  const std::vector<Real> dos = gaussian_dos(energies, grid, 0.1);
+  const auto it = std::max_element(dos.begin(), dos.end());
+  EXPECT_NEAR(grid[static_cast<std::size_t>(it - dos.begin())], 1.0, 0.011);
+}
+
+TEST(GaussianDos, WeightsScaleContributions) {
+  const std::vector<Real> energies = {0.0};
+  const std::vector<Real> grid = {0.0};
+  const std::vector<Real> w = {2.5};
+  const std::vector<Real> unweighted = gaussian_dos(energies, grid, 0.1);
+  const std::vector<Real> weighted = gaussian_dos(energies, grid, 0.1, &w);
+  EXPECT_NEAR(weighted[0], 2.5 * unweighted[0], 1e-12);
+}
+
+TEST(Linspace, EndpointsAndSpacing) {
+  const std::vector<Real> g = linspace(1.0, 2.0, 5);
+  ASSERT_EQ(g.size(), 5u);
+  EXPECT_DOUBLE_EQ(g.front(), 1.0);
+  EXPECT_DOUBLE_EQ(g.back(), 2.0);
+  EXPECT_DOUBLE_EQ(g[1] - g[0], 0.25);
+  EXPECT_THROW(linspace(0, 1, 1), Error);
+}
+
+struct SpectrumFixture {
+  CasidaProblem problem;
+  DriverResult solution;
+  SpectrumFixture() {
+    const grid::RealSpaceGrid g(grid::UnitCell::cubic(8.0), {10, 10, 10});
+    dft::SyntheticOptions opts;
+    opts.num_centers = 8;
+    opts.seed = 55;
+    problem = make_problem_from_synthetic(
+        g, dft::make_synthetic_orbitals(g, 4, 3, opts));
+    DriverOptions dopts;
+    dopts.version = Version::kNaive;
+    dopts.num_states = 4;
+    solution = solve_casida(problem, dopts);
+  }
+};
+
+TEST(Spectrum, DipolesHaveExpectedShape) {
+  SpectrumFixture f;
+  const auto d = transition_dipoles(f.problem);
+  EXPECT_EQ(static_cast<Index>(d.size()), f.problem.ncv());
+  // Orbitals are bounded in the box, so dipoles are finite and not all
+  // identically zero.
+  Real total = 0;
+  for (const auto& v : d) {
+    for (const Real x : v) {
+      EXPECT_TRUE(std::isfinite(x));
+      total += std::abs(x);
+    }
+  }
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(Spectrum, OscillatorStrengthsNonNegativeAndFinite) {
+  SpectrumFixture f;
+  const Spectrum s = oscillator_spectrum(
+      f.problem, f.solution.energies, f.solution.wavefunctions.view());
+  ASSERT_EQ(s.strengths.size(), 4u);
+  for (const Real strength : s.strengths) {
+    EXPECT_GE(strength, 0.0);
+    EXPECT_TRUE(std::isfinite(strength));
+  }
+  EXPECT_EQ(s.energies, f.solution.energies);
+}
+
+TEST(Spectrum, AbsorptionPeaksAtStrongTransitions) {
+  Spectrum s;
+  s.energies = {1.0, 2.0};
+  s.strengths = {0.1, 1.0};
+  const std::vector<Real> grid = linspace(0.0, 3.0, 301);
+  const std::vector<Real> sigma = absorption_spectrum(s, grid, 0.05);
+  // Global maximum at the strong transition.
+  const auto it = std::max_element(sigma.begin(), sigma.end());
+  EXPECT_NEAR(grid[static_cast<std::size_t>(it - sigma.begin())], 2.0, 0.02);
+  // Lorentzian area per state ≈ strength (within grid truncation).
+  Real integral = 0;
+  for (const Real v : sigma) integral += v * (grid[1] - grid[0]);
+  EXPECT_NEAR(integral, 1.1, 0.1);
+}
+
+TEST(Spectrum, AbsorptionValidation) {
+  Spectrum s;
+  s.energies = {1.0};
+  s.strengths = {1.0, 2.0};  // out of sync
+  EXPECT_THROW(absorption_spectrum(s, {0.0}, 0.1), Error);
+  s.strengths = {1.0};
+  EXPECT_THROW(absorption_spectrum(s, {0.0}, 0.0), Error);
+}
+
+TEST(Spectrum, MismatchedInputsThrow) {
+  SpectrumFixture f;
+  const std::vector<Real> wrong_count = {0.1};
+  EXPECT_THROW(oscillator_spectrum(f.problem, wrong_count,
+                                   f.solution.wavefunctions.view()),
+               Error);
+}
+
+}  // namespace
+}  // namespace lrt::tddft

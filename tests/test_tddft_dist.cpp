@@ -1,0 +1,188 @@
+// Distributed LR-TDDFT driver vs the serial driver, across rank counts
+// and both Vhxc assembly strategies.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "tddft/dist_driver.hpp"
+
+namespace lrt::tddft {
+namespace {
+
+CasidaProblem make_test_problem() {
+  const grid::RealSpaceGrid g(grid::UnitCell::cubic(7.0), {8, 8, 8});
+  dft::SyntheticOptions opts;
+  opts.num_centers = 8;
+  opts.seed = 33;
+  return make_problem_from_synthetic(
+      g, dft::make_synthetic_orbitals(g, 4, 3, opts));
+}
+
+class DistDriverSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(DistDriverSweep, NaiveMatchesSerialNaive) {
+  const int p = GetParam();
+  const CasidaProblem problem = make_test_problem();
+
+  DriverOptions serial;
+  serial.version = Version::kNaive;
+  serial.num_states = 3;
+  const DriverResult reference = solve_casida(problem, serial);
+
+  par::run(p, [&](par::Comm& comm) {
+    DistDriverOptions opts;
+    opts.version = Version::kNaive;
+    opts.num_states = 3;
+    const DistDriverStats stats =
+        solve_casida_distributed(comm, problem, opts);
+    ASSERT_EQ(stats.energies.size(), 3u);
+    for (Index j = 0; j < 3; ++j) {
+      EXPECT_NEAR(stats.energies[static_cast<std::size_t>(j)],
+                  reference.energies[static_cast<std::size_t>(j)], 1e-8)
+          << "p=" << comm.size() << " state " << j;
+    }
+  });
+}
+
+TEST_P(DistDriverSweep, ImplicitMatchesSerialImplicitEnergies) {
+  const int p = GetParam();
+  const CasidaProblem problem = make_test_problem();
+
+  // Reference: serial naive — the implicit path approximates it within
+  // the ISDF budget, which is what we assert.
+  DriverOptions serial;
+  serial.version = Version::kNaive;
+  serial.num_states = 2;
+  const DriverResult reference = solve_casida(problem, serial);
+
+  par::run(p, [&](par::Comm& comm) {
+    DistDriverOptions opts;
+    opts.version = Version::kImplicit;
+    opts.num_states = 2;
+    opts.nmu = 12;  // == Ncv -> near-exact ISDF
+    opts.kmeans.seeding = kmeans::Seeding::kTopWeight;
+    const DistDriverStats stats =
+        solve_casida_distributed(comm, problem, opts);
+    for (Index j = 0; j < 2; ++j) {
+      EXPECT_NEAR(stats.energies[static_cast<std::size_t>(j)],
+                  reference.energies[static_cast<std::size_t>(j)],
+                  3e-2 * std::abs(reference.energies[static_cast<std::size_t>(j)]))
+          << "p=" << comm.size();
+    }
+  });
+}
+
+TEST_P(DistDriverSweep, RankCountDoesNotChangeNaiveResult) {
+  // Determinism across p: the naive path is exact, so energies must agree
+  // between 1 rank and p ranks to roundoff.
+  const int p = GetParam();
+  if (p == 1) GTEST_SKIP();
+  const CasidaProblem problem = make_test_problem();
+
+  std::vector<Real> e1;
+  par::run(1, [&](par::Comm& comm) {
+    DistDriverOptions opts;
+    opts.version = Version::kNaive;
+    opts.num_states = 2;
+    e1 = solve_casida_distributed(comm, problem, opts).energies;
+  });
+  par::run(p, [&](par::Comm& comm) {
+    DistDriverOptions opts;
+    opts.version = Version::kNaive;
+    opts.num_states = 2;
+    const auto ep = solve_casida_distributed(comm, problem, opts).energies;
+    for (std::size_t j = 0; j < e1.size(); ++j) {
+      EXPECT_NEAR(ep[j], e1[j], 1e-9);
+    }
+  });
+}
+
+TEST_P(DistDriverSweep, PipelinedReduceGivesSameEnergies) {
+  const int p = GetParam();
+  const CasidaProblem problem = make_test_problem();
+  std::vector<Real> mono, piped;
+  par::run(p, [&](par::Comm& comm) {
+    DistDriverOptions opts;
+    opts.version = Version::kNaive;
+    opts.num_states = 2;
+    opts.pipelined_reduce = false;
+    mono = solve_casida_distributed(comm, problem, opts).energies;
+  });
+  par::run(p, [&](par::Comm& comm) {
+    DistDriverOptions opts;
+    opts.version = Version::kNaive;
+    opts.num_states = 2;
+    opts.pipelined_reduce = true;
+    opts.pipeline_chunk = 3;
+    piped = solve_casida_distributed(comm, problem, opts).energies;
+  });
+  for (std::size_t j = 0; j < mono.size(); ++j) {
+    EXPECT_NEAR(mono[j], piped[j], 1e-9);
+  }
+}
+
+TEST_P(DistDriverSweep, StatsAreCoherent) {
+  const int p = GetParam();
+  const CasidaProblem problem = make_test_problem();
+  par::run(p, [&](par::Comm& comm) {
+    DistDriverOptions opts;
+    opts.version = Version::kImplicit;
+    opts.num_states = 2;
+    opts.nmu = 10;
+    opts.kmeans.seeding = kmeans::Seeding::kTopWeight;
+    const DistDriverStats stats =
+        solve_casida_distributed(comm, problem, opts);
+    EXPECT_GT(stats.wall_seconds, 0.0);
+    EXPECT_GE(stats.comm_seconds, 0.0);
+    EXPECT_GT(stats.busy_seconds, 0.0);
+    EXPECT_LE(stats.busy_seconds, stats.wall_seconds + 1e-9);
+    // Phase map contains the Figure-8 categories.
+    bool has_kmeans = false, has_fft = false, has_mpi = false;
+    for (const auto& [name, seconds] : stats.phases) {
+      if (name == "kmeans" && seconds > 0) has_kmeans = true;
+      if (name == "fft" && seconds > 0) has_fft = true;
+      if (name == "mpi" && seconds >= 0) has_mpi = true;
+    }
+    EXPECT_TRUE(has_kmeans);
+    EXPECT_TRUE(has_fft);
+    EXPECT_TRUE(has_mpi);
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, DistDriverSweep,
+                         ::testing::Values(1, 2, 3, 4));
+
+TEST_P(DistDriverSweep, JacobiEigensolverMatchesGathered) {
+  const int p = GetParam();
+  const CasidaProblem problem = make_test_problem();
+  std::vector<Real> gathered, jacobi;
+  par::run(p, [&](par::Comm& comm) {
+    DistDriverOptions opts;
+    opts.version = Version::kNaive;
+    opts.num_states = 2;
+    opts.eig_method = par::DistEigMethod::kGathered;
+    gathered = solve_casida_distributed(comm, problem, opts).energies;
+  });
+  par::run(p, [&](par::Comm& comm) {
+    DistDriverOptions opts;
+    opts.version = Version::kNaive;
+    opts.num_states = 2;
+    opts.eig_method = par::DistEigMethod::kJacobi;
+    jacobi = solve_casida_distributed(comm, problem, opts).energies;
+  });
+  for (std::size_t j = 0; j < gathered.size(); ++j) {
+    EXPECT_NEAR(jacobi[j], gathered[j], 1e-8);
+  }
+}
+
+TEST(DistDriver, RejectsUnsupportedVersion) {
+  const CasidaProblem problem = make_test_problem();
+  par::run(1, [&](par::Comm& comm) {
+    DistDriverOptions opts;
+    opts.version = Version::kKmeansIsdf;
+    EXPECT_THROW(solve_casida_distributed(comm, problem, opts), Error);
+  });
+}
+
+}  // namespace
+}  // namespace lrt::tddft
