@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_eigensolvers.dir/bench_ablation_eigensolvers.cpp.o"
+  "CMakeFiles/bench_ablation_eigensolvers.dir/bench_ablation_eigensolvers.cpp.o.d"
+  "bench_ablation_eigensolvers"
+  "bench_ablation_eigensolvers.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_eigensolvers.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_summa.dir/bench_ablation_summa.cpp.o"
+  "CMakeFiles/bench_ablation_summa.dir/bench_ablation_summa.cpp.o.d"
+  "bench_ablation_summa"
+  "bench_ablation_summa.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_summa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

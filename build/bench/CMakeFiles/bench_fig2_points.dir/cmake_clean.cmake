@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_points.dir/bench_fig2_points.cpp.o"
+  "CMakeFiles/bench_fig2_points.dir/bench_fig2_points.cpp.o.d"
+  "bench_fig2_points"
+  "bench_fig2_points.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_points.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

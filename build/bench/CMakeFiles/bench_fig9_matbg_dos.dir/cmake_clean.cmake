@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_matbg_dos.dir/bench_fig9_matbg_dos.cpp.o"
+  "CMakeFiles/bench_fig9_matbg_dos.dir/bench_fig9_matbg_dos.cpp.o.d"
+  "bench_fig9_matbg_dos"
+  "bench_fig9_matbg_dos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_matbg_dos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/isdf_points_csv.dir/isdf_points_csv.cpp.o"
+  "CMakeFiles/isdf_points_csv.dir/isdf_points_csv.cpp.o.d"
+  "isdf_points_csv"
+  "isdf_points_csv.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/isdf_points_csv.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

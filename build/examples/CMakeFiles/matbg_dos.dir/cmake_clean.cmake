@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/matbg_dos.dir/matbg_dos.cpp.o"
+  "CMakeFiles/matbg_dos.dir/matbg_dos.cpp.o.d"
+  "matbg_dos"
+  "matbg_dos.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/matbg_dos.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/rt_absorption.dir/rt_absorption.cpp.o"
+  "CMakeFiles/rt_absorption.dir/rt_absorption.cpp.o.d"
+  "rt_absorption"
+  "rt_absorption.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/rt_absorption.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/silicon_excited_states.dir/silicon_excited_states.cpp.o"
+  "CMakeFiles/silicon_excited_states.dir/silicon_excited_states.cpp.o.d"
+  "silicon_excited_states"
+  "silicon_excited_states.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/silicon_excited_states.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

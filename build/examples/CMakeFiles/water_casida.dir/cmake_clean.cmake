@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/water_casida.dir/water_casida.cpp.o"
+  "CMakeFiles/water_casida.dir/water_casida.cpp.o.d"
+  "water_casida"
+  "water_casida.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/water_casida.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

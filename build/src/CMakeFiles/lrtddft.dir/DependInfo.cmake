@@ -1,0 +1,81 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/common/cli.cpp" "src/CMakeFiles/lrtddft.dir/common/cli.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/common/cli.cpp.o.d"
+  "/root/repo/src/common/log.cpp" "src/CMakeFiles/lrtddft.dir/common/log.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/common/log.cpp.o.d"
+  "/root/repo/src/common/table.cpp" "src/CMakeFiles/lrtddft.dir/common/table.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/common/table.cpp.o.d"
+  "/root/repo/src/common/timer.cpp" "src/CMakeFiles/lrtddft.dir/common/timer.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/common/timer.cpp.o.d"
+  "/root/repo/src/dft/ewald.cpp" "src/CMakeFiles/lrtddft.dir/dft/ewald.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/dft/ewald.cpp.o.d"
+  "/root/repo/src/dft/hamiltonian.cpp" "src/CMakeFiles/lrtddft.dir/dft/hamiltonian.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/dft/hamiltonian.cpp.o.d"
+  "/root/repo/src/dft/hartree.cpp" "src/CMakeFiles/lrtddft.dir/dft/hartree.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/dft/hartree.cpp.o.d"
+  "/root/repo/src/dft/lobpcg_gs.cpp" "src/CMakeFiles/lrtddft.dir/dft/lobpcg_gs.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/dft/lobpcg_gs.cpp.o.d"
+  "/root/repo/src/dft/pseudopotential.cpp" "src/CMakeFiles/lrtddft.dir/dft/pseudopotential.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/dft/pseudopotential.cpp.o.d"
+  "/root/repo/src/dft/scf.cpp" "src/CMakeFiles/lrtddft.dir/dft/scf.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/dft/scf.cpp.o.d"
+  "/root/repo/src/dft/synthetic.cpp" "src/CMakeFiles/lrtddft.dir/dft/synthetic.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/dft/synthetic.cpp.o.d"
+  "/root/repo/src/dft/xc.cpp" "src/CMakeFiles/lrtddft.dir/dft/xc.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/dft/xc.cpp.o.d"
+  "/root/repo/src/fft/fft1d.cpp" "src/CMakeFiles/lrtddft.dir/fft/fft1d.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/fft/fft1d.cpp.o.d"
+  "/root/repo/src/fft/fft3d.cpp" "src/CMakeFiles/lrtddft.dir/fft/fft3d.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/fft/fft3d.cpp.o.d"
+  "/root/repo/src/fft/poisson.cpp" "src/CMakeFiles/lrtddft.dir/fft/poisson.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/fft/poisson.cpp.o.d"
+  "/root/repo/src/grid/crystal.cpp" "src/CMakeFiles/lrtddft.dir/grid/crystal.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/grid/crystal.cpp.o.d"
+  "/root/repo/src/grid/gvectors.cpp" "src/CMakeFiles/lrtddft.dir/grid/gvectors.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/grid/gvectors.cpp.o.d"
+  "/root/repo/src/grid/rsgrid.cpp" "src/CMakeFiles/lrtddft.dir/grid/rsgrid.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/grid/rsgrid.cpp.o.d"
+  "/root/repo/src/grid/unitcell.cpp" "src/CMakeFiles/lrtddft.dir/grid/unitcell.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/grid/unitcell.cpp.o.d"
+  "/root/repo/src/io/cube.cpp" "src/CMakeFiles/lrtddft.dir/io/cube.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/io/cube.cpp.o.d"
+  "/root/repo/src/io/xyz.cpp" "src/CMakeFiles/lrtddft.dir/io/xyz.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/io/xyz.cpp.o.d"
+  "/root/repo/src/isdf/interpolation.cpp" "src/CMakeFiles/lrtddft.dir/isdf/interpolation.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/isdf/interpolation.cpp.o.d"
+  "/root/repo/src/isdf/isdf.cpp" "src/CMakeFiles/lrtddft.dir/isdf/isdf.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/isdf/isdf.cpp.o.d"
+  "/root/repo/src/isdf/kmeans_points.cpp" "src/CMakeFiles/lrtddft.dir/isdf/kmeans_points.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/isdf/kmeans_points.cpp.o.d"
+  "/root/repo/src/isdf/pairproduct.cpp" "src/CMakeFiles/lrtddft.dir/isdf/pairproduct.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/isdf/pairproduct.cpp.o.d"
+  "/root/repo/src/isdf/qrcp_points.cpp" "src/CMakeFiles/lrtddft.dir/isdf/qrcp_points.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/isdf/qrcp_points.cpp.o.d"
+  "/root/repo/src/kmeans/dist_kmeans.cpp" "src/CMakeFiles/lrtddft.dir/kmeans/dist_kmeans.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/kmeans/dist_kmeans.cpp.o.d"
+  "/root/repo/src/kmeans/kmeans.cpp" "src/CMakeFiles/lrtddft.dir/kmeans/kmeans.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/kmeans/kmeans.cpp.o.d"
+  "/root/repo/src/la/blas.cpp" "src/CMakeFiles/lrtddft.dir/la/blas.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/la/blas.cpp.o.d"
+  "/root/repo/src/la/cholesky.cpp" "src/CMakeFiles/lrtddft.dir/la/cholesky.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/la/cholesky.cpp.o.d"
+  "/root/repo/src/la/davidson.cpp" "src/CMakeFiles/lrtddft.dir/la/davidson.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/la/davidson.cpp.o.d"
+  "/root/repo/src/la/eig.cpp" "src/CMakeFiles/lrtddft.dir/la/eig.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/la/eig.cpp.o.d"
+  "/root/repo/src/la/lobpcg.cpp" "src/CMakeFiles/lrtddft.dir/la/lobpcg.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/la/lobpcg.cpp.o.d"
+  "/root/repo/src/la/lstsq.cpp" "src/CMakeFiles/lrtddft.dir/la/lstsq.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/la/lstsq.cpp.o.d"
+  "/root/repo/src/la/lu.cpp" "src/CMakeFiles/lrtddft.dir/la/lu.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/la/lu.cpp.o.d"
+  "/root/repo/src/la/matrix.cpp" "src/CMakeFiles/lrtddft.dir/la/matrix.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/la/matrix.cpp.o.d"
+  "/root/repo/src/la/ortho.cpp" "src/CMakeFiles/lrtddft.dir/la/ortho.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/la/ortho.cpp.o.d"
+  "/root/repo/src/la/qr.cpp" "src/CMakeFiles/lrtddft.dir/la/qr.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/la/qr.cpp.o.d"
+  "/root/repo/src/la/qrcp.cpp" "src/CMakeFiles/lrtddft.dir/la/qrcp.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/la/qrcp.cpp.o.d"
+  "/root/repo/src/par/collectives.cpp" "src/CMakeFiles/lrtddft.dir/par/collectives.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/par/collectives.cpp.o.d"
+  "/root/repo/src/par/comm.cpp" "src/CMakeFiles/lrtddft.dir/par/comm.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/par/comm.cpp.o.d"
+  "/root/repo/src/par/dist_lobpcg.cpp" "src/CMakeFiles/lrtddft.dir/par/dist_lobpcg.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/par/dist_lobpcg.cpp.o.d"
+  "/root/repo/src/par/distblas.cpp" "src/CMakeFiles/lrtddft.dir/par/distblas.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/par/distblas.cpp.o.d"
+  "/root/repo/src/par/disteig.cpp" "src/CMakeFiles/lrtddft.dir/par/disteig.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/par/disteig.cpp.o.d"
+  "/root/repo/src/par/distmatrix.cpp" "src/CMakeFiles/lrtddft.dir/par/distmatrix.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/par/distmatrix.cpp.o.d"
+  "/root/repo/src/par/jacobi_eig.cpp" "src/CMakeFiles/lrtddft.dir/par/jacobi_eig.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/par/jacobi_eig.cpp.o.d"
+  "/root/repo/src/par/layout.cpp" "src/CMakeFiles/lrtddft.dir/par/layout.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/par/layout.cpp.o.d"
+  "/root/repo/src/par/pipeline.cpp" "src/CMakeFiles/lrtddft.dir/par/pipeline.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/par/pipeline.cpp.o.d"
+  "/root/repo/src/par/redistribute.cpp" "src/CMakeFiles/lrtddft.dir/par/redistribute.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/par/redistribute.cpp.o.d"
+  "/root/repo/src/par/runtime.cpp" "src/CMakeFiles/lrtddft.dir/par/runtime.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/par/runtime.cpp.o.d"
+  "/root/repo/src/par/summa.cpp" "src/CMakeFiles/lrtddft.dir/par/summa.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/par/summa.cpp.o.d"
+  "/root/repo/src/par/transpose.cpp" "src/CMakeFiles/lrtddft.dir/par/transpose.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/par/transpose.cpp.o.d"
+  "/root/repo/src/tddft/casida_isdf.cpp" "src/CMakeFiles/lrtddft.dir/tddft/casida_isdf.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/tddft/casida_isdf.cpp.o.d"
+  "/root/repo/src/tddft/casida_naive.cpp" "src/CMakeFiles/lrtddft.dir/tddft/casida_naive.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/tddft/casida_naive.cpp.o.d"
+  "/root/repo/src/tddft/dist_driver.cpp" "src/CMakeFiles/lrtddft.dir/tddft/dist_driver.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/tddft/dist_driver.cpp.o.d"
+  "/root/repo/src/tddft/dist_implicit.cpp" "src/CMakeFiles/lrtddft.dir/tddft/dist_implicit.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/tddft/dist_implicit.cpp.o.d"
+  "/root/repo/src/tddft/driver.cpp" "src/CMakeFiles/lrtddft.dir/tddft/driver.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/tddft/driver.cpp.o.d"
+  "/root/repo/src/tddft/full_casida.cpp" "src/CMakeFiles/lrtddft.dir/tddft/full_casida.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/tddft/full_casida.cpp.o.d"
+  "/root/repo/src/tddft/implicit_hamiltonian.cpp" "src/CMakeFiles/lrtddft.dir/tddft/implicit_hamiltonian.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/tddft/implicit_hamiltonian.cpp.o.d"
+  "/root/repo/src/tddft/kernel.cpp" "src/CMakeFiles/lrtddft.dir/tddft/kernel.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/tddft/kernel.cpp.o.d"
+  "/root/repo/src/tddft/lobpcg_tddft.cpp" "src/CMakeFiles/lrtddft.dir/tddft/lobpcg_tddft.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/tddft/lobpcg_tddft.cpp.o.d"
+  "/root/repo/src/tddft/rt_propagation.cpp" "src/CMakeFiles/lrtddft.dir/tddft/rt_propagation.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/tddft/rt_propagation.cpp.o.d"
+  "/root/repo/src/tddft/spectrum.cpp" "src/CMakeFiles/lrtddft.dir/tddft/spectrum.cpp.o" "gcc" "src/CMakeFiles/lrtddft.dir/tddft/spectrum.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

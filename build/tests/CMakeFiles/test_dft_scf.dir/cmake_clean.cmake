@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dft_scf.dir/test_dft_scf.cpp.o"
+  "CMakeFiles/test_dft_scf.dir/test_dft_scf.cpp.o.d"
+  "test_dft_scf"
+  "test_dft_scf.pdb"
+  "test_dft_scf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dft_scf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isdf.dir/test_isdf.cpp.o"
+  "CMakeFiles/test_isdf.dir/test_isdf.cpp.o.d"
+  "test_isdf"
+  "test_isdf.pdb"
+  "test_isdf[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isdf.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_isdf_sweep.dir/test_isdf_sweep.cpp.o"
+  "CMakeFiles/test_isdf_sweep.dir/test_isdf_sweep.cpp.o.d"
+  "test_isdf_sweep"
+  "test_isdf_sweep.pdb"
+  "test_isdf_sweep[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_isdf_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

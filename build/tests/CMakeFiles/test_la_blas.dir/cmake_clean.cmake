@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_la_blas.dir/test_la_blas.cpp.o"
+  "CMakeFiles/test_la_blas.dir/test_la_blas.cpp.o.d"
+  "test_la_blas"
+  "test_la_blas.pdb"
+  "test_la_blas[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_la_blas.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

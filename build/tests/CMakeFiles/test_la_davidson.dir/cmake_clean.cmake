@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_la_davidson.dir/test_la_davidson.cpp.o"
+  "CMakeFiles/test_la_davidson.dir/test_la_davidson.cpp.o.d"
+  "test_la_davidson"
+  "test_la_davidson.pdb"
+  "test_la_davidson[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_la_davidson.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_la_lobpcg.dir/test_la_lobpcg.cpp.o"
+  "CMakeFiles/test_la_lobpcg.dir/test_la_lobpcg.cpp.o.d"
+  "test_la_lobpcg"
+  "test_la_lobpcg.pdb"
+  "test_la_lobpcg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_la_lobpcg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_la_ortho.dir/test_la_ortho.cpp.o"
+  "CMakeFiles/test_la_ortho.dir/test_la_ortho.cpp.o.d"
+  "test_la_ortho"
+  "test_la_ortho.pdb"
+  "test_la_ortho[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_la_ortho.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_la_qrcp.dir/test_la_qrcp.cpp.o"
+  "CMakeFiles/test_la_qrcp.dir/test_la_qrcp.cpp.o.d"
+  "test_la_qrcp"
+  "test_la_qrcp.pdb"
+  "test_la_qrcp[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_la_qrcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

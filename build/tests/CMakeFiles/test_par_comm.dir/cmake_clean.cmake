@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_par_comm.dir/test_par_comm.cpp.o"
+  "CMakeFiles/test_par_comm.dir/test_par_comm.cpp.o.d"
+  "test_par_comm"
+  "test_par_comm.pdb"
+  "test_par_comm[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_par_comm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

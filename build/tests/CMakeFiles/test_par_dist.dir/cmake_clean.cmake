@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_par_dist.dir/test_par_dist.cpp.o"
+  "CMakeFiles/test_par_dist.dir/test_par_dist.cpp.o.d"
+  "test_par_dist"
+  "test_par_dist.pdb"
+  "test_par_dist[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_par_dist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

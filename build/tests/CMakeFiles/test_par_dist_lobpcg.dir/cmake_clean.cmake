@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_par_dist_lobpcg.dir/test_par_dist_lobpcg.cpp.o"
+  "CMakeFiles/test_par_dist_lobpcg.dir/test_par_dist_lobpcg.cpp.o.d"
+  "test_par_dist_lobpcg"
+  "test_par_dist_lobpcg.pdb"
+  "test_par_dist_lobpcg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_par_dist_lobpcg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_par_jacobi.dir/test_par_jacobi.cpp.o"
+  "CMakeFiles/test_par_jacobi.dir/test_par_jacobi.cpp.o.d"
+  "test_par_jacobi"
+  "test_par_jacobi.pdb"
+  "test_par_jacobi[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_par_jacobi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_par_layout.dir/test_par_layout.cpp.o"
+  "CMakeFiles/test_par_layout.dir/test_par_layout.cpp.o.d"
+  "test_par_layout"
+  "test_par_layout.pdb"
+  "test_par_layout[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_par_layout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_par_summa.dir/test_par_summa.cpp.o"
+  "CMakeFiles/test_par_summa.dir/test_par_summa.cpp.o.d"
+  "test_par_summa"
+  "test_par_summa.pdb"
+  "test_par_summa[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_par_summa.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

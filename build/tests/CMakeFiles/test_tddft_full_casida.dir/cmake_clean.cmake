@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tddft_full_casida.dir/test_tddft_full_casida.cpp.o"
+  "CMakeFiles/test_tddft_full_casida.dir/test_tddft_full_casida.cpp.o.d"
+  "test_tddft_full_casida"
+  "test_tddft_full_casida.pdb"
+  "test_tddft_full_casida[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tddft_full_casida.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

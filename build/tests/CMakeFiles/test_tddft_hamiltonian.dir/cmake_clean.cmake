@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tddft_hamiltonian.dir/test_tddft_hamiltonian.cpp.o"
+  "CMakeFiles/test_tddft_hamiltonian.dir/test_tddft_hamiltonian.cpp.o.d"
+  "test_tddft_hamiltonian"
+  "test_tddft_hamiltonian.pdb"
+  "test_tddft_hamiltonian[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tddft_hamiltonian.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

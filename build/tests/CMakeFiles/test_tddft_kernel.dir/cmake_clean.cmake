@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tddft_kernel.dir/test_tddft_kernel.cpp.o"
+  "CMakeFiles/test_tddft_kernel.dir/test_tddft_kernel.cpp.o.d"
+  "test_tddft_kernel"
+  "test_tddft_kernel.pdb"
+  "test_tddft_kernel[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tddft_kernel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

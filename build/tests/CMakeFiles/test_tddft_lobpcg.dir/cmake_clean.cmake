@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tddft_lobpcg.dir/test_tddft_lobpcg.cpp.o"
+  "CMakeFiles/test_tddft_lobpcg.dir/test_tddft_lobpcg.cpp.o.d"
+  "test_tddft_lobpcg"
+  "test_tddft_lobpcg.pdb"
+  "test_tddft_lobpcg[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tddft_lobpcg.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
