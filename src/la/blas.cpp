@@ -21,8 +21,9 @@ constexpr double kParallelFlopThreshold = 1e6;
 
 void gemm_nn(Real alpha, RealConstView a, RealConstView b, RealView c) {
   const Index m = c.rows(), n = c.cols(), k = a.cols();
-  const bool parallel = 2.0 * double(m) * double(n) * double(k) >
-                        kParallelFlopThreshold;
+  [[maybe_unused]] const bool parallel =
+      2.0 * double(m) * double(n) * double(k) >
+          kParallelFlopThreshold;
 #pragma omp parallel for schedule(dynamic) if (parallel)
   for (Index i0 = 0; i0 < m; i0 += kIBlock) {
     const Index i1 = std::min(i0 + kIBlock, m);
@@ -45,8 +46,9 @@ void gemm_nn(Real alpha, RealConstView a, RealConstView b, RealView c) {
 void gemm_tn(Real alpha, RealConstView a, RealConstView b, RealView c) {
   // C = Aᵀ B: C[i,:] += A[kk,i] * B[kk,:]
   const Index m = c.rows(), n = c.cols(), k = a.rows();
-  const bool parallel = 2.0 * double(m) * double(n) * double(k) >
-                        kParallelFlopThreshold;
+  [[maybe_unused]] const bool parallel =
+      2.0 * double(m) * double(n) * double(k) >
+          kParallelFlopThreshold;
 #pragma omp parallel for schedule(dynamic) if (parallel)
   for (Index i0 = 0; i0 < m; i0 += kIBlock) {
     const Index i1 = std::min(i0 + kIBlock, m);
@@ -69,8 +71,9 @@ void gemm_tn(Real alpha, RealConstView a, RealConstView b, RealView c) {
 void gemm_nt(Real alpha, RealConstView a, RealConstView b, RealView c) {
   // C[i,j] += dot(A[i,:], B[j,:]) — both rows contiguous.
   const Index m = c.rows(), n = c.cols(), k = a.cols();
-  const bool parallel = 2.0 * double(m) * double(n) * double(k) >
-                        kParallelFlopThreshold;
+  [[maybe_unused]] const bool parallel =
+      2.0 * double(m) * double(n) * double(k) >
+          kParallelFlopThreshold;
 #pragma omp parallel for schedule(dynamic) if (parallel)
   for (Index i = 0; i < m; ++i) {
     const Real* ai = a.row_ptr(i);

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstring>
+#include <sstream>
 
 namespace lrt::par {
 
@@ -13,26 +14,80 @@ Comm::Comm(Runtime* runtime, int rank, std::vector<int> world_ranks,
       context_(context) {
   LRT_CHECK(runtime_ != nullptr, "null runtime");
   LRT_CHECK(rank_ >= 0 && rank_ < size(), "rank out of range");
+  verifier_ = runtime_->verifier();
+}
+
+Comm::Comm(Comm&& other) noexcept
+    : runtime_(other.runtime_),
+      rank_(other.rank_),
+      world_ranks_(std::move(other.world_ranks_)),
+      context_(other.context_),
+      verifier_(other.verifier_),
+      split_counter_(other.split_counter_.load(std::memory_order_relaxed)),
+      comm_seconds_(other.comm_seconds_),
+      timer_depth_(other.timer_depth_),
+      coll_depth_(other.coll_depth_),
+      active_collective_(other.active_collective_),
+      coll_seq_(other.coll_seq_),
+      bytes_sent_(other.bytes_sent_.load(std::memory_order_relaxed)) {}
+
+void Comm::post_collective(check::CollKind kind, int root, int reduce_op,
+                           std::size_t dtype_size, long long count,
+                           const std::vector<Index>* send_counts,
+                           const std::vector<Index>* recv_counts) {
+  const long long seq = coll_seq_++;
+  if (verifier_ == nullptr) return;
+  check::CollectiveRecord record;
+  record.kind = kind;
+  record.root = root;
+  record.reduce_op = reduce_op;
+  record.dtype_size = dtype_size;
+  record.count = count;
+  record.comm_size = size();
+  auto to_ll = [](const std::vector<Index>& v) {
+    return std::vector<long long>(v.begin(), v.end());
+  };
+  if (send_counts != nullptr) record.send_counts = to_ll(*send_counts);
+  if (recv_counts != nullptr) record.recv_counts = to_ll(*recv_counts);
+  verifier_->on_collective(world_rank_of(rank_), rank_, context_, seq,
+                           record);
 }
 
 void Comm::send_bytes(const void* data, std::size_t bytes, int dst, int tag) {
   LRT_CHECK(dst >= 0 && dst < size(), "send to bad rank " << dst);
   CommTimerGuard guard(*this);
+  if (verifier_ != nullptr) {
+    verifier_->on_p2p(world_rank_of(rank_), "send", dst, tag, bytes,
+                      /*user_call=*/coll_depth_ == 0);
+  }
   detail::Message message;
   message.src = rank_;
   message.tag = tag;
   message.context = context_;
   message.payload.resize(bytes);
   if (bytes > 0) std::memcpy(message.payload.data(), data, bytes);
-  bytes_sent_ += static_cast<long long>(bytes);
+  bytes_sent_.fetch_add(static_cast<long long>(bytes),
+                        std::memory_order_relaxed);
   runtime_->mailbox(world_rank_of(dst)).push(std::move(message));
 }
 
 void Comm::recv_bytes(void* data, std::size_t bytes, int src, int tag) {
   LRT_CHECK(src >= 0 && src < size(), "recv from bad rank " << src);
   CommTimerGuard guard(*this);
-  detail::Message message =
-      runtime_->mailbox(world_rank_of(rank_)).pop(src, tag, context_);
+  detail::Message message = [&] {
+    detail::Mailbox& box = runtime_->mailbox(world_rank_of(rank_));
+    if (verifier_ == nullptr) return box.pop(src, tag, context_);
+    verifier_->on_p2p(world_rank_of(rank_), "recv", src, tag, bytes,
+                      /*user_call=*/coll_depth_ == 0);
+    // Label this (possibly indefinite) wait for the deadlock watchdog.
+    std::ostringstream os;
+    if (active_collective_ != nullptr) os << active_collective_ << ": ";
+    os << "recv(src=" << src << ", tag=" << tag << ", bytes=" << bytes
+       << ") on communicator " << context_ << " as rank " << rank_;
+    check::Verifier::BlockScope scope(verifier_, world_rank_of(rank_),
+                                      os.str());
+    return box.pop(src, tag, context_);
+  }();
   LRT_CHECK(message.payload.size() == bytes,
             "message size mismatch: expected " << bytes << " bytes from rank "
                                                << src << " tag " << tag
@@ -43,6 +98,8 @@ void Comm::recv_bytes(void* data, std::size_t bytes, int src, int tag) {
 
 void Comm::barrier() {
   CommTimerGuard guard(*this);
+  CollectiveGuard cguard(*this, check::CollKind::kBarrier, /*root=*/-1,
+                         /*reduce_op=*/-1, /*dtype_size=*/1, /*count=*/1);
   const int p = size();
   char token = 0;
   // Dissemination barrier: log2(p) rounds of shifted exchanges.
@@ -65,7 +122,11 @@ Comm Comm::split(int color, int key) {
   };
   Entry mine{color, key, rank_};
   std::vector<Entry> all(static_cast<std::size_t>(p));
-  allgather(&mine, 1, all.data());
+  {
+    CollectiveGuard cguard(*this, check::CollKind::kSplit, /*root=*/-1,
+                           /*reduce_op=*/-1, sizeof(Entry), /*count=*/1);
+    allgather(&mine, 1, all.data());
+  }
 
   // My group: ranks with my color, ordered by (key, old rank).
   std::vector<Entry> group;
@@ -90,10 +151,11 @@ Comm Comm::split(int color, int key) {
   // per-parent split counter. Counter advances identically on all ranks
   // because split is collective.
   const int lowest_old_rank = group.front().rank;
+  const long long counter =
+      split_counter_.fetch_add(1, std::memory_order_relaxed);
   const long long child_context =
-      context_ * 1315423911ll + (static_cast<long long>(split_counter_) << 24) +
+      context_ * 1315423911ll + (counter << 24) +
       (static_cast<long long>(color) << 8) + lowest_old_rank + 1;
-  ++split_counter_;
 
   return Comm(runtime_, new_rank, std::move(new_world_ranks), child_context);
 }

@@ -12,10 +12,12 @@
 // (see DESIGN.md, strong-scaling substitution).
 #pragma once
 
+#include <atomic>
 #include <type_traits>
 #include <vector>
 
 #include "common/timer.hpp"
+#include "par/check/verifier.hpp"
 #include "par/runtime.hpp"
 
 namespace lrt::par {
@@ -29,6 +31,14 @@ class Comm {
   /// par::run or Comm::split.
   Comm(Runtime* runtime, int rank, std::vector<int> world_ranks,
        long long context);
+
+  /// Movable (split returns by value); the atomic counters force a manual
+  /// move. Not copyable: two live copies would double-count traffic and
+  /// desynchronize the collective sequence numbers.
+  Comm(Comm&& other) noexcept;
+  Comm(const Comm&) = delete;
+  Comm& operator=(const Comm&) = delete;
+  Comm& operator=(Comm&&) = delete;
 
   int rank() const { return rank_; }
   int size() const { return static_cast<int>(world_ranks_.size()); }
@@ -126,7 +136,9 @@ class Comm {
   void reset_comm_seconds() { comm_seconds_ = 0.0; }
 
   /// Bytes sent through p2p on this Comm (collectives included).
-  long long bytes_sent() const { return bytes_sent_; }
+  long long bytes_sent() const {
+    return bytes_sent_.load(std::memory_order_relaxed);
+  }
 
  private:
   int world_rank_of(int group_rank) const {
@@ -149,15 +161,69 @@ class Comm {
     Timer timer_;
   };
 
+  /// RAII prologue shared by every collective: bumps the nesting depth
+  /// (so p2p tag validation knows internal from user traffic), labels
+  /// watchdog dumps with the collective's name, and posts the call's
+  /// signature to the verifier (no-op when checking is off).
+  class CollectiveGuard {
+   public:
+    CollectiveGuard(Comm& comm, check::CollKind kind, int root,
+                    int reduce_op, std::size_t dtype_size, long long count)
+        : comm_(comm), prev_(comm.active_collective_) {
+      ++comm_.coll_depth_;
+      comm_.active_collective_ = check::to_string(kind);
+      comm_.post_collective(kind, root, reduce_op, dtype_size, count,
+                            nullptr, nullptr);
+    }
+    /// v-variant: count vectors instead of a uniform count.
+    CollectiveGuard(Comm& comm, check::CollKind kind,
+                    std::size_t dtype_size,
+                    const std::vector<Index>* send_counts,
+                    const std::vector<Index>* recv_counts)
+        : comm_(comm), prev_(comm.active_collective_) {
+      ++comm_.coll_depth_;
+      comm_.active_collective_ = check::to_string(kind);
+      comm_.post_collective(kind, /*root=*/-1, /*reduce_op=*/-1, dtype_size,
+                            /*count=*/-1, send_counts, recv_counts);
+    }
+    ~CollectiveGuard() {
+      comm_.active_collective_ = prev_;
+      --comm_.coll_depth_;
+    }
+
+    CollectiveGuard(const CollectiveGuard&) = delete;
+    CollectiveGuard& operator=(const CollectiveGuard&) = delete;
+
+   private:
+    Comm& comm_;
+    const char* prev_;
+  };
+
+  /// Advances the per-communicator collective sequence number and, when a
+  /// verifier is attached, posts this call's signature for cross-rank
+  /// consistency checking. Defined in comm.cpp.
+  void post_collective(check::CollKind kind, int root, int reduce_op,
+                       std::size_t dtype_size, long long count,
+                       const std::vector<Index>* send_counts,
+                       const std::vector<Index>* recv_counts);
+
   Runtime* runtime_;
   int rank_;
   std::vector<int> world_ranks_;
   long long context_;
-  int split_counter_ = 0;
+  check::Verifier* verifier_ = nullptr;
+  std::atomic<int> split_counter_{0};
 
   double comm_seconds_ = 0.0;
   int timer_depth_ = 0;
-  long long bytes_sent_ = 0;
+  /// Collective nesting depth and the innermost collective's name; both
+  /// strictly rank-private (see docs/CONCURRENCY.md).
+  int coll_depth_ = 0;
+  const char* active_collective_ = nullptr;
+  /// Collective calls issued on this communicator so far; the verifier
+  /// matches call #s across ranks.
+  long long coll_seq_ = 0;
+  std::atomic<long long> bytes_sent_{0};
 };
 
 namespace detail {
@@ -196,6 +262,8 @@ template <typename T>
 void Comm::bcast(T* data, Index count, int root) {
   static_assert(std::is_trivially_copyable_v<T>);
   CommTimerGuard guard(*this);
+  CollectiveGuard cguard(*this, check::CollKind::kBcast, root,
+                         /*reduce_op=*/-1, sizeof(T), count);
   const int p = size();
   if (p == 1) return;
   // Re-root so the tree logic can assume root 0.
@@ -219,6 +287,8 @@ template <typename T>
 void Comm::reduce(T* data, Index count, ReduceOp op, int root) {
   static_assert(std::is_trivially_copyable_v<T>);
   CommTimerGuard guard(*this);
+  CollectiveGuard cguard(*this, check::CollKind::kReduce, root,
+                         static_cast<int>(op), sizeof(T), count);
   const int p = size();
   if (p == 1) return;
   const int vrank = (rank_ - root + p) % p;
@@ -245,6 +315,8 @@ void Comm::reduce(T* data, Index count, ReduceOp op, int root) {
 template <typename T>
 void Comm::allreduce(T* data, Index count, ReduceOp op) {
   CommTimerGuard guard(*this);
+  CollectiveGuard cguard(*this, check::CollKind::kAllreduce, /*root=*/-1,
+                         static_cast<int>(op), sizeof(T), count);
   reduce(data, count, op, /*root=*/0);
   bcast(data, count, /*root=*/0);
 }
@@ -253,6 +325,8 @@ template <typename T>
 void Comm::alltoall(const T* send_buf, T* recv_buf, Index count) {
   static_assert(std::is_trivially_copyable_v<T>);
   CommTimerGuard guard(*this);
+  CollectiveGuard cguard(*this, check::CollKind::kAlltoall, /*root=*/-1,
+                         /*reduce_op=*/-1, sizeof(T), count);
   const int p = size();
   // Shifted pairwise exchange, valid for any p: in step s, send to
   // (rank+s) mod p and receive from (rank-s) mod p.
@@ -279,6 +353,8 @@ void Comm::alltoallv(const T* send_buf, const std::vector<Index>& send_counts,
                      const std::vector<Index>& recv_displs) {
   static_assert(std::is_trivially_copyable_v<T>);
   CommTimerGuard guard(*this);
+  CollectiveGuard cguard(*this, check::CollKind::kAlltoallv, sizeof(T),
+                         &send_counts, &recv_counts);
   const int p = size();
   LRT_CHECK(static_cast<int>(send_counts.size()) == p &&
                 static_cast<int>(recv_counts.size()) == p,
@@ -302,6 +378,8 @@ template <typename T>
 void Comm::allgather(const T* send_buf, Index count, T* recv_buf) {
   static_assert(std::is_trivially_copyable_v<T>);
   CommTimerGuard guard(*this);
+  CollectiveGuard cguard(*this, check::CollKind::kAllgather, /*root=*/-1,
+                         /*reduce_op=*/-1, sizeof(T), count);
   const int p = size();
   for (Index i = 0; i < count; ++i) {
     recv_buf[static_cast<Index>(rank_) * count + i] = send_buf[i];
@@ -324,6 +402,8 @@ void Comm::allgatherv(const T* send_buf, Index count, T* recv_buf,
                       const std::vector<Index>& displs) {
   static_assert(std::is_trivially_copyable_v<T>);
   CommTimerGuard guard(*this);
+  CollectiveGuard cguard(*this, check::CollKind::kAllgatherv, sizeof(T),
+                         /*send_counts=*/nullptr, &counts);
   const int p = size();
   LRT_CHECK(static_cast<int>(counts.size()) == p, "allgatherv counts size");
   LRT_CHECK(counts[static_cast<std::size_t>(rank_)] == count,
@@ -348,6 +428,8 @@ template <typename T>
 void Comm::gather(const T* send_buf, Index count, T* recv_buf, int root) {
   static_assert(std::is_trivially_copyable_v<T>);
   CommTimerGuard guard(*this);
+  CollectiveGuard cguard(*this, check::CollKind::kGather, root,
+                         /*reduce_op=*/-1, sizeof(T), count);
   const int p = size();
   if (rank_ == root) {
     for (Index i = 0; i < count; ++i) {
@@ -367,6 +449,8 @@ template <typename T>
 void Comm::scatter(const T* send_buf, Index count, T* recv_buf, int root) {
   static_assert(std::is_trivially_copyable_v<T>);
   CommTimerGuard guard(*this);
+  CollectiveGuard cguard(*this, check::CollKind::kScatter, root,
+                         /*reduce_op=*/-1, sizeof(T), count);
   const int p = size();
   if (rank_ == root) {
     for (int r = 0; r < p; ++r) {

@@ -47,13 +47,21 @@ void Mailbox::poison() {
   cv_.notify_all();
 }
 
+std::vector<Message> Mailbox::unreceived() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return {queue_.begin(), queue_.end()};
+}
+
 }  // namespace detail
 
-Runtime::Runtime(int nranks) {
+Runtime::Runtime(int nranks, const check::Options& check_options) {
   LRT_CHECK(nranks >= 1, "need at least one rank, got " << nranks);
   mailboxes_.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
     mailboxes_.push_back(std::make_unique<detail::Mailbox>());
+  }
+  if (check_options.enabled) {
+    verifier_ = std::make_unique<check::Verifier>(nranks, check_options);
   }
 }
 
@@ -62,37 +70,68 @@ void Runtime::poison_all() {
 }
 
 void run(int nranks, const std::function<void(Comm&)>& body) {
-  Runtime runtime(nranks);
+  run(nranks, body, check::Options::from_env());
+}
 
-  if (nranks == 1) {
-    Comm comm(&runtime, /*rank=*/0, /*world_ranks=*/{0}, /*context=*/0);
-    body(comm);
-    return;
-  }
-
-  std::vector<int> world_ranks(static_cast<std::size_t>(nranks));
-  for (int r = 0; r < nranks; ++r) world_ranks[static_cast<std::size_t>(r)] = r;
+void run(int nranks, const std::function<void(Comm&)>& body,
+         const check::Options& check_options) {
+  Runtime runtime(nranks, check_options);
+  check::Verifier* verifier = runtime.verifier();
+  if (verifier) verifier->start([&runtime] { runtime.poison_all(); });
 
   std::mutex error_mutex;
   std::exception_ptr first_error;
 
-  std::vector<std::thread> threads;
-  threads.reserve(static_cast<std::size_t>(nranks));
-  for (int r = 0; r < nranks; ++r) {
-    threads.emplace_back([&, r]() {
-      try {
-        Comm comm(&runtime, r, world_ranks, /*context=*/0);
-        body(comm);
-      } catch (...) {
-        {
-          std::lock_guard<std::mutex> lock(error_mutex);
-          if (!first_error) first_error = std::current_exception();
+  if (nranks == 1) {
+    try {
+      Comm comm(&runtime, /*rank=*/0, /*world_ranks=*/{0}, /*context=*/0);
+      body(comm);
+    } catch (...) {
+      first_error = std::current_exception();
+    }
+  } else {
+    std::vector<int> world_ranks(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) {
+      world_ranks[static_cast<std::size_t>(r)] = r;
+    }
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(nranks));
+    for (int r = 0; r < nranks; ++r) {
+      threads.emplace_back([&, r]() {
+        try {
+          Comm comm(&runtime, r, world_ranks, /*context=*/0);
+          body(comm);
+        } catch (...) {
+          {
+            std::lock_guard<std::mutex> lock(error_mutex);
+            if (!first_error) first_error = std::current_exception();
+          }
+          runtime.poison_all();
         }
-        runtime.poison_all();
-      }
-    });
+      });
+    }
+    for (auto& t : threads) t.join();
   }
-  for (auto& t : threads) t.join();
+
+  if (verifier) {
+    verifier->stop();
+    // Leak detection only makes sense after a clean finish: an aborted run
+    // legitimately strands in-flight messages.
+    if (!first_error && !verifier->failed() &&
+        verifier->options().check_leaks) {
+      for (int r = 0; r < nranks; ++r) {
+        for (const detail::Message& m : runtime.mailbox(r).unreceived()) {
+          verifier->on_leftover_message(r, m.src, m.tag, m.payload.size(),
+                                        m.context);
+        }
+      }
+      verifier->finish_leak_check();
+    }
+    // A verifier finding outranks the secondary AbortErrors it caused in
+    // the other ranks: report the diagnosis, not the symptom.
+    if (verifier->failed()) throw check::VerifierError(verifier->failure());
+  }
   if (first_error) std::rethrow_exception(first_error);
 }
 

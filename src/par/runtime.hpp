@@ -27,6 +27,7 @@
 
 #include "common/config.hpp"
 #include "common/error.hpp"
+#include "par/check/verifier.hpp"
 
 namespace lrt::par {
 
@@ -60,6 +61,10 @@ class Mailbox {
 
   void poison();
 
+  /// Copies the messages still queued — sends that were never matched by
+  /// a receive. Used by the verifier's end-of-run leak check.
+  std::vector<Message> unreceived();
+
   static constexpr int kAnySource = -1;
 
  private:
@@ -77,7 +82,9 @@ class Mailbox {
 /// only ever touches Comm.
 class Runtime {
  public:
-  explicit Runtime(int nranks);
+  /// `check_options.enabled` attaches a correctness verifier
+  /// (par/check/verifier.hpp) that every Comm of this run reports to.
+  explicit Runtime(int nranks, const check::Options& check_options = {});
 
   int size() const { return static_cast<int>(mailboxes_.size()); }
 
@@ -86,14 +93,26 @@ class Runtime {
     return *mailboxes_[static_cast<std::size_t>(rank)];
   }
 
+  /// Null when checking is disabled.
+  check::Verifier* verifier() { return verifier_.get(); }
+
   void poison_all();
 
  private:
   std::vector<std::unique_ptr<detail::Mailbox>> mailboxes_;
+  std::unique_ptr<check::Verifier> verifier_;
 };
 
 /// Runs `body(comm)` on `nranks` rank threads and joins them. Rethrows the
 /// first rank exception. nranks == 1 runs inline on the calling thread.
+/// Correctness checking follows check::Options::from_env() (LRT_CHECK=1).
 void run(int nranks, const std::function<void(Comm&)>& body);
+
+/// Same, with explicit verifier options (tests force-enable checking and
+/// shrink the watchdog threshold through this overload). On a verifier
+/// finding — collective mismatch, reserved-tag p2p, stall, message leak —
+/// throws check::VerifierError with the full per-rank report.
+void run(int nranks, const std::function<void(Comm&)>& body,
+         const check::Options& check_options);
 
 }  // namespace lrt::par

@@ -106,7 +106,10 @@ TEST_P(DistDriverSweep, PipelinedReduceGivesSameEnergies) {
     opts.version = Version::kNaive;
     opts.num_states = 2;
     opts.pipelined_reduce = false;
-    mono = solve_casida_distributed(comm, problem, opts).energies;
+    // Every rank computes the same energies; only rank 0 writes the
+    // shared capture so the rank threads do not race on it.
+    auto e = solve_casida_distributed(comm, problem, opts).energies;
+    if (comm.rank() == 0) mono = std::move(e);
   });
   par::run(p, [&](par::Comm& comm) {
     DistDriverOptions opts;
@@ -114,7 +117,8 @@ TEST_P(DistDriverSweep, PipelinedReduceGivesSameEnergies) {
     opts.num_states = 2;
     opts.pipelined_reduce = true;
     opts.pipeline_chunk = 3;
-    piped = solve_casida_distributed(comm, problem, opts).energies;
+    auto e = solve_casida_distributed(comm, problem, opts).energies;
+    if (comm.rank() == 0) piped = std::move(e);
   });
   for (std::size_t j = 0; j < mono.size(); ++j) {
     EXPECT_NEAR(mono[j], piped[j], 1e-9);
@@ -161,14 +165,16 @@ TEST_P(DistDriverSweep, JacobiEigensolverMatchesGathered) {
     opts.version = Version::kNaive;
     opts.num_states = 2;
     opts.eig_method = par::DistEigMethod::kGathered;
-    gathered = solve_casida_distributed(comm, problem, opts).energies;
+    auto e = solve_casida_distributed(comm, problem, opts).energies;
+    if (comm.rank() == 0) gathered = std::move(e);
   });
   par::run(p, [&](par::Comm& comm) {
     DistDriverOptions opts;
     opts.version = Version::kNaive;
     opts.num_states = 2;
     opts.eig_method = par::DistEigMethod::kJacobi;
-    jacobi = solve_casida_distributed(comm, problem, opts).energies;
+    auto e = solve_casida_distributed(comm, problem, opts).energies;
+    if (comm.rank() == 0) jacobi = std::move(e);
   });
   for (std::size_t j = 0; j < gathered.size(); ++j) {
     EXPECT_NEAR(jacobi[j], gathered[j], 1e-8);

@@ -1,0 +1,69 @@
+#!/usr/bin/env bash
+# CI gate: lint, then three build flavors, each running the full ctest
+# suite. Mirrors what a hosted workflow would run; kept as a script so it
+# works in any container with cmake + g++.
+#
+#   plain       -Werror build; ctest twice — once bare, once with the
+#               MUST-style verifier ambient (LRT_CHECK=1) to prove the
+#               production collective patterns run clean under checking.
+#   asan+ubsan  -fsanitize=address,undefined, halt on first report.
+#   tsan        -fsanitize=thread. OpenMP is disabled in this flavor:
+#               libgomp is not TSan-instrumented and reports false
+#               positives on its internal barriers.
+#
+# Usage: tools/ci.sh [plain|asan|tsan|lint]...   (default: all)
+set -eu
+cd "$(dirname "$0")/.."
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+run_flavor() {
+  local name="$1" build_dir="$2"
+  shift 2
+  echo "=== [$name] configure + build ==="
+  cmake -B "$build_dir" -S . -DLRT_WERROR=ON "$@"
+  cmake --build "$build_dir" -j "$jobs"
+  echo "=== [$name] ctest ==="
+  ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
+}
+
+do_lint=0 do_plain=0 do_asan=0 do_tsan=0
+if [ "$#" -eq 0 ]; then
+  do_lint=1 do_plain=1 do_asan=1 do_tsan=1
+else
+  for arg in "$@"; do
+    case "$arg" in
+      lint) do_lint=1 ;;
+      plain) do_plain=1 ;;
+      asan) do_asan=1 ;;
+      tsan) do_tsan=1 ;;
+      *) echo "unknown flavor: $arg" >&2; exit 2 ;;
+    esac
+  done
+fi
+
+if [ "$do_lint" -eq 1 ]; then
+  echo "=== [lint] tools/lint.sh ==="
+  bash tools/lint.sh
+fi
+
+if [ "$do_plain" -eq 1 ]; then
+  run_flavor plain build-ci
+  echo "=== [plain] ctest with LRT_CHECK=1 (runtime verifier ambient) ==="
+  LRT_CHECK=1 LRT_CHECK_STALL_SECONDS=120 \
+    ctest --test-dir build-ci --output-on-failure -j "$jobs"
+fi
+
+if [ "$do_asan" -eq 1 ]; then
+  ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+    run_flavor asan+ubsan build-asan "-DLRT_SANITIZE=address;undefined"
+fi
+
+if [ "$do_tsan" -eq 1 ]; then
+  TSAN_OPTIONS="halt_on_error=1:second_deadlock_stack=1" \
+    run_flavor tsan build-tsan -DLRT_SANITIZE=thread \
+      -DCMAKE_DISABLE_FIND_PACKAGE_OpenMP=ON
+fi
+
+echo "CI: all requested flavors passed"

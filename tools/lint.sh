@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# Static gate: include hygiene, banned concurrency patterns, and (when the
+# binary exists) clang-tidy over src/. Run from anywhere; exits non-zero
+# on any finding. CI runs this before the build matrix (tools/ci.sh).
+set -u
+cd "$(dirname "$0")/.."
+
+fail=0
+note() { printf '%s\n' "$*"; }
+finding() { printf 'lint: %s\n' "$*"; fail=1; }
+
+# --- include hygiene ---------------------------------------------------------
+# Library headers must be included by their src/-relative path, never via
+# "../"; relative parent includes break once a TU moves.
+if grep -rn --include='*.hpp' --include='*.cpp' '#include "\.\./' src tests bench examples; then
+  finding 'parent-relative #include (use src/-relative paths)'
+fi
+
+# Headers must be self-contained: every .hpp starts with #pragma once.
+for h in $(find src -name '*.hpp'); do
+  if ! head -n 40 "$h" | grep -q '#pragma once'; then
+    finding "$h: missing #pragma once"
+  fi
+done
+
+# --- banned patterns in the parallel layer -----------------------------------
+# Rank code must not create ad-hoc threads or roll its own synchronization:
+# all cross-rank traffic goes through Comm, and the only sanctioned thread
+# outside the runtime is the verifier watchdog (see docs/CONCURRENCY.md).
+if grep -rn --include='*.cpp' --include='*.hpp' 'std::thread' src \
+    | grep -v 'src/par/runtime' | grep -v 'src/par/check'; then
+  finding 'std::thread outside par/runtime and par/check (route work through par::run)'
+fi
+
+# volatile is never a synchronization primitive; atomics or mutexes only.
+if grep -rn --include='*.cpp' --include='*.hpp' -w 'volatile' src; then
+  finding 'volatile in library code (use std::atomic or a mutex)'
+fi
+
+# sleep-based synchronization masks ordering bugs; the runtime provides
+# condition variables and the verifier provides the watchdog.
+if grep -rn --include='*.cpp' --include='*.hpp' 'sleep_for\|sleep_until' src; then
+  finding 'sleep-based waiting in library code (use condition variables)'
+fi
+
+# Naked new/delete: the codebase is RAII throughout. Comments are
+# stripped first so prose about "a new row" doesn't trip the gate.
+for f in $(find src \( -name '*.cpp' -o -name '*.hpp' \)); do
+  if sed 's@//.*@@' "$f" \
+      | grep -nE '\bnew +[A-Za-z_][A-Za-z0-9_:<,> ]*[({[]|\bdelete +[A-Za-z_*([]|\bdelete\[\]' \
+      >/dev/null; then
+    finding "$f: naked new/delete (use containers or unique_ptr)"
+  fi
+done
+
+# --- clang-tidy (optional: the container may not ship it) --------------------
+if command -v clang-tidy >/dev/null 2>&1; then
+  build_dir="${LRT_LINT_BUILD_DIR:-build}"
+  if [ ! -f "$build_dir/compile_commands.json" ]; then
+    cmake -B "$build_dir" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
+  fi
+  note "running clang-tidy over src/ ..."
+  if ! find src -name '*.cpp' -print0 \
+      | xargs -0 clang-tidy -p "$build_dir" --quiet; then
+    finding 'clang-tidy reported findings'
+  fi
+else
+  note "clang-tidy not found; skipping (pattern checks still gate)"
+fi
+
+if [ "$fail" -ne 0 ]; then
+  note 'lint FAILED'
+  exit 1
+fi
+note 'lint OK'
