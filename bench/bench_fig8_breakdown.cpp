@@ -2,8 +2,11 @@
 // phases — K-Means, FFT, MPI, GEMM(+Allreduce) — for the accelerated
 // version, across rank counts.
 #include <cstdio>
+#include <string>
 
 #include "bench_util.hpp"
+#include "obs/bench_report.hpp"
+#include "obs/counters.hpp"
 #include "tddft/dist_driver.hpp"
 
 using namespace lrt;
@@ -14,10 +17,17 @@ int main() {
   std::printf("system: Nr=%td Nv=%td Nc=%td  (implicit version)\n\n",
               problem.nr(), problem.nv(), problem.nc());
 
+  obs::BenchReport report("fig8");
+  report.meta("workload", w.label);
+  report.meta("figure", "8");
+
   Table table("Fig 8 (scaled): construction phase seconds (max over ranks)",
               {"ranks", "kmeans", "fft", "mpi", "gemm", "diag",
                "gemm+mpi share"});
   for (const int ranks : {1, 2, 4, 8}) {
+    // Isolate this rank count's counter snapshot (bytes per collective
+    // kind, FFT/GEMM totals) from the previous runs'.
+    obs::reset_counters();
     tddft::DistDriverStats stats;
     par::run(ranks, [&](par::Comm& comm) {
       tddft::DistDriverOptions opts;
@@ -46,8 +56,30 @@ int main() {
         .cell(phase[3], 3)
         .cell(phase[4], 3)
         .cell(format_real(share, 1) + "%");
+
+    obs::BenchReport::Record& record =
+        report.record("ranks=" + std::to_string(ranks));
+    record.param("ranks", static_cast<long long>(ranks))
+        .param("nr", static_cast<long long>(problem.nr()))
+        .param("nv", static_cast<long long>(problem.nv()))
+        .param("nc", static_cast<long long>(problem.nc()))
+        .metric("wall_seconds", stats.wall_seconds)
+        .metric("comm_seconds", stats.comm_seconds)
+        .metric("busy_seconds", stats.busy_seconds)
+        .metric("gemm_mpi_share_pct", share);
+    for (const auto& [name, seconds] : stats.phases) {
+      record.phase(name, seconds);
+    }
+    record.counters_from_registry();
   }
   table.print();
+  if (report.write()) {
+    std::printf("\nwrote %s\n", report.default_path().c_str());
+  } else {
+    std::fprintf(stderr, "failed to write %s\n",
+                 report.default_path().c_str());
+    return 1;
+  }
   std::printf(
       "\npaper reference (Fig 8): K-Means, FFT and GEMM scale almost\n"
       "ideally while the MPI share grows with rank count; GEMM+Allreduce\n"

@@ -1,0 +1,91 @@
+// Disabled-mode span overhead microbench.
+//
+// An obs::Span with tracing off must cost a relaxed atomic load and two
+// untaken branches — cheap enough to leave in hot paths permanently. This
+// bench measures the median per-span cost over many batches and, with
+// --max-ns N, exits nonzero when the median exceeds the budget (used as a
+// CI gate; the ISSUE-2 acceptance bound is 20 ns).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "common/timer.hpp"
+#include "obs/obs.hpp"
+
+using namespace lrt;
+
+namespace {
+
+constexpr int kBatches = 101;
+constexpr int kSpansPerBatch = 100000;
+
+double median_ns_per_span() {
+  std::vector<double> batch_ns(kBatches);
+  for (int b = 0; b < kBatches; ++b) {
+    Timer timer;
+    for (int i = 0; i < kSpansPerBatch; ++i) {
+      obs::Span span("overhead_probe");
+      // Keep the loop body from being hoisted/elided: the span object's
+      // address escaping into asm is enough.
+      asm volatile("" : : "r"(&span) : "memory");
+    }
+    batch_ns[static_cast<std::size_t>(b)] =
+        timer.seconds() * 1e9 / kSpansPerBatch;
+  }
+  std::nth_element(batch_ns.begin(), batch_ns.begin() + kBatches / 2,
+                   batch_ns.end());
+  return batch_ns[kBatches / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double max_ns = -1.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--max-ns") == 0 && i + 1 < argc) {
+      max_ns = std::atof(argv[++i]);
+    }
+  }
+
+  const bool was_enabled = obs::tracing_enabled();
+  obs::set_tracing_enabled(false);
+  const double disabled_ns = median_ns_per_span();
+
+  // Enabled-mode cost, for information only (it includes the record copy
+  // into the thread buffer; not gated).
+  obs::set_tracing_enabled(true);
+  std::vector<double> enabled_batches(11);
+  for (std::size_t b = 0; b < enabled_batches.size(); ++b) {
+    Timer timer;
+    for (int i = 0; i < 10000; ++i) {
+      obs::Span span("overhead_probe_enabled");
+      asm volatile("" : : "r"(&span) : "memory");
+    }
+    enabled_batches[b] = timer.seconds() * 1e9 / 10000;
+    obs::reset_trace();
+  }
+  std::nth_element(enabled_batches.begin(),
+                   enabled_batches.begin() + enabled_batches.size() / 2,
+                   enabled_batches.end());
+  const double enabled_ns = enabled_batches[enabled_batches.size() / 2];
+  obs::set_tracing_enabled(was_enabled);
+
+  std::printf("obs::Span overhead (median over batches)\n");
+  std::printf("  disabled: %7.2f ns/span  (%d x %d spans)\n", disabled_ns,
+              kBatches, kSpansPerBatch);
+  std::printf("  enabled:  %7.2f ns/span  (info only)\n", enabled_ns);
+
+  if (max_ns >= 0.0) {
+    if (disabled_ns > max_ns) {
+      std::fprintf(stderr,
+                   "FAIL: disabled-span median %.2f ns exceeds budget %.2f "
+                   "ns\n",
+                   disabled_ns, max_ns);
+      return 1;
+    }
+    std::printf("  budget:   %7.2f ns/span  OK\n", max_ns);
+  }
+  return 0;
+}

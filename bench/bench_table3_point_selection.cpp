@@ -6,11 +6,13 @@
 // the *ratio*: K-Means selects points an order of magnitude faster, and
 // the resulting ISDF accuracy matches QRCP's.
 #include <cstdio>
+#include <string>
 
 #include "bench_util.hpp"
 #include "isdf/interpolation.hpp"
 #include "isdf/kmeans_points.hpp"
 #include "isdf/qrcp_points.hpp"
+#include "obs/bench_report.hpp"
 
 using namespace lrt;
 
@@ -21,6 +23,10 @@ int main() {
   std::printf("system: %s  Nr=%td  Nv=%td Nc=%td (Ncv=%td)\n\n",
               w.label.c_str(), problem.nr(), problem.nv(), problem.nc(),
               problem.ncv());
+
+  obs::BenchReport report("table3");
+  report.meta("workload", w.label);
+  report.meta("table", "3");
 
   Table table("Table 3 (scaled): interpolation point selection time [s]",
               {"Nmu", "QRCP (plain)", "QRCP (randomized)", "K-Means",
@@ -64,6 +70,15 @@ int main() {
         .cell(qrcp_s / km_s, 1)
         .cell(err_qrcp, 4)
         .cell(err_km, 4);
+
+    report.record("nmu=" + std::to_string(nmu))
+        .param("nmu", static_cast<long long>(nmu))
+        .metric("qrcp_seconds", qrcp_s)
+        .metric("qrcp_randomized_seconds", rand_s)
+        .metric("kmeans_seconds", km_s)
+        .metric("speedup_kmeans_vs_qrcp", qrcp_s / km_s)
+        .metric("isdf_err_qrcp", err_qrcp)
+        .metric("isdf_err_kmeans", err_km);
   }
   table.print();
 
@@ -88,6 +103,12 @@ int main() {
         .cell(km.kmeans_iterations)
         .cell(km.objective, 5)
         .cell(t.seconds(), 3);
+    report.record(std::string("seeding:") + name)
+        .param("nmu", static_cast<long long>(nmu))
+        .param("seeding", std::string(name))
+        .metric("iterations", static_cast<double>(km.kmeans_iterations))
+        .metric("objective", km.objective)
+        .metric("seconds", t.seconds());
   }
   ablation.print();
 
@@ -104,7 +125,19 @@ int main() {
         .cell(format_real(threshold, 8))
         .cell(problem.nr() - km.num_pruned)
         .cell(t.seconds(), 3);
+    report.record("pruning:" + format_real(threshold, 8))
+        .param("nmu", static_cast<long long>(nmu))
+        .param("weight_threshold", static_cast<double>(threshold))
+        .metric("kept_points", static_cast<double>(problem.nr() - km.num_pruned))
+        .metric("seconds", t.seconds());
   }
   pruning.print();
+  if (report.write()) {
+    std::printf("\nwrote %s\n", report.default_path().c_str());
+  } else {
+    std::fprintf(stderr, "failed to write %s\n",
+                 report.default_path().c_str());
+    return 1;
+  }
   return 0;
 }

@@ -1,0 +1,137 @@
+// Chrome-trace validator for CI.
+//
+// Loads a trace produced via LRT_TRACE, checks it is well-formed Chrome
+// trace JSON, and — for each --require-phase NAME — checks that every
+// rank thread present in the trace (tid other than the non-rank sentinel)
+// recorded at least one complete ("X") event with that name.
+//
+//   validate_trace trace.json --require-phase fft --require-phase mpi
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+
+namespace {
+
+// Must match the sentinel tid obs.cpp assigns to threads outside par::run.
+constexpr long long kNonRankTid = 1000000;
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  std::vector<std::string> required;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--require-phase" && i + 1 < argc) {
+      required.emplace_back(argv[++i]);
+    } else if (path.empty()) {
+      path = arg;
+    } else {
+      std::fprintf(stderr, "usage: %s TRACE.json [--require-phase NAME]...\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: %s TRACE.json [--require-phase NAME]...\n",
+                 argv[0]);
+    return 2;
+  }
+
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "validate_trace: cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+
+  lrt::obs::json::Value root;
+  try {
+    root = lrt::obs::json::parse(buffer.str());
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "validate_trace: %s is not valid JSON: %s\n",
+                 path.c_str(), e.what());
+    return 1;
+  }
+
+  if (!root.is_object()) {
+    std::fprintf(stderr, "validate_trace: top level is not an object\n");
+    return 1;
+  }
+  const lrt::obs::json::Value* events = root.find("traceEvents");
+  if (events == nullptr || !events->is_array()) {
+    std::fprintf(stderr, "validate_trace: missing traceEvents array\n");
+    return 1;
+  }
+
+  // phase name -> set of rank tids that recorded it.
+  std::map<std::string, std::set<long long>> phase_tids;
+  std::set<long long> rank_tids;
+  long long complete_events = 0;
+  for (const auto& ev : events->array) {
+    if (!ev.is_object()) {
+      std::fprintf(stderr, "validate_trace: non-object trace event\n");
+      return 1;
+    }
+    const auto* ph = ev.find("ph");
+    const auto* tid = ev.find("tid");
+    if (ph == nullptr || !ph->is_string() || tid == nullptr ||
+        !tid->is_number()) {
+      std::fprintf(stderr, "validate_trace: event missing ph/tid\n");
+      return 1;
+    }
+    if (ph->string != "X") continue;
+    const auto* name = ev.find("name");
+    const auto* ts = ev.find("ts");
+    const auto* dur = ev.find("dur");
+    if (name == nullptr || !name->is_string() || ts == nullptr ||
+        !ts->is_number() || dur == nullptr || !dur->is_number()) {
+      std::fprintf(stderr,
+                   "validate_trace: complete event missing name/ts/dur\n");
+      return 1;
+    }
+    if (dur->number < 0) {
+      std::fprintf(stderr, "validate_trace: negative duration in %s\n",
+                   name->string.c_str());
+      return 1;
+    }
+    ++complete_events;
+    const long long t = static_cast<long long>(tid->number);
+    if (t == kNonRankTid) continue;
+    rank_tids.insert(t);
+    phase_tids[name->string].insert(t);
+  }
+
+  std::printf("validate_trace: %s — %lld complete events, %zu rank tids\n",
+              path.c_str(), complete_events, rank_tids.size());
+
+  if (!required.empty() && rank_tids.empty()) {
+    std::fprintf(stderr, "validate_trace: no rank threads in trace\n");
+    return 1;
+  }
+  bool ok = true;
+  for (const std::string& phase : required) {
+    const auto it = phase_tids.find(phase);
+    for (const long long tid : rank_tids) {
+      if (it == phase_tids.end() || it->second.count(tid) == 0) {
+        std::fprintf(stderr,
+                     "validate_trace: phase \"%s\" missing on rank tid "
+                     "%lld\n",
+                     phase.c_str(), tid);
+        ok = false;
+      }
+    }
+    if (ok) {
+      std::printf("  phase \"%s\": present on all %zu rank tids\n",
+                  phase.c_str(), rank_tids.size());
+    }
+  }
+  return ok ? 0 : 1;
+}

@@ -12,6 +12,7 @@
 
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "obs/obs.hpp"
 #include "tddft/dist_driver.hpp"
 
 using namespace lrt;
@@ -46,6 +47,11 @@ int main(int argc, char** argv) {
   opts.pipelined_reduce = cli.get_bool("pipelined");
 
   const int ranks = static_cast<int>(cli.get_index("ranks"));
+  // Record spans so we can report per-rank load imbalance afterwards
+  // (aggregated from the same trace LRT_TRACE would export).
+  const bool was_enabled = obs::tracing_enabled();
+  obs::set_tracing_enabled(true);
+  obs::reset_trace();
   tddft::DistDriverStats stats;
   par::run(ranks, [&](par::Comm& comm) {
     stats = tddft::solve_casida_distributed(comm, problem, opts);
@@ -66,5 +72,27 @@ int main(int argc, char** argv) {
   table.row().cell("comm (blocked)").cell(stats.comm_seconds, 4);
   table.row().cell("busy (wall-comm)").cell(stats.busy_seconds, 4);
   table.print();
+
+  // Per-rank imbalance from the span trace: for every phase, compare the
+  // busiest rank against the mean (1.00 = perfectly balanced).
+  std::printf("\n");
+  Table imbalance("Per-rank load imbalance (from span trace)",
+                  {"phase", "count", "ranks", "total [s]", "min [s]",
+                   "max [s]", "mean [s]", "max/mean"});
+  for (const obs::PhaseStats& s : obs::aggregate_phases()) {
+    imbalance.row()
+        .cell(s.name)
+        .cell(static_cast<Index>(s.count))
+        .cell(static_cast<Index>(s.ranks))
+        .cell(s.total_seconds, 4)
+        .cell(s.min_rank_seconds, 4)
+        .cell(s.max_rank_seconds, 4)
+        .cell(s.mean_rank_seconds, 4)
+        .cell(s.imbalance, 2);
+  }
+  imbalance.print();
+  if (!was_enabled) {
+    obs::set_tracing_enabled(false);
+  }
   return 0;
 }

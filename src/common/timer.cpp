@@ -10,35 +10,4 @@ double ThreadCpuTimer::now() {
   return static_cast<double>(ts.tv_sec) + 1e-9 * static_cast<double>(ts.tv_nsec);
 }
 
-void WallProfiler::add(const std::string& name, double seconds) {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto [it, inserted] = totals_.try_emplace(name, 0.0);
-  if (inserted) order_.push_back(name);
-  it->second += seconds;
-}
-
-double WallProfiler::total(const std::string& name) const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  auto it = totals_.find(name);
-  return it == totals_.end() ? 0.0 : it->second;
-}
-
-double WallProfiler::grand_total() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  double sum = 0.0;
-  for (const auto& [name, secs] : totals_) sum += secs;
-  return sum;
-}
-
-std::vector<std::string> WallProfiler::phases() const {
-  std::lock_guard<std::mutex> lock(mutex_);
-  return order_;
-}
-
-void WallProfiler::clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
-  totals_.clear();
-  order_.clear();
-}
-
 }  // namespace lrt

@@ -1,19 +1,23 @@
 // Wall-clock timing utilities.
 //
 // Timer        — simple stopwatch.
-// WallProfiler — accumulates named phase durations; used by the benchmark
-//                harness to split Hamiltonian construction into the paper's
-//                Figure-8 categories (K-Means / FFT / MPI / GEMM+Allreduce).
-// ScopedPhase  — RAII guard adding its lifetime to one WallProfiler phase.
+// WallProfiler — accumulates named phase durations; since the obs
+//                subsystem landed this is an alias for
+//                obs::PhaseAccumulator (same API, same semantics). Used
+//                by the benchmark harness to split Hamiltonian
+//                construction into the paper's Figure-8 categories
+//                (K-Means / FFT / MPI / GEMM+Allreduce).
+// ScopedPhase  — RAII guard adding its lifetime to one WallProfiler
+//                phase; also emits an obs::Span so profiled phases show
+//                up in LRT_TRACE Chrome traces for free.
 #pragma once
 
 #include <chrono>
-#include <map>
-#include <mutex>
 #include <string>
-#include <vector>
+#include <utility>
 
 #include "common/config.hpp"
+#include "obs/obs.hpp"
 
 namespace lrt {
 
@@ -52,61 +56,33 @@ class ThreadCpuTimer {
   double start_;
 };
 
-/// Accumulates wall time per named phase. Thread-safe: concurrent ranks of
-/// the par runtime may add to the same profiler.
-class WallProfiler {
- public:
-  WallProfiler() = default;
-
-  /// Movable (so result structs can carry one); moving while another
-  /// thread is still adding is a caller bug, same as for containers.
-  WallProfiler(WallProfiler&& other) noexcept
-      : totals_(std::move(other.totals_)), order_(std::move(other.order_)) {}
-  WallProfiler& operator=(WallProfiler&& other) noexcept {
-    if (this != &other) {
-      totals_ = std::move(other.totals_);
-      order_ = std::move(other.order_);
-    }
-    return *this;
-  }
-  WallProfiler(const WallProfiler&) = delete;
-  WallProfiler& operator=(const WallProfiler&) = delete;
-
-  /// Adds `seconds` to phase `name`, creating the phase if needed.
-  void add(const std::string& name, double seconds);
-
-  /// Accumulated seconds for `name`; 0 if the phase never ran.
-  double total(const std::string& name) const;
-
-  /// Sum over all phases.
-  double grand_total() const;
-
-  /// Phase names in insertion order.
-  std::vector<std::string> phases() const;
-
-  void clear();
-
- private:
-  mutable std::mutex mutex_;
-  std::map<std::string, double> totals_;
-  std::vector<std::string> order_;
-};
+/// Accumulates wall time per named phase. Thread-safe: concurrent ranks
+/// of the par runtime may add to the same profiler.
+using WallProfiler = obs::PhaseAccumulator;
 
 /// RAII phase guard:
 ///   { ScopedPhase p(profiler, "fft"); do_ffts(); }
 class ScopedPhase {
  public:
   ScopedPhase(WallProfiler& profiler, std::string name)
-      : profiler_(&profiler), name_(std::move(name)) {}
+      : profiler_(&profiler),
+        name_(std::move(name)),
+        span_(name_.c_str()) {}
 
   ScopedPhase(const ScopedPhase&) = delete;
   ScopedPhase& operator=(const ScopedPhase&) = delete;
 
-  ~ScopedPhase() { profiler_->add(name_, timer_.seconds()); }
+  ~ScopedPhase() {
+    span_.end();
+    profiler_->add(name_, timer_.seconds());
+  }
 
  private:
   WallProfiler* profiler_;
   std::string name_;
+  // Declared after name_ so name_.c_str() is valid for the span's whole
+  // lifetime; closed explicitly in the dtor before name_ could go away.
+  obs::Span span_;
   Timer timer_;
 };
 

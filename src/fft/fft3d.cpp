@@ -1,6 +1,8 @@
 #include "fft/fft3d.hpp"
 
 #include "common/error.hpp"
+#include "obs/counters.hpp"
+#include "obs/obs.hpp"
 
 namespace lrt::fft {
 
@@ -12,6 +14,11 @@ Fft3D::Fft3D(Index n0, Index n1, Index n2)
 
 void Fft3D::transform(Complex* x, bool inverse) const {
   const Index n0 = n_[0], n1 = n_[1], n2 = n_[2];
+  const obs::Span span("fft.fft3d");
+  static obs::Counter& calls = obs::counter("fft.fft3d.calls");
+  static obs::Counter& points = obs::counter("fft.fft3d.points");
+  calls.add(1);
+  points.add(static_cast<long long>(n0) * n1 * n2);
 
   // Axis 2: contiguous lines.
   for (Index i0 = 0; i0 < n0; ++i0) {

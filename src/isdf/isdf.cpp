@@ -2,6 +2,7 @@
 
 #include "isdf/interpolation.hpp"
 #include "isdf/pairproduct.hpp"
+#include "obs/obs.hpp"
 
 namespace lrt::isdf {
 
@@ -13,6 +14,7 @@ IsdfResult isdf_decompose(const grid::RealSpaceGrid& grid,
 
   IsdfResult result;
   {
+    const obs::Span span("isdf.select_points");
     Timer timer;
     switch (options.method) {
       case PointMethod::kQrcp:
@@ -30,6 +32,7 @@ IsdfResult isdf_decompose(const grid::RealSpaceGrid& grid,
   }
 
   {
+    const obs::Span span("isdf.interp_vectors");
     Timer timer;
     result.psi_v_mu = sample_rows(psi_v, result.points);
     result.psi_c_mu = sample_rows(psi_c, result.points);

@@ -1,11 +1,14 @@
 #include "isdf/kmeans_points.hpp"
 
+#include "obs/obs.hpp"
+
 namespace lrt::isdf {
 
 KmeansPointResult select_points_kmeans(const grid::RealSpaceGrid& grid,
                                        la::RealConstView psi_v,
                                        la::RealConstView psi_c, Index nmu,
                                        const kmeans::KMeansOptions& options) {
+  const obs::Span span("isdf.points.kmeans");
   LRT_CHECK(grid.size() == psi_v.rows(), "grid/orbital size mismatch");
   const std::vector<Real> weights = kmeans::pair_weights(psi_v, psi_c);
   const std::vector<grid::Vec3> points = grid.positions();

@@ -6,6 +6,7 @@
 #include "isdf/pairproduct.hpp"
 #include "la/blas.hpp"
 #include "la/qrcp.hpp"
+#include "obs/obs.hpp"
 
 namespace lrt::isdf {
 namespace {
@@ -38,6 +39,7 @@ la::RealMatrix khatri_rao_sketch(la::RealConstView psi_v,
 std::vector<Index> select_points_qrcp(la::RealConstView psi_v,
                                       la::RealConstView psi_c, Index nmu,
                                       const QrcpPointOptions& options) {
+  const obs::Span span("isdf.points.qrcp");
   LRT_CHECK(psi_v.rows() == psi_c.rows(), "orbital grids differ");
   const Index nr = psi_v.rows();
   LRT_CHECK(nmu >= 1 && nmu <= nr, "bad Nμ " << nmu);

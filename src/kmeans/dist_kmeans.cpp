@@ -4,6 +4,9 @@
 #include <cmath>
 #include <limits>
 
+#include "obs/counters.hpp"
+#include "obs/obs.hpp"
+
 namespace lrt::kmeans {
 namespace {
 
@@ -21,6 +24,7 @@ DistKMeansResult dist_weighted_kmeans(par::Comm& comm,
                                       const std::vector<Real>& weights,
                                       Index global_offset, Index k,
                                       const KMeansOptions& options) {
+  const obs::Span span("kmeans.dist");
   const Index n_local = static_cast<Index>(points.size());
   LRT_CHECK(static_cast<Index>(weights.size()) == n_local,
             "points/weights size mismatch");
@@ -177,6 +181,8 @@ DistKMeansResult dist_weighted_kmeans(par::Comm& comm,
   }
   std::sort(result.interpolation_points.begin(),
             result.interpolation_points.end());
+  static obs::Counter& iterations = obs::counter("kmeans.dist.iterations");
+  iterations.add(result.iterations);
   return result;
 }
 

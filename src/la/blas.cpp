@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/counters.hpp"
+
 #ifdef _OPENMP
 #include <omp.h>
 #endif
@@ -144,6 +146,13 @@ void gemm(Trans ta, Trans tb, Real alpha, RealConstView a, RealConstView b,
     for (Index i = 0; i < m; ++i) scal(beta, c.row_ptr(i), n);
   }
   if (m == 0 || n == 0 || ka == 0 || alpha == Real{0}) return;
+
+  // No span here — gemm is called far too often for per-call trace
+  // events; the FLOP counter gives the aggregate view instead.
+  static obs::Counter& calls = obs::counter("la.gemm.calls");
+  static obs::Counter& flops = obs::counter("la.gemm.flops");
+  calls.add(1);
+  flops.add(2ll * m * n * ka);
 
   if (ta == Trans::kNo && tb == Trans::kNo) {
     gemm_nn(alpha, a, b, c);

@@ -7,6 +7,8 @@
 #include "la/cholesky.hpp"
 #include "la/eig.hpp"
 #include "la/ortho.hpp"
+#include "obs/counters.hpp"
+#include "obs/obs.hpp"
 
 namespace lrt::la {
 namespace {
@@ -29,6 +31,7 @@ RealMatrix hcat(RealConstView a, RealConstView b, RealConstView c) {
 LobpcgResult lobpcg(const BlockOperator& apply_h,
                     const BlockPreconditioner& preconditioner, RealMatrix x0,
                     const LobpcgOptions& options) {
+  const obs::Span span("la.lobpcg");
   const Index n = x0.rows();
   const Index k = x0.cols();
   LRT_CHECK(n > 0 && k > 0, "lobpcg: empty initial block");
@@ -201,6 +204,8 @@ LobpcgResult lobpcg(const BlockOperator& apply_h,
   }
 
   result.eigenvectors = std::move(x);
+  static obs::Counter& iterations = obs::counter("la.lobpcg.iterations");
+  iterations.add(result.iterations);
   return result;
 }
 

@@ -1,0 +1,173 @@
+#include "obs/bench_report.hpp"
+
+#include <cstdlib>
+#include <ctime>
+#include <fstream>
+
+#include "obs/counters.hpp"
+#include "obs/json.hpp"
+
+namespace lrt::obs {
+namespace {
+
+// Sanitizer presence is part of build metadata: perf numbers from
+// sanitized builds are not comparable to plain ones.
+std::string sanitizer_string() {
+  std::string out;
+#if defined(__SANITIZE_ADDRESS__)
+  out += "address";
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer)
+  out += "address";
+#endif
+#endif
+#if defined(__SANITIZE_THREAD__)
+  if (!out.empty()) out += ",";
+  out += "thread";
+#elif defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+  if (!out.empty()) out += ",";
+  out += "thread";
+#endif
+#endif
+  return out.empty() ? "none" : out;
+}
+
+template <typename T>
+void append_number_members(
+    std::string& out, const char* key,
+    const std::vector<std::pair<std::string, T>>& entries) {
+  out += ",";
+  out += json::quote(key);
+  out += ":{";
+  bool first = true;
+  for (const auto& [name, value] : entries) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += json::quote(name);
+    out.push_back(':');
+    out += json::number(static_cast<double>(value));
+  }
+  out += "}";
+}
+
+}  // namespace
+
+BenchReport::Record& BenchReport::Record::param(const std::string& key,
+                                                const std::string& value) {
+  params_.emplace_back(key, json::quote(value));
+  return *this;
+}
+
+BenchReport::Record& BenchReport::Record::param(const std::string& key,
+                                                long long value) {
+  params_.emplace_back(key, json::number(static_cast<double>(value)));
+  return *this;
+}
+
+BenchReport::Record& BenchReport::Record::param(const std::string& key,
+                                                double value) {
+  params_.emplace_back(key, json::number(value));
+  return *this;
+}
+
+BenchReport::Record& BenchReport::Record::phase(const std::string& name,
+                                                double seconds) {
+  phases_.emplace_back(name, seconds);
+  return *this;
+}
+
+BenchReport::Record& BenchReport::Record::counter(const std::string& name,
+                                                  long long value) {
+  counters_.emplace_back(name, value);
+  return *this;
+}
+
+BenchReport::Record& BenchReport::Record::metric(const std::string& key,
+                                                 double value) {
+  metrics_.emplace_back(key, value);
+  return *this;
+}
+
+BenchReport::Record& BenchReport::Record::counters_from_registry() {
+  for (const auto& [name, value] : snapshot_counters()) {
+    counters_.emplace_back(name, value);
+  }
+  return *this;
+}
+
+void BenchReport::meta(const std::string& key, const std::string& value) {
+  meta_.emplace_back(key, value);
+}
+
+BenchReport::Record& BenchReport::record(std::string label) {
+  records_.emplace_back(std::move(label));
+  return records_.back();
+}
+
+std::string BenchReport::json() const {
+  std::string out = "{\"schema\":";
+  out += json::quote(kBenchSchema);
+  out += ",\"name\":";
+  out += json::quote(name_);
+  out += ",\"unix_time\":";
+  out += json::number(static_cast<double>(std::time(nullptr)));
+  out += ",\"build\":{\"compiler\":";
+  out += json::quote(__VERSION__);
+  out += ",\"cplusplus\":";
+  out += json::number(static_cast<double>(__cplusplus));
+  out += ",\"sanitizers\":";
+  out += json::quote(sanitizer_string());
+  out += "},\"meta\":{";
+  bool first = true;
+  for (const auto& [key, value] : meta_) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += json::quote(key);
+    out.push_back(':');
+    out += json::quote(value);
+  }
+  out += "},\"records\":[";
+  first = true;
+  for (const Record& r : records_) {
+    if (!first) out.push_back(',');
+    first = false;
+    out += "{\"label\":";
+    out += json::quote(r.label_);
+    out += ",\"params\":{";
+    bool pf = true;
+    for (const auto& [key, encoded] : r.params_) {
+      if (!pf) out.push_back(',');
+      pf = false;
+      out += json::quote(key);
+      out.push_back(':');
+      out += encoded;
+    }
+    out += "}";
+    append_number_members(out, "phases", r.phases_);
+    append_number_members(out, "counters", r.counters_);
+    append_number_members(out, "metrics", r.metrics_);
+    out += "}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string BenchReport::default_path() const {
+  std::string dir;
+  if (const char* env = std::getenv("LRT_BENCH_DIR");
+      env != nullptr && *env != '\0') {
+    dir = env;
+    if (dir.back() != '/') dir.push_back('/');
+  }
+  return dir + "BENCH_" + name_ + ".json";
+}
+
+bool BenchReport::write(const std::string& path) const {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) return false;
+  out << json() << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace lrt::obs

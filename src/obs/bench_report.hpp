@@ -1,0 +1,76 @@
+// Machine-readable benchmark output (the BENCH_*.json trajectory).
+//
+// A BenchReport is a named collection of records, each carrying params
+// (what was run), phases (seconds per phase), counters (event totals,
+// e.g. comm.alltoallv.bytes), and metrics (everything else). write()
+// emits schema-versioned JSON so successive runs of the same bench are
+// comparable across the repo's history; the schema is documented in
+// docs/OBSERVABILITY.md.
+#pragma once
+
+#include <deque>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lrt::obs {
+
+/// Schema identifier stamped into every report; bump on breaking layout
+/// changes.
+inline constexpr const char* kBenchSchema = "lrt.bench/1";
+
+class BenchReport {
+ public:
+  /// One benchmark configuration's results.
+  class Record {
+   public:
+    explicit Record(std::string label) : label_(std::move(label)) {}
+
+    Record& param(const std::string& key, const std::string& value);
+    Record& param(const std::string& key, long long value);
+    Record& param(const std::string& key, double value);
+    Record& phase(const std::string& name, double seconds);
+    Record& counter(const std::string& name, long long value);
+    Record& metric(const std::string& key, double value);
+
+    /// Copies the current obs counter registry snapshot into this record.
+    Record& counters_from_registry();
+
+   private:
+    friend class BenchReport;
+    std::string label_;
+    std::vector<std::pair<std::string, std::string>> params_;  // pre-encoded
+    std::vector<std::pair<std::string, double>> phases_;
+    std::vector<std::pair<std::string, long long>> counters_;
+    std::vector<std::pair<std::string, double>> metrics_;
+  };
+
+  /// `name` becomes the default output file BENCH_<name>.json.
+  explicit BenchReport(std::string name) : name_(std::move(name)) {}
+
+  /// Top-level free-form metadata (grid size, notes, ...).
+  void meta(const std::string& key, const std::string& value);
+
+  /// Appends a record; the reference stays valid for the report's
+  /// lifetime (records live in a deque).
+  Record& record(std::string label);
+
+  /// The full report as a JSON document.
+  std::string json() const;
+
+  /// BENCH_<name>.json under $LRT_BENCH_DIR, or the working directory
+  /// when unset.
+  std::string default_path() const;
+
+  /// Writes json() to `path` (or default_path()). Returns false if the
+  /// file could not be opened.
+  bool write(const std::string& path) const;
+  bool write() const { return write(default_path()); }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> meta_;
+  std::deque<Record> records_;
+};
+
+}  // namespace lrt::obs

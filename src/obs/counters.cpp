@@ -1,0 +1,56 @@
+#include "obs/counters.hpp"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <mutex>
+
+namespace lrt::obs {
+namespace {
+
+// Counters live in unique_ptrs so references survive map rehashing; the
+// registry itself is a Meyers singleton so any static-initialization-time
+// caller finds it constructed.
+struct CounterRegistry {
+  std::mutex mutex;
+  std::map<std::string, std::unique_ptr<Counter>> counters;
+};
+
+CounterRegistry& registry() {
+  static CounterRegistry instance;
+  return instance;
+}
+
+}  // namespace
+
+Counter& counter(const std::string& name) {
+  CounterRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  std::unique_ptr<Counter>& slot = reg.counters[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+std::vector<std::pair<std::string, long long>> snapshot_counters() {
+  CounterRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  std::vector<std::pair<std::string, long long>> out;
+  out.reserve(reg.counters.size());
+  for (const auto& [name, c] : reg.counters) {
+    out.emplace_back(name, c->value());
+  }
+  return out;  // std::map iteration is already name-ordered.
+}
+
+void reset_counters() {
+  CounterRegistry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  for (auto& [name, c] : reg.counters) c->reset();
+}
+
+namespace detail {
+
+void touch_counter_registry() { (void)registry(); }
+
+}  // namespace detail
+}  // namespace lrt::obs

@@ -1,0 +1,53 @@
+// Named monotonic performance counters.
+//
+// A Counter is a relaxed std::atomic<long long>; the registry hands out
+// process-lifetime stable references by name. Hot paths cache the
+// reference (typically in a function-local static) so the per-event cost
+// is a single relaxed fetch_add — counters are always on, there is no
+// enable flag. Snapshots are taken by benches (obs::BenchReport) and by
+// the LRT_PROFILE exit report; see docs/OBSERVABILITY.md for the names
+// the library itself maintains (comm.*.bytes/calls, fft.*, la.gemm.*).
+#pragma once
+
+#include <atomic>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lrt::obs {
+
+/// Monotonic counter. add() is safe from any thread.
+class Counter {
+ public:
+  void add(long long delta) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  long long value() const { return value_.load(std::memory_order_relaxed); }
+
+  void reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<long long> value_{0};
+};
+
+/// The counter registered under `name`, created on first use. The
+/// returned reference stays valid for the process lifetime; cache it on
+/// hot paths instead of looking up per call.
+Counter& counter(const std::string& name);
+
+/// (name, value) of every registered counter, ordered by name.
+std::vector<std::pair<std::string, long long>> snapshot_counters();
+
+/// Zeroes every registered counter (benches isolate runs with this).
+void reset_counters();
+
+namespace detail {
+
+/// Forces the registry into existence; the tracer calls this on startup
+/// so the counter registry is destroyed after it (the exit report reads
+/// counters).
+void touch_counter_registry();
+
+}  // namespace detail
+}  // namespace lrt::obs

@@ -1,0 +1,52 @@
+// Minimal JSON support for the observability subsystem.
+//
+// The obs layer both emits machine-readable artifacts (Chrome traces,
+// BENCH_*.json reports) and reads them back (trace merging across test
+// processes, the validate_trace tool, tests that parse their own output).
+// This is a small recursive-descent DOM — objects keep member order, all
+// numbers are double — sufficient for those artifacts, not a general
+// JSON library.
+#pragma once
+
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace lrt::obs::json {
+
+/// One JSON value; arrays/objects own their children.
+struct Value {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<Value> array;
+  std::vector<std::pair<std::string, Value>> object;
+
+  bool is_null() const { return kind == Kind::kNull; }
+  bool is_object() const { return kind == Kind::kObject; }
+  bool is_array() const { return kind == Kind::kArray; }
+  bool is_number() const { return kind == Kind::kNumber; }
+  bool is_string() const { return kind == Kind::kString; }
+
+  /// Member lookup on an object; nullptr when absent or not an object.
+  const Value* find(const std::string& key) const;
+};
+
+/// Parses a complete document. Throws lrt::Error on malformed input or
+/// trailing non-whitespace.
+Value parse(const std::string& text);
+
+/// Serializes a Value back to compact JSON (round-trips through parse).
+std::string dump(const Value& value);
+
+/// Quoted, escaped JSON string literal for `s`.
+std::string quote(const std::string& s);
+
+/// Round-trippable number formatting; non-finite values become "null"
+/// (JSON has no NaN/Inf). Integral values print without an exponent.
+std::string number(double v);
+
+}  // namespace lrt::obs::json

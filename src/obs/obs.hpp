@@ -1,0 +1,187 @@
+// Rank-aware span tracer and phase aggregation.
+//
+// obs::Span is an RAII trace span: construction stamps a start time,
+// destruction (or end()) records [start, end) into a per-thread buffer —
+// no lock, no allocation on the steady-state hot path. Each simulated
+// rank thread registers its world rank via ThreadRankScope (par::run does
+// this), so exported traces carry one Chrome-trace tid per rank.
+//
+// When tracing is disabled (the default), a Span is a single relaxed
+// atomic load and two untaken branches — cheap enough to leave in
+// production hot paths (bench/bench_obs_overhead.cpp gates this < 20 ns).
+//
+// Enabling:
+//   LRT_TRACE=path.json   enable tracing; write/merge a Chrome trace at
+//                         process exit (open in chrome://tracing)
+//   LRT_PROFILE=1         enable tracing; print the aggregated per-phase
+//                         report to stderr at process exit
+//   set_tracing_enabled() programmatic control (tests, benches)
+//
+// Thread-safety: recording is safe from any thread. aggregate_phases(),
+// write_chrome_trace(), and reset_trace() walk every thread's buffer and
+// must only run at quiescence — when no instrumented code is executing
+// concurrently (e.g. after par::run returned, which joins all rank
+// threads; the join provides the happens-before edge). This mirrors the
+// rule for par state in docs/CONCURRENCY.md.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+namespace lrt::obs {
+
+namespace detail {
+
+extern std::atomic<bool> g_tracing_enabled;
+
+/// Monotonic nanoseconds (steady clock).
+long long now_ns();
+
+/// Appends one closed span to the calling thread's buffer. `name` is
+/// copied; the pointer need not outlive the call.
+void record_span(const char* name, long long start_ns, long long end_ns);
+
+}  // namespace detail
+
+/// True when spans are being recorded.
+inline bool tracing_enabled() {
+  return detail::g_tracing_enabled.load(std::memory_order_relaxed);
+}
+
+/// Turns span recording on or off (counters are unaffected; they are
+/// always on).
+void set_tracing_enabled(bool enabled);
+
+/// The simulated world rank of the calling thread, or -1 for threads
+/// outside any par::run region (they export under a synthetic tid).
+int thread_rank();
+void set_thread_rank(int rank);
+
+/// RAII rank tag for the current thread; par::run wraps each rank body
+/// in one so spans and aggregation attribute to the right rank.
+class ThreadRankScope {
+ public:
+  explicit ThreadRankScope(int rank) : saved_(thread_rank()) {
+    set_thread_rank(rank);
+  }
+  ~ThreadRankScope() { set_thread_rank(saved_); }
+
+  ThreadRankScope(const ThreadRankScope&) = delete;
+  ThreadRankScope& operator=(const ThreadRankScope&) = delete;
+
+ private:
+  int saved_;
+};
+
+/// RAII trace span. Nesting works naturally (inner spans close first);
+/// the Chrome trace viewer reconstructs the hierarchy from containment.
+///
+///   { obs::Span span("fft.fft3d"); transform(...); }
+///
+/// `name` must stay valid until the span closes (string literals are the
+/// norm); the recorder copies it at close time.
+class Span {
+ public:
+  explicit Span(const char* name) {
+    if (tracing_enabled()) {
+      name_ = name;
+      start_ns_ = detail::now_ns();
+    }
+  }
+
+  /// Closes the span early (before scope exit). Idempotent.
+  void end() {
+    if (name_ != nullptr) {
+      detail::record_span(name_, start_ns_, detail::now_ns());
+      name_ = nullptr;
+    }
+  }
+
+  ~Span() { end(); }
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+ private:
+  const char* name_ = nullptr;
+  long long start_ns_ = 0;
+};
+
+/// Per-phase statistics aggregated across rank threads (the Fig.-8 style
+/// report: who spent how long where, and how unbalanced it was).
+struct PhaseStats {
+  std::string name;
+  long long count = 0;          ///< spans recorded, all ranks
+  double total_seconds = 0.0;   ///< sum over all ranks
+  int ranks = 0;                ///< distinct ranks that recorded this phase
+  double min_rank_seconds = 0.0;
+  double max_rank_seconds = 0.0;
+  double mean_rank_seconds = 0.0;
+  double imbalance = 0.0;       ///< max / mean per-rank time; 1.0 = balanced
+};
+
+/// Aggregates every recorded span by name, in first-seen order. Threads
+/// tagged rank -1 aggregate as one pseudo-rank. Quiescence required (see
+/// file comment).
+std::vector<PhaseStats> aggregate_phases();
+
+/// Number of spans recorded so far (all threads). Quiescence required.
+std::size_t span_count();
+
+/// Discards all recorded spans. Quiescence required.
+void reset_trace();
+
+/// Writes the recorded spans as Chrome-trace JSON ("X" complete events,
+/// tid = rank). Overwrites `path`. Returns false if the file could not
+/// be opened. Quiescence required. The automatic at-exit write for
+/// LRT_TRACE instead *merges* with an existing file so serial test
+/// processes sharing one path accumulate (see docs/OBSERVABILITY.md).
+bool write_chrome_trace(const std::string& path);
+
+/// Drop-in replacement for the old common/timer.hpp WallProfiler:
+/// accumulates wall seconds per named phase, thread-safe, insertion
+/// ordered. Kept alongside the tracer because result structs carry one
+/// by value (DistDriverStats::phases feeds Fig. 8 directly).
+class PhaseAccumulator {
+ public:
+  PhaseAccumulator() = default;
+
+  /// Movable (so result structs can carry one); moving while another
+  /// thread is still adding is a caller bug, same as for containers.
+  PhaseAccumulator(PhaseAccumulator&& other) noexcept
+      : totals_(std::move(other.totals_)), order_(std::move(other.order_)) {}
+  PhaseAccumulator& operator=(PhaseAccumulator&& other) noexcept {
+    if (this != &other) {
+      totals_ = std::move(other.totals_);
+      order_ = std::move(other.order_);
+    }
+    return *this;
+  }
+  PhaseAccumulator(const PhaseAccumulator&) = delete;
+  PhaseAccumulator& operator=(const PhaseAccumulator&) = delete;
+
+  /// Adds `seconds` to phase `name`, creating the phase if needed.
+  void add(const std::string& name, double seconds);
+
+  /// Accumulated seconds for `name`; 0 if the phase never ran.
+  double total(const std::string& name) const;
+
+  /// Sum over all phases.
+  double grand_total() const;
+
+  /// Phase names in insertion order.
+  std::vector<std::string> phases() const;
+
+  void clear();
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, double> totals_;
+  std::vector<std::string> order_;
+};
+
+}  // namespace lrt::obs

@@ -1,10 +1,89 @@
 #include "par/comm.hpp"
 
 #include <algorithm>
+#include <array>
 #include <cstring>
 #include <sstream>
 
+#include "obs/counters.hpp"
+
 namespace lrt::par {
+namespace {
+
+// Global (cross-Comm) mirrors of the per-kind traffic totals, registered
+// as obs counters so BenchReport snapshots and the LRT_PROFILE exit
+// report see them. References are resolved once; add() is a relaxed
+// fetch_add.
+struct TrafficObs {
+  obs::Counter* bytes;
+  obs::Counter* calls;
+};
+
+const TrafficObs& traffic_obs(Traffic kind) {
+  static const std::array<TrafficObs, kNumTrafficKinds> table = [] {
+    std::array<TrafficObs, kNumTrafficKinds> t{};
+    for (int k = 0; k < kNumTrafficKinds; ++k) {
+      const std::string base =
+          std::string("comm.") + to_string(static_cast<Traffic>(k));
+      t[static_cast<std::size_t>(k)].bytes = &obs::counter(base + ".bytes");
+      t[static_cast<std::size_t>(k)].calls = &obs::counter(base + ".calls");
+    }
+    return t;
+  }();
+  return table[static_cast<std::size_t>(static_cast<int>(kind))];
+}
+
+// The user-facing traffic category each collective's internal messages
+// bill to. Composites bill to their leaves' own categories only via
+// nesting order: allreduce re-routes to reduce-then-bcast when the inner
+// guards activate, split's inner allgather re-routes to allgatherv.
+Traffic traffic_of(check::CollKind kind) {
+  switch (kind) {
+    case check::CollKind::kBcast:
+      return Traffic::kBcast;
+    case check::CollKind::kReduce:
+    case check::CollKind::kAllreduce:
+      return Traffic::kReduce;
+    case check::CollKind::kAlltoall:
+    case check::CollKind::kAlltoallv:
+      return Traffic::kAlltoallv;
+    case check::CollKind::kAllgather:
+    case check::CollKind::kAllgatherv:
+    case check::CollKind::kSplit:
+      return Traffic::kAllgatherv;
+    case check::CollKind::kGather:
+      return Traffic::kGather;
+    case check::CollKind::kScatter:
+      return Traffic::kScatter;
+    case check::CollKind::kBarrier:
+      return Traffic::kBarrier;
+  }
+  return Traffic::kP2p;
+}
+
+}  // namespace
+
+const char* to_string(Traffic kind) {
+  switch (kind) {
+    case Traffic::kP2p:
+      return "p2p";
+    case Traffic::kBcast:
+      return "bcast";
+    case Traffic::kReduce:
+      return "reduce";
+    case Traffic::kAlltoallv:
+      return "alltoallv";
+    case Traffic::kAllgatherv:
+      return "allgatherv";
+    case Traffic::kGather:
+      return "gather";
+    case Traffic::kScatter:
+      return "scatter";
+    case Traffic::kBarrier:
+      return "barrier";
+  }
+  return "unknown";
+}
 
 Comm::Comm(Runtime* runtime, int rank, std::vector<int> world_ranks,
            long long context)
@@ -29,7 +108,29 @@ Comm::Comm(Comm&& other) noexcept
       coll_depth_(other.coll_depth_),
       active_collective_(other.active_collective_),
       coll_seq_(other.coll_seq_),
-      bytes_sent_(other.bytes_sent_.load(std::memory_order_relaxed)) {}
+      active_traffic_(other.active_traffic_) {
+  for (int k = 0; k < kNumTrafficKinds; ++k) {
+    bytes_by_kind_[k].store(
+        other.bytes_by_kind_[k].load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+    calls_by_kind_[k].store(
+        other.calls_by_kind_[k].load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+  }
+}
+
+void Comm::enter_collective(check::CollKind kind) {
+  const Traffic traffic = traffic_of(kind);
+  active_traffic_ = traffic;
+  // Composite collectives (allreduce = reduce + bcast, split = allgather)
+  // are counted by their nested leaf calls, not here.
+  if (kind == check::CollKind::kAllreduce || kind == check::CollKind::kSplit) {
+    return;
+  }
+  calls_by_kind_[static_cast<int>(traffic)].fetch_add(
+      1, std::memory_order_relaxed);
+  traffic_obs(traffic).calls->add(1);
+}
 
 void Comm::post_collective(check::CollKind kind, int root, int reduce_op,
                            std::size_t dtype_size, long long count,
@@ -66,8 +167,18 @@ void Comm::send_bytes(const void* data, std::size_t bytes, int dst, int tag) {
   message.context = context_;
   message.payload.resize(bytes);
   if (bytes > 0) std::memcpy(message.payload.data(), data, bytes);
-  bytes_sent_.fetch_add(static_cast<long long>(bytes),
-                        std::memory_order_relaxed);
+  // Bill the bytes to the enclosing collective's traffic kind, or to p2p
+  // for user sends outside any collective (which also count as calls).
+  const Traffic kind = coll_depth_ == 0 ? Traffic::kP2p : active_traffic_;
+  bytes_by_kind_[static_cast<int>(kind)].fetch_add(
+      static_cast<long long>(bytes), std::memory_order_relaxed);
+  const TrafficObs& global = traffic_obs(kind);
+  global.bytes->add(static_cast<long long>(bytes));
+  if (kind == Traffic::kP2p) {
+    calls_by_kind_[static_cast<int>(Traffic::kP2p)].fetch_add(
+        1, std::memory_order_relaxed);
+    global.calls->add(1);
+  }
   runtime_->mailbox(world_rank_of(dst)).push(std::move(message));
 }
 

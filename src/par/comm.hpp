@@ -17,12 +17,33 @@
 #include <vector>
 
 #include "common/timer.hpp"
+#include "obs/obs.hpp"
 #include "par/check/verifier.hpp"
 #include "par/runtime.hpp"
 
 namespace lrt::par {
 
 enum class ReduceOp { kSum, kMax, kMin };
+
+/// Traffic accounting categories, matching the paper's cost model: bytes
+/// are attributed to the *user-facing* collective that caused them (an
+/// allreduce's tree messages count as reduce+bcast traffic, a split's as
+/// allgatherv), and anything sent outside a collective is p2p.
+enum class Traffic {
+  kP2p = 0,
+  kBcast,
+  kReduce,
+  kAlltoallv,
+  kAllgatherv,
+  kGather,
+  kScatter,
+  kBarrier,
+};
+
+inline constexpr int kNumTrafficKinds = 8;
+
+/// Short lowercase name ("p2p", "bcast", ...); static storage.
+const char* to_string(Traffic kind);
 
 class Comm {
  public:
@@ -135,9 +156,28 @@ class Comm {
   double comm_seconds() const { return comm_seconds_; }
   void reset_comm_seconds() { comm_seconds_ = 0.0; }
 
-  /// Bytes sent through p2p on this Comm (collectives included).
+  /// Bytes sent through p2p on this Comm (collectives included): the sum
+  /// over all traffic kinds, kept for backward compatibility.
   long long bytes_sent() const {
-    return bytes_sent_.load(std::memory_order_relaxed);
+    long long sum = 0;
+    for (int k = 0; k < kNumTrafficKinds; ++k) {
+      sum += bytes_by_kind_[k].load(std::memory_order_relaxed);
+    }
+    return sum;
+  }
+
+  /// Bytes attributed to one traffic kind on this Comm.
+  long long bytes_sent(Traffic kind) const {
+    return bytes_by_kind_[static_cast<int>(kind)].load(
+        std::memory_order_relaxed);
+  }
+
+  /// User-facing calls of one traffic kind on this Comm (composite
+  /// collectives count via their leaves: allreduce counts one reduce plus
+  /// one bcast, split counts one allgatherv; p2p counts user sends).
+  long long calls_made(Traffic kind) const {
+    return calls_by_kind_[static_cast<int>(kind)].load(
+        std::memory_order_relaxed);
   }
 
  private:
@@ -163,15 +203,20 @@ class Comm {
 
   /// RAII prologue shared by every collective: bumps the nesting depth
   /// (so p2p tag validation knows internal from user traffic), labels
-  /// watchdog dumps with the collective's name, and posts the call's
-  /// signature to the verifier (no-op when checking is off).
+  /// watchdog dumps with the collective's name, routes byte accounting to
+  /// this collective's traffic kind, emits an obs::Span, and posts the
+  /// call's signature to the verifier (no-op when checking is off).
   class CollectiveGuard {
    public:
     CollectiveGuard(Comm& comm, check::CollKind kind, int root,
                     int reduce_op, std::size_t dtype_size, long long count)
-        : comm_(comm), prev_(comm.active_collective_) {
+        : comm_(comm),
+          prev_(comm.active_collective_),
+          prev_traffic_(comm.active_traffic_),
+          span_(check::to_string(kind)) {
       ++comm_.coll_depth_;
       comm_.active_collective_ = check::to_string(kind);
+      comm_.enter_collective(kind);
       comm_.post_collective(kind, root, reduce_op, dtype_size, count,
                             nullptr, nullptr);
     }
@@ -180,14 +225,19 @@ class Comm {
                     std::size_t dtype_size,
                     const std::vector<Index>* send_counts,
                     const std::vector<Index>* recv_counts)
-        : comm_(comm), prev_(comm.active_collective_) {
+        : comm_(comm),
+          prev_(comm.active_collective_),
+          prev_traffic_(comm.active_traffic_),
+          span_(check::to_string(kind)) {
       ++comm_.coll_depth_;
       comm_.active_collective_ = check::to_string(kind);
+      comm_.enter_collective(kind);
       comm_.post_collective(kind, /*root=*/-1, /*reduce_op=*/-1, dtype_size,
                             /*count=*/-1, send_counts, recv_counts);
     }
     ~CollectiveGuard() {
       comm_.active_collective_ = prev_;
+      comm_.active_traffic_ = prev_traffic_;
       --comm_.coll_depth_;
     }
 
@@ -197,7 +247,15 @@ class Comm {
    private:
     Comm& comm_;
     const char* prev_;
+    Traffic prev_traffic_;
+    obs::Span span_;
   };
+
+  /// Routes subsequent byte accounting to `kind`'s traffic category and
+  /// bumps the per-kind call counters (Comm-local + obs registry).
+  /// Composite kinds (allreduce, split) only re-route: their nested leaf
+  /// collectives do the call counting. Defined in comm.cpp.
+  void enter_collective(check::CollKind kind);
 
   /// Advances the per-communicator collective sequence number and, when a
   /// verifier is attached, posts this call's signature for cross-rank
@@ -223,7 +281,13 @@ class Comm {
   /// Collective calls issued on this communicator so far; the verifier
   /// matches call #s across ranks.
   long long coll_seq_ = 0;
-  std::atomic<long long> bytes_sent_{0};
+  /// Traffic kind bytes are currently attributed to; rank-private like
+  /// coll_depth_ (each rank accounts its own sends).
+  Traffic active_traffic_ = Traffic::kP2p;
+  /// Per-kind byte/call totals. Atomic for the same reason bytes_sent_
+  /// was: diagnostics may read while rank threads send.
+  std::atomic<long long> bytes_by_kind_[kNumTrafficKinds] = {};
+  std::atomic<long long> calls_by_kind_[kNumTrafficKinds] = {};
 };
 
 namespace detail {

@@ -7,6 +7,8 @@
 #include "la/cholesky.hpp"
 #include "la/eig.hpp"
 #include "la/qr.hpp"
+#include "obs/counters.hpp"
+#include "obs/obs.hpp"
 #include "par/distblas.hpp"
 
 namespace lrt::par {
@@ -65,6 +67,7 @@ la::LobpcgResult dist_lobpcg(Comm& comm, const DistBlockOperator& apply_h,
                              const DistBlockPreconditioner& preconditioner,
                              la::RealMatrix x0_local,
                              const la::LobpcgOptions& options) {
+  const obs::Span span("par.dist_lobpcg");
   const Index n_local = x0_local.rows();
   const Index k = x0_local.cols();
   LRT_CHECK(k > 0, "dist_lobpcg: empty block");
@@ -214,6 +217,8 @@ la::LobpcgResult dist_lobpcg(Comm& comm, const DistBlockOperator& apply_h,
   }
 
   result.eigenvectors = std::move(x);
+  static obs::Counter& iterations = obs::counter("par.dist_lobpcg.iterations");
+  iterations.add(result.iterations);
   return result;
 }
 

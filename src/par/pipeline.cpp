@@ -2,10 +2,13 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+
 namespace lrt::par {
 
 la::RealMatrix gram_reduce_monolithic(Comm& comm, la::RealConstView a_local,
                                       la::RealConstView b_local) {
+  const obs::Span span("par.gram_reduce.monolithic");
   LRT_CHECK(a_local.rows() == b_local.rows(), "local row blocks must align");
   la::RealMatrix c =
       la::gemm(la::Trans::kYes, la::Trans::kNo, a_local, b_local);
@@ -16,6 +19,7 @@ la::RealMatrix gram_reduce_monolithic(Comm& comm, la::RealConstView a_local,
 PipelineResult gram_reduce_pipelined(Comm& comm, la::RealConstView a_local,
                                      la::RealConstView b_local,
                                      Index chunk_rows) {
+  const obs::Span span("par.gram_reduce.pipelined");
   LRT_CHECK(a_local.rows() == b_local.rows(), "local row blocks must align");
   LRT_CHECK(chunk_rows >= 1, "chunk_rows must be positive");
   const Index k = a_local.cols();  // global rows of C

@@ -3,6 +3,7 @@
 #include <exception>
 #include <thread>
 
+#include "obs/obs.hpp"
 #include "par/comm.hpp"
 
 namespace lrt::par {
@@ -84,6 +85,9 @@ void run(int nranks, const std::function<void(Comm&)>& body,
 
   if (nranks == 1) {
     try {
+      // Tag the calling thread as rank 0 so obs spans recorded inside the
+      // body attribute to a rank, same as the threaded path below.
+      obs::ThreadRankScope rank_scope(0);
       Comm comm(&runtime, /*rank=*/0, /*world_ranks=*/{0}, /*context=*/0);
       body(comm);
     } catch (...) {
@@ -100,6 +104,7 @@ void run(int nranks, const std::function<void(Comm&)>& body,
     for (int r = 0; r < nranks; ++r) {
       threads.emplace_back([&, r]() {
         try {
+          obs::ThreadRankScope rank_scope(r);
           Comm comm(&runtime, r, world_ranks, /*context=*/0);
           body(comm);
         } catch (...) {

@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "obs/obs.hpp"
+
 namespace lrt::par {
 
 ProcessGrid2D::ProcessGrid2D(Comm& world, int prow, int pcol)
@@ -22,6 +24,7 @@ ProcessGrid2D::ProcessGrid2D(Comm& world, int prow, int pcol)
 la::RealMatrix summa_gemm(ProcessGrid2D& grid, la::RealConstView a_local,
                           la::RealConstView b_local, Index m, Index n,
                           Index k, const SummaOptions& options) {
+  const obs::Span span("par.summa");
   const BlockPartition rows_m(m, grid.prow());
   const BlockPartition cols_n(n, grid.pcol());
   const BlockPartition k_by_col(k, grid.pcol());  // A's column split

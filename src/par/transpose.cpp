@@ -1,5 +1,7 @@
 #include "par/transpose.hpp"
 
+#include "obs/obs.hpp"
+
 namespace lrt::par {
 namespace {
 
@@ -7,6 +9,7 @@ namespace {
 /// (col part). `to_cols` chooses the direction.
 la::RealMatrix exchange(Comm& comm, la::RealConstView local, Index n_rows,
                         Index n_cols, bool to_cols) {
+  const obs::Span span("par.transpose");
   const int p = comm.size();
   const int me = comm.rank();
   const BlockPartition rows(n_rows, p);

@@ -8,6 +8,7 @@
 #include "kmeans/dist_kmeans.hpp"
 #include "la/blas.hpp"
 #include "la/lstsq.hpp"
+#include "obs/obs.hpp"
 #include "par/disteig.hpp"
 #include "par/pipeline.hpp"
 #include "par/transpose.hpp"
@@ -19,6 +20,35 @@ namespace {
 struct PhaseClock {
   std::map<std::string, double> seconds;
   void add(const std::string& name, double s) { seconds[name] += s; }
+};
+
+/// Times one Figure-8 phase region: CPU seconds go to the PhaseClock
+/// (the paper's per-rank busy accounting), and an obs::Span with the
+/// exact phase name goes to the trace. stop() ends the region early so
+/// results can escape the timed scope.
+class PhaseTimer {
+ public:
+  PhaseTimer(PhaseClock& clock, const char* name)
+      : clock_(&clock), name_(name), span_(name) {}
+
+  void stop() {
+    if (clock_ != nullptr) {
+      span_.end();
+      clock_->add(name_, t_.seconds());
+      clock_ = nullptr;
+    }
+  }
+
+  ~PhaseTimer() { stop(); }
+
+  PhaseTimer(const PhaseTimer&) = delete;
+  PhaseTimer& operator=(const PhaseTimer&) = delete;
+
+ private:
+  PhaseClock* clock_;
+  const char* name_;
+  obs::Span span_;
+  ThreadCpuTimer t_;
 };
 
 /// This rank's contiguous row slab of a replicated Nr x m matrix.
@@ -34,20 +64,20 @@ la::RealMatrix kernel_apply_distributed(par::Comm& comm,
                                         la::RealConstView local_rows,
                                         Index n_rows, Index n_cols,
                                         PhaseClock& clock) {
-  ThreadCpuTimer t_mpi;
+  PhaseTimer t_mpi(clock, "mpi");
   la::RealMatrix cols =
       par::row_block_to_col_block(comm, local_rows, n_rows, n_cols);
-  clock.add("mpi", t_mpi.seconds());
+  t_mpi.stop();
 
   la::RealMatrix kcols(cols.rows(), cols.cols());
-  ThreadCpuTimer t_fft;
+  PhaseTimer t_fft(clock, "fft");
   kernel.apply(cols.view(), kcols.view(), nullptr);
-  clock.add("fft", t_fft.seconds());
+  t_fft.stop();
 
-  ThreadCpuTimer t_mpi2;
+  PhaseTimer t_mpi2(clock, "mpi");
   la::RealMatrix result =
       par::col_block_to_row_block(comm, kcols.view(), n_rows, n_cols);
-  clock.add("mpi", t_mpi2.seconds());
+  t_mpi2.stop();
   return result;
 }
 
@@ -75,11 +105,11 @@ std::vector<Real> solve_naive(par::Comm& comm, const CasidaProblem& problem,
   const par::BlockPartition rows(nr, comm.size());
 
   // Row-block pair products (Algorithm 1 line 2).
-  ThreadCpuTimer t_pair;
+  PhaseTimer t_pair(clock, "pair_product");
   const la::RealMatrix p_loc = isdf::pair_product_matrix(
       my_rows(problem.psi_v.view(), rows, me),
       my_rows(problem.psi_c.view(), rows, me));
-  clock.add("pair_product", t_pair.seconds());
+  t_pair.stop();
 
   // Kernel with the alltoall sandwich (lines 3-6).
   const la::RealMatrix kp_loc = kernel_apply_distributed(
@@ -87,7 +117,7 @@ std::vector<Real> solve_naive(par::Comm& comm, const CasidaProblem& problem,
 
   // Vhxc assembly (lines 7-8): GEMM + Allreduce, or pipelined Reduce.
   la::RealMatrix h;
-  ThreadCpuTimer t_gemm;
+  PhaseTimer t_gemm(clock, "gemm");
   if (options.pipelined_reduce) {
     par::PipelineResult piped = par::gram_reduce_pipelined(
         comm, p_loc.view(), kp_loc.view(), options.pipeline_chunk);
@@ -105,18 +135,18 @@ std::vector<Real> solve_naive(par::Comm& comm, const CasidaProblem& problem,
   } else {
     h = par::gram_reduce_monolithic(comm, p_loc.view(), kp_loc.view());
   }
-  clock.add("gemm", t_gemm.seconds());
+  t_gemm.stop();
 
   finalize_hamiltonian(h, energy_differences(problem), problem.grid.dv());
 
   // Dense diagonalization via the block-cyclic SYEVD stand-in (Fig 3c).
-  ThreadCpuTimer t_diag;
+  PhaseTimer t_diag(clock, "diag");
   const par::Layout row_layout =
       par::Layout::block_row(ncv, ncv, comm.size());
   par::DistMatrix h_dist(row_layout, me);
   h_dist.fill_global([&](Index i, Index j) { return h(i, j); });
   par::DistEigResult eig = par::dist_syev(comm, h_dist, options.eig_method);
-  clock.add("diag", t_diag.seconds());
+  t_diag.stop();
 
   return std::vector<Real>(
       eig.values.begin(), eig.values.begin() + options.num_states);
@@ -146,7 +176,7 @@ std::vector<Real> solve_implicit(par::Comm& comm,
   const la::RealConstView psi_c_loc = my_rows(problem.psi_c.view(), rows, me);
 
   // Distributed K-Means on local grid slabs (paper §4.2).
-  ThreadCpuTimer t_kmeans;
+  PhaseTimer t_kmeans(clock, "kmeans");
   const std::vector<Real> weights = kmeans::pair_weights(psi_v_loc, psi_c_loc);
   std::vector<grid::Vec3> points(static_cast<std::size_t>(my_count));
   for (Index i = 0; i < my_count; ++i) {
@@ -154,11 +184,11 @@ std::vector<Real> solve_implicit(par::Comm& comm,
   }
   const kmeans::DistKMeansResult km = kmeans::dist_weighted_kmeans(
       comm, points, weights, my_offset, nmu, options.kmeans);
-  clock.add("kmeans", t_kmeans.seconds());
+  t_kmeans.stop();
 
   // Sampled orbital rows, replicated by summation (each point is owned by
   // exactly one rank).
-  ThreadCpuTimer t_mpi;
+  PhaseTimer t_mpi(clock, "mpi");
   la::RealMatrix psi_v_mu(nmu, nv), psi_c_mu(nmu, nc);
   for (Index m = 0; m < nmu; ++m) {
     const Index gp = km.interpolation_points[static_cast<std::size_t>(m)];
@@ -169,10 +199,10 @@ std::vector<Real> solve_implicit(par::Comm& comm,
   }
   comm.allreduce(psi_v_mu.data(), psi_v_mu.size(), par::ReduceOp::kSum);
   comm.allreduce(psi_c_mu.data(), psi_c_mu.size(), par::ReduceOp::kSum);
-  clock.add("mpi", t_mpi.seconds());
+  t_mpi.stop();
 
   // Local rows of Θ via the separable products (paper Eq 10).
-  ThreadCpuTimer t_gemm;
+  PhaseTimer t_gemm(clock, "gemm");
   const la::RealMatrix av = la::gemm(la::Trans::kNo, la::Trans::kYes,
                                      psi_v_loc, psi_v_mu.view());
   const la::RealMatrix ac = la::gemm(la::Trans::kNo, la::Trans::kYes,
@@ -194,12 +224,12 @@ std::vector<Real> solve_implicit(par::Comm& comm,
   }
   const la::RealMatrix theta_loc =
       la::solve_gram_from_right(zct_loc.view(), cct.view());
-  clock.add("gemm", t_gemm.seconds());
+  t_gemm.stop();
 
   // M = Θᵀ K Θ dv: kernel sandwich + distributed Gram.
   const la::RealMatrix ktheta_loc = kernel_apply_distributed(
       comm, kernel, theta_loc.view(), nr, nmu, clock);
-  ThreadCpuTimer t_gemm2;
+  PhaseTimer t_gemm2(clock, "gemm");
   la::RealMatrix m_mat;
   if (options.pipelined_reduce) {
     par::PipelineResult piped = par::gram_reduce_pipelined(
@@ -226,12 +256,12 @@ std::vector<Real> solve_implicit(par::Comm& comm,
       m_mat(j, i) = avg;
     }
   }
-  clock.add("gemm", t_gemm2.seconds());
+  t_gemm2.stop();
 
   // Distributed implicit LOBPCG (Algorithm 2): the excitation vectors are
   // row-block partitioned over the pair space (valence blocks), the 3k x
   // 3k projected problem is replicated — the paper's parallel layout.
-  ThreadCpuTimer t_diag;
+  PhaseTimer t_diag(clock, "diag");
   const DistImplicitHamiltonian h(comm, energy_differences(problem),
                                   std::move(m_mat), psi_v_mu.view(),
                                   psi_c_mu.view());
@@ -239,7 +269,7 @@ std::vector<Real> solve_implicit(par::Comm& comm,
   eig.num_states = options.num_states;
   const DistCasidaSolution sol =
       solve_casida_lobpcg_distributed(comm, h, eig);
-  clock.add("diag", t_diag.seconds());
+  t_diag.stop();
   return sol.energies;
 }
 

@@ -1,0 +1,326 @@
+// Observability subsystem: span recording, rank aggregation, counters,
+// Chrome-trace export, disabled-mode cost, and composition with the
+// runtime verifier.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <new>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/timer.hpp"
+#include "obs/bench_report.hpp"
+#include "obs/counters.hpp"
+#include "obs/json.hpp"
+#include "obs/obs.hpp"
+#include "par/comm.hpp"
+#include "par/runtime.hpp"
+
+// Global allocation counter for the zero-allocation test. Replacing
+// operator new/delete clashes with sanitizer interceptors (and GCC's
+// -Wmismatched-new-delete analysis false-positives on the malloc-backed
+// definitions), so instrumented builds skip the counting test instead —
+// the zero-alloc property is only meaningful uninstrumented anyway.
+#if defined(__SANITIZE_ADDRESS__) || defined(__SANITIZE_THREAD__)
+#define LRT_TEST_COUNTS_ALLOCATIONS 0
+#elif defined(__has_feature)
+#if __has_feature(address_sanitizer) || __has_feature(thread_sanitizer) || \
+    __has_feature(memory_sanitizer)
+#define LRT_TEST_COUNTS_ALLOCATIONS 0
+#else
+#define LRT_TEST_COUNTS_ALLOCATIONS 1
+#endif
+#else
+#define LRT_TEST_COUNTS_ALLOCATIONS 1
+#endif
+
+#if LRT_TEST_COUNTS_ALLOCATIONS
+namespace {
+std::atomic<long long> g_alloc_count{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size == 0 ? 1 : size)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) { return ::operator new(size); }
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+#endif  // LRT_TEST_COUNTS_ALLOCATIONS
+
+namespace lrt {
+namespace {
+
+/// Saves the tracing flag, forces a known state, restores on exit; also
+/// clears recorded spans so tests see only their own.
+class TracingFixture {
+ public:
+  explicit TracingFixture(bool enable) : saved_(obs::tracing_enabled()) {
+    obs::set_tracing_enabled(enable);
+    obs::reset_trace();
+  }
+  ~TracingFixture() {
+    obs::reset_trace();
+    obs::set_tracing_enabled(saved_);
+  }
+
+ private:
+  bool saved_;
+};
+
+const obs::PhaseStats* find_phase(const std::vector<obs::PhaseStats>& stats,
+                                  const std::string& name) {
+  for (const obs::PhaseStats& s : stats) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+/// Burns a few cycles so span durations are nonzero; the atomic store
+/// keeps the loop from being optimized away.
+void busy_work(int salt) {
+  static std::atomic<long long> sink{0};
+  long long acc = salt;
+  for (int i = 0; i < 10000; ++i) acc += i * (salt + 1);
+  sink.fetch_add(acc, std::memory_order_relaxed);
+}
+
+TEST(ObsSpan, NestedSpansRecordSeparately) {
+  TracingFixture tracing(true);
+  {
+    obs::Span outer("outer");
+    {
+      obs::Span inner("inner");
+    }
+    {
+      obs::Span inner("inner");
+    }
+  }
+  const auto stats = obs::aggregate_phases();
+  const obs::PhaseStats* outer = find_phase(stats, "outer");
+  const obs::PhaseStats* inner = find_phase(stats, "inner");
+  ASSERT_NE(outer, nullptr);
+  ASSERT_NE(inner, nullptr);
+  EXPECT_EQ(outer->count, 1);
+  EXPECT_EQ(inner->count, 2);
+  // The outer span contains both inner ones.
+  EXPECT_GE(outer->total_seconds, inner->total_seconds);
+}
+
+TEST(ObsSpan, EndIsIdempotentAndStopsTheClock) {
+  TracingFixture tracing(true);
+  obs::Span span("early_end");
+  span.end();
+  span.end();  // second end must not double-record
+  const auto stats = obs::aggregate_phases();
+  const obs::PhaseStats* s = find_phase(stats, "early_end");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->count, 1);
+}
+
+TEST(ObsSpan, DisabledModeRecordsNothingAndDoesNotAllocate) {
+  TracingFixture tracing(false);
+  // Warm up: the first span on a thread may lazily create its buffer
+  // (only when enabled; disabled spans never touch the registry).
+  {
+    obs::Span warm("warmup");
+  }
+#if LRT_TEST_COUNTS_ALLOCATIONS
+  const long long before = g_alloc_count.load(std::memory_order_relaxed);
+#endif
+  for (int i = 0; i < 1000; ++i) {
+    obs::Span span("disabled");
+  }
+#if LRT_TEST_COUNTS_ALLOCATIONS
+  const long long after = g_alloc_count.load(std::memory_order_relaxed);
+  EXPECT_EQ(after, before);
+#endif
+  EXPECT_EQ(obs::span_count(), 0u);
+}
+
+TEST(ObsSpan, AggregationAcrossConcurrentRankThreads) {
+  TracingFixture tracing(true);
+  constexpr int kRanks = 4;
+  par::run(kRanks, [](par::Comm& comm) {
+    obs::Span span("rank_work");
+    busy_work(comm.rank());
+  });
+  const auto stats = obs::aggregate_phases();
+  const obs::PhaseStats* s = find_phase(stats, "rank_work");
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->count, kRanks);
+  EXPECT_EQ(s->ranks, kRanks);
+  EXPECT_GE(s->max_rank_seconds, s->min_rank_seconds);
+  EXPECT_GE(s->imbalance, 1.0);
+  EXPECT_NEAR(s->mean_rank_seconds * kRanks, s->total_seconds, 1e-12);
+}
+
+TEST(ObsCounters, AccumulateAcrossConcurrentRankThreads) {
+  obs::Counter& c = obs::counter("test.obs.rank_adds");
+  c.reset();
+  constexpr int kRanks = 4;
+  constexpr long long kPerRank = 1000;
+  par::run(kRanks, [](par::Comm&) {
+    obs::Counter& mine = obs::counter("test.obs.rank_adds");
+    for (long long i = 0; i < kPerRank; ++i) mine.add(1);
+  });
+  EXPECT_EQ(c.value(), kRanks * kPerRank);
+}
+
+TEST(ObsCounters, SnapshotIsSortedAndResettable) {
+  obs::counter("test.obs.zzz").reset();
+  obs::counter("test.obs.aaa").add(7);
+  const auto snap = obs::snapshot_counters();
+  ASSERT_GE(snap.size(), 2u);
+  for (std::size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_LT(snap[i - 1].first, snap[i].first);
+  }
+  obs::reset_counters();
+  for (const auto& [name, value] : obs::snapshot_counters()) {
+    EXPECT_EQ(value, 0) << name;
+  }
+}
+
+TEST(ObsTrace, ChromeExportIsWellFormedWithPerRankTids) {
+  TracingFixture tracing(true);
+  constexpr int kRanks = 4;
+  par::run(kRanks, [](par::Comm& comm) {
+    obs::Span span("traced_phase");
+    busy_work(comm.rank());
+  });
+  const std::string path = "test_obs_trace.json";
+  ASSERT_TRUE(obs::write_chrome_trace(path));
+
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const obs::json::Value doc = obs::json::parse(buf.str());
+  ASSERT_TRUE(doc.is_object());
+  const obs::json::Value* events = doc.find("traceEvents");
+  ASSERT_NE(events, nullptr);
+  ASSERT_TRUE(events->is_array());
+
+  std::set<long long> tids;
+  for (const obs::json::Value& event : events->array) {
+    ASSERT_TRUE(event.is_object());
+    const obs::json::Value* ph = event.find("ph");
+    ASSERT_NE(ph, nullptr);
+    if (ph->string != "X") continue;
+    const obs::json::Value* name = event.find("name");
+    const obs::json::Value* tid = event.find("tid");
+    const obs::json::Value* dur = event.find("dur");
+    ASSERT_NE(name, nullptr);
+    ASSERT_NE(tid, nullptr);
+    ASSERT_NE(dur, nullptr);
+    EXPECT_GE(dur->number, 0.0);
+    if (name->string == "traced_phase") {
+      tids.insert(static_cast<long long>(tid->number));
+    }
+  }
+  EXPECT_EQ(tids.size(), static_cast<std::size_t>(kRanks));
+  std::remove(path.c_str());
+}
+
+TEST(ObsTrace, ComposesWithRuntimeVerifier) {
+  TracingFixture tracing(true);
+  par::check::Options check_opts;
+  check_opts.enabled = true;
+  par::run(3, [](par::Comm& comm) {
+    double x = comm.rank();
+    comm.bcast(&x, 1, /*root=*/0);
+    comm.allreduce(&x, 1, par::ReduceOp::kSum);
+    if (comm.rank() == 0) {
+      // The binomial-tree root sends in bcast but only receives in reduce.
+      EXPECT_GT(comm.bytes_sent(par::Traffic::kBcast), 0);
+    } else {
+      // Every non-root rank sends its contribution exactly once.
+      EXPECT_GT(comm.bytes_sent(par::Traffic::kReduce), 0);
+    }
+    // Call counts are per leaf collective, so every rank sees them: the
+    // explicit bcast plus the allreduce's internal bcast give two bcasts;
+    // the allreduce's internal reduce gives one reduce.
+    EXPECT_EQ(comm.calls_made(par::Traffic::kBcast), 2);
+    EXPECT_EQ(comm.calls_made(par::Traffic::kReduce), 1);
+    // Backward compat: the flat total is the sum over kinds.
+    long long sum = 0;
+    for (int k = 0; k < par::kNumTrafficKinds; ++k) {
+      sum += comm.bytes_sent(static_cast<par::Traffic>(k));
+    }
+    EXPECT_EQ(comm.bytes_sent(), sum);
+  }, check_opts);
+  // Collective spans were recorded while the verifier was active.
+  const auto stats = obs::aggregate_phases();
+  EXPECT_NE(find_phase(stats, "bcast"), nullptr);
+  EXPECT_NE(find_phase(stats, "reduce"), nullptr);
+}
+
+TEST(ObsShim, ScopedPhaseFeedsProfilerAndTrace) {
+  TracingFixture tracing(true);
+  WallProfiler profiler;
+  {
+    ScopedPhase phase(profiler, "shim_phase");
+  }
+  EXPECT_GE(profiler.total("shim_phase"), 0.0);
+  ASSERT_EQ(profiler.phases().size(), 1u);
+  EXPECT_EQ(profiler.phases()[0], "shim_phase");
+  const auto stats = obs::aggregate_phases();
+  EXPECT_NE(find_phase(stats, "shim_phase"), nullptr);
+}
+
+TEST(ObsBenchReport, JsonRoundTripsWithSchemaAndCounters) {
+  obs::counter("test.obs.bench").reset();
+  obs::counter("test.obs.bench").add(42);
+  obs::BenchReport report("unittest");
+  report.meta("note", "round-trip");
+  report.record("cfg1")
+      .param("ranks", static_cast<long long>(4))
+      .param("method", std::string("kmeans"))
+      .phase("fft", 0.125)
+      .metric("speedup", 2.5)
+      .counters_from_registry();
+
+  const obs::json::Value doc = obs::json::parse(report.json());
+  ASSERT_TRUE(doc.is_object());
+  const obs::json::Value* schema = doc.find("schema");
+  ASSERT_NE(schema, nullptr);
+  EXPECT_EQ(schema->string, obs::kBenchSchema);
+  const obs::json::Value* records = doc.find("records");
+  ASSERT_NE(records, nullptr);
+  ASSERT_EQ(records->array.size(), 1u);
+  const obs::json::Value& rec = records->array[0];
+  EXPECT_EQ(rec.find("label")->string, "cfg1");
+  EXPECT_EQ(rec.find("params")->find("ranks")->number, 4.0);
+  EXPECT_EQ(rec.find("phases")->find("fft")->number, 0.125);
+  EXPECT_EQ(rec.find("metrics")->find("speedup")->number, 2.5);
+  const obs::json::Value* counters = rec.find("counters");
+  ASSERT_NE(counters, nullptr);
+  const obs::json::Value* bench_counter = counters->find("test.obs.bench");
+  ASSERT_NE(bench_counter, nullptr);
+  EXPECT_EQ(bench_counter->number, 42.0);
+  const obs::json::Value* build = doc.find("build");
+  ASSERT_NE(build, nullptr);
+  EXPECT_NE(build->find("compiler"), nullptr);
+}
+
+TEST(ObsJson, ParseRejectsMalformedInput) {
+  EXPECT_THROW(obs::json::parse("{\"a\":"), Error);
+  EXPECT_THROW(obs::json::parse("[1,2,]"), Error);
+  EXPECT_THROW(obs::json::parse("{} trailing"), Error);
+  const obs::json::Value v =
+      obs::json::parse("{\"s\":\"\\u00e9\",\"n\":-1.5e3,\"b\":true}");
+  EXPECT_EQ(v.find("s")->string, "\xc3\xa9");
+  EXPECT_EQ(v.find("n")->number, -1500.0);
+  EXPECT_TRUE(v.find("b")->boolean);
+}
+
+}  // namespace
+}  // namespace lrt

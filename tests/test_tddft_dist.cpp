@@ -4,6 +4,7 @@
 
 #include <cmath>
 
+#include "obs/obs.hpp"
 #include "tddft/dist_driver.hpp"
 
 namespace lrt::tddft {
@@ -178,6 +179,38 @@ TEST_P(DistDriverSweep, JacobiEigensolverMatchesGathered) {
   });
   for (std::size_t j = 0; j < gathered.size(); ++j) {
     EXPECT_NEAR(jacobi[j], gathered[j], 1e-8);
+  }
+}
+
+TEST(DistDriverObs, Fig8PhaseSpansPerRank) {
+  // Every Figure-8 phase must record at least one span on every rank
+  // thread, so traces explain where each rank's time went.
+  const bool was_enabled = obs::tracing_enabled();
+  obs::set_tracing_enabled(true);
+  obs::reset_trace();
+  const CasidaProblem problem = make_test_problem();
+  constexpr int kRanks = 4;
+  par::run(kRanks, [&](par::Comm& comm) {
+    DistDriverOptions opts;
+    opts.version = Version::kImplicit;
+    opts.num_states = 2;
+    opts.nmu = 12;
+    opts.kmeans.seeding = kmeans::Seeding::kTopWeight;
+    solve_casida_distributed(comm, problem, opts);
+  });
+  const auto stats = obs::aggregate_phases();
+  for (const char* phase : {"kmeans", "fft", "mpi", "gemm", "diag"}) {
+    const obs::PhaseStats* found = nullptr;
+    for (const auto& s : stats) {
+      if (s.name == phase) found = &s;
+    }
+    ASSERT_NE(found, nullptr) << "missing phase " << phase;
+    EXPECT_GE(found->ranks, kRanks) << phase;
+    EXPECT_GE(found->count, kRanks) << phase;
+  }
+  if (!was_enabled) {
+    obs::reset_trace();
+    obs::set_tracing_enabled(false);
   }
 }
 

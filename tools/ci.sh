@@ -52,6 +52,17 @@ if [ "$do_plain" -eq 1 ]; then
   echo "=== [plain] ctest with LRT_CHECK=1 (runtime verifier ambient) ==="
   LRT_CHECK=1 LRT_CHECK_STALL_SECONDS=120 \
     ctest --test-dir build-ci --output-on-failure -j "$jobs"
+  echo "=== [plain] disabled-span overhead gate ==="
+  ./build-ci/bench/bench_obs_overhead --max-ns 20
+  echo "=== [plain] trace-enabled ctest + Chrome-JSON validation ==="
+  # Serial on purpose: each test process merges its spans into the shared
+  # trace file at exit, which assumes one writer at a time.
+  rm -f build-ci/ctest.trace.json
+  LRT_TRACE="$PWD/build-ci/ctest.trace.json" \
+    ctest --test-dir build-ci -R tddft_dist --output-on-failure
+  ./build-ci/bench/validate_trace build-ci/ctest.trace.json \
+    --require-phase kmeans --require-phase fft --require-phase mpi \
+    --require-phase gemm --require-phase diag
 fi
 
 if [ "$do_asan" -eq 1 ]; then
