@@ -5,6 +5,11 @@
 // rank thread present in the trace (tid other than the non-rank sentinel)
 // recorded at least one complete ("X") event with that name.
 //
+// Required phase names must come from the generated registry
+// (src/obs/phase_registry.hpp): a typo'd or retired phase name fails
+// immediately with the known vocabulary instead of "missing on every
+// rank". lrt-analyze enforces the same vocabulary statically.
+//
 //   validate_trace trace.json --require-phase fft --require-phase mpi
 #include <cstdio>
 #include <fstream>
@@ -15,6 +20,7 @@
 #include <vector>
 
 #include "obs/json.hpp"
+#include "obs/phase_registry.hpp"
 
 namespace {
 
@@ -42,6 +48,18 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "usage: %s TRACE.json [--require-phase NAME]...\n",
                  argv[0]);
     return 2;
+  }
+  for (const std::string& phase : required) {
+    if (!lrt::obs::phase::is_registered(phase)) {
+      std::fprintf(stderr,
+                   "validate_trace: \"%s\" is not a registered phase "
+                   "(see src/obs/phases.def); known phases:\n",
+                   phase.c_str());
+      for (const char* known : lrt::obs::phase::kAll) {
+        std::fprintf(stderr, "  %s\n", known);
+      }
+      return 2;
+    }
   }
 
   std::ifstream in(path);

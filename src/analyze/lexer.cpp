@@ -1,0 +1,319 @@
+#include "analyze/lexer.hpp"
+
+#include <array>
+#include <cstddef>
+#include <string_view>
+
+namespace lrt::analyze {
+
+namespace {
+
+bool is_ident_start(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c == '_';
+}
+
+bool is_ident_char(char c) { return is_ident_start(c) || (c >= '0' && c <= '9'); }
+
+bool is_digit(char c) { return c >= '0' && c <= '9'; }
+
+/// Multi-character punctuators, longest first so the longest match wins.
+constexpr std::array<std::string_view, 24> kPuncts = {
+    "...", "<=>", "<<=", ">>=", "->*", "::", "->", "<<", ">>", "<=", ">=",
+    "==",  "!=",  "&&",  "||",  "+=", "-=", "*=", "/=", "%=", "&=", "|=",
+    "^=",  "##"};
+
+/// Scans a comment body for `lrt-analyze: allow(a, b)` and records the
+/// named passes against `line` and `line + 1`.
+void collect_directive(const std::string& comment, int line, LexedFile* out) {
+  const std::string marker = "lrt-analyze:";
+  std::size_t pos = comment.find(marker);
+  if (pos == std::string::npos) return;
+  pos = comment.find("allow(", pos + marker.size());
+  if (pos == std::string::npos) return;
+  pos += 6;  // past "allow("
+  const std::size_t close = comment.find(')', pos);
+  if (close == std::string::npos) return;
+  std::string name;
+  auto flush = [&]() {
+    if (!name.empty()) {
+      out->allowed[line].insert(name);
+      out->allowed[line + 1].insert(name);
+      name.clear();
+    }
+  };
+  for (std::size_t i = pos; i < close; ++i) {
+    const char c = comment[i];
+    if (c == ',' || c == ' ' || c == '\t') {
+      if (c == ',') flush();
+      continue;
+    }
+    name.push_back(c);
+  }
+  flush();
+}
+
+class Lexer {
+ public:
+  Lexer(std::string path, const std::string& text)
+      : text_(text) {
+    out_.path = std::move(path);
+  }
+
+  LexedFile run() {
+    while (!eof()) step();
+    return std::move(out_);
+  }
+
+ private:
+  bool eof() const { return pos_ >= text_.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < text_.size() ? text_[pos_ + ahead] : '\0';
+  }
+  void advance() {
+    if (text_[pos_] == '\n') {
+      ++line_;
+      at_line_start_ = true;
+    }
+    ++pos_;
+  }
+
+  void emit(TokKind kind, std::string text, int line) {
+    out_.tokens.push_back(Token{kind, std::move(text), line});
+  }
+
+  void step() {
+    const char c = peek();
+    // Line splice: backslash-newline vanishes in translation phase 2.
+    if (c == '\\' && (peek(1) == '\n' || (peek(1) == '\r' && peek(2) == '\n'))) {
+      advance();
+      while (!eof() && text_[pos_] != '\n') advance();
+      if (!eof()) advance();
+      return;
+    }
+    if (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' ||
+        c == '\v') {
+      advance();
+      return;
+    }
+    if (c == '/' && peek(1) == '/') {
+      line_comment();
+      return;
+    }
+    if (c == '/' && peek(1) == '*') {
+      block_comment();
+      return;
+    }
+    if (c == '#' && at_line_start_) {
+      directive();
+      return;
+    }
+    at_line_start_ = false;
+    if (is_ident_start(c)) {
+      identifier();
+      return;
+    }
+    if (is_digit(c) || (c == '.' && is_digit(peek(1)))) {
+      number();
+      return;
+    }
+    if (c == '"') {
+      string_literal(/*raw=*/false);
+      return;
+    }
+    if (c == '\'') {
+      char_literal();
+      return;
+    }
+    punct();
+  }
+
+  void line_comment() {
+    const int line = line_;
+    std::string body;
+    while (!eof() && peek() != '\n') {
+      body.push_back(peek());
+      advance();
+    }
+    collect_directive(body, line, &out_);
+  }
+
+  void block_comment() {
+    const int line = line_;
+    std::string body;
+    advance();  // '/'
+    advance();  // '*'
+    while (!eof() && !(peek() == '*' && peek(1) == '/')) {
+      body.push_back(peek());
+      advance();
+    }
+    if (!eof()) {
+      advance();
+      advance();
+    }
+    collect_directive(body, line, &out_);
+  }
+
+  /// Preprocessor directive. `#include` paths get their own token kinds;
+  /// everything else lexes as ordinary tokens (so `#pragma once` shows up
+  /// as '#' 'pragma' 'once').
+  void directive() {
+    const int line = line_;
+    emit(TokKind::kPunct, "#", line);
+    advance();
+    at_line_start_ = false;
+    while (!eof() && (peek() == ' ' || peek() == '\t')) advance();
+    std::size_t start = pos_;
+    while (!eof() && is_ident_char(peek())) advance();
+    const std::string name = text_.substr(start, pos_ - start);
+    if (!name.empty()) emit(TokKind::kIdentifier, name, line);
+    if (name != "include") return;
+    while (!eof() && (peek() == ' ' || peek() == '\t')) advance();
+    if (peek() == '"') {
+      advance();
+      start = pos_;
+      while (!eof() && peek() != '"' && peek() != '\n') advance();
+      emit(TokKind::kIncludePath, text_.substr(start, pos_ - start), line);
+      if (peek() == '"') advance();
+    } else if (peek() == '<') {
+      advance();
+      start = pos_;
+      while (!eof() && peek() != '>' && peek() != '\n') advance();
+      emit(TokKind::kSysInclude, text_.substr(start, pos_ - start), line);
+      if (peek() == '>') advance();
+    }
+  }
+
+  void identifier() {
+    const int line = line_;
+    const std::size_t start = pos_;
+    while (!eof() && is_ident_char(peek())) advance();
+    const std::string name = text_.substr(start, pos_ - start);
+    // Encoding / raw-string prefixes glued to a quote are literals, not
+    // identifiers: R"(..)", u8"..", L'x', ...
+    if (peek() == '"' &&
+        (name == "R" || name == "u8R" || name == "uR" || name == "LR")) {
+      string_literal(/*raw=*/true);
+      return;
+    }
+    if (peek() == '"' && (name == "u8" || name == "u" || name == "L")) {
+      string_literal(/*raw=*/false);
+      return;
+    }
+    if (peek() == '\'' && (name == "u8" || name == "u" || name == "L")) {
+      char_literal();
+      return;
+    }
+    emit(TokKind::kIdentifier, name, line);
+  }
+
+  /// pp-number: digits plus identifier chars, quotes as digit separators,
+  /// and sign characters after an exponent marker.
+  void number() {
+    const int line = line_;
+    const std::size_t start = pos_;
+    advance();
+    while (!eof()) {
+      const char c = peek();
+      if (is_ident_char(c) || c == '.') {
+        advance();
+      } else if (c == '\'' && is_ident_char(peek(1))) {
+        advance();
+        advance();
+      } else if ((c == '+' || c == '-') && pos_ > start) {
+        const char prev = text_[pos_ - 1];
+        if (prev == 'e' || prev == 'E' || prev == 'p' || prev == 'P') {
+          advance();
+        } else {
+          break;
+        }
+      } else {
+        break;
+      }
+    }
+    emit(TokKind::kNumber, text_.substr(start, pos_ - start), line);
+  }
+
+  void string_literal(bool raw) {
+    const int line = line_;
+    std::string body;
+    advance();  // opening quote
+    if (raw) {
+      std::string delim;
+      while (!eof() && peek() != '(') {
+        delim.push_back(peek());
+        advance();
+      }
+      if (!eof()) advance();  // '('
+      const std::string closer = ")" + delim + "\"";
+      while (!eof()) {
+        if (peek() == ')' &&
+            text_.compare(pos_, closer.size(), closer) == 0) {
+          for (std::size_t i = 0; i < closer.size(); ++i) advance();
+          break;
+        }
+        body.push_back(peek());
+        advance();
+      }
+    } else {
+      while (!eof() && peek() != '"' && peek() != '\n') {
+        if (peek() == '\\' && pos_ + 1 < text_.size()) {
+          body.push_back(peek());
+          advance();
+        }
+        body.push_back(peek());
+        advance();
+      }
+      if (peek() == '"') advance();
+    }
+    emit(TokKind::kString, std::move(body), line);
+  }
+
+  void char_literal() {
+    const int line = line_;
+    std::string body;
+    advance();  // opening quote
+    while (!eof() && peek() != '\'' && peek() != '\n') {
+      if (peek() == '\\' && pos_ + 1 < text_.size()) {
+        body.push_back(peek());
+        advance();
+      }
+      body.push_back(peek());
+      advance();
+    }
+    if (peek() == '\'') advance();
+    emit(TokKind::kCharLit, std::move(body), line);
+  }
+
+  void punct() {
+    const int line = line_;
+    for (const std::string_view p : kPuncts) {
+      if (text_.compare(pos_, p.size(), p) == 0) {
+        for (std::size_t i = 0; i < p.size(); ++i) advance();
+        emit(TokKind::kPunct, std::string(p), line);
+        return;
+      }
+    }
+    emit(TokKind::kPunct, std::string(1, peek()), line);
+    advance();
+  }
+
+  const std::string& text_;
+  LexedFile out_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  bool at_line_start_ = true;
+};
+
+}  // namespace
+
+bool LexedFile::suppressed(const std::string& pass, int line) const {
+  const auto it = allowed.find(line);
+  if (it == allowed.end()) return false;
+  return it->second.count(pass) != 0 || it->second.count("all") != 0;
+}
+
+LexedFile lex(std::string path, const std::string& text) {
+  return Lexer(std::move(path), text).run();
+}
+
+}  // namespace lrt::analyze

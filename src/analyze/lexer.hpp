@@ -1,0 +1,62 @@
+// Comment- and string-aware C++ lexer for the lrt-analyze passes.
+//
+// This is not a compiler front end: it produces a flat token stream good
+// enough for the project-specific pattern checks in passes.hpp — the
+// property the old grep-based gates lacked is exactly what this layer
+// guarantees, that nothing inside a comment, string literal (including
+// raw strings), or character literal ever reaches a pass. Preprocessor
+// include paths are lexed as their own token kind so `#include "la/x.hpp"`
+// is distinguishable from an ordinary string literal.
+//
+// Suppression directives are collected during lexing: a comment of the
+// form
+//
+//   // lrt-analyze: allow(pass-name)            one pass
+//   // lrt-analyze: allow(pass-a, pass-b)       several passes
+//   // lrt-analyze: allow(all)                  every pass
+//
+// suppresses findings on the directive's own line and on the following
+// line (so a standalone comment line covers the statement under it).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace lrt::analyze {
+
+enum class TokKind {
+  kIdentifier,   ///< identifiers and keywords (no keyword table needed)
+  kNumber,       ///< pp-number (1e-3, 0xFF, 1'000'000, ...)
+  kString,       ///< string literal; text holds the raw inner characters
+  kCharLit,      ///< character literal
+  kPunct,        ///< operator/punctuator, multi-character where standard
+  kIncludePath,  ///< path of a `#include "..."` (quoted form)
+  kSysInclude,   ///< path of a `#include <...>` (angle form)
+};
+
+struct Token {
+  TokKind kind;
+  std::string text;
+  int line;
+};
+
+/// One lexed translation unit plus the side tables the passes need.
+struct LexedFile {
+  std::string path;  ///< repo-relative, forward slashes
+  std::vector<Token> tokens;
+  /// Line number -> pass names allowed by a suppression directive on or
+  /// just above that line ("all" allows every pass).
+  std::map<int, std::set<std::string>> allowed;
+
+  /// True when `pass` findings on `line` are suppressed by a directive.
+  bool suppressed(const std::string& pass, int line) const;
+};
+
+/// Lexes `text` (the contents of `path`). Never throws on malformed
+/// input: an unterminated comment/literal simply ends at EOF — the
+/// compiler proper is the authority on well-formedness.
+LexedFile lex(std::string path, const std::string& text);
+
+}  // namespace lrt::analyze

@@ -1,0 +1,530 @@
+#include "analyze/passes.hpp"
+
+#include <algorithm>
+#include <cstddef>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+
+#include "analyze/registry_gen.hpp"
+
+namespace lrt::analyze {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+bool is_punct(const Token& tok, const char* text) {
+  return tok.kind == TokKind::kPunct && tok.text == text;
+}
+
+bool is_ident(const Token& tok, const char* text) {
+  return tok.kind == TokKind::kIdentifier && tok.text == text;
+}
+
+bool starts_with(const std::string& s, const std::string& prefix) {
+  return s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool in_dir(const std::string& path, const std::string& dir) {
+  return starts_with(path, dir + "/");
+}
+
+void add_finding(const PassContext& ctx, std::string pass, std::string file,
+                 int line, std::string message) {
+  Finding f;
+  f.pass = std::move(pass);
+  f.file = std::move(file);
+  f.line = line;
+  f.message = std::move(message);
+  ctx.findings->push_back(std::move(f));
+}
+
+/// Index of the matching close paren for the open paren at `open`, or
+/// tokens.size() when unbalanced.
+std::size_t match_paren(const Tokens& tokens, std::size_t open) {
+  int depth = 0;
+  for (std::size_t i = open; i < tokens.size(); ++i) {
+    if (is_punct(tokens[i], "(")) ++depth;
+    if (is_punct(tokens[i], ")")) {
+      --depth;
+      if (depth == 0) return i;
+    }
+  }
+  return tokens.size();
+}
+
+// ----- layer-dag --------------------------------------------------------------
+
+/// The src/ module for `path` ("src/par/check/verifier.cpp" -> "par"),
+/// empty for files outside src/.
+std::string module_of(const std::string& path) {
+  if (!in_dir(path, "src")) return {};
+  const std::size_t start = 4;  // past "src/"
+  const std::size_t slash = path.find('/', start);
+  if (slash == std::string::npos) return {};
+  return path.substr(start, slash - start);
+}
+
+/// Module an include path points into ("obs/json.hpp" -> "obs"), empty
+/// when the first component is not a known module.
+std::string include_module(const std::string& include_path) {
+  const std::size_t slash = include_path.find('/');
+  if (slash == std::string::npos) return {};
+  const std::string head = include_path.substr(0, slash);
+  const auto& order = layer_order();
+  if (std::find(order.begin(), order.end(), head) == order.end()) return {};
+  return head;
+}
+
+struct LayerEdge {
+  std::string from;
+  std::string to;
+  std::string file;  ///< first include site creating this edge
+  int line = 0;
+};
+
+void report_cycles(const PassContext& ctx,
+                   const std::map<std::string, std::vector<LayerEdge>>& graph) {
+  // Iterative DFS over the module graph; every cycle through the DFS
+  // stack is reported once, anchored at the include site of its closing
+  // edge. A cycle is baselined when one of its edges is grandfathered
+  // (that edge explains the cycle).
+  std::set<std::string> done;
+  std::set<std::string> reported;
+  for (const auto& [start, unused] : graph) {
+    (void)unused;
+    if (done.count(start) != 0) continue;
+    std::vector<std::string> stack;
+    std::set<std::string> on_stack;
+    // (module, next edge index) DFS frames.
+    std::vector<std::pair<std::string, std::size_t>> frames;
+    frames.emplace_back(start, 0);
+    stack.push_back(start);
+    on_stack.insert(start);
+    while (!frames.empty()) {
+      auto& [node, next] = frames.back();
+      const auto it = graph.find(node);
+      const std::size_t degree = it == graph.end() ? 0 : it->second.size();
+      if (next >= degree) {
+        done.insert(node);
+        on_stack.erase(node);
+        stack.pop_back();
+        frames.pop_back();
+        continue;
+      }
+      const LayerEdge& edge = it->second[next];
+      ++next;
+      if (on_stack.count(edge.to) != 0) {
+        // Cycle: the stack suffix starting at edge.to, closed by `edge`.
+        const auto begin =
+            std::find(stack.begin(), stack.end(), edge.to);
+        std::vector<std::string> cycle(begin, stack.end());
+        std::ostringstream names;
+        bool baselined = false;
+        for (std::size_t i = 0; i < cycle.size(); ++i) {
+          const std::string& from = cycle[i];
+          const std::string& to = cycle[(i + 1) % cycle.size()];
+          names << from << " -> ";
+          if (ctx.config->baseline_layer_edges.count(from + "->" + to) != 0) {
+            baselined = true;
+          }
+        }
+        names << edge.to;
+        std::string key = names.str();
+        if (reported.insert(key).second) {
+          Finding f;
+          f.pass = "layer-dag";
+          f.file = edge.file;
+          f.line = edge.line;
+          f.message = "module cycle: " + key;
+          if (baselined) f.status = Finding::Status::kBaselined;
+          ctx.findings->push_back(std::move(f));
+        }
+        continue;
+      }
+      if (done.count(edge.to) != 0) continue;
+      frames.emplace_back(edge.to, 0);
+      stack.push_back(edge.to);
+      on_stack.insert(edge.to);
+    }
+  }
+}
+
+}  // namespace
+
+const std::vector<std::string>& layer_order() {
+  // Bottom-up. obs sits directly above common because the whole numeric
+  // stack is instrumented (PR 2); the one legacy back-edge common -> obs
+  // (common/timer.hpp's ScopedPhase shim) is grandfathered in
+  // tools/lrt-analyze.baseline rather than blessed here.
+  static const std::vector<std::string> kOrder = {
+      "common", "obs",    "grid", "la",   "fft",   "io",
+      "par",    "dft",    "kmeans", "isdf", "tddft", "analyze"};
+  return kOrder;
+}
+
+void run_layer_dag(const PassContext& ctx) {
+  const auto& order = layer_order();
+  auto rank_of = [&](const std::string& module) {
+    const auto it = std::find(order.begin(), order.end(), module);
+    return static_cast<std::size_t>(it - order.begin());
+  };
+
+  std::map<std::string, std::vector<LayerEdge>> graph;
+  std::set<std::string> seen_edges;
+  for (const LexedFile& file : *ctx.files) {
+    const std::string from = module_of(file.path);
+    if (from.empty()) continue;
+    for (const Token& tok : file.tokens) {
+      if (tok.kind != TokKind::kIncludePath) continue;
+      const std::string to = include_module(tok.text);
+      if (to.empty() || to == from) continue;
+      if (seen_edges.insert(from + "->" + to).second) {
+        graph[from].push_back(LayerEdge{from, to, file.path, tok.line});
+      }
+      if (rank_of(from) < rank_of(to)) {
+        Finding f;
+        f.pass = "layer-dag";
+        f.file = file.path;
+        f.line = tok.line;
+        f.message = "layer violation: module '" + from + "' includes '" +
+                    tok.text + "' from higher layer '" + to +
+                    "' (order: " + from + " < " + to + ")";
+        if (ctx.config->baseline_layer_edges.count(from + "->" + to) != 0) {
+          f.status = Finding::Status::kBaselined;
+        }
+        ctx.findings->push_back(std::move(f));
+      }
+    }
+  }
+  report_cycles(ctx, graph);
+}
+
+// ----- collective-divergence --------------------------------------------------
+
+namespace {
+
+const std::set<std::string>& collective_names() {
+  static const std::set<std::string> kNames = {
+      "barrier",   "bcast",      "reduce", "allreduce", "alltoall",
+      "alltoallv", "allgather",  "allgatherv", "gather", "scatter",
+      "split"};
+  return kNames;
+}
+
+/// Identifiers that mark a condition as rank-dependent.
+bool is_rank_marker(const Token& tok) {
+  if (tok.kind != TokKind::kIdentifier) return false;
+  return tok.text == "rank" || tok.text == "rank_" || tok.text == "myrank" ||
+         tok.text == "my_rank" || tok.text == "world_rank" ||
+         tok.text == "is_root";
+}
+
+void divergence_scan(const PassContext& ctx, const LexedFile& file) {
+  const Tokens& t = file.tokens;
+  struct Region {
+    bool brace;          ///< brace block vs single statement
+    int depth;           ///< brace depth the region opened at
+  };
+  std::vector<Region> regions;
+  int brace_depth = 0;
+  // Token index where a rank-dependent body begins (one past the
+  // condition's close paren, or one past an `else`); npos when none.
+  std::size_t body_at = std::string::npos;
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const Token& tok = t[i];
+
+    if (i == body_at) {
+      if (is_punct(tok, "{")) {
+        regions.push_back(Region{true, brace_depth});
+        body_at = std::string::npos;
+      } else if (tok.kind == TokKind::kIdentifier &&
+                 (tok.text == "if" || tok.text == "while" ||
+                  tok.text == "for" || tok.text == "switch") &&
+                 i + 1 < t.size() && is_punct(t[i + 1], "(")) {
+        // `else if (...)`: the whole chain is rank-dependent; skip the
+        // condition and treat the construct's body as the region.
+        const std::size_t close = match_paren(t, i + 1);
+        body_at = close + 1;
+        i = close;  // loop ++ lands on the body
+        continue;
+      } else {
+        regions.push_back(Region{false, brace_depth});
+        body_at = std::string::npos;
+      }
+    }
+
+    if (tok.kind == TokKind::kIdentifier &&
+        (tok.text == "if" || tok.text == "while" || tok.text == "for" ||
+         tok.text == "switch") &&
+        i + 1 < t.size() && is_punct(t[i + 1], "(")) {
+      const std::size_t close = match_paren(t, i + 1);
+      bool rank_cond = false;
+      for (std::size_t j = i + 2; j < close && j < t.size(); ++j) {
+        if (is_rank_marker(t[j])) {
+          rank_cond = true;
+          break;
+        }
+      }
+      if (rank_cond && close < t.size()) {
+        body_at = close + 1;
+        i = close;  // skip the condition; collectives there are p2p-free
+        continue;
+      }
+    }
+
+    if (!regions.empty() && tok.kind == TokKind::kIdentifier &&
+        collective_names().count(tok.text) != 0 && i > 0 &&
+        (is_punct(t[i - 1], ".") || is_punct(t[i - 1], "->")) &&
+        i + 1 < t.size() && is_punct(t[i + 1], "(")) {
+      add_finding(ctx, "collective-divergence", file.path, tok.line,
+                  "collective '" + tok.text +
+                      "' under rank-dependent control flow: every rank "
+                      "must execute the same collective sequence "
+                      "(see docs/CONCURRENCY.md)");
+    }
+
+    auto maybe_close_region = [&](bool was_brace) {
+      bool closed = false;
+      while (!regions.empty() && regions.back().brace == was_brace &&
+             regions.back().depth == brace_depth) {
+        regions.pop_back();
+        closed = true;
+        if (was_brace) break;  // one `}` closes exactly one block
+      }
+      if (closed && i + 1 < t.size() && is_ident(t[i + 1], "else")) {
+        body_at = i + 2;  // else body is rank-dependent too
+      }
+    };
+
+    if (is_punct(tok, "{")) ++brace_depth;
+    if (is_punct(tok, "}")) {
+      --brace_depth;
+      maybe_close_region(/*was_brace=*/true);
+    }
+    if (is_punct(tok, ";")) maybe_close_region(/*was_brace=*/false);
+  }
+}
+
+}  // namespace
+
+void run_collective_divergence(const PassContext& ctx) {
+  for (const LexedFile& file : *ctx.files) divergence_scan(ctx, file);
+}
+
+// ----- phase-registry ---------------------------------------------------------
+
+namespace {
+
+/// True for files whose phase names feed traces and CI gates. Tests are
+/// exempt: they exercise the tracer itself with synthetic names.
+bool phase_checked_file(const std::string& path) {
+  return in_dir(path, "src") || in_dir(path, "bench");
+}
+
+}  // namespace
+
+void run_phase_registry(const PassContext& ctx) {
+  if (ctx.config->phase_registry.empty()) {
+    add_finding(ctx, "phase-registry", "src/obs/phases.def", 1,
+                "phase registry is empty or missing; the phase-registry "
+                "pass has nothing to check against");
+    return;
+  }
+  static const std::set<std::string> kSinks = {"Span", "ScopedPhase",
+                                               "PhaseTimer"};
+  for (const LexedFile& file : *ctx.files) {
+    if (!phase_checked_file(file.path)) continue;
+    const Tokens& t = file.tokens;
+    for (std::size_t i = 0; i < t.size(); ++i) {
+      if (t[i].kind != TokKind::kIdentifier || kSinks.count(t[i].text) == 0) {
+        continue;
+      }
+      // Constructor forms: `Span("x")`, `Span name("x")`. Anything else
+      // (declarations, qualified names, comments) has no literal args.
+      std::size_t open = std::string::npos;
+      if (i + 1 < t.size() && is_punct(t[i + 1], "(")) {
+        open = i + 1;
+      } else if (i + 2 < t.size() && t[i + 1].kind == TokKind::kIdentifier &&
+                 is_punct(t[i + 2], "(")) {
+        open = i + 2;
+      }
+      if (open == std::string::npos) continue;
+      const std::size_t close = match_paren(t, open);
+      for (std::size_t j = open + 1; j < close && j < t.size(); ++j) {
+        if (t[j].kind != TokKind::kString) continue;
+        if (ctx.config->phase_registry.count(t[j].text) != 0) continue;
+        add_finding(ctx, "phase-registry", file.path, t[j].line,
+                    t[i].text + " name \"" + t[j].text +
+                        "\" is not registered in src/obs/phases.def "
+                        "(add it there and regenerate, or use a "
+                        "registered name)");
+      }
+    }
+  }
+}
+
+void run_phase_registry_shell(const PassContext& ctx, const std::string& path,
+                              const std::string& text) {
+  if (ctx.config->phase_registry.empty()) return;
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    // Strip shell comments (approximate: '#' at start or after space).
+    for (std::size_t i = 0; i < line.size(); ++i) {
+      if (line[i] == '#' && (i == 0 || line[i - 1] == ' ' ||
+                             line[i - 1] == '\t')) {
+        line.erase(i);
+        break;
+      }
+    }
+    const std::string flag = "--require-phase";
+    std::size_t pos = 0;
+    while ((pos = line.find(flag, pos)) != std::string::npos) {
+      pos += flag.size();
+      while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) {
+        ++pos;
+      }
+      std::string name;
+      while (pos < line.size() && line[pos] != ' ' && line[pos] != '\t' &&
+             line[pos] != '\\') {
+        name.push_back(line[pos]);
+        ++pos;
+      }
+      if (!name.empty() && (name.front() == '"' || name.front() == '\'')) {
+        name.erase(name.begin());
+        if (!name.empty() && (name.back() == '"' || name.back() == '\'')) {
+          name.pop_back();
+        }
+      }
+      if (name.empty() || name[0] == '$') continue;  // variable: runtime check
+      if (ctx.config->phase_registry.count(name) == 0) {
+        add_finding(ctx, "phase-registry", path, lineno,
+                    "--require-phase \"" + name +
+                        "\" is not registered in src/obs/phases.def");
+      }
+    }
+  }
+}
+
+void run_phase_registry_sync(const PassContext& ctx) {
+  const std::string def_path = ctx.config->root + "/src/obs/phases.def";
+  const std::string header_path =
+      ctx.config->root + "/src/obs/phase_registry.hpp";
+  std::string def_text;
+  std::string header_text;
+  try {
+    def_text = read_file(def_path);
+  } catch (const std::exception&) {
+    add_finding(ctx, "phase-registry-sync", "src/obs/phases.def", 1,
+                "missing phase definition file");
+    return;
+  }
+  try {
+    header_text = read_file(header_path);
+  } catch (const std::exception&) {
+    add_finding(ctx, "phase-registry-sync", "src/obs/phase_registry.hpp", 1,
+                "missing generated registry header; run "
+                "`lrt-analyze gen-phases --write`");
+    return;
+  }
+  const std::string expected =
+      generate_phase_registry_header(parse_phases_def_entries(def_text));
+  if (header_text != expected) {
+    add_finding(ctx, "phase-registry-sync", "src/obs/phase_registry.hpp", 1,
+                "out of sync with src/obs/phases.def; run "
+                "`lrt-analyze gen-phases --write`");
+  }
+}
+
+// ----- migrated pattern gates -------------------------------------------------
+
+namespace {
+
+/// std::thread is allowed only in the runtime (which implements the rank
+/// threads) and the verifier (whose watchdog is sanctioned).
+bool thread_allowed_file(const std::string& path) {
+  return starts_with(path, "src/par/runtime") ||
+         starts_with(path, "src/par/check/");
+}
+
+void pattern_gates_scan(const PassContext& ctx, const LexedFile& file) {
+  const bool in_src = in_dir(file.path, "src");
+  const Tokens& t = file.tokens;
+
+  const bool check_new = ctx.enabled("naked-new-delete") && in_src;
+  const bool check_volatile = ctx.enabled("banned-volatile") && in_src;
+  const bool check_thread = ctx.enabled("banned-thread") && in_src &&
+                            !thread_allowed_file(file.path);
+  const bool check_sleep = ctx.enabled("banned-sleep") && in_src;
+  const bool check_parent = ctx.enabled("parent-include");
+
+  for (std::size_t i = 0; i < t.size(); ++i) {
+    const Token& tok = t[i];
+    if (check_parent && tok.kind == TokKind::kIncludePath &&
+        starts_with(tok.text, "../")) {
+      add_finding(ctx, "parent-include", file.path, tok.line,
+                  "parent-relative #include \"" + tok.text +
+                      "\" (use src/-relative paths)");
+    }
+    if (tok.kind != TokKind::kIdentifier) continue;
+    if (check_new && tok.text == "new") {
+      add_finding(ctx, "naked-new-delete", file.path, tok.line,
+                  "naked new (use containers or std::make_unique)");
+    }
+    if (check_new && tok.text == "delete") {
+      // `= delete;` declarations are not deallocations.
+      if (!(i > 0 && is_punct(t[i - 1], "="))) {
+        add_finding(ctx, "naked-new-delete", file.path, tok.line,
+                    "naked delete (use containers or smart pointers)");
+      }
+    }
+    if (check_volatile && tok.text == "volatile") {
+      add_finding(ctx, "banned-volatile", file.path, tok.line,
+                  "volatile is not a synchronization primitive "
+                  "(use std::atomic or a mutex)");
+    }
+    if (check_thread && tok.text == "std" && i + 2 < t.size() &&
+        is_punct(t[i + 1], "::") && is_ident(t[i + 2], "thread")) {
+      add_finding(ctx, "banned-thread", file.path, tok.line,
+                  "std::thread outside par/runtime and par/check "
+                  "(route work through par::run)");
+    }
+    if (check_sleep && (tok.text == "sleep_for" || tok.text == "sleep_until")) {
+      add_finding(ctx, "banned-sleep", file.path, tok.line,
+                  "sleep-based waiting (use condition variables; the "
+                  "verifier provides the watchdog)");
+    }
+  }
+
+  // Header self-containment: every src/ header declares #pragma once.
+  if (ctx.enabled("pragma-once") && in_src &&
+      file.path.size() > 4 &&
+      file.path.compare(file.path.size() - 4, 4, ".hpp") == 0) {
+    bool found = false;
+    for (std::size_t i = 0; i + 2 < t.size(); ++i) {
+      if (is_punct(t[i], "#") && is_ident(t[i + 1], "pragma") &&
+          is_ident(t[i + 2], "once")) {
+        found = true;
+        break;
+      }
+    }
+    if (!found) {
+      add_finding(ctx, "pragma-once", file.path, 1,
+                  "header does not declare #pragma once");
+    }
+  }
+}
+
+}  // namespace
+
+void run_pattern_gates(const PassContext& ctx) {
+  for (const LexedFile& file : *ctx.files) pattern_gates_scan(ctx, file);
+}
+
+}  // namespace lrt::analyze

@@ -1,0 +1,60 @@
+// The project-specific analysis passes.
+//
+// Each pass walks lexed token streams (analyze/lexer.hpp) and appends
+// findings; pass names are the vocabulary used by suppression comments,
+// the baseline file, and --pass selection:
+//
+//   layer-dag              module include order + cycle detection
+//   collective-divergence  Comm collectives under rank-dependent control
+//   phase-registry         Span/ScopedPhase/PhaseTimer names and
+//                          --require-phase args must be registered
+//   phase-registry-sync    committed registry header matches generator
+//   naked-new-delete       RAII codebase: no naked new/delete in src/
+//   banned-volatile        volatile is not a synchronization primitive
+//   banned-thread          std::thread outside par/runtime + par/check
+//   banned-sleep           no sleep_for/sleep_until waiting in src/
+//   parent-include         no `#include "../..."` anywhere
+//   pragma-once            every src/ header starts with #pragma once
+//
+// See docs/STATIC_ANALYSIS.md for the rationale behind each.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "analyze/analyzer.hpp"
+#include "analyze/lexer.hpp"
+
+namespace lrt::analyze {
+
+/// Shared input for one analysis run.
+struct PassContext {
+  const Config* config = nullptr;
+  const std::vector<LexedFile>* files = nullptr;
+  std::vector<Finding>* findings = nullptr;
+
+  bool enabled(const std::string& pass) const {
+    return config->passes.empty() || config->passes.count(pass) != 0;
+  }
+};
+
+/// The bottom-up module layering of src/ enforced by layer-dag. A module
+/// may include itself and anything at the same or a lower index.
+const std::vector<std::string>& layer_order();
+
+void run_layer_dag(const PassContext& ctx);
+void run_collective_divergence(const PassContext& ctx);
+void run_phase_registry(const PassContext& ctx);
+void run_pattern_gates(const PassContext& ctx);
+
+/// Scans one shell script for `--require-phase NAME` arguments (the
+/// validate_trace CI gate) and flags unregistered names. Separate entry
+/// point because shell scripts don't go through the C++ lexer.
+void run_phase_registry_shell(const PassContext& ctx, const std::string& path,
+                              const std::string& text);
+
+/// Compares the committed src/obs/phase_registry.hpp against what the
+/// generator produces from src/obs/phases.def.
+void run_phase_registry_sync(const PassContext& ctx);
+
+}  // namespace lrt::analyze

@@ -1,0 +1,34 @@
+// Generator for src/obs/phase_registry.hpp from src/obs/phases.def.
+//
+// phases.def is the single source of truth for the phase/span name
+// vocabulary: every obs::Span / ScopedPhase / PhaseTimer literal and
+// every `validate_trace --require-phase` argument must name an entry
+// (enforced by the phase-registry pass). The committed header is checked
+// byte-for-byte against this generator by the phase-registry-sync pass,
+// so the vocabulary can't drift between code, CI gates, and docs.
+//
+// def format: one name per line, '#' starts a comment, text after the
+// name is a human description carried into the generated header.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace lrt::analyze {
+
+struct PhaseDef {
+  std::string name;         ///< e.g. "pair_product", "fft.fft3d"
+  std::string description;  ///< may be empty
+};
+
+/// Parses phases.def. Throws lrt::Error on an invalid name (allowed:
+/// [a-z0-9_.], must start with a letter) or a duplicate.
+std::vector<PhaseDef> parse_phases_def_entries(const std::string& text);
+
+/// "pair_product" -> "kPairProduct", "fft.fft3d" -> "kFftFft3d".
+std::string phase_constant_name(const std::string& phase);
+
+/// The full generated header text (byte-stable).
+std::string generate_phase_registry_header(const std::vector<PhaseDef>& defs);
+
+}  // namespace lrt::analyze

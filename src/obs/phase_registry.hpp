@@ -1,0 +1,92 @@
+// GENERATED FILE — DO NOT EDIT.
+//
+// Registered phase/span name vocabulary, generated from
+// src/obs/phases.def by `lrt-analyze gen-phases --write`. The
+// phase-registry-sync pass fails CI when this file and the def
+// drift apart; the phase-registry pass requires every
+// obs::Span / ScopedPhase / PhaseTimer literal and every
+// `validate_trace --require-phase` argument to name an entry.
+#pragma once
+
+#include <cstddef>
+#include <string_view>
+
+namespace lrt::obs::phase {
+
+inline constexpr const char* kKmeans = "kmeans";  // K-Means point selection (Fig. 8)
+inline constexpr const char* kFft = "fft";  // FFT work, forward+inverse (Fig. 8)
+inline constexpr const char* kMpi = "mpi";  // communication: transpose/alltoallv + allreduce (Fig. 8)
+inline constexpr const char* kGemm = "gemm";  // dense GEMM + allreduce epilogue (Fig. 8)
+inline constexpr const char* kDiag = "diag";  // (dist-)eigensolve / subspace diagonalization (Fig. 8)
+inline constexpr const char* kPairProduct = "pair_product";  // orbital pair-product assembly (Fig. 8)
+inline constexpr const char* kSelectPoints = "select_points";  // ISDF interpolation-point selection (driver profiler)
+inline constexpr const char* kInterpVectors = "interp_vectors";  // ISDF interpolation-vector fit (driver profiler)
+inline constexpr const char* kFftFft3d = "fft.fft3d";  // one 3-D FFT (all pencils)
+inline constexpr const char* kIsdfSelectPoints = "isdf.select_points";  // point selection entry (QRCP or K-Means)
+inline constexpr const char* kIsdfInterpVectors = "isdf.interp_vectors";  // least-squares interpolation vectors
+inline constexpr const char* kIsdfPointsKmeans = "isdf.points.kmeans";  // weighted K-Means selector
+inline constexpr const char* kIsdfPointsQrcp = "isdf.points.qrcp";  // QRCP selector
+inline constexpr const char* kKmeansDist = "kmeans.dist";  // distributed K-Means iteration loop
+inline constexpr const char* kLaLobpcg = "la.lobpcg";  // serial LOBPCG solve
+inline constexpr const char* kParDistLobpcg = "par.dist_lobpcg";  // distributed LOBPCG solve
+inline constexpr const char* kParGramReduceMonolithic = "par.gram_reduce.monolithic";  // Gram reduction, single allreduce
+inline constexpr const char* kParGramReducePipelined = "par.gram_reduce.pipelined";  // Gram reduction, pipelined allreduce
+inline constexpr const char* kParSumma = "par.summa";  // SUMMA distributed GEMM
+inline constexpr const char* kParTranspose = "par.transpose";  // pencil transpose (alltoallv)
+inline constexpr const char* kBarrier = "barrier";  // dissemination barrier
+inline constexpr const char* kBcast = "bcast";  // binomial-tree broadcast
+inline constexpr const char* kReduce = "reduce";  // binomial-tree reduction
+inline constexpr const char* kAllreduce = "allreduce";  // reduce + bcast composite
+inline constexpr const char* kAlltoall = "alltoall";  // shifted pairwise exchange
+inline constexpr const char* kAlltoallv = "alltoallv";  // variable-count pairwise exchange
+inline constexpr const char* kAllgather = "allgather";  // ring allgather
+inline constexpr const char* kAllgatherv = "allgatherv";  // variable-count ring allgather
+inline constexpr const char* kGather = "gather";  // root gather
+inline constexpr const char* kScatter = "scatter";  // root scatter
+inline constexpr const char* kSplit = "split";  // communicator split (allgatherv composite)
+
+inline constexpr const char* kAll[] = {
+    kKmeans,
+    kFft,
+    kMpi,
+    kGemm,
+    kDiag,
+    kPairProduct,
+    kSelectPoints,
+    kInterpVectors,
+    kFftFft3d,
+    kIsdfSelectPoints,
+    kIsdfInterpVectors,
+    kIsdfPointsKmeans,
+    kIsdfPointsQrcp,
+    kKmeansDist,
+    kLaLobpcg,
+    kParDistLobpcg,
+    kParGramReduceMonolithic,
+    kParGramReducePipelined,
+    kParSumma,
+    kParTranspose,
+    kBarrier,
+    kBcast,
+    kReduce,
+    kAllreduce,
+    kAlltoall,
+    kAlltoallv,
+    kAllgather,
+    kAllgatherv,
+    kGather,
+    kScatter,
+    kSplit,
+};
+
+inline constexpr std::size_t kCount = sizeof(kAll) / sizeof(kAll[0]);
+
+/// True when `name` is a registered phase/span name.
+constexpr bool is_registered(std::string_view name) {
+  for (const char* phase : kAll) {
+    if (name == phase) return true;
+  }
+  return false;
+}
+
+}  // namespace lrt::obs::phase

@@ -12,6 +12,7 @@
 #include "par/disteig.hpp"
 #include "par/pipeline.hpp"
 #include "par/transpose.hpp"
+#include "obs/phase_registry.hpp"
 #include "tddft/dist_implicit.hpp"
 
 namespace lrt::tddft {
@@ -64,17 +65,17 @@ la::RealMatrix kernel_apply_distributed(par::Comm& comm,
                                         la::RealConstView local_rows,
                                         Index n_rows, Index n_cols,
                                         PhaseClock& clock) {
-  PhaseTimer t_mpi(clock, "mpi");
+  PhaseTimer t_mpi(clock, obs::phase::kMpi);
   la::RealMatrix cols =
       par::row_block_to_col_block(comm, local_rows, n_rows, n_cols);
   t_mpi.stop();
 
   la::RealMatrix kcols(cols.rows(), cols.cols());
-  PhaseTimer t_fft(clock, "fft");
+  PhaseTimer t_fft(clock, obs::phase::kFft);
   kernel.apply(cols.view(), kcols.view(), nullptr);
   t_fft.stop();
 
-  PhaseTimer t_mpi2(clock, "mpi");
+  PhaseTimer t_mpi2(clock, obs::phase::kMpi);
   la::RealMatrix result =
       par::col_block_to_row_block(comm, kcols.view(), n_rows, n_cols);
   t_mpi2.stop();
@@ -105,7 +106,7 @@ std::vector<Real> solve_naive(par::Comm& comm, const CasidaProblem& problem,
   const par::BlockPartition rows(nr, comm.size());
 
   // Row-block pair products (Algorithm 1 line 2).
-  PhaseTimer t_pair(clock, "pair_product");
+  PhaseTimer t_pair(clock, obs::phase::kPairProduct);
   const la::RealMatrix p_loc = isdf::pair_product_matrix(
       my_rows(problem.psi_v.view(), rows, me),
       my_rows(problem.psi_c.view(), rows, me));
@@ -117,7 +118,7 @@ std::vector<Real> solve_naive(par::Comm& comm, const CasidaProblem& problem,
 
   // Vhxc assembly (lines 7-8): GEMM + Allreduce, or pipelined Reduce.
   la::RealMatrix h;
-  PhaseTimer t_gemm(clock, "gemm");
+  PhaseTimer t_gemm(clock, obs::phase::kGemm);
   if (options.pipelined_reduce) {
     par::PipelineResult piped = par::gram_reduce_pipelined(
         comm, p_loc.view(), kp_loc.view(), options.pipeline_chunk);
@@ -140,7 +141,7 @@ std::vector<Real> solve_naive(par::Comm& comm, const CasidaProblem& problem,
   finalize_hamiltonian(h, energy_differences(problem), problem.grid.dv());
 
   // Dense diagonalization via the block-cyclic SYEVD stand-in (Fig 3c).
-  PhaseTimer t_diag(clock, "diag");
+  PhaseTimer t_diag(clock, obs::phase::kDiag);
   const par::Layout row_layout =
       par::Layout::block_row(ncv, ncv, comm.size());
   par::DistMatrix h_dist(row_layout, me);
@@ -176,7 +177,7 @@ std::vector<Real> solve_implicit(par::Comm& comm,
   const la::RealConstView psi_c_loc = my_rows(problem.psi_c.view(), rows, me);
 
   // Distributed K-Means on local grid slabs (paper §4.2).
-  PhaseTimer t_kmeans(clock, "kmeans");
+  PhaseTimer t_kmeans(clock, obs::phase::kKmeans);
   const std::vector<Real> weights = kmeans::pair_weights(psi_v_loc, psi_c_loc);
   std::vector<grid::Vec3> points(static_cast<std::size_t>(my_count));
   for (Index i = 0; i < my_count; ++i) {
@@ -188,7 +189,7 @@ std::vector<Real> solve_implicit(par::Comm& comm,
 
   // Sampled orbital rows, replicated by summation (each point is owned by
   // exactly one rank).
-  PhaseTimer t_mpi(clock, "mpi");
+  PhaseTimer t_mpi(clock, obs::phase::kMpi);
   la::RealMatrix psi_v_mu(nmu, nv), psi_c_mu(nmu, nc);
   for (Index m = 0; m < nmu; ++m) {
     const Index gp = km.interpolation_points[static_cast<std::size_t>(m)];
@@ -202,7 +203,7 @@ std::vector<Real> solve_implicit(par::Comm& comm,
   t_mpi.stop();
 
   // Local rows of Θ via the separable products (paper Eq 10).
-  PhaseTimer t_gemm(clock, "gemm");
+  PhaseTimer t_gemm(clock, obs::phase::kGemm);
   const la::RealMatrix av = la::gemm(la::Trans::kNo, la::Trans::kYes,
                                      psi_v_loc, psi_v_mu.view());
   const la::RealMatrix ac = la::gemm(la::Trans::kNo, la::Trans::kYes,
@@ -229,7 +230,7 @@ std::vector<Real> solve_implicit(par::Comm& comm,
   // M = Θᵀ K Θ dv: kernel sandwich + distributed Gram.
   const la::RealMatrix ktheta_loc = kernel_apply_distributed(
       comm, kernel, theta_loc.view(), nr, nmu, clock);
-  PhaseTimer t_gemm2(clock, "gemm");
+  PhaseTimer t_gemm2(clock, obs::phase::kGemm);
   la::RealMatrix m_mat;
   if (options.pipelined_reduce) {
     par::PipelineResult piped = par::gram_reduce_pipelined(
@@ -261,7 +262,7 @@ std::vector<Real> solve_implicit(par::Comm& comm,
   // Distributed implicit LOBPCG (Algorithm 2): the excitation vectors are
   // row-block partitioned over the pair space (valence blocks), the 3k x
   // 3k projected problem is replicated — the paper's parallel layout.
-  PhaseTimer t_diag(clock, "diag");
+  PhaseTimer t_diag(clock, obs::phase::kDiag);
   const DistImplicitHamiltonian h(comm, energy_differences(problem),
                                   std::move(m_mat), psi_v_mu.view(),
                                   psi_c_mu.view());

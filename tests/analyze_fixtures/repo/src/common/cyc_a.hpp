@@ -1,0 +1,12 @@
+// Seeds: the upward half of a common <-> obs module cycle (and, being
+// upward, also an order violation common -> obs). With the baseline edge
+// `layer-dag common -> obs` both the violation and the cycle resolve to
+// baselined, mirroring the grandfathered ScopedPhase shim in the real
+// tree.
+#pragma once
+
+#include "obs/cyc_b.hpp"
+
+namespace fixture {
+inline int a() { return 1; }
+}  // namespace fixture

@@ -1,0 +1,16 @@
+// Seeds: std::thread outside par/runtime + par/check (banned-thread) and
+// sleep-based waiting (banned-sleep). `std::this_thread` alone is not a
+// std::thread construction and must not double-count.
+#include <chrono>
+#include <thread>
+
+namespace fixture {
+
+void spin() {
+  std::thread worker([] {});  // finding: banned-thread
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(1));  // finding: banned-sleep
+  worker.join();
+}
+
+}  // namespace fixture

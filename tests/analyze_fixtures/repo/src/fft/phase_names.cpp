@@ -1,0 +1,18 @@
+// Seeds: one unregistered Span name ("fixture_unregistered") next to a
+// registered one ("fft") and a PhaseTimer with a registered name. Only
+// the unregistered literal should produce a `phase-registry` finding.
+namespace obs {
+struct Span {
+  explicit Span(const char* name);
+};
+}  // namespace obs
+
+struct PhaseTimer {
+  PhaseTimer(int& clock, const char* name);
+};
+
+void traced(int& clock) {
+  obs::Span ok("fft");
+  obs::Span bad("fixture_unregistered");
+  PhaseTimer timer(clock, "mpi");
+}

@@ -1,0 +1,25 @@
+// Seeds: token-awareness for the naked-new-delete gate. The `new` and
+// `delete` inside the block comment and the string literal below must NOT
+// be findings (the old grep gate flagged both); the real allocation pair
+// further down must. `= delete` is a declaration, not a deallocation.
+namespace fixture {
+
+/* Legacy code kept for reference:
+   double* p = new double[n];
+   delete[] p;
+*/
+inline const char* kBanner = "allocated via new Widget(), freed via delete";
+
+inline double first_element(int n) {
+  double* p = new double[static_cast<unsigned>(n)];  // finding: naked new
+  const double head = p[0];
+  delete[] p;  // finding: naked delete
+  return head;
+}
+
+struct NoCopy {
+  NoCopy() = default;
+  NoCopy(const NoCopy&) = delete;  // clean: deleted function, not delete-expr
+};
+
+}  // namespace fixture

@@ -1,0 +1,4 @@
+// Seeds: a src/ header without #pragma once -> one `pragma-once` finding.
+namespace fixture {
+inline int no_guard() { return 3; }
+}  // namespace fixture

@@ -1,0 +1,14 @@
+// Seeds: inline suppression handling for banned-volatile. The first two
+// declarations are covered by a directive (standalone line above, then
+// same-line) and must resolve to suppressed; the third has no directive
+// and stays a new finding.
+namespace fixture {
+
+// lrt-analyze: allow(banned-volatile)
+volatile int covered_by_line_above = 0;
+
+volatile int covered_same_line = 1;  // lrt-analyze: allow(banned-volatile)
+
+volatile int uncovered = 2;  // finding: no directive
+
+}  // namespace fixture

@@ -1,0 +1,7 @@
+// Seeds: a parent-relative include -> one `parent-include` finding. The
+// same path spelled inside a string literal is clean.
+#include "../kmeans/parent_inc_helper.hpp"
+
+namespace fixture {
+inline const char* kNotAnInclude = "#include \"../kmeans/fake.hpp\"";
+}  // namespace fixture

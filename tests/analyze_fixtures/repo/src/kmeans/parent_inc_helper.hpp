@@ -1,0 +1,6 @@
+// Support header for parent_inc.cpp; clean on its own.
+#pragma once
+
+namespace fixture {
+inline int helper() { return 4; }
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Seeds: layer-dag order violation — la (rank 3) includes par (rank 6).
+// Expected: one `layer-dag` finding on the include line; no cycle (par
+// never includes la in this corpus).
+#pragma once
+
+#include "par/above.hpp"
+
+namespace fixture {
+inline int uses_par() { return fixture::par_value(); }
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Seeds: the downward half of the common <-> obs cycle. obs -> common is
+// fine order-wise; this include only closes the cycle opened by
+// common/cyc_a.hpp.
+#pragma once
+
+#include "common/cyc_a.hpp"
+
+namespace fixture {
+inline int b() { return 2; }
+}  // namespace fixture

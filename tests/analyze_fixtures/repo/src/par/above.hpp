@@ -1,0 +1,6 @@
+// Support header for bad_layer.hpp; clean on its own.
+#pragma once
+
+namespace fixture {
+inline int par_value() { return 7; }
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// Seeds: collectives lexically nested in rank-dependent control flow.
+// Expected `collective-divergence` findings: the allreduce under
+// `if (comm.rank() == 0)`, the bcast in its else branch, and the barrier
+// in the single-statement (braceless) rank body. The trailing barrier and
+// the gather under a size-based loop are clean.
+namespace fixture {
+
+struct Comm {
+  int rank() const { return 0; }
+  int size() const { return 1; }
+  void allreduce(double* x, int n) const;
+  void bcast(double* x, int n, int root) const;
+  void gather(const double* x, double* y, int n) const;
+  void barrier() const;
+};
+
+void divergent(const Comm& comm, double* x) {
+  if (comm.rank() == 0) {
+    comm.allreduce(x, 1);  // finding: inside rank-dependent block
+  } else {
+    comm.bcast(x, 1, 0);  // finding: else of a rank-dependent if
+  }
+  if (comm.rank() != 0)
+    comm.barrier();  // finding: braceless rank-dependent statement
+  comm.barrier();  // clean: every rank reaches this
+  for (int i = 0; i < comm.size(); ++i) {
+    comm.gather(x, x, 1);  // clean: size-based loop is not rank-dependent
+  }
+}
+
+}  // namespace fixture

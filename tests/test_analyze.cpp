@@ -1,0 +1,425 @@
+// Tests for the lrt-analyze static analyzer (src/analyze/).
+//
+// The seeded-violation corpus lives in tests/analyze_fixtures/repo — a
+// miniature repository tree the analyzer runs over exactly as it runs
+// over the real one. LRT_ANALYZE_FIXTURES and LRT_REPO_ROOT are injected
+// by tests/CMakeLists.txt.
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "analyze/analyzer.hpp"
+#include "analyze/lexer.hpp"
+#include "analyze/registry_gen.hpp"
+#include "common/error.hpp"
+#include "obs/phase_registry.hpp"
+
+namespace {
+
+using lrt::analyze::Config;
+using lrt::analyze::Finding;
+using lrt::analyze::Report;
+using lrt::analyze::TokKind;
+
+const std::string kFixtureRepo = std::string(LRT_ANALYZE_FIXTURES) + "/repo";
+const std::string kRepoRoot = LRT_REPO_ROOT;
+
+/// Fixture-repo config running only `passes` (all when empty).
+Config fixture_config(std::set<std::string> passes) {
+  Config config;
+  config.root = kFixtureRepo;
+  config.passes = std::move(passes);
+  config.phase_registry = lrt::analyze::parse_phases_def(
+      lrt::analyze::read_file(kRepoRoot + "/src/obs/phases.def"));
+  return config;
+}
+
+Report run_fixture(const Config& config) {
+  return lrt::analyze::analyze(config,
+                               lrt::analyze::discover_sources(config.root));
+}
+
+std::vector<Finding> findings_for(const Report& report,
+                                  const std::string& pass) {
+  std::vector<Finding> out;
+  for (const Finding& f : report.findings) {
+    if (f.pass == pass) out.push_back(f);
+  }
+  return out;
+}
+
+int count_status(const std::vector<Finding>& findings,
+                 Finding::Status status) {
+  return static_cast<int>(
+      std::count_if(findings.begin(), findings.end(),
+                    [&](const Finding& f) { return f.status == status; }));
+}
+
+// ----- lexer ------------------------------------------------------------------
+
+TEST(AnalyzeLexer, CommentsAndStringsNeverYieldIdentifiers) {
+  const std::string text =
+      "// new in a line comment\n"
+      "/* delete in a block\n"
+      "   comment spanning lines */\n"
+      "const char* s = \"volatile new delete\";\n"
+      "const char* r = R\"(std::thread sleep_for)\";\n"
+      "char c = 'v';\n"
+      "int actual_identifier = 0;\n";
+  const lrt::analyze::LexedFile file = lrt::analyze::lex("x.cpp", text);
+  for (const auto& tok : file.tokens) {
+    if (tok.kind != TokKind::kIdentifier) continue;
+    EXPECT_NE(tok.text, "new");
+    EXPECT_NE(tok.text, "delete");
+    EXPECT_NE(tok.text, "volatile");
+    EXPECT_NE(tok.text, "thread");
+    EXPECT_NE(tok.text, "sleep_for");
+  }
+  const auto found =
+      std::find_if(file.tokens.begin(), file.tokens.end(), [](const auto& t) {
+        return t.kind == TokKind::kIdentifier &&
+               t.text == "actual_identifier";
+      });
+  ASSERT_NE(found, file.tokens.end());
+  EXPECT_EQ(found->line, 7);
+}
+
+TEST(AnalyzeLexer, IncludePathsAreDistinctFromStrings) {
+  const std::string text =
+      "#include \"la/matrix.hpp\"\n"
+      "#include <vector>\n"
+      "const char* fake = \"la/matrix.hpp\";\n";
+  const lrt::analyze::LexedFile file = lrt::analyze::lex("x.cpp", text);
+  int quoted = 0;
+  int angled = 0;
+  int strings = 0;
+  for (const auto& tok : file.tokens) {
+    if (tok.kind == TokKind::kIncludePath) {
+      ++quoted;
+      EXPECT_EQ(tok.text, "la/matrix.hpp");
+    }
+    if (tok.kind == TokKind::kSysInclude) ++angled;
+    if (tok.kind == TokKind::kString) ++strings;
+  }
+  EXPECT_EQ(quoted, 1);
+  EXPECT_EQ(angled, 1);
+  EXPECT_EQ(strings, 1);
+}
+
+TEST(AnalyzeLexer, SuppressionDirectiveCoversOwnAndNextLine) {
+  const std::string text =
+      "// lrt-analyze: allow(banned-volatile, banned-sleep)\n"
+      "int covered;\n"
+      "int uncovered;\n"
+      "int same = 1;  // lrt-analyze: allow(all)\n";
+  const lrt::analyze::LexedFile file = lrt::analyze::lex("x.cpp", text);
+  EXPECT_TRUE(file.suppressed("banned-volatile", 1));
+  EXPECT_TRUE(file.suppressed("banned-volatile", 2));
+  EXPECT_TRUE(file.suppressed("banned-sleep", 2));
+  EXPECT_FALSE(file.suppressed("banned-thread", 2));
+  EXPECT_FALSE(file.suppressed("banned-volatile", 3));
+  EXPECT_TRUE(file.suppressed("banned-volatile", 4));  // allow(all)
+  EXPECT_TRUE(file.suppressed("layer-dag", 4));
+}
+
+// ----- registry generator -----------------------------------------------------
+
+TEST(AnalyzeRegistry, ConstantNames) {
+  EXPECT_EQ(lrt::analyze::phase_constant_name("pair_product"),
+            "kPairProduct");
+  EXPECT_EQ(lrt::analyze::phase_constant_name("fft.fft3d"), "kFftFft3d");
+  EXPECT_EQ(lrt::analyze::phase_constant_name("mpi"), "kMpi");
+}
+
+TEST(AnalyzeRegistry, ParseRejectsBadNamesAndDuplicates) {
+  EXPECT_THROW(lrt::analyze::parse_phases_def_entries("Bad_Upper\n"),
+               lrt::Error);
+  EXPECT_THROW(lrt::analyze::parse_phases_def_entries("fft\nfft\n"),
+               lrt::Error);
+  const auto defs = lrt::analyze::parse_phases_def_entries(
+      "# comment\n"
+      "fft  3-D transforms\n"
+      "mpi\n");
+  ASSERT_EQ(defs.size(), 2u);
+  EXPECT_EQ(defs[0].name, "fft");
+  EXPECT_EQ(defs[0].description, "3-D transforms");
+  EXPECT_EQ(defs[1].description, "");
+}
+
+TEST(AnalyzeRegistry, CompiledHeaderMatchesPhasesDef) {
+  // The committed header this test compiled against must agree with the
+  // committed def file — the compile-time face of the sync pass.
+  const auto defs = lrt::analyze::parse_phases_def_entries(
+      lrt::analyze::read_file(kRepoRoot + "/src/obs/phases.def"));
+  EXPECT_EQ(lrt::obs::phase::kCount, defs.size());
+  for (const auto& def : defs) {
+    EXPECT_TRUE(lrt::obs::phase::is_registered(def.name)) << def.name;
+  }
+  EXPECT_FALSE(lrt::obs::phase::is_registered("bogus_phase"));
+  EXPECT_TRUE(lrt::obs::phase::is_registered(lrt::obs::phase::kFft));
+}
+
+TEST(AnalyzeRegistry, SyncPassCleanOnRepo) {
+  Config config;
+  config.root = kRepoRoot;
+  config.passes = {"phase-registry-sync"};
+  const Report report = lrt::analyze::analyze(config, {});
+  EXPECT_EQ(report.findings.size(), 0u)
+      << lrt::analyze::report_to_text(report, true);
+}
+
+// ----- layer-dag --------------------------------------------------------------
+
+TEST(AnalyzeLayerDag, FindsOrderViolationsAndCycle) {
+  const Report report = run_fixture(fixture_config({"layer-dag"}));
+  const auto findings = findings_for(report, "layer-dag");
+  ASSERT_EQ(findings.size(), 3u)
+      << lrt::analyze::report_to_text(report, true);
+
+  std::set<std::string> files;
+  bool saw_cycle = false;
+  for (const Finding& f : findings) {
+    files.insert(f.file);
+    EXPECT_EQ(f.status, Finding::Status::kNew);
+    if (f.message.find("module cycle: common -> obs -> common") !=
+        std::string::npos) {
+      saw_cycle = true;
+      EXPECT_EQ(f.file, "src/obs/cyc_b.hpp");  // closing edge's site
+    }
+  }
+  EXPECT_TRUE(saw_cycle);
+  EXPECT_EQ(files.count("src/la/bad_layer.hpp"), 1u);
+  EXPECT_EQ(files.count("src/common/cyc_a.hpp"), 1u);
+}
+
+TEST(AnalyzeLayerDag, BaselineEdgeGrandfathersViolationAndCycle) {
+  Config config = fixture_config({"layer-dag"});
+  config.baseline_layer_edges = {"common->obs"};
+  const Report report = run_fixture(config);
+  const auto findings = findings_for(report, "layer-dag");
+  ASSERT_EQ(findings.size(), 3u);
+  EXPECT_EQ(count_status(findings, Finding::Status::kBaselined), 2);
+  EXPECT_EQ(count_status(findings, Finding::Status::kNew), 1);
+  for (const Finding& f : findings) {
+    if (f.status == Finding::Status::kNew) {
+      EXPECT_EQ(f.file, "src/la/bad_layer.hpp");  // la->par is not baselined
+    }
+  }
+}
+
+// ----- collective-divergence --------------------------------------------------
+
+TEST(AnalyzeDivergence, FlagsCollectivesUnderRankDependentFlow) {
+  const Report report = run_fixture(fixture_config({"collective-divergence"}));
+  const auto findings = findings_for(report, "collective-divergence");
+  ASSERT_EQ(findings.size(), 3u)
+      << lrt::analyze::report_to_text(report, true);
+  std::set<std::string> collectives;
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.file, "src/par/divergent.cpp");
+    EXPECT_EQ(f.status, Finding::Status::kNew);
+    const std::size_t open = f.message.find('\'');
+    const std::size_t close = f.message.find('\'', open + 1);
+    collectives.insert(f.message.substr(open + 1, close - open - 1));
+  }
+  // The if body, its else branch, and the braceless rank-dependent
+  // statement; the unconditional barrier and size-based loop are clean.
+  EXPECT_EQ(collectives,
+            (std::set<std::string>{"allreduce", "bcast", "barrier"}));
+}
+
+TEST(AnalyzeDivergence, WholeFileBaselineResolvesFindings) {
+  Config config = fixture_config({"collective-divergence"});
+  config.baseline_files = {"collective-divergence:src/par/divergent.cpp"};
+  const Report report = run_fixture(config);
+  EXPECT_EQ(report.new_count, 0);
+  EXPECT_EQ(report.baselined_count, 3);
+  EXPECT_TRUE(report.clean());
+}
+
+// ----- phase-registry ---------------------------------------------------------
+
+TEST(AnalyzePhaseRegistry, FlagsOnlyUnregisteredNames) {
+  const Report report = run_fixture(fixture_config({"phase-registry"}));
+  const auto findings = findings_for(report, "phase-registry");
+  ASSERT_EQ(findings.size(), 1u)
+      << lrt::analyze::report_to_text(report, true);
+  EXPECT_EQ(findings[0].file, "src/fft/phase_names.cpp");
+  EXPECT_NE(findings[0].message.find("fixture_unregistered"),
+            std::string::npos);
+}
+
+TEST(AnalyzePhaseRegistry, EmptyRegistryIsAConfigFinding) {
+  Config config = fixture_config({"phase-registry"});
+  config.phase_registry.clear();
+  const Report report = run_fixture(config);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].file, "src/obs/phases.def");
+  EXPECT_NE(report.findings[0].message.find("empty or missing"),
+            std::string::npos);
+}
+
+// ----- migrated pattern gates -------------------------------------------------
+
+TEST(AnalyzePatterns, NakedNewDeleteIgnoresCommentsStringsAndDeletedFns) {
+  const Report report = run_fixture(fixture_config({"naked-new-delete"}));
+  const auto findings = findings_for(report, "naked-new-delete");
+  // Exactly the real allocation pair in block_comment.cpp; the block
+  // comment, the string literal, and `= delete` stay silent.
+  ASSERT_EQ(findings.size(), 2u)
+      << lrt::analyze::report_to_text(report, true);
+  EXPECT_EQ(findings[0].file, "src/grid/block_comment.cpp");
+  EXPECT_NE(findings[0].message.find("naked new"), std::string::npos);
+  EXPECT_EQ(findings[1].file, "src/grid/block_comment.cpp");
+  EXPECT_NE(findings[1].message.find("naked delete"), std::string::npos);
+}
+
+TEST(AnalyzePatterns, SuppressionDirectivesResolveFindings) {
+  const Report report = run_fixture(fixture_config({"banned-volatile"}));
+  const auto findings = findings_for(report, "banned-volatile");
+  ASSERT_EQ(findings.size(), 3u);
+  EXPECT_EQ(count_status(findings, Finding::Status::kSuppressed), 2);
+  EXPECT_EQ(count_status(findings, Finding::Status::kNew), 1);
+  EXPECT_EQ(report.new_count, 1);
+  EXPECT_EQ(report.suppressed_count, 2);
+}
+
+TEST(AnalyzePatterns, ThreadSleepParentIncludePragmaOnce) {
+  const Report report = run_fixture(fixture_config(
+      {"banned-thread", "banned-sleep", "parent-include", "pragma-once"}));
+  EXPECT_EQ(findings_for(report, "banned-thread").size(), 1u);
+  EXPECT_EQ(findings_for(report, "banned-sleep").size(), 1u);
+  const auto parent = findings_for(report, "parent-include");
+  ASSERT_EQ(parent.size(), 1u);
+  EXPECT_EQ(parent[0].file, "src/kmeans/parent_inc.cpp");
+  const auto pragma = findings_for(report, "pragma-once");
+  ASSERT_EQ(pragma.size(), 1u);
+  EXPECT_EQ(pragma[0].file, "src/grid/no_pragma.hpp");
+}
+
+// ----- orchestration ----------------------------------------------------------
+
+TEST(AnalyzeReport, FullFixtureRunCountsEveryState) {
+  // Every pass except phase-registry-sync (the fixture repo has no
+  // phases.def; sync over the real repo is covered above).
+  std::set<std::string> passes;
+  for (const std::string& name : lrt::analyze::all_pass_names()) {
+    if (name != "phase-registry-sync") passes.insert(name);
+  }
+  const Report report = run_fixture(fixture_config(std::move(passes)));
+  // 3 layer-dag + 3 collective-divergence + 1 phase-registry +
+  // 2 naked-new-delete + 3 banned-volatile + 1 banned-thread +
+  // 1 banned-sleep + 1 parent-include + 1 pragma-once.
+  EXPECT_EQ(report.findings.size(), 16u)
+      << lrt::analyze::report_to_text(report, true);
+  EXPECT_EQ(report.new_count, 14);
+  EXPECT_EQ(report.suppressed_count, 2);
+  EXPECT_EQ(report.baselined_count, 0);
+  EXPECT_FALSE(report.clean());
+
+  // Sorted by (file, line, pass).
+  for (std::size_t i = 1; i < report.findings.size(); ++i) {
+    const Finding& a = report.findings[i - 1];
+    const Finding& b = report.findings[i];
+    EXPECT_LE(std::tie(a.file, a.line, a.pass),
+              std::tie(b.file, b.line, b.pass));
+  }
+}
+
+TEST(AnalyzeReport, JsonReportSchema) {
+  Config config = fixture_config({"banned-volatile"});
+  const Report report = run_fixture(config);
+  const lrt::obs::json::Value doc =
+      lrt::analyze::report_to_json(config, report);
+  ASSERT_TRUE(doc.is_object());
+  ASSERT_NE(doc.find("schema"), nullptr);
+  EXPECT_EQ(doc.find("schema")->string, "lrt.analyze/1");
+
+  const auto* passes = doc.find("passes");
+  ASSERT_NE(passes, nullptr);
+  ASSERT_TRUE(passes->is_array());
+  ASSERT_EQ(passes->array.size(), 1u);
+  EXPECT_EQ(passes->array[0].string, "banned-volatile");
+
+  const auto* summary = doc.find("summary");
+  ASSERT_NE(summary, nullptr);
+  EXPECT_EQ(summary->find("new")->number, 1.0);
+  EXPECT_EQ(summary->find("suppressed")->number, 2.0);
+  EXPECT_EQ(summary->find("baselined")->number, 0.0);
+
+  const auto* findings = doc.find("findings");
+  ASSERT_NE(findings, nullptr);
+  ASSERT_EQ(findings->array.size(), report.findings.size());
+  for (const auto& item : findings->array) {
+    ASSERT_TRUE(item.is_object());
+    EXPECT_NE(item.find("pass"), nullptr);
+    EXPECT_NE(item.find("file"), nullptr);
+    EXPECT_TRUE(item.find("line")->is_number());
+    EXPECT_NE(item.find("message"), nullptr);
+    const std::string status = item.find("status")->string;
+    EXPECT_TRUE(status == "new" || status == "suppressed" ||
+                status == "baselined");
+  }
+  // The document round-trips through the obs JSON parser.
+  EXPECT_NO_THROW(lrt::obs::json::parse(lrt::obs::json::dump(doc)));
+}
+
+TEST(AnalyzeReport, TextReportShowsNewAlwaysOthersOnlyVerbose) {
+  const Report report = run_fixture(fixture_config({"banned-volatile"}));
+  const std::string terse = lrt::analyze::report_to_text(report, false);
+  EXPECT_NE(terse.find("1 new, 0 baselined, 2 suppressed"),
+            std::string::npos);
+  EXPECT_EQ(terse.find("suppressed]"), std::string::npos);
+  const std::string verbose = lrt::analyze::report_to_text(report, true);
+  EXPECT_NE(verbose.find("suppressed]"), std::string::npos);
+}
+
+TEST(AnalyzeReport, LoadBaselineParsesAndRejectsMalformed) {
+  Config config;
+  lrt::analyze::load_baseline(
+      "# comment\n"
+      "layer-dag common -> obs\n"
+      "collective-divergence tests/test_par_check.cpp  # trailing\n",
+      &config);
+  EXPECT_EQ(config.baseline_layer_edges.count("common->obs"), 1u);
+  EXPECT_EQ(config.baseline_files.count(
+                "collective-divergence:tests/test_par_check.cpp"),
+            1u);
+  EXPECT_THROW(lrt::analyze::load_baseline("no-such-pass src/x.cpp\n",
+                                           &config),
+               lrt::Error);
+  EXPECT_THROW(lrt::analyze::load_baseline("layer-dag common obs\n", &config),
+               lrt::Error);
+}
+
+TEST(AnalyzeReport, DiscoverySkipsFixtureCorpus) {
+  const auto sources = lrt::analyze::discover_sources(kRepoRoot);
+  EXPECT_NE(std::find(sources.begin(), sources.end(),
+                      "src/analyze/analyzer.cpp"),
+            sources.end());
+  for (const std::string& path : sources) {
+    EXPECT_EQ(path.find("analyze_fixtures/"), std::string::npos) << path;
+  }
+}
+
+TEST(AnalyzeReport, RealRepositoryIsClean) {
+  // The exact gate CI runs: committed baseline + committed phases.def.
+  // New findings here mean the tree regressed (or the analyzer did).
+  Config config;
+  config.root = kRepoRoot;
+  config.phase_registry = lrt::analyze::parse_phases_def(
+      lrt::analyze::read_file(kRepoRoot + "/src/obs/phases.def"));
+  lrt::analyze::load_baseline(
+      lrt::analyze::read_file(kRepoRoot + "/tools/lrt-analyze.baseline"),
+      &config);
+  const Report report = lrt::analyze::analyze_repo(config);
+  EXPECT_TRUE(report.clean())
+      << lrt::analyze::report_to_text(report, false);
+  EXPECT_GT(report.baselined_count, 0);   // the grandfathered shim edge
+  EXPECT_GT(report.suppressed_count, 0);  // the bench probe names
+}
+
+}  // namespace

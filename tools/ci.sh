@@ -43,8 +43,22 @@ else
 fi
 
 if [ "$do_lint" -eq 1 ]; then
+  # The lint stage shares the plain flavor's tree (build-ci): one
+  # configure covers lrt-analyze, compile_commands.json for clang-tidy,
+  # and the subsequent plain build — no extra tree just for lint.
+  echo "=== [lint] build lrt-analyze (build-ci) ==="
+  cmake -B build-ci -S . -DLRT_WERROR=ON -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+  cmake --build build-ci --target lrt-analyze -j "$jobs"
+  echo "=== [lint] phase-registry self-check ==="
+  # The committed header must match the generator byte-for-byte (also a
+  # pass inside lrt-analyze; run explicitly so a drift fails loudly even
+  # if someone baselines the pass).
+  ./build-ci/tools/lrt-analyze gen-phases | cmp - src/obs/phase_registry.hpp \
+    || { echo "ci: src/obs/phase_registry.hpp out of sync with" \
+              "src/obs/phases.def (run lrt-analyze gen-phases --write)" >&2; \
+         exit 1; }
   echo "=== [lint] tools/lint.sh ==="
-  bash tools/lint.sh
+  LRT_LINT_BUILD_DIR=build-ci bash tools/lint.sh
 fi
 
 if [ "$do_plain" -eq 1 ]; then

@@ -1,7 +1,16 @@
 #!/usr/bin/env bash
-# Static gate: include hygiene, banned concurrency patterns, and (when the
-# binary exists) clang-tidy over src/. Run from anywhere; exits non-zero
-# on any finding. CI runs this before the build matrix (tools/ci.sh).
+# Static gate. Primary: the token-aware lrt-analyze binary (layer DAG,
+# collective divergence, phase registry, migrated pattern gates — see
+# docs/STATIC_ANALYSIS.md). Secondary: clang-tidy, when installed. When
+# neither a built lrt-analyze nor a compiler is available, a minimal
+# correctly-quoted shell fallback keeps the cheapest checks alive.
+#
+# Environment:
+#   LRT_LINT_BUILD_DIR  build tree to (re)use for lrt-analyze and
+#                       compile_commands.json (default: build)
+#   LRT_ANALYZE         explicit path to an lrt-analyze binary
+#
+# Run from anywhere; exits non-zero on any finding.
 set -u
 cd "$(dirname "$0")/.."
 
@@ -9,53 +18,85 @@ fail=0
 note() { printf '%s\n' "$*"; }
 finding() { printf 'lint: %s\n' "$*"; fail=1; }
 
-# --- include hygiene ---------------------------------------------------------
-# Library headers must be included by their src/-relative path, never via
-# "../"; relative parent includes break once a TU moves.
-if grep -rn --include='*.hpp' --include='*.cpp' '#include "\.\./' src tests bench examples; then
-  finding 'parent-relative #include (use src/-relative paths)'
-fi
+build_dir="${LRT_LINT_BUILD_DIR:-build}"
 
-# Headers must be self-contained: every .hpp starts with #pragma once.
-for h in $(find src -name '*.hpp'); do
-  if ! head -n 40 "$h" | grep -q '#pragma once'; then
-    finding "$h: missing #pragma once"
+# --- locate or build the analyzer --------------------------------------------
+analyze_bin=""
+for cand in "${LRT_ANALYZE:-}" \
+            "$build_dir/tools/lrt-analyze" \
+            build/tools/lrt-analyze \
+            build-ci/tools/lrt-analyze; do
+  if [ -n "$cand" ] && [ -x "$cand" ]; then
+    analyze_bin="$cand"
+    break
   fi
 done
-
-# --- banned patterns in the parallel layer -----------------------------------
-# Rank code must not create ad-hoc threads or roll its own synchronization:
-# all cross-rank traffic goes through Comm, and the only sanctioned thread
-# outside the runtime is the verifier watchdog (see docs/CONCURRENCY.md).
-if grep -rn --include='*.cpp' --include='*.hpp' 'std::thread' src \
-    | grep -v 'src/par/runtime' | grep -v 'src/par/check'; then
-  finding 'std::thread outside par/runtime and par/check (route work through par::run)'
-fi
-
-# volatile is never a synchronization primitive; atomics or mutexes only.
-if grep -rn --include='*.cpp' --include='*.hpp' -w 'volatile' src; then
-  finding 'volatile in library code (use std::atomic or a mutex)'
-fi
-
-# sleep-based synchronization masks ordering bugs; the runtime provides
-# condition variables and the verifier provides the watchdog.
-if grep -rn --include='*.cpp' --include='*.hpp' 'sleep_for\|sleep_until' src; then
-  finding 'sleep-based waiting in library code (use condition variables)'
-fi
-
-# Naked new/delete: the codebase is RAII throughout. Comments are
-# stripped first so prose about "a new row" doesn't trip the gate.
-for f in $(find src \( -name '*.cpp' -o -name '*.hpp' \)); do
-  if sed 's@//.*@@' "$f" \
-      | grep -nE '\bnew +[A-Za-z_][A-Za-z0-9_:<,> ]*[({[]|\bdelete +[A-Za-z_*([]|\bdelete\[\]' \
-      >/dev/null; then
-    finding "$f: naked new/delete (use containers or unique_ptr)"
+if [ -z "$analyze_bin" ] && command -v cmake >/dev/null 2>&1; then
+  note "lint: building lrt-analyze in $build_dir ..."
+  if cmake -B "$build_dir" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null &&
+     cmake --build "$build_dir" --target lrt-analyze -j >/dev/null; then
+    analyze_bin="$build_dir/tools/lrt-analyze"
+  else
+    note "lint: lrt-analyze build failed; falling back to shell checks"
   fi
-done
+fi
 
-# --- clang-tidy (optional: the container may not ship it) --------------------
+# --- primary gate: lrt-analyze ------------------------------------------------
+if [ -n "$analyze_bin" ]; then
+  # The machine-readable report lands in the tree the binary came from
+  # (which exists by construction, unlike $build_dir).
+  report_dir="$(dirname "$(dirname "$analyze_bin")")"
+  note "lint: running $analyze_bin ..."
+  if ! "$analyze_bin" --repo . --json "$report_dir/lrt-analyze.json"; then
+    finding 'lrt-analyze reported new findings (see above)'
+  fi
+else
+  # Minimal fallback for containers without a toolchain. Token-blind by
+  # construction (grep does not understand block comments or strings), so
+  # only the checks that tolerate that run here; lrt-analyze is the
+  # authority whenever it can be built. src/analyze is excluded: the
+  # analyzer's own sources necessarily *name* every banned pattern.
+  note "lint: lrt-analyze unavailable; running minimal shell fallback"
+
+  if grep -rn --include='*.hpp' --include='*.cpp' \
+       --exclude-dir=analyze_fixtures --exclude-dir=analyze \
+       '#include "\.\./' src tests bench examples; then
+    finding 'parent-relative #include (use src/-relative paths)'
+  fi
+
+  while IFS= read -r -d '' h; do
+    if ! head -n 40 "$h" | grep -q '#pragma once'; then
+      finding "$h: missing #pragma once"
+    fi
+  done < <(find src -name '*.hpp' -print0)
+
+  if grep -rn --include='*.cpp' --include='*.hpp' --exclude-dir=analyze \
+      'std::thread' src \
+      | grep -v 'src/par/runtime' | grep -v 'src/par/check'; then
+    finding 'std::thread outside par/runtime and par/check'
+  fi
+  if grep -rn --include='*.cpp' --include='*.hpp' --exclude-dir=analyze \
+      -w 'volatile' src; then
+    finding 'volatile in library code (use std::atomic or a mutex)'
+  fi
+  if grep -rn --include='*.cpp' --include='*.hpp' --exclude-dir=analyze \
+      'sleep_for\|sleep_until' src; then
+    finding 'sleep-based waiting in library code (use condition variables)'
+  fi
+  # Approximate comment stripping (line comments and single-line block
+  # comments); multi-line block comments are only handled by lrt-analyze.
+  while IFS= read -r -d '' f; do
+    if sed -e 's@//.*@@' -e 's@/\*.*\*/@@' "$f" \
+        | grep -nE '\bnew +[A-Za-z_][A-Za-z0-9_:<,> ]*[({[]|\bdelete +[A-Za-z_*([]|\bdelete\[\]' \
+        >/dev/null; then
+      finding "$f: naked new/delete (use containers or unique_ptr)"
+    fi
+  done < <(find src \( -name '*.cpp' -o -name '*.hpp' \) \
+             -not -path 'src/analyze/*' -print0)
+fi
+
+# --- secondary gate: clang-tidy (optional) ------------------------------------
 if command -v clang-tidy >/dev/null 2>&1; then
-  build_dir="${LRT_LINT_BUILD_DIR:-build}"
   if [ ! -f "$build_dir/compile_commands.json" ]; then
     cmake -B "$build_dir" -S . -DCMAKE_EXPORT_COMPILE_COMMANDS=ON >/dev/null
   fi
@@ -65,7 +106,7 @@ if command -v clang-tidy >/dev/null 2>&1; then
     finding 'clang-tidy reported findings'
   fi
 else
-  note "clang-tidy not found; skipping (pattern checks still gate)"
+  note "clang-tidy not found; skipping (lrt-analyze still gates)"
 fi
 
 if [ "$fail" -ne 0 ]; then
