@@ -1,0 +1,124 @@
+// BENCH_*.json validator for CI (the bench-smoke stage).
+//
+// Loads one or more reports produced by obs::BenchReport and checks them
+// against the lrt.bench/1 schema: the schema/name/records envelope, the
+// per-record label/params/phases/counters/metrics shape, and that every
+// numeric payload is finite (BenchReport serializes non-finite values as
+// null, which would silently poison a regression comparison).
+//
+//   validate_bench BENCH_micro.json [BENCH_fig8.json ...]
+//
+// Exit codes: 0 valid, 1 schema violation, 2 usage/unreadable file.
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "obs/json.hpp"
+
+namespace {
+
+using lrt::obs::json::Value;
+
+int errors = 0;
+
+void fail(const std::string& path, const std::string& message) {
+  std::fprintf(stderr, "%s: %s\n", path.c_str(), message.c_str());
+  ++errors;
+}
+
+/// Checks one {"key": value, ...} section (params also admit strings).
+void check_section(const std::string& path, const Value& record,
+                   const std::string& section, bool allow_strings) {
+  const Value* obj = record.find(section);
+  if (!obj || !obj->is_object()) {
+    fail(path, "record missing object section '" + section + "'");
+    return;
+  }
+  for (const auto& [key, value] : obj->object) {
+    if (key.empty()) fail(path, "empty key in '" + section + "'");
+    if (value.is_number()) {
+      const double v = value.number;
+      if (!(v == v) || v > 1e300 || v < -1e300) {
+        fail(path, "non-finite value for '" + key + "' in '" + section + "'");
+      }
+    } else if (!(allow_strings && value.is_string())) {
+      // BenchReport emits null for NaN/Inf metrics; reject it here.
+      fail(path, "'" + section + "' entry '" + key +
+                     "' is neither a finite number nor an allowed string");
+    }
+  }
+}
+
+int check_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "%s: cannot open\n", path.c_str());
+    return 2;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+
+  Value doc;
+  try {
+    doc = lrt::obs::json::parse(text.str());
+  } catch (const std::exception& e) {
+    fail(path, std::string("malformed JSON: ") + e.what());
+    return 1;
+  }
+  if (!doc.is_object()) {
+    fail(path, "top level is not an object");
+    return 1;
+  }
+
+  const Value* schema = doc.find("schema");
+  if (!schema || !schema->is_string() || schema->string != "lrt.bench/1") {
+    fail(path, "schema is not \"lrt.bench/1\"");
+  }
+  const Value* name = doc.find("name");
+  if (!name || !name->is_string() || name->string.empty()) {
+    fail(path, "missing bench name");
+  }
+  const Value* records = doc.find("records");
+  if (!records || !records->is_array()) {
+    fail(path, "missing records array");
+    return errors ? 1 : 0;
+  }
+  if (records->array.empty()) {
+    fail(path, "records array is empty");
+  }
+  for (const Value& record : records->array) {
+    if (!record.is_object()) {
+      fail(path, "record is not an object");
+      continue;
+    }
+    const Value* label = record.find("label");
+    if (!label || !label->is_string() || label->string.empty()) {
+      fail(path, "record missing label");
+    }
+    check_section(path, record, "params", /*allow_strings=*/true);
+    check_section(path, record, "phases", /*allow_strings=*/false);
+    check_section(path, record, "counters", /*allow_strings=*/false);
+    check_section(path, record, "metrics", /*allow_strings=*/false);
+  }
+  return errors ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s BENCH.json [BENCH.json ...]\n", argv[0]);
+    return 2;
+  }
+  int rc = 0;
+  for (int i = 1; i < argc; ++i) {
+    const int file_rc = check_file(argv[i]);
+    rc = std::max(rc, file_rc);
+    if (file_rc == 0) {
+      std::printf("%s: ok\n", argv[i]);
+    }
+  }
+  return rc;
+}

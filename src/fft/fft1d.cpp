@@ -1,13 +1,27 @@
 #include "fft/fft1d.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/error.hpp"
+#include "obs/counters.hpp"
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
 
 namespace lrt::fft {
 namespace {
 
 using constants::kPi;
+
+bool in_parallel() {
+#ifdef _OPENMP
+  return omp_in_parallel() != 0;
+#else
+  return false;
+#endif
+}
 
 /// In-place iterative radix-2 transform; sign = -1 forward, +1 backward
 /// (unnormalized). `twiddle` holds exp(sign * 2πi k / n) for k < n/2.
@@ -29,6 +43,114 @@ void radix2(Complex* x, Index n, const std::vector<Complex>& twiddle) {
         const Complex v = x[i + k + half] * w;
         x[i + k] = u + v;
         x[i + k + half] = u - v;
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Batched transforms (docs/PERFORMANCE.md §2).
+//
+// A tile of nt lines lives split-complex and element-major: re[j*nt + t]
+// is element j of line t. Every butterfly then applies the same twiddle
+// to nt independent lines with unit-stride loads, so the t-loops
+// vectorize and the per-line dependency chains overlap. Each line sees
+// exactly the operations of the scalar radix2() in the same order, which
+// keeps batched results bitwise identical to the per-line path (there is
+// no FMA contraction at the baseline ISA, and the expression order below
+// mirrors the std::complex operator* fast path).
+// ---------------------------------------------------------------------------
+
+void radix2_many(Real* re, Real* im, Index n, Index nt,
+                 const std::vector<Complex>& twiddle) {
+  // Bit-reversal permutation of whole element rows.
+  for (Index i = 1, j = 0; i < n; ++i) {
+    Index bit = n >> 1;
+    for (; j & bit; bit >>= 1) j ^= bit;
+    j ^= bit;
+    if (i < j) {
+      Real* ri = re + i * nt;
+      Real* rj = re + j * nt;
+      Real* qi = im + i * nt;
+      Real* qj = im + j * nt;
+      for (Index t = 0; t < nt; ++t) std::swap(ri[t], rj[t]);
+      for (Index t = 0; t < nt; ++t) std::swap(qi[t], qj[t]);
+    }
+  }
+  for (Index len = 2; len <= n; len <<= 1) {
+    const Index step = n / len;
+    const Index half = len / 2;
+    for (Index i = 0; i < n; i += len) {
+      for (Index k = 0; k < half; ++k) {
+        const Complex w = twiddle[static_cast<std::size_t>(k * step)];
+        const Real wr = w.real();
+        const Real wi = w.imag();
+        Real* ur = re + (i + k) * nt;
+        Real* ui = im + (i + k) * nt;
+        Real* vr = re + (i + k + half) * nt;
+        Real* vi = im + (i + k + half) * nt;
+#pragma omp simd
+        for (Index t = 0; t < nt; ++t) {
+          const Real xr = vr[t] * wr - vi[t] * wi;
+          const Real xi = vr[t] * wi + vi[t] * wr;
+          const Real yr = ur[t];
+          const Real yi = ui[t];
+          ur[t] = yr + xr;
+          ui[t] = yi + xi;
+          vr[t] = yr - xr;
+          vi[t] = yi - xi;
+        }
+      }
+    }
+  }
+}
+
+/// Multiplies every line element-wise by `scale` (inverse normalization).
+void scale_many(Real* re, Real* im, Index n, Index nt, Real scale) {
+  const Index total = n * nt;
+#pragma omp simd
+  for (Index i = 0; i < total; ++i) re[i] *= scale;
+#pragma omp simd
+  for (Index i = 0; i < total; ++i) im[i] *= scale;
+}
+
+/// Cache-blocked strided gather into the element-major split-complex
+/// tile: re/im[j*nt + t] = src[t*dist + j*stride].
+void gather_tile(const Complex* src, Index nt, Index n, Index stride,
+                 Index dist, Real* re, Real* im) {
+  constexpr Index kBlk = 16;
+  for (Index j0 = 0; j0 < n; j0 += kBlk) {
+    const Index j1 = std::min(j0 + kBlk, n);
+    for (Index t0 = 0; t0 < nt; t0 += kBlk) {
+      const Index t1 = std::min(t0 + kBlk, nt);
+      for (Index j = j0; j < j1; ++j) {
+        const Complex* s = src + j * stride;
+        Real* rrow = re + j * nt;
+        Real* irow = im + j * nt;
+        for (Index t = t0; t < t1; ++t) {
+          const Complex v = s[t * dist];
+          rrow[t] = v.real();
+          irow[t] = v.imag();
+        }
+      }
+    }
+  }
+}
+
+void scatter_tile(Complex* dst, Index nt, Index n, Index stride, Index dist,
+                  const Real* re, const Real* im) {
+  constexpr Index kBlk = 16;
+  for (Index j0 = 0; j0 < n; j0 += kBlk) {
+    const Index j1 = std::min(j0 + kBlk, n);
+    for (Index t0 = 0; t0 < nt; t0 += kBlk) {
+      const Index t1 = std::min(t0 + kBlk, nt);
+      for (Index j = j0; j < j1; ++j) {
+        Complex* d = dst + j * stride;
+        const Real* rrow = re + j * nt;
+        const Real* irow = im + j * nt;
+        for (Index t = t0; t < t1; ++t) {
+          d[t * dist] = Complex(rrow[t], irow[t]);
+        }
       }
     }
   }
@@ -88,6 +210,85 @@ struct Fft1D::Impl {
       x[k] = a[static_cast<std::size_t>(k)] * chirp[static_cast<std::size_t>(k)] *
              inv_m;
     }
+  }
+
+  /// Batched Bluestein forward on an element-major tile; work arrays
+  /// wr/wi hold the padded length-m lines. Expression order mirrors
+  /// forward_bluestein exactly (bitwise-equal lines).
+  void forward_bluestein_many(Real* re, Real* im, Index nt, Real* wr,
+                              Real* wi) const {
+    const Index total = m * nt;
+    std::fill(wr, wr + total, Real{0});
+    std::fill(wi, wi + total, Real{0});
+    for (Index k = 0; k < n; ++k) {
+      const Complex c = chirp[static_cast<std::size_t>(k)];
+      const Real cr = c.real(), ci = c.imag();
+      const Real* xr = re + k * nt;
+      const Real* xi = im + k * nt;
+      Real* ar = wr + k * nt;
+      Real* ai = wi + k * nt;
+#pragma omp simd
+      for (Index t = 0; t < nt; ++t) {
+        ar[t] = xr[t] * cr - xi[t] * ci;
+        ai[t] = xr[t] * ci + xi[t] * cr;
+      }
+    }
+    radix2_many(wr, wi, m, nt, m_tw_fwd);
+    for (Index k = 0; k < m; ++k) {
+      const Complex b = b_spectrum[static_cast<std::size_t>(k)];
+      const Real br = b.real(), bi = b.imag();
+      Real* ar = wr + k * nt;
+      Real* ai = wi + k * nt;
+#pragma omp simd
+      for (Index t = 0; t < nt; ++t) {
+        const Real r = ar[t] * br - ai[t] * bi;
+        const Real i = ar[t] * bi + ai[t] * br;
+        ar[t] = r;
+        ai[t] = i;
+      }
+    }
+    radix2_many(wr, wi, m, nt, m_tw_bwd);
+    const Real inv_m = Real{1} / static_cast<Real>(m);
+    for (Index k = 0; k < n; ++k) {
+      const Complex c = chirp[static_cast<std::size_t>(k)];
+      const Real cr = c.real(), ci = c.imag();
+      const Real* ar = wr + k * nt;
+      const Real* ai = wi + k * nt;
+      Real* xr = re + k * nt;
+      Real* xi = im + k * nt;
+#pragma omp simd
+      for (Index t = 0; t < nt; ++t) {
+        const Real r = ar[t] * cr - ai[t] * ci;
+        const Real i = ar[t] * ci + ai[t] * cr;
+        xr[t] = r * inv_m;
+        xi[t] = i * inv_m;
+      }
+    }
+  }
+
+  /// One element-major tile, forward or inverse; wr/wi may be null for
+  /// the power-of-two path.
+  void transform_tile(Real* re, Real* im, Index nt, bool inverse, Real* wr,
+                      Real* wi) const {
+    if (m == 0) {
+      radix2_many(re, im, n, nt, inverse ? tw_bwd : tw_fwd);
+      if (inverse) scale_many(re, im, n, nt, Real{1} / static_cast<Real>(n));
+      return;
+    }
+    if (!inverse) {
+      forward_bluestein_many(re, im, nt, wr, wi);
+      return;
+    }
+    // IFFT(x) = conj(FFT(conj(x))) / n, as in Fft1D::inverse.
+    const Index total = n * nt;
+#pragma omp simd
+    for (Index i = 0; i < total; ++i) im[i] = -im[i];
+    forward_bluestein_many(re, im, nt, wr, wi);
+    const Real inv = Real{1} / static_cast<Real>(n);
+#pragma omp simd
+    for (Index i = 0; i < total; ++i) re[i] *= inv;
+#pragma omp simd
+    for (Index i = 0; i < total; ++i) im[i] = -im[i] * inv;
   }
 };
 
@@ -150,6 +351,57 @@ void Fft1D::inverse(Complex* x) const {
   impl_->forward_bluestein(x);
   const Real inv = Real{1} / static_cast<Real>(n);
   for (Index k = 0; k < n; ++k) x[k] = std::conj(x[k]) * inv;
+}
+
+void Fft1D::transform_many(Complex* base, Index count, Index stride,
+                           Index dist, bool inverse) const {
+  const Index n = impl_->n;
+  LRT_CHECK(count >= 0, "bad batch count " << count);
+  LRT_CHECK(stride >= 1, "bad element stride " << stride);
+  LRT_CHECK(count <= 1 || dist >= 1, "bad line distance " << dist);
+  if (count == 0 || n == 1) return;  // length-1 transforms are identities
+
+  static obs::Counter& batches = obs::counter("fft.fft1d.batches");
+  static obs::Counter& lines = obs::counter("fft.fft1d.lines");
+  batches.add(1);
+  lines.add(count);
+
+  // Tile so one split-complex tile (plus the Bluestein work arrays)
+  // stays cache-resident: ~2 * 8 bytes * tile * (n + m).
+  const Index rows = n + impl_->m;
+  const Index tile = std::clamp<Index>(Index{8192} / rows, Index{4}, Index{32});
+  [[maybe_unused]] const bool par =
+      !in_parallel() && count > tile && double(count) * double(n) > 16384.0;
+
+#pragma omp parallel if (par)
+  {
+    std::vector<Real> re(static_cast<std::size_t>(tile * n));
+    std::vector<Real> im(static_cast<std::size_t>(tile * n));
+    std::vector<Real> wr, wi;
+    if (impl_->m != 0) {
+      wr.resize(static_cast<std::size_t>(tile * impl_->m));
+      wi.resize(static_cast<std::size_t>(tile * impl_->m));
+    }
+#pragma omp for schedule(static)
+    for (Index l0 = 0; l0 < count; l0 += tile) {
+      const Index nt = std::min(tile, count - l0);
+      Complex* src = base + l0 * dist;
+      gather_tile(src, nt, n, stride, dist, re.data(), im.data());
+      impl_->transform_tile(re.data(), im.data(), nt, inverse, wr.data(),
+                            wi.data());
+      scatter_tile(src, nt, n, stride, dist, re.data(), im.data());
+    }
+  }
+}
+
+void Fft1D::forward_many(Complex* base, Index count, Index stride,
+                         Index dist) const {
+  transform_many(base, count, stride, dist, /*inverse=*/false);
+}
+
+void Fft1D::inverse_many(Complex* base, Index count, Index stride,
+                         Index dist) const {
+  transform_many(base, count, stride, dist, /*inverse=*/true);
 }
 
 void fft_forward(Complex* x, Index n) { Fft1D(n).forward(x); }

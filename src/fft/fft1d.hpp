@@ -39,9 +39,28 @@ class Fft1D {
   /// In-place inverse transform (normalized by 1/n).
   void inverse(Complex* x) const;
 
+  /// In-place forward transform of `count` lines sharing this plan.
+  /// Line t starts at base + t*dist; element j of a line is at offset
+  /// j*stride. Lines must not overlap. The batch is gathered into
+  /// cache-blocked tile-transposed contiguous buffers so the strided
+  /// access cost is paid once per element, and the butterflies run
+  /// across lines with unit stride (SIMD) — results are bitwise
+  /// identical to calling forward() per line. Threads over tiles with
+  /// OpenMP unless already inside a parallel region.
+  void forward_many(Complex* base, Index count, Index stride,
+                    Index dist) const;
+
+  /// Batched inverse transform; same layout contract as forward_many,
+  /// bitwise identical to calling inverse() per line.
+  void inverse_many(Complex* base, Index count, Index stride,
+                    Index dist) const;
+
  private:
   struct Impl;
   std::unique_ptr<Impl> impl_;
+
+  void transform_many(Complex* base, Index count, Index stride, Index dist,
+                      bool inverse) const;
 };
 
 /// One-shot convenience transforms.

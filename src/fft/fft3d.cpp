@@ -4,6 +4,10 @@
 #include "obs/counters.hpp"
 #include "obs/obs.hpp"
 
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
 namespace lrt::fft {
 
 Fft3D::Fft3D(Index n0, Index n1, Index n2)
@@ -12,6 +16,12 @@ Fft3D::Fft3D(Index n0, Index n1, Index n2)
             "bad 3-D FFT shape " << n0 << "x" << n1 << "x" << n2);
 }
 
+// Each axis pass is one batched call into the shared per-axis plan
+// (docs/PERFORMANCE.md §2): the batched API tiles the strided gather
+// into contiguous transposed buffers and runs butterflies across lines,
+// replacing the old per-element copy loops. Axis 1 is phrased per-slab
+// so an OpenMP team can take whole slabs when there are enough of them;
+// each slab is itself a batched (count=n2, stride=n2, dist=1) call.
 void Fft3D::transform(Complex* x, bool inverse) const {
   const Index n0 = n_[0], n1 = n_[1], n2 = n_[2];
   const obs::Span span("fft.fft3d");
@@ -20,50 +30,45 @@ void Fft3D::transform(Complex* x, bool inverse) const {
   calls.add(1);
   points.add(static_cast<long long>(n0) * n1 * n2);
 
-  // Axis 2: contiguous lines.
-  for (Index i0 = 0; i0 < n0; ++i0) {
-    for (Index i1 = 0; i1 < n1; ++i1) {
-      Complex* line = x + (i0 * n1 + i1) * n2;
-      if (inverse) {
-        plan2_.inverse(line);
-      } else {
-        plan2_.forward(line);
-      }
-    }
-  }
-
-  // Axis 1: stride n2 within each i0 slab.
-  std::vector<Complex> buffer(static_cast<std::size_t>(std::max(n0, n1)));
-  for (Index i0 = 0; i0 < n0; ++i0) {
-    Complex* slab = x + i0 * n1 * n2;
-    for (Index i2 = 0; i2 < n2; ++i2) {
-      for (Index i1 = 0; i1 < n1; ++i1) {
-        buffer[static_cast<std::size_t>(i1)] = slab[i1 * n2 + i2];
-      }
-      if (inverse) {
-        plan1_.inverse(buffer.data());
-      } else {
-        plan1_.forward(buffer.data());
-      }
-      for (Index i1 = 0; i1 < n1; ++i1) {
-        slab[i1 * n2 + i2] = buffer[static_cast<std::size_t>(i1)];
-      }
-    }
-  }
-
-  // Axis 0: stride n1*n2.
-  const Index stride0 = n1 * n2;
-  for (Index rem = 0; rem < stride0; ++rem) {
-    for (Index i0 = 0; i0 < n0; ++i0) {
-      buffer[static_cast<std::size_t>(i0)] = x[i0 * stride0 + rem];
-    }
+  {
+    // Axis 2: contiguous lines, one batch over the whole grid.
+    const obs::Span axis("fft.fft3d.axis2");
     if (inverse) {
-      plan0_.inverse(buffer.data());
+      plan2_.inverse_many(x, n0 * n1, /*stride=*/1, /*dist=*/n2);
     } else {
-      plan0_.forward(buffer.data());
+      plan2_.forward_many(x, n0 * n1, /*stride=*/1, /*dist=*/n2);
     }
+  }
+
+  {
+    // Axis 1: within each i0 slab, n2 lines of stride n2 starting at
+    // consecutive offsets.
+    const obs::Span axis("fft.fft3d.axis1");
+    [[maybe_unused]] const bool par =
+#ifdef _OPENMP
+        omp_in_parallel() == 0 && n0 > 1;
+#else
+        false;
+#endif
+#pragma omp parallel for schedule(static) if (par)
     for (Index i0 = 0; i0 < n0; ++i0) {
-      x[i0 * stride0 + rem] = buffer[static_cast<std::size_t>(i0)];
+      Complex* slab = x + i0 * n1 * n2;
+      if (inverse) {
+        plan1_.inverse_many(slab, n2, /*stride=*/n2, /*dist=*/1);
+      } else {
+        plan1_.forward_many(slab, n2, /*stride=*/n2, /*dist=*/1);
+      }
+    }
+  }
+
+  {
+    // Axis 0: stride n1*n2, one batch of n1*n2 lines at unit distance.
+    const obs::Span axis("fft.fft3d.axis0");
+    const Index stride0 = n1 * n2;
+    if (inverse) {
+      plan0_.inverse_many(x, stride0, /*stride=*/stride0, /*dist=*/1);
+    } else {
+      plan0_.forward_many(x, stride0, /*stride=*/stride0, /*dist=*/1);
     }
   }
 }

@@ -17,6 +17,16 @@ Real squared_distance(const grid::Vec3& a, const grid::Vec3& b) {
   return dx * dx + dy * dy + dz * dz;
 }
 
+// Same Elkan-lite slack margins as kmeans.cpp (docs/PERFORMANCE.md §3):
+// the skip test proves strict inequality with 1e-9 relative headroom, so
+// pruned assignments stay bit-identical to the exact scan. Because the
+// per-point contributions to the packed reduction buffer are unchanged
+// and accumulated in the same order, every rank reduces identical local
+// buffers and the allreduced Lloyd state (and thus iteration count) is
+// identical too.
+constexpr Real kPruneSlackUp = Real{1} + Real{1e-9};
+constexpr Real kPruneSlackDown = Real{1} - Real{1e-9};
+
 }  // namespace
 
 DistKMeansResult dist_weighted_kmeans(par::Comm& comm,
@@ -91,25 +101,81 @@ DistKMeansResult dist_weighted_kmeans(par::Comm& comm,
   std::vector<Real> reduction(static_cast<std::size_t>(4 * k + 1));
   Real previous_objective = std::numeric_limits<Real>::max();
 
+  // Elkan-lite pruning state, as in kmeans.cpp: lb[i] lower-bounds the
+  // distance to every center except the assigned one.
+  const bool prune = options.pruned_assignment;
+  std::vector<Real> lb(prune ? kept.size() : 0, Real{-1});
+  std::vector<grid::Vec3> prev_centroids;
+  static obs::Counter& full_counter = obs::counter("kmeans.assign.full");
+  static obs::Counter& skip_counter = obs::counter("kmeans.assign.skipped");
+
   for (Index iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
     std::fill(reduction.begin(), reduction.end(), Real{0});
 
+    Real move1 = 0;
+    Real move2 = 0;
+    Index move_arg = -1;
+    if (prune && iter > 0) {
+      for (Index c = 0; c < k; ++c) {
+        const Real moved = std::sqrt(squared_distance(
+            prev_centroids[static_cast<std::size_t>(c)],
+            result.centroids[static_cast<std::size_t>(c)]));
+        if (moved > move1) {
+          move2 = move1;
+          move1 = moved;
+          move_arg = c;
+        } else if (moved > move2) {
+          move2 = moved;
+        }
+      }
+    }
+
+    long long full_scans = 0;
+    long long skips = 0;
     for (std::size_t i = 0; i < kept.size(); ++i) {
       const Index p = kept[i];
       const grid::Vec3& r = points[static_cast<std::size_t>(p)];
+      const Real w = weights[static_cast<std::size_t>(p)];
+      if (prune) {
+        const Index a = assignment[i];
+        const Real drift = (a == move_arg) ? move2 : move1;
+        const Real bound = lb[i] - drift;
+        if (bound > 0) {
+          const Real d2a = squared_distance(
+              r, result.centroids[static_cast<std::size_t>(a)]);
+          if (std::sqrt(d2a) * kPruneSlackUp < bound * kPruneSlackDown) {
+            // Strictly no other center can win: keep `a`, contribute the
+            // identical reduction terms the full scan would.
+            lb[i] = bound;
+            Real* slot = &reduction[static_cast<std::size_t>(4 * a)];
+            slot[0] += w;
+            slot[1] += w * r[0];
+            slot[2] += w * r[1];
+            slot[3] += w * r[2];
+            reduction[static_cast<std::size_t>(4 * k)] += w * d2a;
+            ++skips;
+            continue;
+          }
+        }
+      }
       Real best = std::numeric_limits<Real>::max();
+      Real second = std::numeric_limits<Real>::max();
       Index best_c = 0;
       for (Index c = 0; c < k; ++c) {
         const Real d =
             squared_distance(r, result.centroids[static_cast<std::size_t>(c)]);
         if (d < best) {
+          second = best;
           best = d;
           best_c = c;
+        } else if (d < second) {
+          second = d;
         }
       }
       assignment[i] = best_c;
-      const Real w = weights[static_cast<std::size_t>(p)];
+      if (prune) lb[i] = std::sqrt(second);
+      ++full_scans;
       Real* slot = &reduction[static_cast<std::size_t>(4 * best_c)];
       slot[0] += w;
       slot[1] += w * r[0];
@@ -117,6 +183,9 @@ DistKMeansResult dist_weighted_kmeans(par::Comm& comm,
       slot[3] += w * r[2];
       reduction[static_cast<std::size_t>(4 * k)] += w * best;
     }
+    full_counter.add(full_scans);
+    skip_counter.add(skips);
+    if (prune) prev_centroids = result.centroids;
 
     comm.allreduce(reduction.data(), static_cast<Index>(reduction.size()),
                    par::ReduceOp::kSum);

@@ -6,9 +6,20 @@
 
 #include "common/error.hpp"
 #include "common/random.hpp"
+#include "obs/counters.hpp"
+#include "obs/obs.hpp"
 
 namespace lrt::kmeans {
 namespace {
+
+// Pruned-assignment safety margins (docs/PERFORMANCE.md §3): the skip
+// test must prove STRICT inequality "every other center is farther"
+// despite the O(1e-14) relative rounding of the distance/sqrt chain, so
+// both sides get a 1e-9 relative slack — conservative by five orders of
+// magnitude, which is what makes pruned assignments bit-identical to
+// the exact scan (including first-lowest-index tie-breaking).
+constexpr Real kPruneSlackUp = Real{1} + Real{1e-9};
+constexpr Real kPruneSlackDown = Real{1} - Real{1e-9};
 
 Real squared_distance(const grid::Vec3& a, const grid::Vec3& b,
                       const grid::UnitCell* cell) {
@@ -167,31 +178,97 @@ KMeansResult weighted_kmeans(const std::vector<grid::Vec3>& points,
   std::vector<Real> sum_w(static_cast<std::size_t>(k));
   std::vector<grid::Vec3> sum_wr(static_cast<std::size_t>(k));
 
+  // Elkan-lite pruning state (docs/PERFORMANCE.md §3): lb[i] lower-bounds
+  // the distance from kept point i to every center EXCEPT its assigned
+  // one. It is seeded with the second-best distance of the last full scan
+  // and decays each iteration by the largest movement any other center
+  // made (triangle inequality; minimum-image distances qualify because
+  // the torus quotient metric is a metric).
+  const bool prune = options.pruned_assignment;
+  std::vector<Real> lb(prune ? static_cast<std::size_t>(nkept) : 0,
+                       Real{-1});
+  std::vector<grid::Vec3> prev_centroids;
+  static obs::Counter& full_counter = obs::counter("kmeans.assign.full");
+  static obs::Counter& skip_counter = obs::counter("kmeans.assign.skipped");
+
+  const obs::Span lloyd_span("kmeans.lloyd");
   Real previous_objective = std::numeric_limits<Real>::max();
   for (Index iter = 0; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
 
+    // How far each center moved in the last update step; a point's bound
+    // on "nearest other center" decays by the largest movement among the
+    // centers it is NOT assigned to, so track the top two movements and
+    // where the largest happened.
+    Real move1 = 0;
+    Real move2 = 0;
+    Index move_arg = -1;
+    if (prune && iter > 0) {
+      for (Index c = 0; c < k; ++c) {
+        const Real moved = std::sqrt(squared_distance(
+            prev_centroids[static_cast<std::size_t>(c)],
+            result.centroids[static_cast<std::size_t>(c)], cell));
+        if (moved > move1) {
+          move2 = move1;
+          move1 = moved;
+          move_arg = c;
+        } else if (moved > move2) {
+          move2 = moved;
+        }
+      }
+    }
+
     // Assignment step (paper: "the classification step ... can be locally
     // computed for each group of grid points").
     Real objective = 0;
-#pragma omp parallel for schedule(static) reduction(+ : objective)
+    long long full_scans = 0;
+    long long skips = 0;
+#pragma omp parallel for schedule(static) \
+    reduction(+ : objective, full_scans, skips)
     for (Index i = 0; i < nkept; ++i) {
       const Index p = kept[static_cast<std::size_t>(i)];
       const grid::Vec3& r = points[static_cast<std::size_t>(p)];
+      if (prune) {
+        const Index a = result.assignment[static_cast<std::size_t>(i)];
+        const Real drift = (a == move_arg) ? move2 : move1;
+        const Real bound = lb[static_cast<std::size_t>(i)] - drift;
+        if (bound > 0) {
+          const Real d2a = squared_distance(
+              r, result.centroids[static_cast<std::size_t>(a)], cell);
+          if (std::sqrt(d2a) * kPruneSlackUp < bound * kPruneSlackDown) {
+            // Every other center is strictly farther than the assigned
+            // one, so the full scan would reproduce assignment `a` and
+            // the identical objective term w * d2a.
+            lb[static_cast<std::size_t>(i)] = bound;
+            objective += weights[static_cast<std::size_t>(p)] * d2a;
+            ++skips;
+            continue;
+          }
+        }
+      }
       Real best = std::numeric_limits<Real>::max();
+      Real second = std::numeric_limits<Real>::max();
       Index best_c = 0;
       for (Index c = 0; c < k; ++c) {
         const Real d = squared_distance(
             r, result.centroids[static_cast<std::size_t>(c)], cell);
         if (d < best) {
+          second = best;
           best = d;
           best_c = c;
+        } else if (d < second) {
+          second = d;
         }
       }
       result.assignment[static_cast<std::size_t>(i)] = best_c;
       objective += weights[static_cast<std::size_t>(p)] * best;
+      ++full_scans;
+      if (prune) lb[static_cast<std::size_t>(i)] = std::sqrt(second);
     }
     result.objective = objective;
+    full_counter.add(full_scans);
+    skip_counter.add(skips);
+    if (prune) prev_centroids = result.centroids;
 
     // Update step: weighted centroid of each cluster (paper Eq 13). In
     // periodic mode the mean is taken over minimum-image DISPLACEMENTS

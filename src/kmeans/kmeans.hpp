@@ -42,6 +42,15 @@ struct KMeansOptions {
   /// arithmetic means — adequate for clusters compact relative to the
   /// cell, which pruned pair-product weights always are.
   const grid::UnitCell* periodic_cell = nullptr;
+  /// Elkan-lite assignment pruning: each point carries a lower bound on
+  /// its distance to every center but its own, decayed by how far the
+  /// other centers moved; points whose exact assigned-center distance
+  /// stays strictly under the bound skip the full k-distance scan.
+  /// Results are bit-identical to the exact scan — same assignments,
+  /// centroids, objective, iteration count (asserted in
+  /// tests/test_perf_kernels.cpp) — so this is safe to leave on; the
+  /// switch exists for the exactness test and the `--compare` bench.
+  bool pruned_assignment = true;
 };
 
 struct KMeansResult {

@@ -2,35 +2,302 @@
 
 #include <algorithm>
 #include <cmath>
+#include <vector>
 
 #include "obs/counters.hpp"
 
 #ifdef _OPENMP
 #include <omp.h>
 #endif
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
 
 namespace lrt::la {
 namespace {
 
-/// Panel size along the reduction (k) dimension; keeps a B panel of
-/// kKBlock rows hot in L2 while C rows are revisited.
-constexpr Index kKBlock = 256;
-/// Row-block size distributed across OpenMP threads.
-constexpr Index kIBlock = 64;
-
 /// Dimension product above which gemm spawns an OpenMP team.
 constexpr double kParallelFlopThreshold = 1e6;
 
-void gemm_nn(Real alpha, RealConstView a, RealConstView b, RealView c) {
+/// Below this flop count the packed path's pack/unpack overhead is not
+/// amortized; a branch-free scalar fallback runs instead.
+constexpr double kPackedFlopThreshold = 2.0 * 24 * 24 * 24;
+
+// ---------------------------------------------------------------------------
+// Packed micro-kernel GEMM (docs/PERFORMANCE.md §1).
+//
+// BLIS-style blocking: op(B) panels of kc x nc are packed once into
+// column micro-panels of width kNr, op(A) blocks of mc x kc are packed
+// (alpha folded in) into row micro-panels of height kMr, and a register-
+// tiled kMr x kNr micro-kernel accumulates C. Packing absorbs all four
+// transpose cases, so nn/tn/nt/tt share one inner kernel. Block sizes
+// are picked once at runtime from the machine's cache sizes.
+// ---------------------------------------------------------------------------
+
+constexpr Index kMr = 6;  ///< micro-tile rows (C register rows)
+constexpr Index kNr = 8;  ///< micro-tile cols (one or two SIMD vectors)
+
+struct Blocking {
+  Index mc;  ///< rows of the packed A block (held in L2)
+  Index kc;  ///< reduction depth of one packing pass
+  Index nc;  ///< cols of the packed B panel (held in L3)
+};
+
+Index round_down_multiple(Index v, Index m) { return std::max(m, v - v % m); }
+
+/// One-time runtime pick of the L2/L3 block parameters. Falls back to
+/// conservative defaults when the cache hierarchy is not reported.
+Blocking pick_blocking() {
+  long long l2 = 0, l3 = 0;
+#if defined(_SC_LEVEL2_CACHE_SIZE)
+  l2 = sysconf(_SC_LEVEL2_CACHE_SIZE);
+#endif
+#if defined(_SC_LEVEL3_CACHE_SIZE)
+  l3 = sysconf(_SC_LEVEL3_CACHE_SIZE);
+#endif
+  if (l2 <= 0) l2 = 512 * 1024;
+  if (l3 <= 0) l3 = 8 * 1024 * 1024;
+  Blocking b;
+  b.kc = 256;
+  // The packed A block (mc x kc doubles) should fill about half of L2,
+  // leaving room for the streaming B micro-panel and C rows.
+  const Index mc_fit = static_cast<Index>(
+      l2 / 2 / (b.kc * static_cast<Index>(sizeof(Real))));
+  b.mc = std::clamp(round_down_multiple(mc_fit, kMr), kMr, Index{512});
+  // The packed B panel (kc x nc) targets half of L3.
+  const Index nc_fit = static_cast<Index>(
+      l3 / 2 / (b.kc * static_cast<Index>(sizeof(Real))));
+  b.nc = std::clamp(round_down_multiple(nc_fit, kNr), kNr, Index{8192});
+  return b;
+}
+
+const Blocking& blocking() {
+  static const Blocking b = pick_blocking();
+  return b;
+}
+
+/// Packs one mr x kcur micro-panel of alpha * op(A) (zero-padded to kMr
+/// rows) as kcur groups of kMr consecutive values.
+void pack_a_panel(RealConstView a, bool trans, Index i0, Index mr, Index p0,
+                  Index kcur, Real alpha, Real* dst) {
+  if (!trans) {
+    for (Index i = 0; i < mr; ++i) {
+      const Real* src = a.row_ptr(i0 + i) + p0;
+      for (Index p = 0; p < kcur; ++p) dst[p * kMr + i] = alpha * src[p];
+    }
+    for (Index i = mr; i < kMr; ++i) {
+      for (Index p = 0; p < kcur; ++p) dst[p * kMr + i] = Real{0};
+    }
+  } else {
+    for (Index p = 0; p < kcur; ++p) {
+      const Real* src = a.row_ptr(p0 + p) + i0;
+      Real* d = dst + p * kMr;
+      for (Index i = 0; i < mr; ++i) d[i] = alpha * src[i];
+      for (Index i = mr; i < kMr; ++i) d[i] = Real{0};
+    }
+  }
+}
+
+/// Packs one kcur x nr micro-panel of op(B) (zero-padded to kNr cols) as
+/// kcur groups of kNr consecutive values.
+void pack_b_panel(RealConstView b, bool trans, Index p0, Index kcur, Index j0,
+                  Index nr, Real* dst) {
+  if (!trans) {
+    for (Index p = 0; p < kcur; ++p) {
+      const Real* src = b.row_ptr(p0 + p) + j0;
+      Real* d = dst + p * kNr;
+      for (Index j = 0; j < nr; ++j) d[j] = src[j];
+      for (Index j = nr; j < kNr; ++j) d[j] = Real{0};
+    }
+  } else {
+    for (Index j = 0; j < nr; ++j) {
+      const Real* src = b.row_ptr(j0 + j) + p0;
+      for (Index p = 0; p < kcur; ++p) dst[p * kNr + j] = src[p];
+    }
+    for (Index j = nr; j < kNr; ++j) {
+      for (Index p = 0; p < kcur; ++p) dst[p * kNr + j] = Real{0};
+    }
+  }
+}
+
+/// Register-tiled kMr x kNr accumulation over a packed panel pair. The
+/// accumulator array is small enough to live entirely in SIMD registers;
+/// target_clones picks the widest ISA the machine actually has (the
+/// baseline build stays generic x86-64, so the pick happens at load
+/// time, not compile time). Disabled under TSan: the multi-versioned
+/// symbol's IFUNC resolver runs during relocation, before the TSan
+/// runtime has initialized, and segfaults every binary linking this TU.
+#if defined(__x86_64__) && defined(__has_attribute) && \
+    !defined(__SANITIZE_THREAD__)
+#if __has_attribute(target_clones)
+__attribute__((target_clones("avx512f", "avx2,fma", "default")))
+#endif
+#endif
+void micro_kernel(Index kcur, const Real* ap, const Real* bp,
+                  Real* acc /* kMr * kNr */) {
+  for (Index p = 0; p < kcur; ++p) {
+    const Real a0 = ap[0];
+    const Real a1 = ap[1];
+    const Real a2 = ap[2];
+    const Real a3 = ap[3];
+    const Real a4 = ap[4];
+    const Real a5 = ap[5];
+#pragma omp simd
+    for (Index j = 0; j < kNr; ++j) {
+      const Real bj = bp[j];
+      acc[0 * kNr + j] += a0 * bj;
+      acc[1 * kNr + j] += a1 * bj;
+      acc[2 * kNr + j] += a2 * bj;
+      acc[3 * kNr + j] += a3 * bj;
+      acc[4 * kNr + j] += a4 * bj;
+      acc[5 * kNr + j] += a5 * bj;
+    }
+    ap += kMr;
+    bp += kNr;
+  }
+}
+
+void gemm_packed(bool ta, bool tb, Real alpha, RealConstView a,
+                 RealConstView b, RealView c) {
+  const Index m = c.rows(), n = c.cols();
+  const Index k = ta ? a.rows() : a.cols();
+  const Blocking& blk = blocking();
+  [[maybe_unused]] const bool parallel =
+      2.0 * double(m) * double(n) * double(k) > kParallelFlopThreshold;
+
+  const Index nc_max = std::min(((n + kNr - 1) / kNr) * kNr, blk.nc);
+  const Index mc_max = std::min(((m + kMr - 1) / kMr) * kMr, blk.mc);
+  const Index kc_max = std::min(k, blk.kc);
+  std::vector<Real> bpack(static_cast<std::size_t>(nc_max * kc_max));
+
+#pragma omp parallel if (parallel)
+  {
+    std::vector<Real> apack(static_cast<std::size_t>(mc_max * kc_max));
+    for (Index jc = 0; jc < n; jc += blk.nc) {
+      const Index ncur = std::min(blk.nc, n - jc);
+      const Index npanels = (ncur + kNr - 1) / kNr;
+      for (Index pc = 0; pc < k; pc += blk.kc) {
+        const Index kcur = std::min(blk.kc, k - pc);
+        // Pack the B panel cooperatively; the implicit barrier of the
+        // worksharing loop publishes it to every thread.
+#pragma omp for schedule(static)
+        for (Index jp = 0; jp < npanels; ++jp) {
+          const Index j0 = jc + jp * kNr;
+          pack_b_panel(b, tb, pc, kcur, j0, std::min(kNr, n - j0),
+                       bpack.data() + jp * kcur * kNr);
+        }
+#pragma omp for schedule(dynamic)
+        for (Index ic = 0; ic < m; ic += blk.mc) {
+          const Index mcur = std::min(blk.mc, m - ic);
+          const Index mpanels = (mcur + kMr - 1) / kMr;
+          for (Index ip = 0; ip < mpanels; ++ip) {
+            const Index i0 = ic + ip * kMr;
+            pack_a_panel(a, ta, i0, std::min(kMr, m - i0), pc, kcur, alpha,
+                         apack.data() + ip * kcur * kMr);
+          }
+          for (Index jp = 0; jp < npanels; ++jp) {
+            const Real* bpan = bpack.data() + jp * kcur * kNr;
+            const Index j0 = jc + jp * kNr;
+            const Index nr = std::min(kNr, n - j0);
+            for (Index ip = 0; ip < mpanels; ++ip) {
+              const Index i0 = ic + ip * kMr;
+              const Index mr = std::min(kMr, m - i0);
+              Real acc[kMr * kNr] = {};
+              micro_kernel(kcur, apack.data() + ip * kcur * kMr, bpan, acc);
+              if (mr == kMr && nr == kNr) {
+                for (Index i = 0; i < kMr; ++i) {
+                  Real* ci = c.row_ptr(i0 + i) + j0;
+                  const Real* ai = acc + i * kNr;
+#pragma omp simd
+                  for (Index j = 0; j < kNr; ++j) ci[j] += ai[j];
+                }
+              } else {
+                for (Index i = 0; i < mr; ++i) {
+                  Real* ci = c.row_ptr(i0 + i) + j0;
+                  const Real* ai = acc + i * kNr;
+                  for (Index j = 0; j < nr; ++j) ci[j] += ai[j];
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Branch-free scalar fallback for shapes too small to amortize packing.
+// alpha is applied once per (i, kk) pair, never in the innermost loop,
+// and there is no data-dependent branch in any loop body.
+// ---------------------------------------------------------------------------
+
+void gemm_small_nn(Real alpha, RealConstView a, RealConstView b, RealView c) {
+  const Index m = c.rows(), n = c.cols(), k = a.cols();
+  for (Index i = 0; i < m; ++i) {
+    Real* ci = c.row_ptr(i);
+    const Real* ai = a.row_ptr(i);
+    for (Index kk = 0; kk < k; ++kk) {
+      const Real aik = alpha * ai[kk];
+      const Real* bk = b.row_ptr(kk);
+#pragma omp simd
+      for (Index j = 0; j < n; ++j) ci[j] += aik * bk[j];
+    }
+  }
+}
+
+void gemm_small_tn(Real alpha, RealConstView a, RealConstView b, RealView c) {
+  // C = Aᵀ B: C[i,:] += A[kk,i] * B[kk,:]
+  const Index m = c.rows(), n = c.cols(), k = a.rows();
+  for (Index kk = 0; kk < k; ++kk) {
+    const Real* ak = a.row_ptr(kk);
+    const Real* bk = b.row_ptr(kk);
+    for (Index i = 0; i < m; ++i) {
+      const Real aki = alpha * ak[i];
+      Real* ci = c.row_ptr(i);
+#pragma omp simd
+      for (Index j = 0; j < n; ++j) ci[j] += aki * bk[j];
+    }
+  }
+}
+
+void gemm_small_nt(Real alpha, RealConstView a, RealConstView b, RealView c) {
+  // C[i,j] += alpha * dot(A[i,:], B[j,:]) — both rows contiguous; alpha
+  // multiplies the finished dot product, outside the reduction loop.
+  const Index m = c.rows(), n = c.cols(), k = a.cols();
+  for (Index i = 0; i < m; ++i) {
+    const Real* ai = a.row_ptr(i);
+    Real* ci = c.row_ptr(i);
+    for (Index j = 0; j < n; ++j) {
+      ci[j] += alpha * dot(ai, b.row_ptr(j), k);
+    }
+  }
+}
+
+void gemm_small_tt(Real alpha, RealConstView a, RealConstView b, RealView c) {
+  // Rare and only hit at tiny sizes: materialize Bᵀ and reuse TN.
+  const RealMatrix bt = transpose(b);
+  gemm_small_tn(alpha, a, bt.view(), c);
+}
+
+// ---------------------------------------------------------------------------
+// Reference kernels: the pre-micro-kernel blocked scalar implementation,
+// kept verbatim (including its per-element zero test) as the comparison
+// baseline for tests and `bench_micro_substrates --compare`.
+// ---------------------------------------------------------------------------
+
+constexpr Index kRefKBlock = 256;
+constexpr Index kRefIBlock = 64;
+
+void ref_nn(Real alpha, RealConstView a, RealConstView b, RealView c) {
   const Index m = c.rows(), n = c.cols(), k = a.cols();
   [[maybe_unused]] const bool parallel =
-      2.0 * double(m) * double(n) * double(k) >
-          kParallelFlopThreshold;
+      2.0 * double(m) * double(n) * double(k) > kParallelFlopThreshold;
 #pragma omp parallel for schedule(dynamic) if (parallel)
-  for (Index i0 = 0; i0 < m; i0 += kIBlock) {
-    const Index i1 = std::min(i0 + kIBlock, m);
-    for (Index k0 = 0; k0 < k; k0 += kKBlock) {
-      const Index k1 = std::min(k0 + kKBlock, k);
+  for (Index i0 = 0; i0 < m; i0 += kRefIBlock) {
+    const Index i1 = std::min(i0 + kRefIBlock, m);
+    for (Index k0 = 0; k0 < k; k0 += kRefKBlock) {
+      const Index k1 = std::min(k0 + kRefKBlock, k);
       for (Index i = i0; i < i1; ++i) {
         Real* ci = c.row_ptr(i);
         const Real* ai = a.row_ptr(i);
@@ -45,17 +312,15 @@ void gemm_nn(Real alpha, RealConstView a, RealConstView b, RealView c) {
   }
 }
 
-void gemm_tn(Real alpha, RealConstView a, RealConstView b, RealView c) {
-  // C = Aᵀ B: C[i,:] += A[kk,i] * B[kk,:]
+void ref_tn(Real alpha, RealConstView a, RealConstView b, RealView c) {
   const Index m = c.rows(), n = c.cols(), k = a.rows();
   [[maybe_unused]] const bool parallel =
-      2.0 * double(m) * double(n) * double(k) >
-          kParallelFlopThreshold;
+      2.0 * double(m) * double(n) * double(k) > kParallelFlopThreshold;
 #pragma omp parallel for schedule(dynamic) if (parallel)
-  for (Index i0 = 0; i0 < m; i0 += kIBlock) {
-    const Index i1 = std::min(i0 + kIBlock, m);
-    for (Index k0 = 0; k0 < k; k0 += kKBlock) {
-      const Index k1 = std::min(k0 + kKBlock, k);
+  for (Index i0 = 0; i0 < m; i0 += kRefIBlock) {
+    const Index i1 = std::min(i0 + kRefIBlock, m);
+    for (Index k0 = 0; k0 < k; k0 += kRefKBlock) {
+      const Index k1 = std::min(k0 + kRefKBlock, k);
       for (Index kk = k0; kk < k1; ++kk) {
         const Real* ak = a.row_ptr(kk);
         const Real* bk = b.row_ptr(kk);
@@ -70,12 +335,10 @@ void gemm_tn(Real alpha, RealConstView a, RealConstView b, RealView c) {
   }
 }
 
-void gemm_nt(Real alpha, RealConstView a, RealConstView b, RealView c) {
-  // C[i,j] += dot(A[i,:], B[j,:]) — both rows contiguous.
+void ref_nt(Real alpha, RealConstView a, RealConstView b, RealView c) {
   const Index m = c.rows(), n = c.cols(), k = a.cols();
   [[maybe_unused]] const bool parallel =
-      2.0 * double(m) * double(n) * double(k) >
-          kParallelFlopThreshold;
+      2.0 * double(m) * double(n) * double(k) > kParallelFlopThreshold;
 #pragma omp parallel for schedule(dynamic) if (parallel)
   for (Index i = 0; i < m; ++i) {
     const Real* ai = a.row_ptr(i);
@@ -86,18 +349,32 @@ void gemm_nt(Real alpha, RealConstView a, RealConstView b, RealView c) {
   }
 }
 
-void gemm_tt(Real alpha, RealConstView a, RealConstView b, RealView c) {
-  // C = Aᵀ Bᵀ — rare; go through a transposed copy of A to reuse the
-  // contiguous NT kernel: C[i,j] = dot(Aᵀ[i,:], Bᵀ[j,:]) is not contiguous
-  // in B, so materialize Bᵀ instead and use TN ordering on it.
-  const RealMatrix bt = transpose(b);
-  gemm_tn(alpha, a, bt.view(), c);
+void check_gemm_shapes(Trans ta, Trans tb, RealConstView a, RealConstView b,
+                       RealView c, Index& m, Index& n, Index& k) {
+  m = (ta == Trans::kNo) ? a.rows() : a.cols();
+  const Index ka = (ta == Trans::kNo) ? a.cols() : a.rows();
+  const Index kb = (tb == Trans::kNo) ? b.rows() : b.cols();
+  n = (tb == Trans::kNo) ? b.cols() : b.rows();
+  LRT_CHECK(ka == kb, "gemm inner dimension mismatch: " << ka << " vs " << kb);
+  LRT_CHECK(c.rows() == m && c.cols() == n,
+            "gemm output shape mismatch: want " << m << "x" << n << ", got "
+                                                << c.rows() << "x" << c.cols());
+  k = ka;
+}
+
+void scale_c(Real beta, RealView c) {
+  if (beta == Real{0}) {
+    c.fill(Real{0});
+  } else if (beta != Real{1}) {
+    for (Index i = 0; i < c.rows(); ++i) scal(beta, c.row_ptr(i), c.cols());
+  }
 }
 
 }  // namespace
 
 Real dot(const Real* x, const Real* y, Index n) {
   Real sum = 0.0;
+#pragma omp simd reduction(+ : sum)
   for (Index i = 0; i < n; ++i) sum += x[i] * y[i];
   return sum;
 }
@@ -105,10 +382,12 @@ Real dot(const Real* x, const Real* y, Index n) {
 Real nrm2(const Real* x, Index n) { return std::sqrt(dot(x, x, n)); }
 
 void axpy(Real alpha, const Real* x, Real* y, Index n) {
+#pragma omp simd
   for (Index i = 0; i < n; ++i) y[i] += alpha * x[i];
 }
 
 void scal(Real alpha, Real* x, Index n) {
+#pragma omp simd
   for (Index i = 0; i < n; ++i) x[i] *= alpha;
 }
 
@@ -123,45 +402,59 @@ void gemv(Trans trans, Real alpha, RealConstView a, const Real* x, Real beta,
     const Index m = a.rows(), n = a.cols();
     for (Index j = 0; j < n; ++j) y[j] *= beta;
     for (Index i = 0; i < m; ++i) {
-      const Real axi = alpha * x[i];
-      if (axi == Real{0}) continue;
-      axpy(axi, a.row_ptr(i), y, n);
+      axpy(alpha * x[i], a.row_ptr(i), y, n);
     }
   }
 }
 
 void gemm(Trans ta, Trans tb, Real alpha, RealConstView a, RealConstView b,
           Real beta, RealView c) {
-  const Index m = (ta == Trans::kNo) ? a.rows() : a.cols();
-  const Index ka = (ta == Trans::kNo) ? a.cols() : a.rows();
-  const Index kb = (tb == Trans::kNo) ? b.rows() : b.cols();
-  const Index n = (tb == Trans::kNo) ? b.cols() : b.rows();
-  LRT_CHECK(ka == kb, "gemm inner dimension mismatch: " << ka << " vs " << kb);
-  LRT_CHECK(c.rows() == m && c.cols() == n,
-            "gemm output shape mismatch: want " << m << "x" << n << ", got "
-                                                << c.rows() << "x" << c.cols());
-  if (beta == Real{0}) {
-    c.fill(Real{0});
-  } else if (beta != Real{1}) {
-    for (Index i = 0; i < m; ++i) scal(beta, c.row_ptr(i), n);
-  }
-  if (m == 0 || n == 0 || ka == 0 || alpha == Real{0}) return;
+  Index m, n, k;
+  check_gemm_shapes(ta, tb, a, b, c, m, n, k);
+  scale_c(beta, c);
+  if (m == 0 || n == 0 || k == 0 || alpha == Real{0}) return;
 
   // No span here — gemm is called far too often for per-call trace
   // events; the FLOP counter gives the aggregate view instead.
   static obs::Counter& calls = obs::counter("la.gemm.calls");
   static obs::Counter& flops = obs::counter("la.gemm.flops");
   calls.add(1);
-  flops.add(2ll * m * n * ka);
+  flops.add(2ll * m * n * k);
 
+  if (2.0 * double(m) * double(n) * double(k) >= kPackedFlopThreshold) {
+    static obs::Counter& packed = obs::counter("la.gemm.packed_calls");
+    packed.add(1);
+    gemm_packed(ta == Trans::kYes, tb == Trans::kYes, alpha, a, b, c);
+    return;
+  }
+  static obs::Counter& fallback = obs::counter("la.gemm.fallback_calls");
+  fallback.add(1);
   if (ta == Trans::kNo && tb == Trans::kNo) {
-    gemm_nn(alpha, a, b, c);
+    gemm_small_nn(alpha, a, b, c);
   } else if (ta == Trans::kYes && tb == Trans::kNo) {
-    gemm_tn(alpha, a, b, c);
+    gemm_small_tn(alpha, a, b, c);
   } else if (ta == Trans::kNo && tb == Trans::kYes) {
-    gemm_nt(alpha, a, b, c);
+    gemm_small_nt(alpha, a, b, c);
   } else {
-    gemm_tt(alpha, a, b, c);
+    gemm_small_tt(alpha, a, b, c);
+  }
+}
+
+void gemm_reference(Trans ta, Trans tb, Real alpha, RealConstView a,
+                    RealConstView b, Real beta, RealView c) {
+  Index m, n, k;
+  check_gemm_shapes(ta, tb, a, b, c, m, n, k);
+  scale_c(beta, c);
+  if (m == 0 || n == 0 || k == 0 || alpha == Real{0}) return;
+  if (ta == Trans::kNo && tb == Trans::kNo) {
+    ref_nn(alpha, a, b, c);
+  } else if (ta == Trans::kYes && tb == Trans::kNo) {
+    ref_tn(alpha, a, b, c);
+  } else if (ta == Trans::kNo && tb == Trans::kYes) {
+    ref_nt(alpha, a, b, c);
+  } else {
+    const RealMatrix bt = transpose(b);
+    ref_tn(alpha, a, bt.view(), c);
   }
 }
 

@@ -1,8 +1,11 @@
 // Dense BLAS-style kernels (levels 1-3) on row-major views.
 //
 // These stand in for the MKL calls the paper's implementation makes.
-// gemm is cache-blocked and OpenMP-threaded; loop orders are chosen per
-// transpose case so the innermost loop always streams contiguous memory.
+// gemm runs a packed, register-tiled micro-kernel (BLIS-style blocking,
+// OpenMP-threaded, SIMD via runtime ISA dispatch) above a small flop
+// threshold and a branch-free scalar fallback below it; the pre-packing
+// blocked kernel survives as gemm_reference for tests and the
+// `bench_micro_substrates --compare` baseline. See docs/PERFORMANCE.md.
 #pragma once
 
 #include "la/matrix.hpp"
@@ -40,6 +43,11 @@ void gemm(Trans ta, Trans tb, Real alpha, RealConstView a, RealConstView b,
 
 /// Convenience: returns op(A) * op(B).
 RealMatrix gemm(Trans ta, Trans tb, RealConstView a, RealConstView b);
+
+/// The pre-micro-kernel blocked scalar gemm, preserved as a comparison
+/// baseline (tests, bench --compare). Same contract as gemm().
+void gemm_reference(Trans ta, Trans tb, Real alpha, RealConstView a,
+                    RealConstView b, Real beta, RealView c);
 
 /// Gram matrix Aᵀ A (n x n for an m x n input); exploits symmetry.
 RealMatrix gram(RealConstView a);

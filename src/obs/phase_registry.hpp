@@ -22,11 +22,15 @@ inline constexpr const char* kPairProduct = "pair_product";  // orbital pair-pro
 inline constexpr const char* kSelectPoints = "select_points";  // ISDF interpolation-point selection (driver profiler)
 inline constexpr const char* kInterpVectors = "interp_vectors";  // ISDF interpolation-vector fit (driver profiler)
 inline constexpr const char* kFftFft3d = "fft.fft3d";  // one 3-D FFT (all pencils)
+inline constexpr const char* kFftFft3dAxis0 = "fft.fft3d.axis0";  // 3-D FFT axis-0 pass (stride n1*n2, batched)
+inline constexpr const char* kFftFft3dAxis1 = "fft.fft3d.axis1";  // 3-D FFT axis-1 pass (stride n2, per-slab batches)
+inline constexpr const char* kFftFft3dAxis2 = "fft.fft3d.axis2";  // 3-D FFT axis-2 pass (contiguous lines, batched)
 inline constexpr const char* kIsdfSelectPoints = "isdf.select_points";  // point selection entry (QRCP or K-Means)
 inline constexpr const char* kIsdfInterpVectors = "isdf.interp_vectors";  // least-squares interpolation vectors
 inline constexpr const char* kIsdfPointsKmeans = "isdf.points.kmeans";  // weighted K-Means selector
 inline constexpr const char* kIsdfPointsQrcp = "isdf.points.qrcp";  // QRCP selector
 inline constexpr const char* kKmeansDist = "kmeans.dist";  // distributed K-Means iteration loop
+inline constexpr const char* kKmeansLloyd = "kmeans.lloyd";  // serial weighted K-Means Lloyd loop
 inline constexpr const char* kLaLobpcg = "la.lobpcg";  // serial LOBPCG solve
 inline constexpr const char* kParDistLobpcg = "par.dist_lobpcg";  // distributed LOBPCG solve
 inline constexpr const char* kParGramReduceMonolithic = "par.gram_reduce.monolithic";  // Gram reduction, single allreduce
@@ -55,11 +59,15 @@ inline constexpr const char* kAll[] = {
     kSelectPoints,
     kInterpVectors,
     kFftFft3d,
+    kFftFft3dAxis0,
+    kFftFft3dAxis1,
+    kFftFft3dAxis2,
     kIsdfSelectPoints,
     kIsdfInterpVectors,
     kIsdfPointsKmeans,
     kIsdfPointsQrcp,
     kKmeansDist,
+    kKmeansLloyd,
     kLaLobpcg,
     kParDistLobpcg,
     kParGramReduceMonolithic,

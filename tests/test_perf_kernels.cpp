@@ -1,0 +1,433 @@
+// Hot-kernel performance layer exactness tests (docs/PERFORMANCE.md):
+//  - packed micro-kernel GEMM vs. a naive triple loop over odd shapes,
+//    all transpose combinations, strided views and aliased inputs;
+//  - batched FFT (forward_many/inverse_many) vs. the per-line plan,
+//    asserted BITWISE, and the rewritten Fft3D vs. a copy of the old
+//    per-line algorithm, also bitwise;
+//  - pruned (Elkan-lite) K-Means vs. the exact full-scan assignment,
+//    asserted bit-identical for the serial and distributed variants.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <complex>
+#include <vector>
+
+#ifdef _OPENMP
+#include <omp.h>
+#endif
+
+#include "fft/fft1d.hpp"
+#include "fft/fft3d.hpp"
+#include "kmeans/dist_kmeans.hpp"
+#include "kmeans/kmeans.hpp"
+#include "la/blas.hpp"
+#include "obs/counters.hpp"
+#include "par/layout.hpp"
+
+namespace lrt {
+namespace {
+
+// ----- GEMM ----------------------------------------------------------------
+
+la::RealMatrix naive_gemm(la::Trans ta, la::Trans tb, Real alpha,
+                          const la::RealMatrix& a, const la::RealMatrix& b,
+                          Real beta, const la::RealMatrix& c0) {
+  const Index m = (ta == la::Trans::kNo) ? a.rows() : a.cols();
+  const Index k = (ta == la::Trans::kNo) ? a.cols() : a.rows();
+  const Index n = (tb == la::Trans::kNo) ? b.cols() : b.rows();
+  la::RealMatrix c = c0;
+  for (Index i = 0; i < m; ++i) {
+    for (Index j = 0; j < n; ++j) {
+      Real sum = 0;
+      for (Index p = 0; p < k; ++p) {
+        const Real av = (ta == la::Trans::kNo) ? a(i, p) : a(p, i);
+        const Real bv = (tb == la::Trans::kNo) ? b(p, j) : b(j, p);
+        sum += av * bv;
+      }
+      c(i, j) = alpha * sum + beta * c(i, j);
+    }
+  }
+  return c;
+}
+
+struct PackedGemmCase {
+  Index m, n, k;
+};
+
+class PackedGemmSweep : public ::testing::TestWithParam<PackedGemmCase> {};
+
+TEST_P(PackedGemmSweep, AllTransposesMatchNaive) {
+  const PackedGemmCase shape = GetParam();
+  Rng rng(static_cast<unsigned>(shape.m * 977 + shape.n * 31 + shape.k));
+  for (const la::Trans ta : {la::Trans::kNo, la::Trans::kYes}) {
+    for (const la::Trans tb : {la::Trans::kNo, la::Trans::kYes}) {
+      for (const auto& [alpha, beta] : {std::pair<Real, Real>{1.0, 0.0},
+                                        std::pair<Real, Real>{-0.75, 1.5}}) {
+        const la::RealMatrix a =
+            (ta == la::Trans::kNo)
+                ? la::RealMatrix::random_uniform(shape.m, shape.k, rng)
+                : la::RealMatrix::random_uniform(shape.k, shape.m, rng);
+        const la::RealMatrix b =
+            (tb == la::Trans::kNo)
+                ? la::RealMatrix::random_uniform(shape.k, shape.n, rng)
+                : la::RealMatrix::random_uniform(shape.n, shape.k, rng);
+        la::RealMatrix c = la::RealMatrix::random_uniform(shape.m, shape.n, rng);
+        const la::RealMatrix expected = naive_gemm(ta, tb, alpha, a, b, beta, c);
+
+        la::RealMatrix got = c;
+        la::gemm(ta, tb, alpha, a.view(), b.view(), beta, got.view());
+        // Different summation order than the naive loop, so compare with a
+        // k-scaled tolerance, not bitwise.
+        const Real tol =
+            1e-13 * static_cast<Real>(shape.k + 8) * std::max(Real{1}, la::max_abs(expected.view()));
+        EXPECT_LE(la::max_abs_diff(got.view(), expected.view()), tol)
+            << "ta=" << (ta == la::Trans::kYes) << " tb="
+            << (tb == la::Trans::kYes) << " alpha=" << alpha;
+
+        // The preserved baseline must satisfy the same contract.
+        la::RealMatrix ref = c;
+        la::gemm_reference(ta, tb, alpha, a.view(), b.view(), beta, ref.view());
+        EXPECT_LE(la::max_abs_diff(ref.view(), expected.view()), tol);
+      }
+    }
+  }
+}
+
+// Odd primes, micro-tile remainders, degenerate dims, and shapes big
+// enough to take the packed path (2mnk >= 2*24^3).
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PackedGemmSweep,
+    ::testing::Values(PackedGemmCase{37, 53, 29}, PackedGemmCase{129, 65, 127},
+                      PackedGemmCase{64, 64, 64}, PackedGemmCase{6, 8, 300},
+                      PackedGemmCase{61, 7, 83}, PackedGemmCase{1, 1, 1},
+                      PackedGemmCase{1, 96, 96}, PackedGemmCase{96, 1, 96},
+                      PackedGemmCase{96, 96, 1}, PackedGemmCase{23, 24, 25}));
+
+TEST(PackedGemm, StridedViewsMatchNaive) {
+  Rng rng(11);
+  const la::RealMatrix big_a = la::RealMatrix::random_uniform(80, 90, rng);
+  const la::RealMatrix big_b = la::RealMatrix::random_uniform(90, 70, rng);
+  la::RealMatrix big_c = la::RealMatrix::random_uniform(80, 70, rng);
+  // Interior blocks: ld exceeds cols on every operand.
+  const la::RealConstView a = big_a.view().block(3, 5, 50, 40);
+  const la::RealConstView b = big_b.view().block(7, 2, 40, 60);
+  const la::RealView c = big_c.view().block(11, 4, 50, 60);
+
+  const la::RealMatrix expected =
+      naive_gemm(la::Trans::kNo, la::Trans::kNo, 2.0, la::to_matrix(a),
+                 la::to_matrix(b), -1.0, la::to_matrix(la::RealConstView(c)));
+  la::gemm(la::Trans::kNo, la::Trans::kNo, 2.0, a, b, -1.0, c);
+  EXPECT_LE(la::max_abs_diff(c, expected.view()), 1e-11);
+}
+
+TEST(PackedGemm, AliasedGramInputsMatchNaive) {
+  Rng rng(12);
+  const la::RealMatrix a = la::RealMatrix::random_uniform(90, 45, rng);
+  la::RealMatrix c(45, 45);
+  // C = Aᵀ A with the SAME view passed for both operands.
+  la::gemm(la::Trans::kYes, la::Trans::kNo, 1.0, a.view(), a.view(), 0.0,
+           c.view());
+  const la::RealMatrix expected =
+      naive_gemm(la::Trans::kYes, la::Trans::kNo, 1.0, a, a, 0.0,
+                 la::RealMatrix(45, 45));
+  EXPECT_LE(la::max_abs_diff(c.view(), expected.view()),
+            1e-13 * 90 * la::max_abs(expected.view()));
+}
+
+// ----- batched FFT ---------------------------------------------------------
+
+std::vector<fft::Complex> random_lines(Index total, unsigned seed) {
+  Rng rng(seed);
+  std::vector<fft::Complex> data(static_cast<std::size_t>(total));
+  for (auto& v : data) {
+    v = fft::Complex(rng.uniform() * 2 - 1, rng.uniform() * 2 - 1);
+  }
+  return data;
+}
+
+struct BatchLayout {
+  Index count, stride, dist;
+};
+
+void expect_bitwise_equal(const std::vector<fft::Complex>& got,
+                          const std::vector<fft::Complex>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (std::size_t i = 0; i < got.size(); ++i) {
+    ASSERT_EQ(got[i].real(), want[i].real()) << "element " << i;
+    ASSERT_EQ(got[i].imag(), want[i].imag()) << "element " << i;
+  }
+}
+
+class BatchedFftSweep : public ::testing::TestWithParam<Index> {};
+
+TEST_P(BatchedFftSweep, ForwardManyIsBitwisePerLine) {
+  const Index n = GetParam();
+  const fft::Fft1D plan(n);
+  for (const BatchLayout layout :
+       {BatchLayout{37, 1, n},          // packed contiguous lines
+        BatchLayout{37, 1, n + 3},      // padded line distance
+        BatchLayout{24, 24, 1},         // fully interleaved (transposed)
+        BatchLayout{1, 5, 1}}) {        // single strided line
+    // Buffer large enough for the furthest element of the last line.
+    const Index total =
+        (layout.count - 1) * layout.dist + (n - 1) * layout.stride + 1;
+    const std::vector<fft::Complex> input =
+        random_lines(total, static_cast<unsigned>(n * 7 + layout.count));
+
+    std::vector<fft::Complex> batched = input;
+    plan.forward_many(batched.data(), layout.count, layout.stride,
+                      layout.dist);
+
+    std::vector<fft::Complex> per_line = input;
+    std::vector<fft::Complex> line(static_cast<std::size_t>(n));
+    for (Index t = 0; t < layout.count; ++t) {
+      fft::Complex* base = per_line.data() + t * layout.dist;
+      for (Index j = 0; j < n; ++j) {
+        line[static_cast<std::size_t>(j)] = base[j * layout.stride];
+      }
+      plan.forward(line.data());
+      for (Index j = 0; j < n; ++j) {
+        base[j * layout.stride] = line[static_cast<std::size_t>(j)];
+      }
+    }
+    expect_bitwise_equal(batched, per_line);
+
+    // Inverse: batched inverse must bitwise-match per-line inverse, and
+    // (for the power-of-two path) round-trip the input bitwise is NOT
+    // expected — only equality between the two implementations is.
+    plan.inverse_many(batched.data(), layout.count, layout.stride,
+                      layout.dist);
+    for (Index t = 0; t < layout.count; ++t) {
+      fft::Complex* base = per_line.data() + t * layout.dist;
+      for (Index j = 0; j < n; ++j) {
+        line[static_cast<std::size_t>(j)] = base[j * layout.stride];
+      }
+      plan.inverse(line.data());
+      for (Index j = 0; j < n; ++j) {
+        base[j * layout.stride] = line[static_cast<std::size_t>(j)];
+      }
+    }
+    expect_bitwise_equal(batched, per_line);
+  }
+}
+
+// Power-of-two radix-2 sizes and Bluestein sizes (12, 21, 104 is the
+// paper's grid flavor).
+INSTANTIATE_TEST_SUITE_P(Sizes, BatchedFftSweep,
+                         ::testing::Values<Index>(1, 2, 8, 64, 12, 21, 104));
+
+/// The pre-PR Fft3D::transform algorithm, kept verbatim as the bitwise
+/// reference: per-line scalar transforms with an element-by-element
+/// strided gather for axes 1 and 0.
+void reference_fft3d(const fft::Fft1D& plan0, const fft::Fft1D& plan1,
+                     const fft::Fft1D& plan2, Index n0, Index n1, Index n2,
+                     fft::Complex* x, bool inverse) {
+  for (Index i0 = 0; i0 < n0; ++i0) {
+    for (Index i1 = 0; i1 < n1; ++i1) {
+      fft::Complex* line = x + (i0 * n1 + i1) * n2;
+      if (inverse) {
+        plan2.inverse(line);
+      } else {
+        plan2.forward(line);
+      }
+    }
+  }
+  std::vector<fft::Complex> buffer(
+      static_cast<std::size_t>(std::max(n0, n1)));
+  for (Index i0 = 0; i0 < n0; ++i0) {
+    fft::Complex* slab = x + i0 * n1 * n2;
+    for (Index i2 = 0; i2 < n2; ++i2) {
+      for (Index i1 = 0; i1 < n1; ++i1) {
+        buffer[static_cast<std::size_t>(i1)] = slab[i1 * n2 + i2];
+      }
+      if (inverse) {
+        plan1.inverse(buffer.data());
+      } else {
+        plan1.forward(buffer.data());
+      }
+      for (Index i1 = 0; i1 < n1; ++i1) {
+        slab[i1 * n2 + i2] = buffer[static_cast<std::size_t>(i1)];
+      }
+    }
+  }
+  const Index stride0 = n1 * n2;
+  for (Index rem = 0; rem < stride0; ++rem) {
+    for (Index i0 = 0; i0 < n0; ++i0) {
+      buffer[static_cast<std::size_t>(i0)] = x[i0 * stride0 + rem];
+    }
+    if (inverse) {
+      plan0.inverse(buffer.data());
+    } else {
+      plan0.forward(buffer.data());
+    }
+    for (Index i0 = 0; i0 < n0; ++i0) {
+      x[i0 * stride0 + rem] = buffer[static_cast<std::size_t>(i0)];
+    }
+  }
+}
+
+TEST(Fft3DBatched, BitwiseMatchesOldPerLineAlgorithm) {
+  struct Shape {
+    Index n0, n1, n2;
+  };
+  for (const Shape s : {Shape{8, 8, 8}, Shape{4, 6, 5}, Shape{1, 8, 3},
+                        Shape{16, 1, 1}, Shape{12, 10, 21}}) {
+    const fft::Fft3D fft3(s.n0, s.n1, s.n2);
+    const fft::Fft1D plan0(s.n0), plan1(s.n1), plan2(s.n2);
+    const std::vector<fft::Complex> input = random_lines(
+        s.n0 * s.n1 * s.n2, static_cast<unsigned>(s.n0 * 100 + s.n2));
+
+    for (const bool inverse : {false, true}) {
+      std::vector<fft::Complex> batched = input;
+      if (inverse) {
+        fft3.inverse(batched.data());
+      } else {
+        fft3.forward(batched.data());
+      }
+      std::vector<fft::Complex> reference = input;
+      reference_fft3d(plan0, plan1, plan2, s.n0, s.n1, s.n2,
+                      reference.data(), inverse);
+      expect_bitwise_equal(batched, reference);
+    }
+  }
+}
+
+// ----- pruned K-Means ------------------------------------------------------
+
+struct KmeansFixture {
+  std::vector<grid::Vec3> points;
+  std::vector<Real> weights;
+  grid::UnitCell cell = grid::UnitCell::cubic(10.0);
+};
+
+/// Uniform random positions and weights in a 10^3 box.
+KmeansFixture random_fixture(Index n, unsigned seed) {
+  KmeansFixture f;
+  Rng rng(seed);
+  for (Index i = 0; i < n; ++i) {
+    f.points.push_back(
+        {rng.uniform() * 10, rng.uniform() * 10, rng.uniform() * 10});
+    f.weights.push_back(rng.uniform() + 1e-3);
+  }
+  return f;
+}
+
+/// Tight weight blobs: the pruning-friendly regime (most points far from
+/// every center but their own).
+KmeansFixture clustered_fixture(Index n, unsigned seed) {
+  KmeansFixture f;
+  Rng rng(seed);
+  const grid::Vec3 centers[4] = {
+      {2, 2, 2}, {8, 8, 2}, {2, 8, 8}, {8, 2, 5}};
+  for (Index i = 0; i < n; ++i) {
+    const grid::Vec3& c = centers[i % 4];
+    f.points.push_back({c[0] + rng.uniform() - 0.5, c[1] + rng.uniform() - 0.5,
+                        c[2] + rng.uniform() - 0.5});
+    f.weights.push_back(rng.uniform() * rng.uniform() + 1e-4);
+  }
+  return f;
+}
+
+void expect_kmeans_bit_identical(const kmeans::KMeansResult& exact,
+                                 const kmeans::KMeansResult& pruned) {
+  EXPECT_EQ(exact.iterations, pruned.iterations);
+  EXPECT_EQ(exact.objective, pruned.objective);  // bitwise
+  EXPECT_EQ(exact.assignment, pruned.assignment);
+  EXPECT_EQ(exact.interpolation_points, pruned.interpolation_points);
+  EXPECT_EQ(exact.kept_points, pruned.kept_points);
+  ASSERT_EQ(exact.centroids.size(), pruned.centroids.size());
+  for (std::size_t c = 0; c < exact.centroids.size(); ++c) {
+    for (int ax = 0; ax < 3; ++ax) {
+      EXPECT_EQ(exact.centroids[c][static_cast<std::size_t>(ax)],
+                pruned.centroids[c][static_cast<std::size_t>(ax)]);
+    }
+  }
+}
+
+class PrunedKmeansSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrunedKmeansSweep, BitIdenticalToExactScan) {
+  // One thread keeps the objective reduction order identical between the
+  // two runs; the per-point terms are bit-identical by construction.
+#ifdef _OPENMP
+  omp_set_num_threads(1);
+#endif
+  const auto seeding = static_cast<kmeans::Seeding>(GetParam());
+  for (const bool clustered : {false, true}) {
+    for (const bool periodic : {false, true}) {
+      const KmeansFixture f = clustered ? clustered_fixture(1500, 3)
+                                        : random_fixture(1500, 4);
+      kmeans::KMeansOptions opts;
+      opts.seeding = seeding;
+      opts.seed = 17;
+      opts.periodic_cell = periodic ? &f.cell : nullptr;
+
+      opts.pruned_assignment = false;
+      const kmeans::KMeansResult exact =
+          kmeans::weighted_kmeans(f.points, f.weights, 12, opts);
+
+      const long long skipped_before =
+          obs::counter("kmeans.assign.skipped").value();
+      opts.pruned_assignment = true;
+      const kmeans::KMeansResult pruned =
+          kmeans::weighted_kmeans(f.points, f.weights, 12, opts);
+
+      expect_kmeans_bit_identical(exact, pruned);
+      // The pruning must actually fire, not just agree.
+      EXPECT_GT(obs::counter("kmeans.assign.skipped").value(),
+                skipped_before);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Seedings, PrunedKmeansSweep,
+    ::testing::Values(static_cast<int>(kmeans::Seeding::kWeightedKpp),
+                      static_cast<int>(kmeans::Seeding::kTopWeight),
+                      static_cast<int>(kmeans::Seeding::kUniformRandom)));
+
+class PrunedDistKmeansSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(PrunedDistKmeansSweep, BitIdenticalToExactScan) {
+#ifdef _OPENMP
+  omp_set_num_threads(1);
+#endif
+  const int p = GetParam();
+  const KmeansFixture f = clustered_fixture(1200, 5);
+  const Index n = static_cast<Index>(f.points.size());
+  par::run(p, [&](par::Comm& comm) {
+    const par::BlockPartition part(n, comm.size());
+    const Index off = part.offset(comm.rank());
+    const Index cnt = part.count(comm.rank());
+    const std::vector<grid::Vec3> local_points(
+        f.points.begin() + off, f.points.begin() + off + cnt);
+    const std::vector<Real> local_weights(
+        f.weights.begin() + off, f.weights.begin() + off + cnt);
+
+    kmeans::KMeansOptions opts;
+    opts.seeding = kmeans::Seeding::kTopWeight;
+    opts.pruned_assignment = false;
+    const kmeans::DistKMeansResult exact = kmeans::dist_weighted_kmeans(
+        comm, local_points, local_weights, off, 10, opts);
+    opts.pruned_assignment = true;
+    const kmeans::DistKMeansResult pruned = kmeans::dist_weighted_kmeans(
+        comm, local_points, local_weights, off, 10, opts);
+
+    EXPECT_EQ(exact.iterations, pruned.iterations);
+    EXPECT_EQ(exact.objective, pruned.objective);  // bitwise
+    EXPECT_EQ(exact.interpolation_points, pruned.interpolation_points);
+    ASSERT_EQ(exact.centroids.size(), pruned.centroids.size());
+    for (std::size_t c = 0; c < exact.centroids.size(); ++c) {
+      for (int ax = 0; ax < 3; ++ax) {
+        EXPECT_EQ(exact.centroids[c][static_cast<std::size_t>(ax)],
+                  pruned.centroids[c][static_cast<std::size_t>(ax)]);
+      }
+    }
+  });
+}
+
+INSTANTIATE_TEST_SUITE_P(RankCounts, PrunedDistKmeansSweep,
+                         ::testing::Values(1, 3));
+
+}  // namespace
+}  // namespace lrt

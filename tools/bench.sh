@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# Bench-regression driver (docs/PERFORMANCE.md): builds the bench
+# binaries, runs the kernel and paper-figure benches, and validates
+# every emitted BENCH_*.json against the lrt.bench/1 schema.
+#
+# Full mode (default) regenerates the committed snapshots: reports land
+# at the repo root and are mirrored into bench/results/, the tracked
+# performance trajectory. Smoke mode (--smoke, the CI bench-smoke
+# stage) runs a seconds-long subset into a scratch directory so the
+# committed snapshots are never clobbered by a CI box's timings.
+#
+# Usage: tools/bench.sh [--smoke] [--build-dir DIR]
+set -eu
+cd "$(dirname "$0")/.."
+
+smoke=0
+build_dir=build
+while [ "$#" -gt 0 ]; do
+  case "$1" in
+    --smoke) smoke=1 ;;
+    --build-dir) shift; build_dir="$1" ;;
+    *) echo "usage: tools/bench.sh [--smoke] [--build-dir DIR]" >&2; exit 2 ;;
+  esac
+  shift
+done
+
+jobs="$(nproc 2>/dev/null || echo 2)"
+
+echo "=== [bench] build ($build_dir) ==="
+if [ ! -f "$build_dir/CMakeCache.txt" ]; then
+  cmake -B "$build_dir" -S .
+fi
+cmake --build "$build_dir" -j "$jobs" --target \
+  bench_micro_substrates bench_fig8_breakdown bench_table3_point_selection \
+  validate_bench
+
+if [ "$smoke" -eq 1 ]; then
+  out_dir="$build_dir/bench-smoke"
+  rm -rf "$out_dir"
+  mkdir -p "$out_dir"
+  echo "=== [bench] micro substrates (smoke, --compare) ==="
+  LRT_BENCH_DIR="$out_dir" \
+    "./$build_dir/bench/bench_micro_substrates" --smoke --compare
+  echo "=== [bench] validate lrt.bench/1 schema ==="
+  "./$build_dir/bench/validate_bench" "$out_dir"/BENCH_*.json
+  echo "bench: smoke passed ($out_dir)"
+  exit 0
+fi
+
+echo "=== [bench] micro substrates (--compare) ==="
+LRT_BENCH_DIR="$PWD" "./$build_dir/bench/bench_micro_substrates" --compare
+echo "=== [bench] fig8 breakdown ==="
+LRT_BENCH_DIR="$PWD" "./$build_dir/bench/bench_fig8_breakdown"
+echo "=== [bench] table3 point selection ==="
+LRT_BENCH_DIR="$PWD" "./$build_dir/bench/bench_table3_point_selection"
+
+echo "=== [bench] validate lrt.bench/1 schema ==="
+"./$build_dir/bench/validate_bench" \
+  BENCH_micro.json BENCH_fig8.json BENCH_table3.json
+
+cp BENCH_micro.json BENCH_fig8.json BENCH_table3.json bench/results/
+echo "bench: reports written to repo root and bench/results/"

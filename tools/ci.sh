@@ -10,8 +10,12 @@
 #   tsan        -fsanitize=thread. OpenMP is disabled in this flavor:
 #               libgomp is not TSan-instrumented and reports false
 #               positives on its internal barriers.
+#   bench       bench-smoke: tools/bench.sh --smoke in the plain tree —
+#               seconds-long kernel benches with --compare correctness
+#               cross-checks, then lrt.bench/1 schema validation of the
+#               emitted reports (see docs/PERFORMANCE.md).
 #
-# Usage: tools/ci.sh [plain|asan|tsan|lint]...   (default: all)
+# Usage: tools/ci.sh [plain|asan|tsan|lint|bench]...   (default: all)
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -27,9 +31,9 @@ run_flavor() {
   ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 }
 
-do_lint=0 do_plain=0 do_asan=0 do_tsan=0
+do_lint=0 do_plain=0 do_asan=0 do_tsan=0 do_bench=0
 if [ "$#" -eq 0 ]; then
-  do_lint=1 do_plain=1 do_asan=1 do_tsan=1
+  do_lint=1 do_plain=1 do_asan=1 do_tsan=1 do_bench=1
 else
   for arg in "$@"; do
     case "$arg" in
@@ -37,6 +41,7 @@ else
       plain) do_plain=1 ;;
       asan) do_asan=1 ;;
       tsan) do_tsan=1 ;;
+      bench) do_bench=1 ;;
       *) echo "unknown flavor: $arg" >&2; exit 2 ;;
     esac
   done
@@ -77,6 +82,14 @@ if [ "$do_plain" -eq 1 ]; then
   ./build-ci/bench/validate_trace build-ci/ctest.trace.json \
     --require-phase kmeans --require-phase fft --require-phase mpi \
     --require-phase gemm --require-phase diag
+fi
+
+if [ "$do_bench" -eq 1 ]; then
+  # bench-smoke shares the plain flavor's tree (build-ci) — the smoke
+  # subset finishes in seconds and its reports stay inside the build
+  # tree, so the committed bench/results/ snapshots are untouched.
+  echo "=== [bench] bench-smoke (tools/bench.sh --smoke) ==="
+  bash tools/bench.sh --smoke --build-dir build-ci
 fi
 
 if [ "$do_asan" -eq 1 ]; then
