@@ -1,12 +1,19 @@
-// BENCH_*.json validator for CI (the bench-smoke stage).
+// Machine-readable-report validator for CI.
 //
-// Loads one or more reports produced by obs::BenchReport and checks them
-// against the lrt.bench/1 schema: the schema/name/records envelope, the
-// per-record label/params/phases/counters/metrics shape, and that every
-// numeric payload is finite (BenchReport serializes non-finite values as
-// null, which would silently poison a regression comparison).
+// Dispatches on the top-level "schema" field:
 //
-//   validate_bench BENCH_micro.json [BENCH_fig8.json ...]
+//   lrt.bench/1    reports produced by obs::BenchReport — checks the
+//                  schema/name/records envelope, the per-record
+//                  label/params/phases/counters/metrics shape, and that
+//                  every numeric payload is finite (BenchReport
+//                  serializes non-finite values as null, which would
+//                  silently poison a regression comparison).
+//   lrt.analyze/1  reports produced by lrt-analyze --json — checks the
+//                  passes/summary/findings envelope, per-finding
+//                  pass/file/line/message/status shape, and that the
+//                  summary counts agree with the findings list.
+//
+//   validate_bench BENCH_micro.json [lrt-analyze.json ...]
 //
 // Exit codes: 0 valid, 1 schema violation, 2 usage/unreadable file.
 #include <algorithm>
@@ -51,6 +58,112 @@ void check_section(const std::string& path, const Value& record,
   }
 }
 
+void check_bench(const std::string& path, const Value& doc) {
+  const Value* name = doc.find("name");
+  if (!name || !name->is_string() || name->string.empty()) {
+    fail(path, "missing bench name");
+  }
+  const Value* records = doc.find("records");
+  if (!records || !records->is_array()) {
+    fail(path, "missing records array");
+    return;
+  }
+  if (records->array.empty()) {
+    fail(path, "records array is empty");
+  }
+  for (const Value& record : records->array) {
+    if (!record.is_object()) {
+      fail(path, "record is not an object");
+      continue;
+    }
+    const Value* label = record.find("label");
+    if (!label || !label->is_string() || label->string.empty()) {
+      fail(path, "record missing label");
+    }
+    check_section(path, record, "params", /*allow_strings=*/true);
+    check_section(path, record, "phases", /*allow_strings=*/false);
+    check_section(path, record, "counters", /*allow_strings=*/false);
+    check_section(path, record, "metrics", /*allow_strings=*/false);
+  }
+}
+
+void check_analyze(const std::string& path, const Value& doc) {
+  const Value* passes = doc.find("passes");
+  if (!passes || !passes->is_array() || passes->array.empty()) {
+    fail(path, "missing or empty passes array");
+  } else {
+    for (const Value& pass : passes->array) {
+      if (!pass.is_string() || pass.string.empty()) {
+        fail(path, "passes entry is not a non-empty string");
+      }
+    }
+  }
+
+  const Value* summary = doc.find("summary");
+  double expected[3] = {0, 0, 0};  // new, suppressed, baselined
+  if (!summary || !summary->is_object()) {
+    fail(path, "missing summary object");
+    summary = nullptr;
+  } else {
+    const char* keys[3] = {"new", "suppressed", "baselined"};
+    for (int i = 0; i < 3; ++i) {
+      const Value* v = summary->find(keys[i]);
+      if (!v || !v->is_number() || v->number < 0) {
+        fail(path, std::string("summary missing count '") + keys[i] + "'");
+      } else {
+        expected[i] = v->number;
+      }
+    }
+  }
+
+  const Value* findings = doc.find("findings");
+  if (!findings || !findings->is_array()) {
+    fail(path, "missing findings array");
+    return;
+  }
+  double counted[3] = {0, 0, 0};
+  for (const Value& f : findings->array) {
+    if (!f.is_object()) {
+      fail(path, "finding is not an object");
+      continue;
+    }
+    const Value* pass = f.find("pass");
+    const Value* file = f.find("file");
+    const Value* line = f.find("line");
+    const Value* message = f.find("message");
+    const Value* status = f.find("status");
+    if (!pass || !pass->is_string() || pass->string.empty()) {
+      fail(path, "finding missing pass");
+    }
+    if (!file || !file->is_string() || file->string.empty()) {
+      fail(path, "finding missing file");
+    }
+    if (!line || !line->is_number() || line->number < 1) {
+      fail(path, "finding missing positive line");
+    }
+    if (!message || !message->is_string() || message->string.empty()) {
+      fail(path, "finding missing message");
+    }
+    if (!status || !status->is_string()) {
+      fail(path, "finding missing status");
+    } else if (status->string == "new") {
+      ++counted[0];
+    } else if (status->string == "suppressed") {
+      ++counted[1];
+    } else if (status->string == "baselined") {
+      ++counted[2];
+    } else {
+      fail(path, "finding status '" + status->string + "' is not one of "
+                     "new/suppressed/baselined");
+    }
+  }
+  if (summary &&
+      (counted[0] != expected[0] || counted[1] != expected[1] ||
+       counted[2] != expected[2])) {
+    fail(path, "summary counts disagree with the findings list");
+  }
+}
+
 int check_file(const std::string& path) {
   std::ifstream in(path);
   if (!in) {
@@ -73,34 +186,14 @@ int check_file(const std::string& path) {
   }
 
   const Value* schema = doc.find("schema");
-  if (!schema || !schema->is_string() || schema->string != "lrt.bench/1") {
-    fail(path, "schema is not \"lrt.bench/1\"");
-  }
-  const Value* name = doc.find("name");
-  if (!name || !name->is_string() || name->string.empty()) {
-    fail(path, "missing bench name");
-  }
-  const Value* records = doc.find("records");
-  if (!records || !records->is_array()) {
-    fail(path, "missing records array");
-    return errors ? 1 : 0;
-  }
-  if (records->array.empty()) {
-    fail(path, "records array is empty");
-  }
-  for (const Value& record : records->array) {
-    if (!record.is_object()) {
-      fail(path, "record is not an object");
-      continue;
-    }
-    const Value* label = record.find("label");
-    if (!label || !label->is_string() || label->string.empty()) {
-      fail(path, "record missing label");
-    }
-    check_section(path, record, "params", /*allow_strings=*/true);
-    check_section(path, record, "phases", /*allow_strings=*/false);
-    check_section(path, record, "counters", /*allow_strings=*/false);
-    check_section(path, record, "metrics", /*allow_strings=*/false);
+  if (!schema || !schema->is_string()) {
+    fail(path, "missing schema field");
+  } else if (schema->string == "lrt.bench/1") {
+    check_bench(path, doc);
+  } else if (schema->string == "lrt.analyze/1") {
+    check_analyze(path, doc);
+  } else {
+    fail(path, "unknown schema \"" + schema->string + "\"");
   }
   return errors ? 1 : 0;
 }
@@ -109,7 +202,8 @@ int check_file(const std::string& path) {
 
 int main(int argc, char** argv) {
   if (argc < 2) {
-    std::fprintf(stderr, "usage: %s BENCH.json [BENCH.json ...]\n", argv[0]);
+    std::fprintf(stderr, "usage: %s REPORT.json [REPORT.json ...]\n",
+                 argv[0]);
     return 2;
   }
   int rc = 0;

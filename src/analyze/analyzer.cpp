@@ -16,10 +16,11 @@ namespace fs = std::filesystem;
 
 const std::vector<std::string>& all_pass_names() {
   static const std::vector<std::string> kNames = {
-      "layer-dag",      "collective-divergence", "phase-registry",
-      "phase-registry-sync", "naked-new-delete", "banned-volatile",
-      "banned-thread",  "banned-sleep",          "parent-include",
-      "pragma-once"};
+      "layer-dag",      "collective-divergence", "omp-race",
+      "hot-path-purity", "phase-registry",       "phase-registry-sync",
+      "counter-registry", "counter-registry-sync", "naked-new-delete",
+      "banned-volatile", "banned-thread",        "banned-sleep",
+      "parent-include", "pragma-once"};
   return kNames;
 }
 
@@ -64,6 +65,78 @@ std::set<std::string> parse_phases_def(const std::string& text) {
   return names;
 }
 
+void load_hot_tus(const std::string& cmake_text, Config* config) {
+  // Whitespace-tokenize the CMake text with '#' comments stripped and
+  // parens split into their own tokens; inside each
+  // set_source_files_properties(...) call, everything before PROPERTIES
+  // is a source path. The block only counts when its property arguments
+  // mention "-O3".
+  std::vector<std::string> words;
+  {
+    std::istringstream lines(cmake_text);
+    std::string line;
+    while (std::getline(lines, line)) {
+      const std::size_t hash = line.find('#');
+      if (hash != std::string::npos) line.erase(hash);
+      std::string word;
+      auto flush = [&]() {
+        if (!word.empty()) {
+          words.push_back(word);
+          word.clear();
+        }
+      };
+      for (const char c : line) {
+        if (c == ' ' || c == '\t') {
+          flush();
+        } else if (c == '(' || c == ')') {
+          flush();
+          words.emplace_back(1, c);
+        } else {
+          word.push_back(c);
+        }
+      }
+      flush();
+    }
+  }
+  for (std::size_t i = 0; i + 1 < words.size(); ++i) {
+    if (words[i] != "set_source_files_properties" || words[i + 1] != "(") {
+      continue;
+    }
+    std::vector<std::string> files;
+    bool in_props = false;
+    bool promotes = false;
+    int depth = 0;
+    for (std::size_t j = i + 1; j < words.size(); ++j) {
+      if (words[j] == "(") {
+        ++depth;
+        continue;
+      }
+      if (words[j] == ")") {
+        if (--depth == 0) break;
+        continue;
+      }
+      std::string clean;  // without surrounding quotes
+      for (const char c : words[j]) {
+        if (c != '"') clean.push_back(c);
+      }
+      if (clean == "PROPERTIES") {
+        in_props = true;
+      } else if (!in_props && !clean.empty()) {
+        files.push_back(clean);
+      } else if (clean.find("-O3") != std::string::npos) {
+        promotes = true;
+      }
+    }
+    if (!promotes) continue;
+    for (const std::string& f : files) {
+      if (f.size() > 4 && (f.compare(f.size() - 4, 4, ".cpp") == 0 ||
+                           f.compare(f.size() - 4, 4, ".hpp") == 0)) {
+        config->hot_files.insert("src/" + f);
+      }
+    }
+  }
+}
+
 std::string read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
   LRT_CHECK(static_cast<bool>(in), "cannot read " << path);
@@ -106,6 +179,10 @@ Report analyze(const Config& config, const std::vector<std::string>& files) {
 
   if (ctx.enabled("layer-dag")) run_layer_dag(ctx);
   if (ctx.enabled("collective-divergence")) run_collective_divergence(ctx);
+  if (ctx.enabled("omp-race")) run_omp_race(ctx);
+  if (ctx.enabled("hot-path-purity")) run_hot_path_purity(ctx);
+  if (ctx.enabled("counter-registry")) run_counter_registry(ctx);
+  if (ctx.enabled("counter-registry-sync")) run_counter_registry_sync(ctx);
   if (ctx.enabled("phase-registry")) {
     run_phase_registry(ctx);
     const fs::path tools_dir = fs::path(config.root) / "tools";

@@ -44,6 +44,15 @@ struct Config {
   /// instead of silently passing.
   std::set<std::string> phase_registry;
 
+  /// Registered counter-name vocabulary (from src/obs/counters.def).
+  /// Same contract as phase_registry, for the counter-registry pass.
+  std::set<std::string> counter_registry;
+
+  /// Repo-relative TUs promoted to -O3 (parsed from src/CMakeLists.txt by
+  /// load_hot_tus); the hot-path-purity pass checks these whole files in
+  /// addition to every function containing an omp region.
+  std::set<std::string> hot_files;
+
   /// Grandfathered layer edges, as "from->to" module pairs.
   std::set<std::string> baseline_layer_edges;
   /// Whole files grandfathered for a pass, as "pass:path" entries.
@@ -74,6 +83,11 @@ void load_baseline(const std::string& text, Config* config);
 /// Parses the phases.def format (one name per line, '#' comments,
 /// anything after the name is description) into a name set.
 std::set<std::string> parse_phases_def(const std::string& text);
+
+/// Parses `set_source_files_properties(... COMPILE_OPTIONS "-O3")` blocks
+/// out of a src/CMakeLists.txt and fills config->hot_files with the
+/// listed TUs as "src/<path>" entries. Blocks without "-O3" are ignored.
+void load_hot_tus(const std::string& cmake_text, Config* config);
 
 /// Reads a file into a string. Throws lrt::Error when unreadable.
 std::string read_file(const std::string& path);

@@ -17,10 +17,10 @@ bool is_ident_char(char c) { return is_ident_start(c) || (c >= '0' && c <= '9');
 bool is_digit(char c) { return c >= '0' && c <= '9'; }
 
 /// Multi-character punctuators, longest first so the longest match wins.
-constexpr std::array<std::string_view, 24> kPuncts = {
+constexpr std::array<std::string_view, 26> kPuncts = {
     "...", "<=>", "<<=", ">>=", "->*", "::", "->", "<<", ">>", "<=", ">=",
-    "==",  "!=",  "&&",  "||",  "+=", "-=", "*=", "/=", "%=", "&=", "|=",
-    "^=",  "##"};
+    "==",  "!=",  "&&",  "||",  "++", "--", "+=", "-=", "*=", "/=", "%=",
+    "&=",  "|=",  "^=",  "##"};
 
 /// Scans a comment body for `lrt-analyze: allow(a, b)` and records the
 /// named passes against `line` and `line + 1`.
@@ -61,6 +61,7 @@ class Lexer {
 
   LexedFile run() {
     while (!eof()) step();
+    close_directive();
     return std::move(out_);
   }
 
@@ -92,6 +93,10 @@ class Lexer {
     }
     if (c == ' ' || c == '\t' || c == '\r' || c == '\n' || c == '\f' ||
         c == '\v') {
+      // A directive ends at the first newline that is NOT consumed by the
+      // splice branch above — that is exactly how translation phases 2/4
+      // define its extent.
+      if (c == '\n') close_directive();
       advance();
       return;
     }
@@ -155,9 +160,11 @@ class Lexer {
 
   /// Preprocessor directive. `#include` paths get their own token kinds;
   /// everything else lexes as ordinary tokens (so `#pragma once` shows up
-  /// as '#' 'pragma' 'once').
+  /// as '#' 'pragma' 'once') and records a DirectiveExtent spanning every
+  /// token up to the first un-spliced newline.
   void directive() {
     const int line = line_;
+    const std::size_t hash_index = out_.tokens.size();
     emit(TokKind::kPunct, "#", line);
     advance();
     at_line_start_ = false;
@@ -166,7 +173,11 @@ class Lexer {
     while (!eof() && is_ident_char(peek())) advance();
     const std::string name = text_.substr(start, pos_ - start);
     if (!name.empty()) emit(TokKind::kIdentifier, name, line);
-    if (name != "include") return;
+    if (name != "include") {
+      in_directive_ = true;
+      directive_begin_ = hash_index;
+      return;
+    }
     while (!eof() && (peek() == ' ' || peek() == '\t')) advance();
     if (peek() == '"') {
       advance();
@@ -297,11 +308,22 @@ class Lexer {
     advance();
   }
 
+  void close_directive() {
+    if (!in_directive_) return;
+    in_directive_ = false;
+    if (out_.tokens.size() > directive_begin_) {
+      out_.directives.push_back(
+          DirectiveExtent{directive_begin_, out_.tokens.size()});
+    }
+  }
+
   const std::string& text_;
   LexedFile out_;
   std::size_t pos_ = 0;
   int line_ = 1;
   bool at_line_start_ = true;
+  bool in_directive_ = false;
+  std::size_t directive_begin_ = 0;
 };
 
 }  // namespace

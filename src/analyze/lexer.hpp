@@ -42,10 +42,22 @@ struct Token {
   int line;
 };
 
+/// Token extent of one preprocessor directive (everything except
+/// `#include`, whose path becomes its own token kind). Line splices
+/// (backslash-newline) extend a directive across physical lines, so
+/// passes that parse `#pragma omp` clause lists must use these extents —
+/// not line numbers — to find where a directive ends.
+struct DirectiveExtent {
+  std::size_t begin = 0;  ///< token index of the '#'
+  std::size_t end = 0;    ///< one past the directive's last token
+};
+
 /// One lexed translation unit plus the side tables the passes need.
 struct LexedFile {
   std::string path;  ///< repo-relative, forward slashes
   std::vector<Token> tokens;
+  /// Non-include preprocessor directives, in token order.
+  std::vector<DirectiveExtent> directives;
   /// Line number -> pass names allowed by a suppression directive on or
   /// just above that line ("all" allows every pass).
   std::map<int, std::set<std::string>> allowed;

@@ -156,9 +156,9 @@ void report_cycles(const PassContext& ctx,
 
 const std::vector<std::string>& layer_order() {
   // Bottom-up. obs sits directly above common because the whole numeric
-  // stack is instrumented (PR 2); the one legacy back-edge common -> obs
-  // (common/timer.hpp's ScopedPhase shim) is grandfathered in
-  // tools/lrt-analyze.baseline rather than blessed here.
+  // stack is instrumented (PR 2). The one legacy back-edge common -> obs
+  // (common/timer.hpp's ScopedPhase shim) was retired when the shim
+  // moved into obs/; the layer DAG has no grandfathered edges left.
   static const std::vector<std::string> kOrder = {
       "common", "obs",    "grid", "la",   "fft",   "io",
       "par",    "dft",    "kmeans", "isdf", "tddft", "analyze"};

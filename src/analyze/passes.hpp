@@ -6,9 +6,16 @@
 //
 //   layer-dag              module include order + cycle detection
 //   collective-divergence  Comm collectives under rank-dependent control
+//   omp-race               writes to shared variables inside omp regions
+//                          (scope-aware; see analyze/scope.hpp)
+//   hot-path-purity        no allocation/locks/IO in -O3 TUs and
+//                          omp-containing functions
 //   phase-registry         Span/ScopedPhase/PhaseTimer names and
 //                          --require-phase args must be registered
 //   phase-registry-sync    committed registry header matches generator
+//   counter-registry       obs::counter("...") literals must be listed
+//                          in src/obs/counters.def
+//   counter-registry-sync  committed counter header matches generator
 //   naked-new-delete       RAII codebase: no naked new/delete in src/
 //   banned-volatile        volatile is not a synchronization primitive
 //   banned-thread          std::thread outside par/runtime + par/check
@@ -46,6 +53,21 @@ void run_layer_dag(const PassContext& ctx);
 void run_collective_divergence(const PassContext& ctx);
 void run_phase_registry(const PassContext& ctx);
 void run_pattern_gates(const PassContext& ctx);
+
+/// Scope-aware passes (analyze/scoped_passes.cpp, built on
+/// analyze/scope.hpp). omp-race flags writes to shared variables inside
+/// `#pragma omp parallel/for/simd` regions; hot-path-purity flags heap
+/// allocation, locking, and I/O in -O3-promoted TUs (Config::hot_files)
+/// and in functions containing an omp region; counter-registry requires
+/// every obs::counter("...") literal to name a Config::counter_registry
+/// entry.
+void run_omp_race(const PassContext& ctx);
+void run_hot_path_purity(const PassContext& ctx);
+void run_counter_registry(const PassContext& ctx);
+
+/// Compares the committed src/obs/counter_registry.hpp against what the
+/// generator produces from src/obs/counters.def.
+void run_counter_registry_sync(const PassContext& ctx);
 
 /// Scans one shell script for `--require-phase NAME` arguments (the
 /// validate_trace CI gate) and flags unregistered names. Separate entry

@@ -113,4 +113,50 @@ std::string generate_phase_registry_header(const std::vector<PhaseDef>& defs) {
   return os.str();
 }
 
+std::string generate_counter_registry_header(
+    const std::vector<PhaseDef>& defs) {
+  std::ostringstream os;
+  os << "// GENERATED FILE — DO NOT EDIT.\n"
+     << "//\n"
+     << "// Registered counter name vocabulary, generated from\n"
+     << "// src/obs/counters.def by `lrt-analyze gen-counters --write`. The\n"
+     << "// counter-registry-sync pass fails CI when this file and the def\n"
+     << "// drift apart; the counter-registry pass requires every\n"
+     << "// obs::counter(\"...\") literal in src/ and bench/ to name an\n"
+     << "// entry. Dynamically built names (e.g. the comm.<kind> family)\n"
+     << "// must still enumerate every reachable name here.\n"
+     << "#pragma once\n"
+     << "\n"
+     << "#include <cstddef>\n"
+     << "#include <string_view>\n"
+     << "\n"
+     << "namespace lrt::obs::cnt {\n"
+     << "\n";
+  for (const PhaseDef& def : defs) {
+    os << "inline constexpr const char* " << phase_constant_name(def.name)
+       << " = \"" << def.name << "\";";
+    if (!def.description.empty()) os << "  // " << def.description;
+    os << "\n";
+  }
+  os << "\n"
+     << "inline constexpr const char* kAll[] = {\n";
+  for (const PhaseDef& def : defs) {
+    os << "    " << phase_constant_name(def.name) << ",\n";
+  }
+  os << "};\n"
+     << "\n"
+     << "inline constexpr std::size_t kCount = sizeof(kAll) / sizeof(kAll[0]);\n"
+     << "\n"
+     << "/// True when `name` is a registered counter name.\n"
+     << "constexpr bool is_registered(std::string_view name) {\n"
+     << "  for (const char* counter : kAll) {\n"
+     << "    if (name == counter) return true;\n"
+     << "  }\n"
+     << "  return false;\n"
+     << "}\n"
+     << "\n"
+     << "}  // namespace lrt::obs::cnt\n";
+  return os.str();
+}
+
 }  // namespace lrt::analyze

@@ -31,4 +31,9 @@ std::string phase_constant_name(const std::string& phase);
 /// The full generated header text (byte-stable).
 std::string generate_phase_registry_header(const std::vector<PhaseDef>& defs);
 
+/// Same for src/obs/counter_registry.hpp from src/obs/counters.def (the
+/// obs::counter name vocabulary; same def format and parser). Checked
+/// byte-for-byte by the counter-registry-sync pass.
+std::string generate_counter_registry_header(const std::vector<PhaseDef>& defs);
+
 }  // namespace lrt::analyze

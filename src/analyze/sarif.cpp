@@ -1,0 +1,129 @@
+#include "analyze/sarif.hpp"
+
+#include <cstddef>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace lrt::analyze {
+
+namespace {
+
+using obs::json::Value;
+
+Value str(const std::string& s) {
+  Value v;
+  v.kind = Value::Kind::kString;
+  v.string = s;
+  return v;
+}
+
+Value num(double d) {
+  Value v;
+  v.kind = Value::Kind::kNumber;
+  v.number = d;
+  return v;
+}
+
+Value object() {
+  Value v;
+  v.kind = Value::Kind::kObject;
+  return v;
+}
+
+Value array() {
+  Value v;
+  v.kind = Value::Kind::kArray;
+  return v;
+}
+
+}  // namespace
+
+Value report_to_sarif(const Config& config, const Report& report) {
+  // One reportingDescriptor per pass that ran, in reporting order;
+  // results reference them by index.
+  std::vector<std::string> ran;
+  std::map<std::string, std::size_t> rule_index;
+  for (const std::string& name : all_pass_names()) {
+    if (!config.passes.empty() && config.passes.count(name) == 0) continue;
+    rule_index[name] = ran.size();
+    ran.push_back(name);
+  }
+
+  Value rules = array();
+  for (const std::string& name : ran) {
+    Value rule = object();
+    rule.object.emplace_back("id", str(name));
+    Value desc = object();
+    desc.object.emplace_back("text",
+                             str("lrt-analyze pass '" + name +
+                                 "'; see docs/STATIC_ANALYSIS.md"));
+    rule.object.emplace_back("shortDescription", std::move(desc));
+    rules.array.push_back(std::move(rule));
+  }
+
+  Value results = array();
+  for (const Finding& f : report.findings) {
+    Value result = object();
+    result.object.emplace_back("ruleId", str(f.pass));
+    const auto it = rule_index.find(f.pass);
+    if (it != rule_index.end()) {
+      result.object.emplace_back("ruleIndex",
+                                 num(static_cast<double>(it->second)));
+    }
+    result.object.emplace_back(
+        "level", str(f.status == Finding::Status::kNew ? "error" : "note"));
+    Value message = object();
+    message.object.emplace_back("text", str(f.message));
+    result.object.emplace_back("message", std::move(message));
+
+    Value artifact = object();
+    artifact.object.emplace_back("uri", str(f.file));
+    Value region = object();
+    region.object.emplace_back("startLine",
+                               num(static_cast<double>(f.line)));
+    Value physical = object();
+    physical.object.emplace_back("artifactLocation", std::move(artifact));
+    physical.object.emplace_back("region", std::move(region));
+    Value location = object();
+    location.object.emplace_back("physicalLocation", std::move(physical));
+    Value locations = array();
+    locations.array.push_back(std::move(location));
+    result.object.emplace_back("locations", std::move(locations));
+
+    if (f.status != Finding::Status::kNew) {
+      Value suppression = object();
+      suppression.object.emplace_back(
+          "kind", str(f.status == Finding::Status::kSuppressed ? "inSource"
+                                                               : "external"));
+      Value suppressions = array();
+      suppressions.array.push_back(std::move(suppression));
+      result.object.emplace_back("suppressions", std::move(suppressions));
+    }
+    results.array.push_back(std::move(result));
+  }
+
+  Value driver = object();
+  driver.object.emplace_back("name", str("lrt-analyze"));
+  driver.object.emplace_back("informationUri",
+                             str("docs/STATIC_ANALYSIS.md"));
+  driver.object.emplace_back("rules", std::move(rules));
+  Value tool = object();
+  tool.object.emplace_back("driver", std::move(driver));
+
+  Value run = object();
+  run.object.emplace_back("tool", std::move(tool));
+  run.object.emplace_back("results", std::move(results));
+  Value runs = array();
+  runs.array.push_back(std::move(run));
+
+  Value root = object();
+  root.object.emplace_back(
+      "$schema",
+      str("https://json.schemastore.org/sarif-2.1.0.json"));
+  root.object.emplace_back("version", str("2.1.0"));
+  root.object.emplace_back("runs", std::move(runs));
+  return root;
+}
+
+}  // namespace lrt::analyze

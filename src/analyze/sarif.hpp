@@ -1,0 +1,20 @@
+// SARIF 2.1.0 output for lrt-analyze, so CI systems and editors that
+// speak the OASIS Static Analysis Results Interchange Format can ingest
+// findings without knowing the lrt.analyze/1 schema.
+//
+// The document carries the minimum required properties plus what the
+// gate semantics need: one reportingDescriptor per ran pass, one result
+// per finding (level "error" for new findings, "note" for resolved
+// ones), and a `suppressions` entry distinguishing inline allows
+// (kind "inSource") from baseline entries (kind "external").
+#pragma once
+
+#include "analyze/analyzer.hpp"
+#include "obs/json.hpp"
+
+namespace lrt::analyze {
+
+/// The SARIF 2.1.0 document for one run.
+obs::json::Value report_to_sarif(const Config& config, const Report& report);
+
+}  // namespace lrt::analyze

@@ -1,0 +1,554 @@
+// The scope-aware passes: omp-race, hot-path-purity, counter-registry.
+//
+// These build on analyze/scope.hpp (block extents, declaration sites,
+// parsed omp directives) instead of the flat token scans in passes.cpp.
+// All three err toward exemption — docs/STATIC_ANALYSIS.md lists the
+// false-negative shapes — because a static race/purity gate that cries
+// wolf gets baselined into uselessness.
+#include <cstddef>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze/passes.hpp"
+#include "analyze/registry_gen.hpp"
+#include "analyze/scope.hpp"
+
+namespace lrt::analyze {
+
+namespace {
+
+using Tokens = std::vector<Token>;
+
+bool is_punct(const Token& tok, const char* text) {
+  return tok.kind == TokKind::kPunct && tok.text == text;
+}
+
+bool is_ident(const Token& tok, const char* text) {
+  return tok.kind == TokKind::kIdentifier && tok.text == text;
+}
+
+bool in_dir(const std::string& path, const std::string& dir) {
+  return path.compare(0, dir.size() + 1, dir + "/") == 0;
+}
+
+void add_finding(const PassContext& ctx, std::string pass, std::string file,
+                 int line, std::string message) {
+  Finding f;
+  f.pass = std::move(pass);
+  f.file = std::move(file);
+  f.line = line;
+  f.message = std::move(message);
+  ctx.findings->push_back(std::move(f));
+}
+
+/// Index of the open token matching the close token at `close`, scanning
+/// backward but not below `floor`; npos when unmatched.
+std::size_t match_group_back(const Tokens& t, std::size_t close,
+                             std::size_t floor, const char* open_text,
+                             const char* close_text) {
+  int depth = 0;
+  for (std::size_t j = close + 1; j-- > floor;) {
+    if (is_punct(t[j], close_text)) ++depth;
+    if (is_punct(t[j], open_text)) {
+      --depth;
+      if (depth == 0) return j;
+    }
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+/// A parsed lvalue expression ending at token `last`: the leftmost base
+/// identifier, the member/qualifier chain extent, and every subscript or
+/// call-operator argument group along the way.
+struct Lvalue {
+  bool ok = false;
+  std::string base;            ///< leftmost identifier
+  std::size_t chain_begin = 0; ///< token index of the base identifier
+  std::size_t chain_end = 0;   ///< one past `last`
+  std::vector<TokenRange> groups;  ///< [...] and (...) argument extents
+};
+
+/// Walks backward from `last` (the lvalue's final token) to its leftmost
+/// base identifier, collecting subscript/call groups. Fails (ok=false) on
+/// anything it does not understand; callers stay silent then.
+Lvalue walk_lvalue_back(const Tokens& t, std::size_t last,
+                        std::size_t floor) {
+  Lvalue lv;
+  if (last >= t.size() || last < floor) return lv;
+  std::size_t j = last;
+  const std::size_t npos = static_cast<std::size_t>(-1);
+  // Trailing subscript/call groups: v[i][j], m(r, c).
+  while (j > floor) {
+    std::size_t open = npos;
+    if (is_punct(t[j], "]")) {
+      open = match_group_back(t, j, floor, "[", "]");
+    } else if (is_punct(t[j], ")")) {
+      open = match_group_back(t, j, floor, "(", ")");
+    } else {
+      break;
+    }
+    if (open == npos || open == 0) return lv;
+    lv.groups.push_back(TokenRange{open + 1, j});
+    j = open - 1;
+  }
+  if (t[j].kind != TokKind::kIdentifier) return lv;
+  // Qualifier/member chain: a.b, p->c, ns::x, f(...).m, v[i].w.
+  while (j >= floor + 2 &&
+         (is_punct(t[j - 1], ".") || is_punct(t[j - 1], "->") ||
+          is_punct(t[j - 1], "::"))) {
+    const std::size_t before = j - 2;
+    if (t[before].kind == TokKind::kIdentifier) {
+      j = before;
+      continue;
+    }
+    std::size_t open = npos;
+    if (is_punct(t[before], "]")) {
+      open = match_group_back(t, before, floor, "[", "]");
+    } else if (is_punct(t[before], ")")) {
+      open = match_group_back(t, before, floor, "(", ")");
+    }
+    if (open == npos || open <= floor ||
+        t[open - 1].kind != TokKind::kIdentifier) {
+      break;
+    }
+    lv.groups.push_back(TokenRange{open + 1, before});
+    j = open - 1;
+  }
+  lv.base = t[j].text;
+  lv.chain_begin = j;
+  lv.chain_end = last + 1;
+  lv.ok = true;
+  return lv;
+}
+
+/// The member chain as written ("result.kept_points"), used to pair
+/// growth calls with earlier reserve() calls on the same object.
+std::string chain_key(const Tokens& t, const Lvalue& lv) {
+  std::string key;
+  for (std::size_t j = lv.chain_begin; j < lv.chain_end; ++j) {
+    key += t[j].text;
+  }
+  return key;
+}
+
+// ----- omp-race ---------------------------------------------------------------
+
+const std::set<std::string>& assign_ops() {
+  static const std::set<std::string> kOps = {
+      "=",  "+=", "-=", "*=",  "/=", "%=",
+      "&=", "|=", "^=", "<<=", ">>="};
+  return kOps;
+}
+
+const std::set<std::string>& mutating_methods() {
+  static const std::set<std::string> kNames = {
+      "push_back", "emplace_back", "resize", "reserve", "insert",
+      "erase",     "clear",        "assign", "pop_back", "emplace"};
+  return kNames;
+}
+
+bool checkable_region(const OmpDirective& d) {
+  return (d.has_kind("parallel") || d.has_kind("for") || d.has_kind("simd")) &&
+         !d.has_kind("declare") && d.region.end > d.region.begin;
+}
+
+bool guard_region(const OmpDirective& d) {
+  return d.has_kind("atomic") || d.has_kind("critical") ||
+         d.has_kind("single") || d.has_kind("master") ||
+         d.has_kind("masked") || d.has_kind("ordered");
+}
+
+/// Exempts identifiers ASSIGNED (not declared) in a for-init directly
+/// after an omp looping construct: the spec privatizes the iteration
+/// variable of the associated loop even without a private clause.
+void exempt_for_init_vars(const Tokens& t, const OmpDirective& d,
+                          std::set<std::string>* exempt) {
+  std::size_t i = d.region.begin;
+  if (i >= t.size() || !is_ident(t[i], "for") || i + 1 >= t.size() ||
+      !is_punct(t[i + 1], "(")) {
+    return;
+  }
+  for (std::size_t j = i + 2; j < t.size() && !is_punct(t[j], ";"); ++j) {
+    if (t[j].kind == TokKind::kIdentifier && j + 1 < t.size() &&
+        is_punct(t[j + 1], "=")) {
+      exempt->insert(t[j].text);
+    }
+  }
+}
+
+/// One region's shared-write scan state.
+struct RegionScan {
+  TokenRange region;
+  std::set<std::string> exempt;      ///< privatized + declared-in-region
+  std::vector<TokenRange> skips;     ///< atomic/critical/... sub-regions
+  std::vector<TokenRange> extents;   ///< directive token extents
+};
+
+bool in_ranges(const std::vector<TokenRange>& ranges, std::size_t i,
+               std::size_t* resume) {
+  for (const TokenRange& r : ranges) {
+    if (r.contains(i)) {
+      *resume = r.end;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool lvalue_exempt(const Tokens& t, const Lvalue& lv,
+                   const std::set<std::string>& exempt) {
+  if (lv.base == "this" || exempt.count(lv.base) != 0) return true;
+  for (const TokenRange& g : lv.groups) {
+    for (std::size_t j = g.begin; j < g.end; ++j) {
+      if (t[j].kind != TokKind::kIdentifier) continue;
+      if (exempt.count(t[j].text) != 0 ||
+          t[j].text == "omp_get_thread_num") {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::string region_hint() {
+  return " (make it private/reduction, declare it inside the region, "
+         "index it per-thread, or guard with omp atomic/critical; "
+         "suppress with `lrt-analyze: allow(omp-race)` if provably safe)";
+}
+
+void omp_race_scan(const PassContext& ctx, const LexedFile& file) {
+  const Tokens& t = file.tokens;
+  const std::vector<OmpDirective> dirs = parse_omp_directives(file);
+  if (dirs.empty()) return;
+
+  std::size_t scanned_until = 0;
+  for (std::size_t di = 0; di < dirs.size(); ++di) {
+    const OmpDirective& d = dirs[di];
+    if (!checkable_region(d) || d.begin < scanned_until) continue;
+
+    RegionScan rs;
+    rs.region = d.region;
+    rs.exempt = d.privatized;
+    rs.extents.push_back(TokenRange{d.begin, d.end});
+    exempt_for_init_vars(t, d, &rs.exempt);
+    for (std::size_t dj = di + 1;
+         dj < dirs.size() && dirs[dj].begin < rs.region.end; ++dj) {
+      const OmpDirective& n = dirs[dj];
+      rs.extents.push_back(TokenRange{n.begin, n.end});
+      rs.exempt.insert(n.privatized.begin(), n.privatized.end());
+      exempt_for_init_vars(t, n, &rs.exempt);
+      if (guard_region(n) && n.region.end > n.region.begin) {
+        rs.skips.push_back(n.region);
+      }
+    }
+    const std::set<std::string> decls =
+        collect_declarations(t, rs.region.begin, rs.region.end);
+    rs.exempt.insert(decls.begin(), decls.end());
+
+    for (std::size_t w = rs.region.begin; w < rs.region.end; ++w) {
+      std::size_t resume = 0;
+      if (in_ranges(rs.extents, w, &resume) ||
+          in_ranges(rs.skips, w, &resume)) {
+        w = resume - 1;
+        continue;
+      }
+      const Token& tok = t[w];
+      Lvalue lv;
+      std::string what;
+      if (tok.kind == TokKind::kPunct && assign_ops().count(tok.text) != 0) {
+        if (w == rs.region.begin) continue;
+        if (is_ident(t[w - 1], "operator")) continue;
+        lv = walk_lvalue_back(t, w - 1, rs.region.begin);
+        what = "write ('" + tok.text + "') to";
+      } else if (is_punct(tok, "++") || is_punct(tok, "--")) {
+        if (w > rs.region.begin &&
+            (t[w - 1].kind == TokKind::kIdentifier ||
+             is_punct(t[w - 1], "]") || is_punct(t[w - 1], ")"))) {
+          lv = walk_lvalue_back(t, w - 1, rs.region.begin);
+        } else if (w + 1 < rs.region.end &&
+                   t[w + 1].kind == TokKind::kIdentifier) {
+          lv.ok = true;
+          lv.base = t[w + 1].text;
+          lv.chain_begin = w + 1;
+          lv.chain_end = w + 2;
+        }
+        what = "increment ('" + tok.text + "') of";
+      } else if (tok.kind == TokKind::kIdentifier &&
+                 mutating_methods().count(tok.text) != 0 &&
+                 w > rs.region.begin + 1 &&
+                 (is_punct(t[w - 1], ".") || is_punct(t[w - 1], "->")) &&
+                 w + 1 < rs.region.end && is_punct(t[w + 1], "(")) {
+        lv = walk_lvalue_back(t, w - 2, rs.region.begin);
+        what = "mutating call '." + tok.text + "' on";
+      } else if (is_punct(tok, "&") && w > rs.region.begin &&
+                 (is_punct(t[w - 1], "(") || is_punct(t[w - 1], ",")) &&
+                 w + 1 < rs.region.end &&
+                 t[w + 1].kind == TokKind::kIdentifier) {
+        lv.ok = true;
+        lv.base = t[w + 1].text;
+        lv.chain_begin = w + 1;
+        lv.chain_end = w + 2;
+        what = "address of";
+      } else {
+        continue;
+      }
+      if (!lv.ok || lvalue_exempt(t, lv, rs.exempt)) continue;
+      add_finding(ctx, "omp-race", file.path, tok.line,
+                  what + " shared '" + lv.base +
+                      "' inside an omp parallel region" + region_hint());
+    }
+    scanned_until = rs.region.end;
+  }
+}
+
+// ----- hot-path-purity --------------------------------------------------------
+
+const std::set<std::string>& heap_fns() {
+  static const std::set<std::string> kNames = {
+      "malloc", "calloc", "realloc", "free", "aligned_alloc",
+      "posix_memalign"};
+  return kNames;
+}
+
+const std::set<std::string>& lock_types() {
+  static const std::set<std::string> kNames = {
+      "mutex",       "recursive_mutex", "shared_mutex",
+      "lock_guard",  "unique_lock",     "scoped_lock",
+      "shared_lock", "condition_variable", "condition_variable_any"};
+  return kNames;
+}
+
+const std::set<std::string>& io_fns() {
+  static const std::set<std::string> kNames = {
+      "printf", "fprintf", "puts",   "fputs",  "fputc",  "putchar",
+      "fwrite", "fread",   "fopen",  "fclose", "fflush", "fscanf",
+      "scanf",  "fgets",   "getchar"};
+  return kNames;
+}
+
+const std::set<std::string>& io_streams() {
+  static const std::set<std::string> kNames = {
+      "cout", "cerr", "clog", "ofstream", "ifstream", "fstream"};
+  return kNames;
+}
+
+const std::set<std::string>& growth_methods() {
+  static const std::set<std::string> kNames = {"push_back", "emplace_back",
+                                               "resize"};
+  return kNames;
+}
+
+std::string purity_hint() {
+  return " (docs/PERFORMANCE.md hot-path rules; hoist it out of the hot "
+         "path or suppress with `lrt-analyze: allow(hot-path-purity)`)";
+}
+
+void purity_scan(const PassContext& ctx, const LexedFile& file) {
+  if (!in_dir(file.path, "src")) return;
+  const Tokens& t = file.tokens;
+  const bool hot_tu = ctx.config->hot_files.count(file.path) != 0;
+  const std::vector<OmpDirective> dirs = parse_omp_directives(file);
+  if (!hot_tu && dirs.empty()) return;
+
+  // Regions with their declaration sets, for the per-thread-scratch
+  // exemption (a vector declared inside the parallel region may grow).
+  std::vector<std::pair<TokenRange, std::set<std::string>>> regions;
+  for (const OmpDirective& d : dirs) {
+    if (d.region.end > d.region.begin) {
+      regions.emplace_back(
+          d.region, collect_declarations(t, d.region.begin, d.region.end));
+    }
+  }
+
+  std::vector<TokenRange> checked;
+  for (const TokenRange& fn : function_bodies(t)) {
+    if (hot_tu) {
+      checked.push_back(fn);
+      continue;
+    }
+    for (const OmpDirective& d : dirs) {
+      if (fn.contains(d.begin)) {
+        checked.push_back(fn);
+        break;
+      }
+    }
+  }
+
+  for (const TokenRange& fn : checked) {
+    // First `.reserve(` site per object chain in this function.
+    std::map<std::string, std::size_t> reserved_at;
+    for (std::size_t w = fn.begin + 2; w + 1 < fn.end; ++w) {
+      if (!is_ident(t[w], "reserve") ||
+          !(is_punct(t[w - 1], ".") || is_punct(t[w - 1], "->")) ||
+          !is_punct(t[w + 1], "(")) {
+        continue;
+      }
+      const Lvalue lv = walk_lvalue_back(t, w - 2, fn.begin);
+      if (!lv.ok) continue;
+      const std::string key = chain_key(t, lv);
+      if (reserved_at.count(key) == 0) reserved_at[key] = w;
+    }
+    const std::vector<TokenRange> loops = loop_ranges(t, fn.begin, fn.end);
+
+    for (std::size_t w = fn.begin; w < fn.end; ++w) {
+      const Token& tok = t[w];
+      if (tok.kind != TokKind::kIdentifier) continue;
+      const bool member_call =
+          w > fn.begin &&
+          (is_punct(t[w - 1], ".") || is_punct(t[w - 1], "->"));
+      const bool called = w + 1 < fn.end && is_punct(t[w + 1], "(");
+
+      if (tok.text == "new") {
+        add_finding(ctx, "hot-path-purity", file.path, tok.line,
+                    "heap allocation (new) on a hot path" + purity_hint());
+        continue;
+      }
+      if (heap_fns().count(tok.text) != 0 && called && !member_call) {
+        add_finding(ctx, "hot-path-purity", file.path, tok.line,
+                    "C heap call '" + tok.text + "' on a hot path" +
+                        purity_hint());
+        continue;
+      }
+      if (lock_types().count(tok.text) != 0 && w > fn.begin &&
+          is_punct(t[w - 1], "::")) {
+        add_finding(ctx, "hot-path-purity", file.path, tok.line,
+                    "lock/synchronization type 'std::" + tok.text +
+                        "' on a hot path" + purity_hint());
+        continue;
+      }
+      if ((tok.text == "lock" || tok.text == "unlock" ||
+           tok.text == "try_lock") &&
+          member_call && called) {
+        add_finding(ctx, "hot-path-purity", file.path, tok.line,
+                    "explicit '." + tok.text + "()' on a hot path" +
+                        purity_hint());
+        continue;
+      }
+      if (io_fns().count(tok.text) != 0 && called && !member_call) {
+        add_finding(ctx, "hot-path-purity", file.path, tok.line,
+                    "I/O call '" + tok.text + "' on a hot path" +
+                        purity_hint());
+        continue;
+      }
+      if (io_streams().count(tok.text) != 0 && w > fn.begin &&
+          is_punct(t[w - 1], "::")) {
+        add_finding(ctx, "hot-path-purity", file.path, tok.line,
+                    "stream I/O 'std::" + tok.text + "' on a hot path" +
+                        purity_hint());
+        continue;
+      }
+      if (growth_methods().count(tok.text) != 0 && member_call && called) {
+        bool in_loop = false;
+        for (const TokenRange& l : loops) in_loop = in_loop || l.contains(w);
+        const std::pair<TokenRange, std::set<std::string>>* region = nullptr;
+        for (const auto& r : regions) {
+          if (r.first.contains(w)) {
+            region = &r;
+            break;
+          }
+        }
+        if (!in_loop && region == nullptr) continue;  // setup-time growth
+        const Lvalue lv = walk_lvalue_back(t, w - 2, fn.begin);
+        if (!lv.ok) continue;
+        // Per-thread scratch declared inside the region may grow.
+        if (region != nullptr && region->second.count(lv.base) != 0) {
+          continue;
+        }
+        const auto it = reserved_at.find(chain_key(t, lv));
+        if (it != reserved_at.end() && it->second < w) continue;
+        add_finding(ctx, "hot-path-purity", file.path, tok.line,
+                    "'." + tok.text + "' on '" + lv.base +
+                        "' inside a loop without a prior reserve()" +
+                        purity_hint());
+      }
+    }
+  }
+}
+
+// ----- counter-registry -------------------------------------------------------
+
+/// Counter names feed bench reports and CI gates from src/ and bench/;
+/// tests exercise the counter registry itself with synthetic names.
+bool counter_checked_file(const std::string& path) {
+  return in_dir(path, "src") || in_dir(path, "bench");
+}
+
+}  // namespace
+
+void run_omp_race(const PassContext& ctx) {
+  for (const LexedFile& file : *ctx.files) {
+    if (in_dir(file.path, "tests")) continue;
+    omp_race_scan(ctx, file);
+  }
+}
+
+void run_hot_path_purity(const PassContext& ctx) {
+  for (const LexedFile& file : *ctx.files) purity_scan(ctx, file);
+}
+
+void run_counter_registry(const PassContext& ctx) {
+  if (ctx.config->counter_registry.empty()) {
+    add_finding(ctx, "counter-registry", "src/obs/counters.def", 1,
+                "counter registry is empty or missing; the "
+                "counter-registry pass has nothing to check against");
+    return;
+  }
+  for (const LexedFile& file : *ctx.files) {
+    if (!counter_checked_file(file.path)) continue;
+    const Tokens& t = file.tokens;
+    for (std::size_t i = 2; i + 2 < t.size(); ++i) {
+      if (!is_ident(t[i], "counter") || !is_punct(t[i - 1], "::") ||
+          !is_ident(t[i - 2], "obs") || !is_punct(t[i + 1], "(")) {
+        continue;
+      }
+      const Token& arg = t[i + 2];
+      // Non-literal or concatenated names are built at runtime; the
+      // registry pass cannot see them (documented false negative).
+      if (arg.kind != TokKind::kString) continue;
+      if (i + 3 < t.size() && is_punct(t[i + 3], "+")) continue;
+      if (ctx.config->counter_registry.count(arg.text) != 0) continue;
+      add_finding(ctx, "counter-registry", file.path, arg.line,
+                  "obs::counter name \"" + arg.text +
+                      "\" is not registered in src/obs/counters.def "
+                      "(add it there and run `lrt-analyze gen-counters "
+                      "--write`, or use a registered name)");
+    }
+  }
+}
+
+void run_counter_registry_sync(const PassContext& ctx) {
+  const std::string def_path = ctx.config->root + "/src/obs/counters.def";
+  const std::string header_path =
+      ctx.config->root + "/src/obs/counter_registry.hpp";
+  std::string def_text;
+  std::string header_text;
+  try {
+    def_text = read_file(def_path);
+  } catch (const std::exception&) {
+    add_finding(ctx, "counter-registry-sync", "src/obs/counters.def", 1,
+                "missing counter definition file");
+    return;
+  }
+  try {
+    header_text = read_file(header_path);
+  } catch (const std::exception&) {
+    add_finding(ctx, "counter-registry-sync", "src/obs/counter_registry.hpp",
+                1,
+                "missing generated registry header; run "
+                "`lrt-analyze gen-counters --write`");
+    return;
+  }
+  const std::string expected =
+      generate_counter_registry_header(parse_phases_def_entries(def_text));
+  if (header_text != expected) {
+    add_finding(ctx, "counter-registry-sync", "src/obs/counter_registry.hpp",
+                1,
+                "out of sync with src/obs/counters.def; run "
+                "`lrt-analyze gen-counters --write`");
+  }
+}
+
+}  // namespace lrt::analyze

@@ -1,23 +1,17 @@
 // Wall-clock timing utilities.
 //
-// Timer        — simple stopwatch.
-// WallProfiler — accumulates named phase durations; since the obs
-//                subsystem landed this is an alias for
-//                obs::PhaseAccumulator (same API, same semantics). Used
-//                by the benchmark harness to split Hamiltonian
-//                construction into the paper's Figure-8 categories
-//                (K-Means / FFT / MPI / GEMM+Allreduce).
-// ScopedPhase  — RAII guard adding its lifetime to one WallProfiler
-//                phase; also emits an obs::Span so profiled phases show
-//                up in LRT_TRACE Chrome traces for free.
+// Timer          — simple stopwatch.
+// ThreadCpuTimer — per-thread CPU stopwatch for oversubscribed benches.
+//
+// The phase-profiling pieces (WallProfiler, ScopedPhase) live in
+// obs/obs.hpp: they were born here, but once they grew Span emission
+// they belonged to the obs layer — keeping them here made common depend
+// on obs, inverting the layer DAG.
 #pragma once
 
 #include <chrono>
-#include <string>
-#include <utility>
 
 #include "common/config.hpp"
-#include "obs/obs.hpp"
 
 namespace lrt {
 
@@ -54,36 +48,6 @@ class ThreadCpuTimer {
 
  private:
   double start_;
-};
-
-/// Accumulates wall time per named phase. Thread-safe: concurrent ranks
-/// of the par runtime may add to the same profiler.
-using WallProfiler = obs::PhaseAccumulator;
-
-/// RAII phase guard:
-///   { ScopedPhase p(profiler, "fft"); do_ffts(); }
-class ScopedPhase {
- public:
-  ScopedPhase(WallProfiler& profiler, std::string name)
-      : profiler_(&profiler),
-        name_(std::move(name)),
-        span_(name_.c_str()) {}
-
-  ScopedPhase(const ScopedPhase&) = delete;
-  ScopedPhase& operator=(const ScopedPhase&) = delete;
-
-  ~ScopedPhase() {
-    span_.end();
-    profiler_->add(name_, timer_.seconds());
-  }
-
- private:
-  WallProfiler* profiler_;
-  std::string name_;
-  // Declared after name_ so name_.c_str() is valid for the span's whole
-  // lifetime; closed explicitly in the dtor before name_ could go away.
-  obs::Span span_;
-  Timer timer_;
 };
 
 }  // namespace lrt

@@ -8,7 +8,7 @@ namespace lrt::isdf {
 
 IsdfResult isdf_decompose(const grid::RealSpaceGrid& grid,
                           la::RealConstView psi_v, la::RealConstView psi_c,
-                          const IsdfOptions& options, WallProfiler* profiler) {
+                          const IsdfOptions& options, obs::WallProfiler* profiler) {
   LRT_CHECK(options.nmu >= 1, "IsdfOptions::nmu must be set");
   LRT_CHECK(grid.size() == psi_v.rows(), "grid/orbital size mismatch");
 

@@ -14,6 +14,7 @@
 #include "common/timer.hpp"
 #include "isdf/kmeans_points.hpp"
 #include "isdf/qrcp_points.hpp"
+#include "obs/obs.hpp"
 
 namespace lrt::isdf {
 
@@ -43,6 +44,6 @@ struct IsdfResult {
 IsdfResult isdf_decompose(const grid::RealSpaceGrid& grid,
                           la::RealConstView psi_v, la::RealConstView psi_c,
                           const IsdfOptions& options,
-                          WallProfiler* profiler = nullptr);
+                          obs::WallProfiler* profiler = nullptr);
 
 }  // namespace lrt::isdf

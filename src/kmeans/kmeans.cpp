@@ -159,6 +159,7 @@ KMeansResult weighted_kmeans(const std::vector<grid::Vec3>& points,
   for (const Real w : weights) wmax = std::max(wmax, w);
   LRT_CHECK(wmax > 0, "all weights are zero");
   const Real cut = options.weight_threshold * wmax;
+  result.kept_points.reserve(static_cast<std::size_t>(n));
   for (Index i = 0; i < n; ++i) {
     if (weights[static_cast<std::size_t>(i)] >= cut) {
       result.kept_points.push_back(i);

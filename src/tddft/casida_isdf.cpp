@@ -6,7 +6,7 @@ namespace lrt::tddft {
 
 la::RealMatrix build_kernel_projection(const isdf::IsdfResult& isdf_result,
                                        const HxcKernel& kernel,
-                                       WallProfiler* profiler) {
+                                       obs::WallProfiler* profiler) {
   const la::RealMatrix& theta = isdf_result.theta;
   la::RealMatrix ktheta(theta.rows(), theta.cols());
   kernel.apply(theta.view(), ktheta.view(), profiler);
@@ -29,7 +29,7 @@ la::RealMatrix build_kernel_projection(const isdf::IsdfResult& isdf_result,
 la::RealMatrix build_hamiltonian_isdf(const CasidaProblem& problem,
                                       const isdf::IsdfResult& isdf_result,
                                       const HxcKernel& kernel,
-                                      WallProfiler* profiler) {
+                                      obs::WallProfiler* profiler) {
   LRT_CHECK(!isdf_result.c.empty(),
             "build_hamiltonian_isdf needs the explicit coefficient matrix");
   const la::RealMatrix m =

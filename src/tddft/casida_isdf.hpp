@@ -13,13 +13,13 @@ namespace lrt::tddft {
 /// M = Θᵀ (v_H + f_xc) Θ dv (symmetrized). Profile phases: "fft", "gemm".
 la::RealMatrix build_kernel_projection(const isdf::IsdfResult& isdf_result,
                                        const HxcKernel& kernel,
-                                       WallProfiler* profiler = nullptr);
+                                       obs::WallProfiler* profiler = nullptr);
 
 /// Explicit H = D + 2 Cᵀ M C (paper Eq 6) for versions (2)/(3)/(4) of
 /// Table 4. Requires isdf_result.c (build_coefficients = true).
 la::RealMatrix build_hamiltonian_isdf(const CasidaProblem& problem,
                                       const isdf::IsdfResult& isdf_result,
                                       const HxcKernel& kernel,
-                                      WallProfiler* profiler = nullptr);
+                                      obs::WallProfiler* profiler = nullptr);
 
 }  // namespace lrt::tddft

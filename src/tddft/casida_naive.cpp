@@ -26,7 +26,7 @@ std::vector<Real> energy_differences(const CasidaProblem& problem) {
 
 la::RealMatrix build_hamiltonian_naive(const CasidaProblem& problem,
                                        const HxcKernel& kernel,
-                                       WallProfiler* profiler) {
+                                       obs::WallProfiler* profiler) {
   const Index ncv = problem.ncv();
   const Real dv = problem.grid.dv();
 
@@ -65,7 +65,7 @@ la::RealMatrix build_hamiltonian_naive(const CasidaProblem& problem,
 }
 
 CasidaSolution diagonalize_dense(const la::RealMatrix& hamiltonian,
-                                 Index num_states, WallProfiler* profiler) {
+                                 Index num_states, obs::WallProfiler* profiler) {
   const Index n = hamiltonian.rows();
   LRT_CHECK(num_states >= 1 && num_states <= n,
             "bad state count " << num_states);

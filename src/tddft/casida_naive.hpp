@@ -41,7 +41,7 @@ std::vector<Real> energy_differences(const CasidaProblem& problem);
 /// "pair_product", "fft" (kernel), "gemm".
 la::RealMatrix build_hamiltonian_naive(const CasidaProblem& problem,
                                        const HxcKernel& kernel,
-                                       WallProfiler* profiler = nullptr);
+                                       obs::WallProfiler* profiler = nullptr);
 
 /// Dense diagonalization returning the lowest `num_states` excitation
 /// energies and eigenvectors (ScaLAPACK::SYEVD stand-in; paper Alg 1
@@ -53,6 +53,6 @@ struct CasidaSolution {
 
 CasidaSolution diagonalize_dense(const la::RealMatrix& hamiltonian,
                                  Index num_states,
-                                 WallProfiler* profiler = nullptr);
+                                 obs::WallProfiler* profiler = nullptr);
 
 }  // namespace lrt::tddft

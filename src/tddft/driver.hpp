@@ -42,7 +42,7 @@ struct DriverOptions {
 struct DriverResult {
   std::vector<Real> energies;    ///< lowest k excitation energies
   la::RealMatrix wavefunctions;  ///< Ncv x k
-  WallProfiler profiler;         ///< phases: select_points, interp_vectors,
+  obs::WallProfiler profiler;         ///< phases: select_points, interp_vectors,
                                  ///< pair_product, fft, gemm, diag
   double seconds_total = 0;
   Index nmu_used = 0;

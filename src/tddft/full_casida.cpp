@@ -47,7 +47,7 @@ la::RealMatrix coupling_from_tda(const la::RealMatrix& h,
 
 la::RealMatrix build_omega_naive(const CasidaProblem& problem,
                                  const HxcKernel& kernel,
-                                 WallProfiler* profiler) {
+                                 obs::WallProfiler* profiler) {
   const std::vector<Real> d = energy_differences(problem);
   const la::RealMatrix h = build_hamiltonian_naive(problem, kernel, profiler);
   return sandwich_omega(coupling_from_tda(h, d), d);
@@ -56,7 +56,7 @@ la::RealMatrix build_omega_naive(const CasidaProblem& problem,
 la::RealMatrix build_omega_isdf(const CasidaProblem& problem,
                                 const isdf::IsdfResult& isdf_result,
                                 const HxcKernel& kernel,
-                                WallProfiler* profiler) {
+                                obs::WallProfiler* profiler) {
   const std::vector<Real> d = energy_differences(problem);
   const la::RealMatrix h =
       build_hamiltonian_isdf(problem, isdf_result, kernel, profiler);

@@ -22,7 +22,7 @@ HxcKernel::HxcKernel(const grid::RealSpaceGrid& grid,
 }
 
 void HxcKernel::apply(la::RealConstView f, la::RealView out,
-                      WallProfiler* profiler) const {
+                      obs::WallProfiler* profiler) const {
   LRT_CHECK(f.rows() == nr_ && out.rows() == nr_ && f.cols() == out.cols(),
             "kernel apply shape mismatch");
   const Index k = f.cols();

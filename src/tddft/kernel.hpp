@@ -15,6 +15,7 @@
 #include "fft/poisson.hpp"
 #include "grid/gvectors.hpp"
 #include "la/matrix.hpp"
+#include "obs/obs.hpp"
 
 namespace lrt::tddft {
 
@@ -33,7 +34,7 @@ class HxcKernel {
   /// out(:, j) = (v_H + f_xc) f(:, j) for every column. `profiler`
   /// receives the "fft" phase.
   void apply(la::RealConstView f, la::RealView out,
-             WallProfiler* profiler = nullptr) const;
+             obs::WallProfiler* profiler = nullptr) const;
 
  private:
   Index nr_;

@@ -1,0 +1,25 @@
+// hot-path-purity fixture for the function-scope rule: this TU is NOT
+// -O3-promoted, but a function lexically containing an omp region is hot
+// anyway. cold_fn shows the counterexample.
+#include <vector>
+
+namespace fx {
+
+void omp_hot(int n, double* out) {
+  std::vector<double> tmp;
+#pragma omp parallel for
+  for (int i = 0; i < n; ++i) {
+    out[i] = static_cast<double>(i);  // race-exempt: indexed by i
+  }
+  for (int i = 0; i < n; ++i) {
+    tmp.push_back(0.0);  // finding: growth in a loop, function is hot
+  }
+}
+
+void cold_fn(std::vector<double>* v) {
+  for (int i = 0; i < 3; ++i) {
+    v->push_back(0.0);  // clean: no omp region here, TU not promoted
+  }
+}
+
+}  // namespace fx

@@ -1,0 +1,57 @@
+// omp-race fixture: writes to shared variables inside parallel regions.
+// bad_shared_writes seeds exactly three findings; the other functions
+// exercise every exemption the pass grants (reduction/private clauses,
+// region-local declarations, per-iteration indexing, guarded updates,
+// inline suppression).
+
+namespace fx {
+
+int bad_shared_writes(int n) {
+  double total = 0.0;
+  int hits = 0;
+  double buffer[4] = {0.0, 0.0, 0.0, 0.0};
+#pragma omp parallel for
+  for (int i = 0; i < n; ++i) {
+    total += 1.0;       // finding: '+=' on shared 'total'
+    hits++;             // finding: '++' on shared 'hits'
+    buffer[0] = total;  // finding: '=' on shared 'buffer'
+  }
+  return hits + static_cast<int>(buffer[0]);
+}
+
+double clean_counterpart(int n, double* out) {
+  double total = 0.0;
+  int last = 0;
+#pragma omp parallel for reduction(+ : total) schedule(static) \
+    lastprivate(last)
+  for (int i = 0; i < n; ++i) {
+    double local = 1.0;  // region-local: exempt
+    local *= 2.0;
+    total += local;  // reduction clause: exempt
+    last = i;        // lastprivate (on the spliced clause line): exempt
+    out[i] = local;  // indexed by the privatized loop variable: exempt
+  }
+  return total + last;
+}
+
+int guarded_update(int n) {
+  int shared_count = 0;
+#pragma omp parallel for
+  for (int i = 0; i < n; ++i) {
+#pragma omp atomic
+    shared_count += 1;  // guarded by the atomic directive: exempt
+  }
+  return shared_count;
+}
+
+int suppressed_write(int n) {
+  int flag = 0;
+#pragma omp parallel for
+  for (int i = 0; i < n; ++i) {
+    // lrt-analyze: allow(omp-race)
+    flag = 1;  // suppressed by the inline allow
+  }
+  return flag + n;
+}
+
+}  // namespace fx

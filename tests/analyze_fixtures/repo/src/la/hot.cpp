@@ -1,0 +1,35 @@
+// hot-path-purity fixture: this TU is promoted to -O3 by the fixture
+// src/CMakeLists.txt, so every function body here is a hot path.
+#include <cstdio>
+#include <cstdlib>
+#include <vector>
+
+namespace fx {
+
+double hot_violations(int n) {
+  void* scratch = std::malloc(64);  // finding: C heap call
+  std::free(scratch);               // finding: C heap call
+  std::printf("%d\n", n);           // finding: I/O call
+
+  std::vector<int> grown;
+  for (int i = 0; i < n; ++i) {
+    grown.push_back(i);  // finding: growth in a loop without reserve
+  }
+
+  // lrt-analyze: allow(hot-path-purity)
+  std::printf("allowed\n");  // suppressed by the inline allow
+  return static_cast<double>(grown.size());
+}
+
+double hot_clean(int n) {
+  std::vector<int> reserved;
+  reserved.reserve(static_cast<unsigned long>(n));
+  for (int i = 0; i < n; ++i) {
+    reserved.push_back(i);  // clean: reserve() precedes the loop
+  }
+  std::vector<int> setup;
+  setup.push_back(1);  // clean: one-off growth outside any loop
+  return static_cast<double>(reserved.size() + setup.size());
+}
+
+}  // namespace fx

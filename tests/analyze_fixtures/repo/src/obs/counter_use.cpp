@@ -1,0 +1,18 @@
+// counter-registry fixture. The test config registers only
+// "fixture.good"; everything except the rogue literal must stay silent.
+
+namespace fx {
+
+const char* dynamic_name();
+const char* suffix();
+
+void touch_counters() {
+  obs::counter("fixture.good").add(1);         // clean: registered
+  obs::counter("fixture.rogue").add(1);        // finding: unregistered
+  // lrt-analyze: allow(counter-registry)
+  obs::counter("fixture.allowed").add(1);      // suppressed
+  obs::counter(dynamic_name()).add(1);         // clean: not a literal
+  obs::counter("fixture." + suffix()).add(1);  // clean: runtime concat
+}
+
+}  // namespace fx

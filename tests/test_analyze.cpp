@@ -14,7 +14,9 @@
 #include "analyze/analyzer.hpp"
 #include "analyze/lexer.hpp"
 #include "analyze/registry_gen.hpp"
+#include "analyze/sarif.hpp"
 #include "common/error.hpp"
+#include "obs/counter_registry.hpp"
 #include "obs/phase_registry.hpp"
 
 namespace {
@@ -34,6 +36,11 @@ Config fixture_config(std::set<std::string> passes) {
   config.passes = std::move(passes);
   config.phase_registry = lrt::analyze::parse_phases_def(
       lrt::analyze::read_file(kRepoRoot + "/src/obs/phases.def"));
+  // The counter fixture registers one synthetic name; the hot-TU set
+  // comes from the fixture's own CMakeLists (promotes la/hot.cpp).
+  config.counter_registry = {"fixture.good"};
+  lrt::analyze::load_hot_tus(
+      lrt::analyze::read_file(kFixtureRepo + "/src/CMakeLists.txt"), &config);
   return config;
 }
 
@@ -123,6 +130,64 @@ TEST(AnalyzeLexer, SuppressionDirectiveCoversOwnAndNextLine) {
   EXPECT_FALSE(file.suppressed("banned-volatile", 3));
   EXPECT_TRUE(file.suppressed("banned-volatile", 4));  // allow(all)
   EXPECT_TRUE(file.suppressed("layer-dag", 4));
+}
+
+TEST(AnalyzeLexer, DigitSeparatorsLexAsOneNumber) {
+  const lrt::analyze::LexedFile file =
+      lrt::analyze::lex("x.cpp", "const long n = 1'000'000 + 0x1'FF;\n");
+  int numbers = 0;
+  for (const auto& tok : file.tokens) {
+    if (tok.kind == TokKind::kNumber) ++numbers;
+  }
+  EXPECT_EQ(numbers, 2);
+}
+
+TEST(AnalyzeLexer, RawStringInsideMacroArgStaysOpaque) {
+  const lrt::analyze::LexedFile file = lrt::analyze::lex(
+      "x.cpp", "CHECK_MSG(R\"(volatile \"quoted\" new)\", value);\n");
+  for (const auto& tok : file.tokens) {
+    if (tok.kind != TokKind::kIdentifier) continue;
+    EXPECT_NE(tok.text, "volatile");
+    EXPECT_NE(tok.text, "new");
+    EXPECT_NE(tok.text, "quoted");
+  }
+}
+
+TEST(AnalyzeLexer, IncrementDecrementAreSingleTokens) {
+  const lrt::analyze::LexedFile file =
+      lrt::analyze::lex("x.cpp", "i++; --j; a += b;\n");
+  std::vector<std::string> puncts;
+  for (const auto& tok : file.tokens) {
+    if (tok.kind == TokKind::kPunct) puncts.push_back(tok.text);
+  }
+  EXPECT_NE(std::find(puncts.begin(), puncts.end(), "++"), puncts.end());
+  EXPECT_NE(std::find(puncts.begin(), puncts.end(), "--"), puncts.end());
+  EXPECT_NE(std::find(puncts.begin(), puncts.end(), "+="), puncts.end());
+}
+
+TEST(AnalyzeLexer, SplicedPragmaIsOneDirectiveExtent) {
+  const std::string text =
+      "#pragma omp parallel for schedule(static) \\\n"
+      "    reduction(+ : acc) \\\n"
+      "    firstprivate(n)\n"
+      "for (int i = 0; i < n; ++i) acc += 1;\n";
+  const lrt::analyze::LexedFile file = lrt::analyze::lex("x.cpp", text);
+  ASSERT_EQ(file.directives.size(), 1u);
+  const auto& d = file.directives[0];
+  // The extent spans every spliced clause: 'reduction' and
+  // 'firstprivate' from the continuation lines are inside it, and it
+  // closes before the loop statement on the first unspliced line.
+  bool saw_reduction = false;
+  bool saw_firstprivate = false;
+  for (std::size_t i = d.begin; i < d.end; ++i) {
+    if (file.tokens[i].kind != TokKind::kIdentifier) continue;
+    if (file.tokens[i].text == "reduction") saw_reduction = true;
+    if (file.tokens[i].text == "firstprivate") saw_firstprivate = true;
+  }
+  EXPECT_TRUE(saw_reduction);
+  EXPECT_TRUE(saw_firstprivate);
+  ASSERT_LT(d.end, file.tokens.size());
+  EXPECT_EQ(file.tokens[d.end].text, "for");  // the associated loop
 }
 
 // ----- registry generator -----------------------------------------------------
@@ -262,6 +327,107 @@ TEST(AnalyzePhaseRegistry, EmptyRegistryIsAConfigFinding) {
             std::string::npos);
 }
 
+// ----- omp-race ---------------------------------------------------------------
+
+TEST(AnalyzeOmpRace, FlagsExactlyTheSeededSharedWrites) {
+  const Report report = run_fixture(fixture_config({"omp-race"}));
+  const auto findings = findings_for(report, "omp-race");
+  ASSERT_EQ(findings.size(), 4u)
+      << lrt::analyze::report_to_text(report, true);
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.file, "src/kmeans/race.cpp");
+  }
+  // Three seeded writes are new; the allow()'d one resolves.
+  EXPECT_EQ(count_status(findings, Finding::Status::kNew), 3);
+  EXPECT_EQ(count_status(findings, Finding::Status::kSuppressed), 1);
+  std::set<std::string> bases;
+  for (const Finding& f : findings) {
+    if (f.status != Finding::Status::kNew) continue;
+    const std::size_t open = f.message.find('\'');
+    const std::size_t close = f.message.find('\'', open + 1);
+    // message shape: "... ('op') to shared 'base' ..."
+    const std::size_t open2 = f.message.find('\'', close + 1);
+    const std::size_t close2 = f.message.find('\'', open2 + 1);
+    bases.insert(f.message.substr(open2 + 1, close2 - open2 - 1));
+  }
+  EXPECT_EQ(bases, (std::set<std::string>{"total", "hits", "buffer"}));
+}
+
+// ----- hot-path-purity --------------------------------------------------------
+
+TEST(AnalyzeHotPath, CmakeParsingPromotesOnlyO3Blocks) {
+  Config config;
+  lrt::analyze::load_hot_tus(
+      lrt::analyze::read_file(kFixtureRepo + "/src/CMakeLists.txt"), &config);
+  EXPECT_EQ(config.hot_files, (std::set<std::string>{"src/la/hot.cpp"}));
+}
+
+TEST(AnalyzeHotPath, FlagsHotTuAndOmpFunctionViolations) {
+  const Report report = run_fixture(fixture_config({"hot-path-purity"}));
+  const auto findings = findings_for(report, "hot-path-purity");
+  ASSERT_EQ(findings.size(), 6u)
+      << lrt::analyze::report_to_text(report, true);
+  int hot_tu = 0;
+  int omp_fn = 0;
+  for (const Finding& f : findings) {
+    if (f.file == "src/la/hot.cpp") ++hot_tu;
+    if (f.file == "src/fft/omp_fn.cpp") ++omp_fn;
+  }
+  EXPECT_EQ(hot_tu, 5);  // malloc, free, printf, unreserved growth, allow'd
+  EXPECT_EQ(omp_fn, 1);  // growth in a loop of an omp-containing function
+  EXPECT_EQ(count_status(findings, Finding::Status::kNew), 5);
+  EXPECT_EQ(count_status(findings, Finding::Status::kSuppressed), 1);
+}
+
+// ----- counter-registry -------------------------------------------------------
+
+TEST(AnalyzeCounterRegistry, FlagsOnlyUnregisteredLiterals) {
+  const Report report = run_fixture(fixture_config({"counter-registry"}));
+  const auto findings = findings_for(report, "counter-registry");
+  ASSERT_EQ(findings.size(), 2u)
+      << lrt::analyze::report_to_text(report, true);
+  for (const Finding& f : findings) {
+    EXPECT_EQ(f.file, "src/obs/counter_use.cpp");
+  }
+  EXPECT_EQ(count_status(findings, Finding::Status::kNew), 1);
+  EXPECT_EQ(count_status(findings, Finding::Status::kSuppressed), 1);
+  for (const Finding& f : findings) {
+    if (f.status == Finding::Status::kNew) {
+      EXPECT_NE(f.message.find("fixture.rogue"), std::string::npos);
+    }
+  }
+}
+
+TEST(AnalyzeCounterRegistry, EmptyRegistryIsAConfigFinding) {
+  Config config = fixture_config({"counter-registry"});
+  config.counter_registry.clear();
+  const Report report = run_fixture(config);
+  ASSERT_EQ(report.findings.size(), 1u);
+  EXPECT_EQ(report.findings[0].file, "src/obs/counters.def");
+  EXPECT_NE(report.findings[0].message.find("empty or missing"),
+            std::string::npos);
+}
+
+TEST(AnalyzeCounterRegistry, CompiledHeaderMatchesCountersDef) {
+  const auto defs = lrt::analyze::parse_phases_def_entries(
+      lrt::analyze::read_file(kRepoRoot + "/src/obs/counters.def"));
+  EXPECT_EQ(lrt::obs::cnt::kCount, defs.size());
+  for (const auto& def : defs) {
+    EXPECT_TRUE(lrt::obs::cnt::is_registered(def.name)) << def.name;
+  }
+  EXPECT_FALSE(lrt::obs::cnt::is_registered("bogus.counter"));
+  EXPECT_TRUE(lrt::obs::cnt::is_registered("kmeans.assign.skipped"));
+}
+
+TEST(AnalyzeCounterRegistry, SyncPassCleanOnRepo) {
+  Config config;
+  config.root = kRepoRoot;
+  config.passes = {"counter-registry-sync"};
+  const Report report = lrt::analyze::analyze(config, {});
+  EXPECT_EQ(report.findings.size(), 0u)
+      << lrt::analyze::report_to_text(report, true);
+}
+
 // ----- migrated pattern gates -------------------------------------------------
 
 TEST(AnalyzePatterns, NakedNewDeleteIgnoresCommentsStringsAndDeletedFns) {
@@ -303,20 +469,23 @@ TEST(AnalyzePatterns, ThreadSleepParentIncludePragmaOnce) {
 // ----- orchestration ----------------------------------------------------------
 
 TEST(AnalyzeReport, FullFixtureRunCountsEveryState) {
-  // Every pass except phase-registry-sync (the fixture repo has no
-  // phases.def; sync over the real repo is covered above).
+  // Every pass except the two sync passes (the fixture repo has no def
+  // files; sync over the real repo is covered above).
   std::set<std::string> passes;
   for (const std::string& name : lrt::analyze::all_pass_names()) {
-    if (name != "phase-registry-sync") passes.insert(name);
+    if (name != "phase-registry-sync" && name != "counter-registry-sync") {
+      passes.insert(name);
+    }
   }
   const Report report = run_fixture(fixture_config(std::move(passes)));
-  // 3 layer-dag + 3 collective-divergence + 1 phase-registry +
+  // 3 layer-dag + 3 collective-divergence + 4 omp-race +
+  // 6 hot-path-purity + 1 phase-registry + 2 counter-registry +
   // 2 naked-new-delete + 3 banned-volatile + 1 banned-thread +
   // 1 banned-sleep + 1 parent-include + 1 pragma-once.
-  EXPECT_EQ(report.findings.size(), 16u)
+  EXPECT_EQ(report.findings.size(), 28u)
       << lrt::analyze::report_to_text(report, true);
-  EXPECT_EQ(report.new_count, 14);
-  EXPECT_EQ(report.suppressed_count, 2);
+  EXPECT_EQ(report.new_count, 23);
+  EXPECT_EQ(report.suppressed_count, 5);
   EXPECT_EQ(report.baselined_count, 0);
   EXPECT_FALSE(report.clean());
 
@@ -405,21 +574,126 @@ TEST(AnalyzeReport, DiscoverySkipsFixtureCorpus) {
   }
 }
 
-TEST(AnalyzeReport, RealRepositoryIsClean) {
-  // The exact gate CI runs: committed baseline + committed phases.def.
-  // New findings here mean the tree regressed (or the analyzer did).
+/// The exact gate CI runs: committed baseline, def files, and hot-TU
+/// promotions from src/CMakeLists.txt.
+Config real_repo_config() {
   Config config;
   config.root = kRepoRoot;
   config.phase_registry = lrt::analyze::parse_phases_def(
       lrt::analyze::read_file(kRepoRoot + "/src/obs/phases.def"));
+  config.counter_registry = lrt::analyze::parse_phases_def(
+      lrt::analyze::read_file(kRepoRoot + "/src/obs/counters.def"));
+  lrt::analyze::load_hot_tus(
+      lrt::analyze::read_file(kRepoRoot + "/src/CMakeLists.txt"), &config);
   lrt::analyze::load_baseline(
       lrt::analyze::read_file(kRepoRoot + "/tools/lrt-analyze.baseline"),
       &config);
+  return config;
+}
+
+TEST(AnalyzeReport, RealRepositoryIsClean) {
+  // New findings here mean the tree regressed (or the analyzer did).
+  Config config = real_repo_config();
   const Report report = lrt::analyze::analyze_repo(config);
   EXPECT_TRUE(report.clean())
       << lrt::analyze::report_to_text(report, false);
-  EXPECT_GT(report.baselined_count, 0);   // the grandfathered shim edge
+  EXPECT_GT(report.baselined_count, 0);   // the divergence-test fixture
   EXPECT_GT(report.suppressed_count, 0);  // the bench probe names
+}
+
+TEST(AnalyzeReport, RealRepositoryOmpRaceIsCleanWithoutBaseline) {
+  // The parallel kernels must satisfy the race pass on their own: no
+  // baseline entries, no grandfathering.
+  Config config = real_repo_config();
+  config.passes = {"omp-race"};
+  config.baseline_files.clear();
+  config.baseline_layer_edges.clear();
+  const Report report = lrt::analyze::analyze_repo(config);
+  EXPECT_EQ(report.new_count, 0)
+      << lrt::analyze::report_to_text(report, false);
+  EXPECT_EQ(report.baselined_count, 0);
+}
+
+TEST(AnalyzeReport, RealRepositoryHotPathIsCleanWithoutBaseline) {
+  Config config = real_repo_config();
+  config.passes = {"hot-path-purity"};
+  config.baseline_files.clear();
+  config.baseline_layer_edges.clear();
+  EXPECT_FALSE(config.hot_files.empty());  // the -O3 block must parse
+  const Report report = lrt::analyze::analyze_repo(config);
+  EXPECT_EQ(report.new_count, 0)
+      << lrt::analyze::report_to_text(report, false);
+  EXPECT_EQ(report.baselined_count, 0);
+}
+
+TEST(AnalyzeReport, RealRepositoryCountersAreRegistered) {
+  Config config = real_repo_config();
+  config.passes = {"counter-registry"};
+  config.baseline_files.clear();
+  config.baseline_layer_edges.clear();
+  const Report report = lrt::analyze::analyze_repo(config);
+  EXPECT_EQ(report.new_count, 0)
+      << lrt::analyze::report_to_text(report, false);
+  EXPECT_EQ(report.baselined_count, 0);
+}
+
+TEST(AnalyzeReport, LayerDagNeedsNoBaselineEdges) {
+  // The common -> obs shim edge was retired when ScopedPhase moved into
+  // obs/; the layer DAG must now hold with an empty edge baseline.
+  Config config = real_repo_config();
+  config.passes = {"layer-dag"};
+  config.baseline_layer_edges.clear();
+  const Report report = lrt::analyze::analyze_repo(config);
+  EXPECT_EQ(report.new_count, 0)
+      << lrt::analyze::report_to_text(report, false);
+}
+
+TEST(AnalyzeReport, SarifDocumentHasRequiredShape) {
+  Config config = fixture_config({"banned-volatile"});
+  const Report report = run_fixture(config);
+  const lrt::obs::json::Value doc =
+      lrt::analyze::report_to_sarif(config, report);
+  ASSERT_TRUE(doc.is_object());
+  EXPECT_EQ(doc.find("version")->string, "2.1.0");
+  ASSERT_NE(doc.find("$schema"), nullptr);
+
+  const auto* runs = doc.find("runs");
+  ASSERT_NE(runs, nullptr);
+  ASSERT_EQ(runs->array.size(), 1u);
+  const auto& run = runs->array[0];
+  const auto* driver = run.find("tool")->find("driver");
+  ASSERT_NE(driver, nullptr);
+  EXPECT_EQ(driver->find("name")->string, "lrt-analyze");
+  // One reportingDescriptor per pass that ran (only banned-volatile).
+  ASSERT_EQ(driver->find("rules")->array.size(), 1u);
+  EXPECT_EQ(driver->find("rules")->array[0].find("id")->string,
+            "banned-volatile");
+
+  const auto* results = run.find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_EQ(results->array.size(), report.findings.size());
+  int errors = 0;
+  int suppressed = 0;
+  for (const auto& result : results->array) {
+    EXPECT_EQ(result.find("ruleId")->string, "banned-volatile");
+    ASSERT_NE(result.find("message")->find("text"), nullptr);
+    const auto* location =
+        result.find("locations")->array[0].find("physicalLocation");
+    ASSERT_NE(location, nullptr);
+    EXPECT_FALSE(
+        location->find("artifactLocation")->find("uri")->string.empty());
+    EXPECT_GT(location->find("region")->find("startLine")->number, 0.0);
+    if (result.find("level")->string == "error") ++errors;
+    const auto* sup = result.find("suppressions");
+    if (sup != nullptr) {
+      EXPECT_EQ(sup->array[0].find("kind")->string, "inSource");
+      ++suppressed;
+    }
+  }
+  EXPECT_EQ(errors, report.new_count);
+  EXPECT_EQ(suppressed, report.suppressed_count);
+  // Round-trips through the obs JSON parser.
+  EXPECT_NO_THROW(lrt::obs::json::parse(lrt::obs::json::dump(doc)));
 }
 
 }  // namespace

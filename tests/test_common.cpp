@@ -10,6 +10,7 @@
 #include "common/random.hpp"
 #include "common/table.hpp"
 #include "common/timer.hpp"
+#include "obs/obs.hpp"
 
 namespace lrt {
 namespace {
@@ -118,7 +119,7 @@ TEST(Table, CsvRoundTrip) {
 }
 
 TEST(WallProfiler, AccumulatesNamedPhases) {
-  WallProfiler p;
+  obs::WallProfiler p;
   p.add("fft", 1.0);
   p.add("gemm", 2.0);
   p.add("fft", 0.5);
@@ -132,8 +133,8 @@ TEST(WallProfiler, AccumulatesNamedPhases) {
 }
 
 TEST(WallProfiler, ScopedPhaseAddsTime) {
-  WallProfiler p;
-  { ScopedPhase guard(p, "work"); }
+  obs::WallProfiler p;
+  { obs::ScopedPhase guard(p, "work"); }
   EXPECT_GE(p.total("work"), 0.0);
   EXPECT_EQ(p.phases().size(), 1u);
 }

@@ -179,7 +179,7 @@ TEST(Isdf, DecomposeFillsAllFactors) {
   OrbitalFixture f;
   IsdfOptions opts;
   opts.nmu = 10;
-  WallProfiler profiler;
+  obs::WallProfiler profiler;
   const IsdfResult r = isdf_decompose(f.grid, f.v(), f.c(), opts, &profiler);
   EXPECT_EQ(r.nmu(), 10);
   EXPECT_EQ(r.c.rows(), 10);

@@ -265,9 +265,9 @@ TEST(ObsTrace, ComposesWithRuntimeVerifier) {
 
 TEST(ObsShim, ScopedPhaseFeedsProfilerAndTrace) {
   TracingFixture tracing(true);
-  WallProfiler profiler;
+  obs::WallProfiler profiler;
   {
-    ScopedPhase phase(profiler, "shim_phase");
+    obs::ScopedPhase phase(profiler, "shim_phase");
   }
   EXPECT_GE(profiler.total("shim_phase"), 0.0);
   ASSERT_EQ(profiler.phases().size(), 1u);

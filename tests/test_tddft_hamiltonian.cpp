@@ -43,7 +43,7 @@ TEST(EnergyDifferences, PairOrderingAndValues) {
 TEST(NaiveHamiltonian, IsSymmetricWithDOnDiagonalTail) {
   const CasidaProblem p = make_test_problem();
   const HxcKernel kernel = make_kernel(p);
-  WallProfiler profiler;
+  obs::WallProfiler profiler;
   const la::RealMatrix h = build_hamiltonian_naive(p, kernel, &profiler);
 
   EXPECT_EQ(h.rows(), p.ncv());

@@ -89,7 +89,7 @@ TEST(HxcKernel, ProfilerReceivesFftPhase) {
   const HxcKernel kernel(f.grid, f.gvectors, f.density, true);
   la::RealMatrix in(f.grid.size(), 1, 1.0);
   la::RealMatrix out(f.grid.size(), 1);
-  WallProfiler profiler;
+  obs::WallProfiler profiler;
   kernel.apply(in.view(), out.view(), &profiler);
   EXPECT_GT(profiler.total("fft"), 0.0);
 }

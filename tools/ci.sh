@@ -54,16 +54,27 @@ if [ "$do_lint" -eq 1 ]; then
   echo "=== [lint] build lrt-analyze (build-ci) ==="
   cmake -B build-ci -S . -DLRT_WERROR=ON -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
   cmake --build build-ci --target lrt-analyze -j "$jobs"
-  echo "=== [lint] phase-registry self-check ==="
-  # The committed header must match the generator byte-for-byte (also a
-  # pass inside lrt-analyze; run explicitly so a drift fails loudly even
-  # if someone baselines the pass).
+  echo "=== [lint] registry self-checks ==="
+  # The committed headers must match their generators byte-for-byte
+  # (also passes inside lrt-analyze; run explicitly so a drift fails
+  # loudly even if someone baselines the pass).
   ./build-ci/tools/lrt-analyze gen-phases | cmp - src/obs/phase_registry.hpp \
     || { echo "ci: src/obs/phase_registry.hpp out of sync with" \
               "src/obs/phases.def (run lrt-analyze gen-phases --write)" >&2; \
          exit 1; }
+  ./build-ci/tools/lrt-analyze gen-counters \
+    | cmp - src/obs/counter_registry.hpp \
+    || { echo "ci: src/obs/counter_registry.hpp out of sync with" \
+              "src/obs/counters.def (run lrt-analyze gen-counters --write)" \
+              >&2; \
+         exit 1; }
   echo "=== [lint] tools/lint.sh ==="
   LRT_LINT_BUILD_DIR=build-ci bash tools/lint.sh
+  echo "=== [lint] publish analyzer reports as CI artifacts ==="
+  # lint.sh wrote both reports next to the binary's tree; artifacts/ is
+  # the directory a hosted workflow would upload.
+  mkdir -p build-ci/artifacts
+  cp build-ci/lrt-analyze.json build-ci/lrt-analyze.sarif build-ci/artifacts/
 fi
 
 if [ "$do_plain" -eq 1 ]; then
@@ -90,6 +101,13 @@ if [ "$do_bench" -eq 1 ]; then
   # tree, so the committed bench/results/ snapshots are untouched.
   echo "=== [bench] bench-smoke (tools/bench.sh --smoke) ==="
   bash tools/bench.sh --smoke --build-dir build-ci
+  if [ -f build-ci/lrt-analyze.json ]; then
+    echo "=== [bench] lrt.analyze/1 schema validation ==="
+    # validate_bench dispatches on the schema field, so the analyzer's
+    # machine-readable report goes through the same validator as the
+    # bench reports.
+    ./build-ci/bench/validate_bench build-ci/lrt-analyze.json
+  fi
 fi
 
 if [ "$do_asan" -eq 1 ]; then

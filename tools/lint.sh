@@ -43,11 +43,13 @@ fi
 
 # --- primary gate: lrt-analyze ------------------------------------------------
 if [ -n "$analyze_bin" ]; then
-  # The machine-readable report lands in the tree the binary came from
-  # (which exists by construction, unlike $build_dir).
+  # The machine-readable reports land in the tree the binary came from
+  # (which exists by construction, unlike $build_dir). The SARIF twin of
+  # the lrt.analyze/1 report is what external CI viewers ingest.
   report_dir="$(dirname "$(dirname "$analyze_bin")")"
   note "lint: running $analyze_bin ..."
-  if ! "$analyze_bin" --repo . --json "$report_dir/lrt-analyze.json"; then
+  if ! "$analyze_bin" --repo . --json "$report_dir/lrt-analyze.json" \
+         --sarif "$report_dir/lrt-analyze.sarif"; then
     finding 'lrt-analyze reported new findings (see above)'
   fi
 else

@@ -1,7 +1,7 @@
 // lrt-analyze: the project-specific static gate.
 //
-//   lrt-analyze [check] [--repo DIR] [--json PATH] [--baseline FILE]
-//               [--pass NAME]... [--verbose]
+//   lrt-analyze [check] [--repo DIR] [--json PATH] [--sarif PATH]
+//               [--baseline FILE] [--pass NAME]... [--verbose]
 //       Runs every pass (or the selected ones) over src/, tests/, bench/,
 //       examples/ and tools/*.sh. Exit 0 when no *new* findings remain
 //       after inline suppressions and the baseline; 1 otherwise.
@@ -9,6 +9,9 @@
 //   lrt-analyze gen-phases [--repo DIR] [--write]
 //       Regenerates src/obs/phase_registry.hpp from src/obs/phases.def
 //       (to stdout without --write).
+//
+//   lrt-analyze gen-counters [--repo DIR] [--write]
+//       Same for src/obs/counter_registry.hpp from src/obs/counters.def.
 //
 //   lrt-analyze list-passes
 //
@@ -24,6 +27,7 @@
 #include "analyze/analyzer.hpp"
 #include "analyze/passes.hpp"
 #include "analyze/registry_gen.hpp"
+#include "analyze/sarif.hpp"
 #include "common/error.hpp"
 #include "obs/json.hpp"
 
@@ -34,11 +38,12 @@ namespace fs = std::filesystem;
 int usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s [check] [--repo DIR] [--json PATH] [--baseline FILE]\n"
-      "          [--pass NAME]... [--verbose]\n"
+      "usage: %s [check] [--repo DIR] [--json PATH] [--sarif PATH]\n"
+      "          [--baseline FILE] [--pass NAME]... [--verbose]\n"
       "       %s gen-phases [--repo DIR] [--write]\n"
+      "       %s gen-counters [--repo DIR] [--write]\n"
       "       %s list-passes\n",
-      argv0, argv0, argv0);
+      argv0, argv0, argv0, argv0);
   return 2;
 }
 
@@ -55,27 +60,29 @@ std::string find_root(const fs::path& start) {
   }
 }
 
-int run_gen_phases(const std::string& root, bool write) {
-  const std::string def_path = root + "/src/obs/phases.def";
-  const std::string header = lrt::analyze::generate_phase_registry_header(
-      lrt::analyze::parse_phases_def_entries(
-          lrt::analyze::read_file(def_path)));
+/// Shared driver for gen-phases and gen-counters: regenerate a registry
+/// header from its def file, to stdout or in place with --write.
+int run_gen_registry(const std::string& root, bool write, const char* def_rel,
+                     const char* header_rel, const char* what,
+                     std::string (*generate)(
+                         const std::vector<lrt::analyze::PhaseDef>&)) {
+  const std::string def_path = root + "/" + def_rel;
+  const std::vector<lrt::analyze::PhaseDef> defs =
+      lrt::analyze::parse_phases_def_entries(lrt::analyze::read_file(def_path));
+  const std::string header = generate(defs);
   if (!write) {
     std::fputs(header.c_str(), stdout);
     return 0;
   }
-  const std::string out_path = root + "/src/obs/phase_registry.hpp";
+  const std::string out_path = root + "/" + header_rel;
   std::ofstream out(out_path, std::ios::binary);
   if (!out) {
     std::fprintf(stderr, "lrt-analyze: cannot write %s\n", out_path.c_str());
     return 1;
   }
   out << header;
-  std::fprintf(stderr, "lrt-analyze: wrote %s (%zu phases)\n",
-               out_path.c_str(),
-               lrt::analyze::parse_phases_def(
-                   lrt::analyze::read_file(def_path))
-                   .size());
+  std::fprintf(stderr, "lrt-analyze: wrote %s (%zu %s)\n", out_path.c_str(),
+               defs.size(), what);
   return 0;
 }
 
@@ -84,10 +91,12 @@ int run_gen_phases(const std::string& root, bool write) {
 int main(int argc, char** argv) {
   std::string repo;
   std::string json_path;
+  std::string sarif_path;
   std::string baseline_path;
   std::vector<std::string> selected;
   bool verbose = false;
   bool gen_phases = false;
+  bool gen_counters = false;
   bool write = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -100,6 +109,8 @@ int main(int argc, char** argv) {
       // default mode; accepted for readability in scripts
     } else if (arg == "gen-phases") {
       gen_phases = true;
+    } else if (arg == "gen-counters") {
+      gen_counters = true;
     } else if (arg == "list-passes") {
       for (const std::string& name : lrt::analyze::all_pass_names()) {
         std::printf("%s\n", name.c_str());
@@ -113,6 +124,10 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
       json_path = v;
+    } else if (arg == "--sarif") {
+      const char* v = next();
+      if (v == nullptr) return usage(argv[0]);
+      sarif_path = v;
     } else if (arg == "--baseline") {
       const char* v = next();
       if (v == nullptr) return usage(argv[0]);
@@ -142,7 +157,16 @@ int main(int argc, char** argv) {
       return 2;
     }
 
-    if (gen_phases) return run_gen_phases(root, write);
+    if (gen_phases) {
+      return run_gen_registry(root, write, "src/obs/phases.def",
+                              "src/obs/phase_registry.hpp", "phases",
+                              &lrt::analyze::generate_phase_registry_header);
+    }
+    if (gen_counters) {
+      return run_gen_registry(root, write, "src/obs/counters.def",
+                              "src/obs/counter_registry.hpp", "counters",
+                              &lrt::analyze::generate_counter_registry_header);
+    }
 
     lrt::analyze::Config config;
     config.root = root;
@@ -170,6 +194,15 @@ int main(int argc, char** argv) {
       config.phase_registry =
           lrt::analyze::parse_phases_def(lrt::analyze::read_file(def_path));
     }
+    const std::string counters_def = root + "/src/obs/counters.def";
+    if (fs::is_regular_file(counters_def)) {
+      config.counter_registry = lrt::analyze::parse_phases_def(
+          lrt::analyze::read_file(counters_def));
+    }
+    const std::string src_cmake = root + "/src/CMakeLists.txt";
+    if (fs::is_regular_file(src_cmake)) {
+      lrt::analyze::load_hot_tus(lrt::analyze::read_file(src_cmake), &config);
+    }
 
     const lrt::analyze::Report report = lrt::analyze::analyze_repo(config);
 
@@ -182,6 +215,17 @@ int main(int argc, char** argv) {
       }
       out << lrt::obs::json::dump(
                  lrt::analyze::report_to_json(config, report))
+          << "\n";
+    }
+    if (!sarif_path.empty()) {
+      std::ofstream out(sarif_path, std::ios::binary);
+      if (!out) {
+        std::fprintf(stderr, "lrt-analyze: cannot write %s\n",
+                     sarif_path.c_str());
+        return 2;
+      }
+      out << lrt::obs::json::dump(
+                 lrt::analyze::report_to_sarif(config, report))
           << "\n";
     }
 
