@@ -159,9 +159,12 @@ const std::vector<std::string>& layer_order() {
   // stack is instrumented (PR 2). The one legacy back-edge common -> obs
   // (common/timer.hpp's ScopedPhase shim) was retired when the shim
   // moved into obs/; the layer DAG has no grandfathered edges left.
+  // ft (resilience) sits between io and par: checkpoints build on io-level
+  // plumbing only, while the parallel runtime (retry around sends), the
+  // solvers, and the driver all consume ft.
   static const std::vector<std::string> kOrder = {
-      "common", "obs",    "grid", "la",   "fft",   "io",
-      "par",    "dft",    "kmeans", "isdf", "tddft", "analyze"};
+      "common", "obs", "grid",   "la",   "fft",   "io",
+      "ft",     "par", "dft",    "kmeans", "isdf", "tddft", "analyze"};
   return kOrder;
 }
 

@@ -14,6 +14,15 @@
 
 namespace lrt {
 
+/// Complete serializable Rng state (xoshiro256++ words plus the Marsaglia
+/// polar cache). Trivially copyable so checkpoints (src/ft/) can store it
+/// as a raw section and restore a generator mid-stream.
+struct RngState {
+  std::uint64_t word[4] = {};
+  bool has_cached = false;
+  Real cached = 0.0;
+};
+
 /// xoshiro256++ generator (Blackman & Vigna, public domain algorithm).
 class Rng {
  public:
@@ -76,6 +85,22 @@ class Rng {
     cached_ = v * factor;
     has_cached_ = true;
     return u * factor;
+  }
+
+  /// Snapshot of the full generator state; set_state() resumes the exact
+  /// draw sequence (used by K-Means checkpoint/restart, docs/RESILIENCE.md).
+  RngState state() const {
+    RngState s;
+    for (int i = 0; i < 4; ++i) s.word[i] = state_[i];
+    s.has_cached = has_cached_;
+    s.cached = cached_;
+    return s;
+  }
+
+  void set_state(const RngState& s) {
+    for (int i = 0; i < 4; ++i) state_[i] = s.word[i];
+    has_cached_ = s.has_cached;
+    cached_ = s.cached;
   }
 
  private:

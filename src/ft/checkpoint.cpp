@@ -1,0 +1,357 @@
+#include "ft/checkpoint.hpp"
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+#include "obs/obs.hpp"
+
+namespace lrt::ft {
+namespace {
+
+constexpr char kMagic[8] = {'l', 'r', 't', '.', 'c', 'k', 'p', 't'};
+constexpr std::uint32_t kVersion = 1;
+
+/// Fixed-shape header prepended to matrix payloads.
+struct MatrixHeader {
+  std::int64_t rows = 0;
+  std::int64_t cols = 0;
+};
+
+/// Fixed-shape metadata of the solver adapters.
+struct LobpcgMeta {
+  std::int64_t iteration = 0;
+};
+
+struct KMeansMeta {
+  std::int64_t iteration = 0;
+  Real objective = 0;
+  std::int32_t has_rng = 0;
+};
+
+[[noreturn]] void fail(CheckpointFault fault, const std::string& detail) {
+  throw CheckpointError(fault, detail);
+}
+
+void append_u32(std::vector<unsigned char>& out, std::uint32_t v) {
+  const std::size_t at = out.size();
+  out.resize(at + sizeof(v));
+  std::memcpy(out.data() + at, &v, sizeof(v));
+}
+
+void append_u64(std::vector<unsigned char>& out, std::uint64_t v) {
+  const std::size_t at = out.size();
+  out.resize(at + sizeof(v));
+  std::memcpy(out.data() + at, &v, sizeof(v));
+}
+
+/// Bounds-checked cursor over the raw file image.
+class Cursor {
+ public:
+  Cursor(const unsigned char* data, std::size_t size)
+      : data_(data), size_(size) {}
+
+  void read(void* out, std::size_t n, const char* what) {
+    if (n == 0) return;
+    if (pos_ + n > size_) {
+      std::ostringstream os;
+      os << "checkpoint truncated reading " << what << " (need " << n
+         << " bytes at offset " << pos_ << " of " << size_ << ")";
+      fail(CheckpointFault::kTruncated, os.str());
+    }
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+  }
+
+  std::uint32_t u32(const char* what) {
+    std::uint32_t v = 0;
+    read(&v, sizeof(v), what);
+    return v;
+  }
+
+  std::uint64_t u64(const char* what) {
+    std::uint64_t v = 0;
+    read(&v, sizeof(v), what);
+    return v;
+  }
+
+ private:
+  const unsigned char* data_;
+  std::size_t size_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace
+
+const char* to_string(CheckpointFault fault) {
+  switch (fault) {
+    case CheckpointFault::kIo:
+      return "io";
+    case CheckpointFault::kBadMagic:
+      return "bad-magic";
+    case CheckpointFault::kBadVersion:
+      return "bad-version";
+    case CheckpointFault::kTruncated:
+      return "truncated";
+    case CheckpointFault::kBadCrc:
+      return "bad-crc";
+    case CheckpointFault::kMissingSection:
+      return "missing-section";
+    case CheckpointFault::kBadShape:
+      return "bad-shape";
+  }
+  return "unknown";
+}
+
+CheckpointError::CheckpointError(CheckpointFault fault,
+                                 const std::string& what)
+    : Error(std::string("checkpoint [") + to_string(fault) + "]: " + what),
+      fault_(fault) {}
+
+std::uint32_t crc32(const void* data, std::size_t size) {
+  // Table-driven CRC32 (IEEE, reflected polynomial 0xEDB88320).
+  static const std::array<std::uint32_t, 256> table = [] {
+    std::array<std::uint32_t, 256> t{};
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t c = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        c = (c & 1u) ? (0xEDB88320u ^ (c >> 1)) : (c >> 1);
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  std::uint32_t crc = 0xFFFFFFFFu;
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  for (std::size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ bytes[i]) & 0xFFu] ^ (crc >> 8);
+  }
+  return crc ^ 0xFFFFFFFFu;
+}
+
+void CheckpointWriter::add(const std::string& name, const void* data,
+                           std::size_t size) {
+  Section section;
+  section.name = name;
+  section.payload.resize(size);
+  if (size > 0) std::memcpy(section.payload.data(), data, size);
+  sections_.push_back(std::move(section));
+}
+
+void CheckpointWriter::add_matrix(const std::string& name,
+                                  la::RealConstView m) {
+  MatrixHeader header;
+  header.rows = m.rows();
+  header.cols = m.cols();
+  std::vector<unsigned char> payload;
+  payload.resize(sizeof(header));
+  std::memcpy(payload.data(), &header, sizeof(header));
+  // Row-by-row: views may be strided windows of a larger matrix.
+  for (Index i = 0; i < m.rows(); ++i) {
+    const std::size_t at = payload.size();
+    const std::size_t row_bytes =
+        static_cast<std::size_t>(m.cols()) * sizeof(Real);
+    payload.resize(at + row_bytes);
+    std::memcpy(payload.data() + at, m.row_ptr(i), row_bytes);
+  }
+  add(name, payload.data(), payload.size());
+}
+
+void CheckpointWriter::write(const std::string& path) const {
+  const obs::Span span("ft.checkpoint.save");
+  std::vector<unsigned char> image;
+  image.insert(image.end(), kMagic, kMagic + sizeof(kMagic));
+  append_u32(image, kVersion);
+  append_u32(image, static_cast<std::uint32_t>(sections_.size()));
+  for (const Section& s : sections_) {
+    append_u32(image, static_cast<std::uint32_t>(s.name.size()));
+    image.insert(image.end(), s.name.begin(), s.name.end());
+    append_u64(image, s.payload.size());
+    append_u32(image, crc32(s.payload.data(), s.payload.size()));
+    image.insert(image.end(), s.payload.begin(), s.payload.end());
+  }
+
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) fail(CheckpointFault::kIo, "cannot open " + tmp);
+    out.write(reinterpret_cast<const char*>(image.data()),
+              static_cast<std::streamsize>(image.size()));
+    out.flush();
+    if (!out) fail(CheckpointFault::kIo, "short write to " + tmp);
+  }
+  // Atomic publish: rename is all-or-nothing within a filesystem, so a
+  // crash here leaves either the old checkpoint or the new one — never a
+  // torn file under the real name.
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    fail(CheckpointFault::kIo, "cannot rename " + tmp + " to " + path);
+  }
+}
+
+CheckpointReader::CheckpointReader(const std::string& path) {
+  const obs::Span span("ft.checkpoint.load");
+  std::vector<unsigned char> image;
+  {
+    std::ifstream in(path, std::ios::binary | std::ios::ate);
+    if (!in) fail(CheckpointFault::kIo, "cannot open " + path);
+    const std::streamsize size = in.tellg();
+    in.seekg(0);
+    image.resize(static_cast<std::size_t>(size));
+    if (size > 0) {
+      in.read(reinterpret_cast<char*>(image.data()), size);
+    }
+    if (!in) fail(CheckpointFault::kIo, "cannot read " + path);
+  }
+
+  Cursor cursor(image.data(), image.size());
+  char magic[sizeof(kMagic)] = {};
+  cursor.read(magic, sizeof(magic), "magic");
+  if (std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    fail(CheckpointFault::kBadMagic, path + " is not an lrt.ckpt file");
+  }
+  const std::uint32_t version = cursor.u32("version");
+  if (version != kVersion) {
+    std::ostringstream os;
+    os << path << " is lrt.ckpt version " << version << ", this build reads "
+       << kVersion;
+    fail(CheckpointFault::kBadVersion, os.str());
+  }
+  const std::uint32_t nsect = cursor.u32("section count");
+  for (std::uint32_t s = 0; s < nsect; ++s) {
+    const std::uint32_t name_len = cursor.u32("section name length");
+    std::string name(name_len, '\0');
+    cursor.read(name.data(), name_len, "section name");
+    const std::uint64_t size = cursor.u64("section size");
+    const std::uint32_t stored_crc = cursor.u32("section crc");
+    std::vector<unsigned char> payload(static_cast<std::size_t>(size));
+    cursor.read(payload.data(), payload.size(), name.c_str());
+    const std::uint32_t actual_crc = crc32(payload.data(), payload.size());
+    if (actual_crc != stored_crc) {
+      std::ostringstream os;
+      os << path << " section '" << name << "': crc " << std::hex
+         << actual_crc << " != stored " << stored_crc;
+      fail(CheckpointFault::kBadCrc, os.str());
+    }
+    sections_[name] = std::move(payload);
+  }
+}
+
+bool CheckpointReader::has(const std::string& name) const {
+  return sections_.count(name) != 0;
+}
+
+const std::vector<unsigned char>& CheckpointReader::section(
+    const std::string& name) const {
+  const auto it = sections_.find(name);
+  if (it == sections_.end()) {
+    fail(CheckpointFault::kMissingSection, "no section '" + name + "'");
+  }
+  return it->second;
+}
+
+la::RealMatrix CheckpointReader::matrix(const std::string& name) const {
+  const std::vector<unsigned char>& s = section(name);
+  if (s.size() < sizeof(MatrixHeader)) {
+    throw_shape(name, sizeof(MatrixHeader), s.size());
+  }
+  MatrixHeader header;
+  std::memcpy(&header, s.data(), sizeof(header));
+  if (header.rows < 0 || header.cols < 0) {
+    throw_shape(name, sizeof(MatrixHeader), s.size());
+  }
+  const std::size_t expect =
+      sizeof(header) + static_cast<std::size_t>(header.rows) *
+                           static_cast<std::size_t>(header.cols) *
+                           sizeof(Real);
+  if (s.size() != expect) throw_shape(name, expect, s.size());
+  la::RealMatrix m(static_cast<Index>(header.rows),
+                   static_cast<Index>(header.cols));
+  if (!m.empty()) {
+    std::memcpy(m.data(), s.data() + sizeof(header),
+                s.size() - sizeof(header));
+  }
+  return m;
+}
+
+void CheckpointReader::throw_shape(const std::string& name, std::size_t unit,
+                                   std::size_t actual) {
+  std::ostringstream os;
+  os << "section '" << name << "' has " << actual
+     << " bytes, inconsistent with element/expected size " << unit;
+  fail(CheckpointFault::kBadShape, os.str());
+}
+
+bool checkpoint_exists(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return static_cast<bool>(in);
+}
+
+// ----- solver adapters -------------------------------------------------------
+
+void save_lobpcg(const la::LobpcgCheckpoint& state, const std::string& path) {
+  CheckpointWriter writer;
+  writer.add("kind", "lobpcg", 6);
+  LobpcgMeta meta;
+  meta.iteration = state.iteration;
+  writer.add_pod("meta", meta);
+  writer.add_matrix("x", state.x.view());
+  writer.add_matrix("hx", state.hx.view());
+  writer.add_matrix("p", state.p.view());
+  writer.add_matrix("hp", state.hp.view());
+  writer.add_array("eigenvalues", state.eigenvalues);
+  writer.add_array("previous_values", state.previous_values);
+  writer.add_array("residual_norms", state.residual_norms);
+  writer.write(path);
+}
+
+la::LobpcgCheckpoint load_lobpcg(const std::string& path) {
+  const CheckpointReader reader(path);
+  const std::vector<unsigned char>& kind = reader.section("kind");
+  if (std::string(kind.begin(), kind.end()) != "lobpcg") {
+    fail(CheckpointFault::kBadShape, path + " is not a lobpcg checkpoint");
+  }
+  la::LobpcgCheckpoint state;
+  const auto meta = reader.pod<LobpcgMeta>("meta");
+  state.iteration = static_cast<Index>(meta.iteration);
+  state.x = reader.matrix("x");
+  state.hx = reader.matrix("hx");
+  state.p = reader.matrix("p");
+  state.hp = reader.matrix("hp");
+  state.eigenvalues = reader.array<Real>("eigenvalues");
+  state.previous_values = reader.array<Real>("previous_values");
+  state.residual_norms = reader.array<Real>("residual_norms");
+  return state;
+}
+
+void save_kmeans(const KMeansState& state, const std::string& path) {
+  CheckpointWriter writer;
+  writer.add("kind", "kmeans", 6);
+  KMeansMeta meta;
+  meta.iteration = state.iteration;
+  meta.objective = state.objective;
+  meta.has_rng = state.has_rng ? 1 : 0;
+  writer.add_pod("meta", meta);
+  writer.add_array("centroids", state.centroids);
+  if (state.has_rng) writer.add_pod("rng", state.rng);
+  writer.write(path);
+}
+
+KMeansState load_kmeans(const std::string& path) {
+  const CheckpointReader reader(path);
+  const std::vector<unsigned char>& kind = reader.section("kind");
+  if (std::string(kind.begin(), kind.end()) != "kmeans") {
+    fail(CheckpointFault::kBadShape, path + " is not a kmeans checkpoint");
+  }
+  KMeansState state;
+  const auto meta = reader.pod<KMeansMeta>("meta");
+  state.iteration = static_cast<Index>(meta.iteration);
+  state.objective = meta.objective;
+  state.has_rng = meta.has_rng != 0;
+  state.centroids = reader.array<grid::Vec3>("centroids");
+  if (state.has_rng) state.rng = reader.pod<RngState>("rng");
+  return state;
+}
+
+}  // namespace lrt::ft

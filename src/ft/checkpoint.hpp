@@ -1,0 +1,159 @@
+// Versioned binary checkpoints (lrt.ckpt/1) with atomic writes.
+//
+// File layout (native endianness — checkpoints restart runs on the same
+// machine, they are not an interchange format):
+//
+//   magic   8 bytes  "lrt.ckpt"
+//   version u32      1
+//   nsect   u32      section count
+//   per section:
+//     name_len u32, name bytes, size u64, crc u32 (CRC32/IEEE of the
+//     payload), payload bytes
+//
+// Writes go to `path + ".tmp"` and are renamed into place, so a reader
+// never sees a half-written checkpoint: either the old complete file or
+// the new complete file. Every reader failure mode — missing file, bad
+// magic, wrong version, truncation, checksum mismatch, missing section,
+// shape mismatch — surfaces as a typed CheckpointError; a corrupt
+// checkpoint can never restore silently wrong state. See
+// docs/RESILIENCE.md.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+#include "grid/unitcell.hpp"
+#include "la/lobpcg.hpp"
+#include "la/matrix.hpp"
+
+namespace lrt::ft {
+
+/// What a checkpoint restore failed on.
+enum class CheckpointFault {
+  kIo,             ///< file missing or unreadable
+  kBadMagic,       ///< not an lrt.ckpt file
+  kBadVersion,     ///< format version this build does not understand
+  kTruncated,      ///< file ends mid-structure
+  kBadCrc,         ///< section checksum mismatch (bit rot / torn write)
+  kMissingSection, ///< structurally valid but lacks a required section
+  kBadShape,       ///< section present but sized wrong for its type
+};
+
+const char* to_string(CheckpointFault fault);
+
+class CheckpointError : public Error {
+ public:
+  CheckpointError(CheckpointFault fault, const std::string& what);
+  CheckpointFault fault() const { return fault_; }
+
+ private:
+  CheckpointFault fault_;
+};
+
+/// CRC32 (IEEE 802.3 polynomial, reflected) of `size` bytes.
+std::uint32_t crc32(const void* data, std::size_t size);
+
+/// Accumulates named sections, then writes them atomically.
+class CheckpointWriter {
+ public:
+  void add(const std::string& name, const void* data, std::size_t size);
+
+  /// Any trivially copyable struct as one section.
+  template <typename T>
+  void add_pod(const std::string& name, const T& value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    add(name, &value, sizeof(T));
+  }
+
+  template <typename T>
+  void add_array(const std::string& name, const std::vector<T>& values) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    add(name, values.data(), values.size() * sizeof(T));
+  }
+
+  /// Dense matrix with its shape; accepts strided views.
+  void add_matrix(const std::string& name, la::RealConstView m);
+
+  /// Temp-file + rename; throws CheckpointError(kIo) on write failure.
+  void write(const std::string& path) const;
+
+ private:
+  struct Section {
+    std::string name;
+    std::vector<unsigned char> payload;
+  };
+  std::vector<Section> sections_;
+};
+
+/// Parses and CRC-validates a checkpoint on construction.
+class CheckpointReader {
+ public:
+  explicit CheckpointReader(const std::string& path);
+
+  bool has(const std::string& name) const;
+
+  /// Throws CheckpointError(kMissingSection) for unknown names.
+  const std::vector<unsigned char>& section(const std::string& name) const;
+
+  template <typename T>
+  T pod(const std::string& name) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::vector<unsigned char>& s = section(name);
+    if (s.size() != sizeof(T)) throw_shape(name, sizeof(T), s.size());
+    T value;
+    std::memcpy(&value, s.data(), sizeof(T));
+    return value;
+  }
+
+  template <typename T>
+  std::vector<T> array(const std::string& name) const {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const std::vector<unsigned char>& s = section(name);
+    if (s.size() % sizeof(T) != 0) throw_shape(name, sizeof(T), s.size());
+    std::vector<T> values(s.size() / sizeof(T));
+    if (!values.empty()) std::memcpy(values.data(), s.data(), s.size());
+    return values;
+  }
+
+  la::RealMatrix matrix(const std::string& name) const;
+
+ private:
+  [[noreturn]] static void throw_shape(const std::string& name,
+                                       std::size_t unit, std::size_t actual);
+
+  std::map<std::string, std::vector<unsigned char>> sections_;
+};
+
+/// True when a complete checkpoint exists at `path`. A leftover
+/// `path + ".tmp"` from an interrupted write never counts: the rename
+/// never happened, so the previous complete state (or none) is the truth.
+bool checkpoint_exists(const std::string& path);
+
+// ----- solver adapters -------------------------------------------------------
+
+/// LOBPCG snapshots (serial, or one per-rank row slab for dist_lobpcg).
+void save_lobpcg(const la::LobpcgCheckpoint& state, const std::string& path);
+la::LobpcgCheckpoint load_lobpcg(const std::string& path);
+
+/// End-of-iteration state of a (distributed) weighted K-Means run;
+/// `objective` is the converged-so-far objective used by the tolerance
+/// test, `rng` resumes the serial solver's reseeding stream mid-sequence
+/// (the distributed solver draws no randomness and leaves has_rng false).
+struct KMeansState {
+  std::vector<grid::Vec3> centroids;
+  Index iteration = 0;
+  Real objective = 0;
+  bool has_rng = false;
+  RngState rng;
+};
+
+void save_kmeans(const KMeansState& state, const std::string& path);
+KMeansState load_kmeans(const std::string& path);
+
+}  // namespace lrt::ft

@@ -1,0 +1,167 @@
+#include "ft/fault.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "common/timer.hpp"
+#include "obs/counters.hpp"
+
+namespace lrt::ft {
+namespace {
+
+// Distinct per-rank streams: decorrelate the SplitMix64-seeded states by
+// mixing the rank into the seed with the golden-ratio increment.
+std::uint64_t rank_seed(std::uint64_t seed, int rank) {
+  return seed ^ (0x9e3779b97f4a7c15ull * (static_cast<std::uint64_t>(rank) + 1));
+}
+
+double parse_prob(const std::string& key, const std::string& value) {
+  std::size_t pos = 0;
+  double p = 0.0;
+  try {
+    p = std::stod(value, &pos);
+  } catch (const std::exception&) {
+    pos = std::string::npos;
+  }
+  LRT_CHECK(pos == value.size() && p >= 0.0 && p <= 1.0,
+            "LRT_FAULT: " << key << "=" << value
+                          << " is not a probability in [0,1]");
+  return p;
+}
+
+long long parse_ll(const std::string& key, const std::string& value,
+                   long long min_value) {
+  std::size_t pos = 0;
+  long long n = 0;
+  try {
+    n = std::stoll(value, &pos);
+  } catch (const std::exception&) {
+    pos = std::string::npos;
+  }
+  LRT_CHECK(pos == value.size() && n >= min_value,
+            "LRT_FAULT: " << key << "=" << value << " must be an integer >= "
+                          << min_value);
+  return n;
+}
+
+}  // namespace
+
+FaultSpec FaultSpec::parse(const std::string& text) {
+  FaultSpec spec;
+  std::istringstream in(text);
+  std::string item;
+  while (std::getline(in, item, ',')) {
+    // Tolerate stray whitespace around items ("fail=0.01, delay=0.1").
+    const std::size_t begin = item.find_first_not_of(" \t");
+    const std::size_t end = item.find_last_not_of(" \t");
+    if (begin == std::string::npos) continue;
+    item = item.substr(begin, end - begin + 1);
+    const std::size_t eq = item.find('=');
+    LRT_CHECK(eq != std::string::npos && eq > 0,
+              "LRT_FAULT: expected key=value, got '" << item << "'");
+    const std::string key = item.substr(0, eq);
+    const std::string value = item.substr(eq + 1);
+    if (key == "seed") {
+      spec.seed = static_cast<std::uint64_t>(parse_ll(key, value, 0));
+    } else if (key == "fail") {
+      spec.send_fail_prob = parse_prob(key, value);
+    } else if (key == "delay") {
+      spec.delay_prob = parse_prob(key, value);
+    } else if (key == "delay_us") {
+      spec.delay_us = parse_ll(key, value, 0);
+    } else if (key == "crash") {
+      const std::size_t at = value.find('@');
+      LRT_CHECK(at != std::string::npos,
+                "LRT_FAULT: crash wants rank@query, got '" << value << "'");
+      spec.crash_rank =
+          static_cast<int>(parse_ll(key, value.substr(0, at), 0));
+      spec.crash_at = parse_ll(key, value.substr(at + 1), 1);
+    } else if (key == "retries") {
+      spec.max_attempts = static_cast<int>(parse_ll(key, value, 1));
+    } else if (key == "backoff_us") {
+      spec.backoff_us = parse_ll(key, value, 0);
+    } else {
+      throw Error("LRT_FAULT: unknown key '" + key + "'");
+    }
+  }
+  return spec;
+}
+
+FaultPlan::FaultPlan(const FaultSpec& spec, int nranks)
+    : spec_(spec),
+      injected_fails_(&obs::counter("ft.inject.send_fail")),
+      injected_delays_(&obs::counter("ft.inject.delay")),
+      injected_crashes_(&obs::counter("ft.inject.crash")),
+      site_queries_(&obs::counter("ft.inject.queries")) {
+  LRT_CHECK(nranks >= 1, "FaultPlan wants at least one rank");
+  ranks_.resize(static_cast<std::size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    ranks_[static_cast<std::size_t>(r)].rng = Rng(rank_seed(spec.seed, r));
+  }
+}
+
+std::unique_ptr<FaultPlan> FaultPlan::from_env(int nranks) {
+  const char* text = std::getenv("LRT_FAULT");
+  if (text == nullptr || *text == '\0') return nullptr;
+  return std::make_unique<FaultPlan>(FaultSpec::parse(text), nranks);
+}
+
+FaultPlan::RankStream& FaultPlan::stream(int rank) {
+  LRT_ASSERT(rank >= 0 && rank < static_cast<int>(ranks_.size()),
+             "fault plan: bad rank " << rank);
+  return ranks_[static_cast<std::size_t>(rank)];
+}
+
+void FaultPlan::maybe_delay_or_crash(RankStream& s, int rank,
+                                     const char* site) {
+  ++s.queries;
+  site_queries_->add(1);
+  if (rank == spec_.crash_rank && s.queries == spec_.crash_at) {
+    injected_crashes_->add(1);
+    std::ostringstream os;
+    os << "injected crash of rank " << rank << " at " << site << " query #"
+       << s.queries;
+    throw RankCrashError(os.str());
+  }
+  if (spec_.delay_prob > 0.0 && s.rng.uniform() < spec_.delay_prob) {
+    injected_delays_->add(1);
+    spin_wait_us(spec_.delay_us);
+  }
+}
+
+void FaultPlan::on_send(int rank) {
+  RankStream& s = stream(rank);
+  maybe_delay_or_crash(s, rank, "send");
+  if (spec_.send_fail_prob > 0.0 && s.rng.uniform() < spec_.send_fail_prob) {
+    injected_fails_->add(1);
+    std::ostringstream os;
+    os << "injected transient send failure on rank " << rank << " (query #"
+       << s.queries << ")";
+    throw TransientError(os.str());
+  }
+}
+
+void FaultPlan::on_collective(int rank) {
+  maybe_delay_or_crash(stream(rank), rank, "collective");
+}
+
+long long FaultPlan::jitter_us(int rank, long long max_us) {
+  if (max_us <= 0) return 0;
+  return static_cast<long long>(stream(rank).rng.uniform_index(
+      static_cast<std::uint64_t>(max_us) + 1));
+}
+
+long long FaultPlan::queries(int rank) const {
+  return ranks_[static_cast<std::size_t>(rank)].queries;
+}
+
+void spin_wait_us(long long us) {
+  if (us <= 0) return;
+  Timer timer;
+  const double limit = static_cast<double>(us) * 1e-6;
+  while (timer.seconds() < limit) {
+    // Busy wait; see the declaration for why this is not a sleep.
+  }
+}
+
+}  // namespace lrt::ft

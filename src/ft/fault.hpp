@@ -1,0 +1,128 @@
+// Deterministic fault injection for the parallel runtime.
+//
+// A FaultPlan decides, at every injection site the runtime queries
+// (point-to-point sends and collective entries in par::Comm), whether to
+// inject a message delay, a transient send failure (ft::TransientError,
+// healed by ft::Retry), or a single-rank "crash" (ft::RankCrashError,
+// which propagates through the runtime's poison-all abort path exactly
+// like a real rank loss). Every decision is drawn from a per-rank
+// xoshiro256++ stream seeded from (spec seed, world rank), and each rank's
+// stream is touched only by that rank's thread — so a given seed + spec
+// reproduces the exact same injection sites and retry schedules run after
+// run, independent of thread interleaving. See docs/RESILIENCE.md.
+//
+// Plans come from the LRT_FAULT environment variable ("seed=7,fail=0.01")
+// or an explicit FaultSpec passed to par::run; no plan means every hook
+// compiles down to one pointer test on the Comm hot paths.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/random.hpp"
+
+namespace lrt::obs {
+class Counter;
+}  // namespace lrt::obs
+
+namespace lrt::ft {
+
+/// A communication attempt that failed but is worth retrying (injected
+/// send failures surface as this; ft::Retry heals them locally).
+class TransientError : public Error {
+ public:
+  explicit TransientError(const std::string& what) : Error(what) {}
+};
+
+/// A rank was taken down by the plan. Never retried: it propagates out of
+/// par::run through the poison-all abort path, like a real rank loss.
+class RankCrashError : public Error {
+ public:
+  explicit RankCrashError(const std::string& what) : Error(what) {}
+};
+
+/// Parsed LRT_FAULT specification. Grammar: comma-separated key=value
+/// pairs (docs/RESILIENCE.md):
+///
+///   seed=N        PRNG seed (default 1)
+///   fail=P        per-send transient-failure probability in [0,1]
+///   delay=P       per-site delay probability in [0,1]
+///   delay_us=N    injected delay length in microseconds (default 20)
+///   crash=R@N     rank R crashes at its N-th injection-site query
+///   retries=N     Comm retry budget for transient sends (default 6)
+///   backoff_us=N  base retry backoff, doubled per attempt (default 1)
+struct FaultSpec {
+  std::uint64_t seed = 1;
+  double send_fail_prob = 0.0;
+  double delay_prob = 0.0;
+  long long delay_us = 20;
+  int crash_rank = -1;
+  long long crash_at = -1;
+  int max_attempts = 6;
+  long long backoff_us = 1;
+
+  /// Parses the grammar above; throws lrt::Error on malformed input.
+  static FaultSpec parse(const std::string& text);
+};
+
+/// One parallel run's injection schedule. Owned by par::Runtime; Comm
+/// caches a raw pointer (null = injection disabled).
+class FaultPlan {
+ public:
+  FaultPlan(const FaultSpec& spec, int nranks);
+
+  /// Builds a plan from LRT_FAULT, or null when the variable is unset or
+  /// empty (the common production case).
+  static std::unique_ptr<FaultPlan> from_env(int nranks);
+
+  const FaultSpec& spec() const { return spec_; }
+
+  /// Injection hook for a p2p send by world rank `rank`. May spin-delay,
+  /// throw TransientError, or throw RankCrashError. Each failed attempt
+  /// re-queries the hook, so retry schedules advance the rank's stream
+  /// deterministically.
+  void on_send(int rank);
+
+  /// Injection hook at collective entry: delay and crash only. Transient
+  /// failures are never injected here — a collective has already posted
+  /// its verifier signature on entry, so replaying it locally would
+  /// diverge the cross-rank sequence numbers; sends *inside* collectives
+  /// remain fair game for on_send.
+  void on_collective(int rank);
+
+  /// Deterministic backoff jitter in [0, max_us], drawn from `rank`'s
+  /// stream (same stream as the injection decisions, so the whole retry
+  /// schedule replays from the seed).
+  long long jitter_us(int rank, long long max_us);
+
+  /// Injection-site queries rank has issued so far (crash=R@N counts
+  /// these).
+  long long queries(int rank) const;
+
+ private:
+  struct RankStream {
+    Rng rng;
+    long long queries = 0;
+  };
+
+  RankStream& stream(int rank);
+  void maybe_delay_or_crash(RankStream& s, int rank, const char* site);
+
+  FaultSpec spec_;
+  std::vector<RankStream> ranks_;
+  obs::Counter* injected_fails_;
+  obs::Counter* injected_delays_;
+  obs::Counter* injected_crashes_;
+  obs::Counter* site_queries_;
+};
+
+/// Busy-waits for `us` microseconds on the monotonic clock. Used for
+/// injected delays and retry backoff: the analyzer bans sleep_for in
+/// library code (tools/lrt-analyze banned-sleep), and at these durations a
+/// scheduler round-trip would dwarf the wait anyway.
+void spin_wait_us(long long us);
+
+}  // namespace lrt::ft

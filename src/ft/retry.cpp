@@ -1,0 +1,26 @@
+#include "ft/retry.hpp"
+
+#include "obs/counters.hpp"
+
+namespace lrt::ft {
+
+RetrySite default_retry_site() {
+  static RetrySite site{&obs::counter("ft.retry.attempts"),
+                        &obs::counter("ft.retry.exhausted")};
+  return site;
+}
+
+void Retry::count_attempt() { site_.attempts->add(1); }
+
+void Retry::count_exhausted() { site_.exhausted->add(1); }
+
+void Retry::backoff(int attempt) {
+  // Exponential with a cap: base, 2*base, 4*base, ... clamped to max.
+  long long us = options_.base_backoff_us;
+  for (int i = 0; i < attempt && us < options_.max_backoff_us; ++i) us *= 2;
+  if (us > options_.max_backoff_us) us = options_.max_backoff_us;
+  if (plan_ != nullptr) us += plan_->jitter_us(rank_, us);
+  spin_wait_us(us);
+}
+
+}  // namespace lrt::ft

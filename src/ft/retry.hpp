@@ -1,0 +1,73 @@
+// Bounded retry with deterministic exponential backoff.
+//
+// Retry::run(body) re-executes `body` while it throws ft::TransientError,
+// up to a fixed attempt budget, backing off exponentially between
+// attempts with jitter drawn from the FaultPlan's per-rank PRNG stream —
+// so a retry schedule is as reproducible as the faults that caused it.
+// Any other exception (RankCrashError, verifier findings, logic errors)
+// passes straight through: transient vs fatal classification lives in the
+// error type, not here. See docs/RESILIENCE.md.
+#pragma once
+
+#include "ft/fault.hpp"
+
+namespace lrt::obs {
+class Counter;
+}  // namespace lrt::obs
+
+namespace lrt::ft {
+
+struct RetryOptions {
+  int max_attempts = 6;
+  long long base_backoff_us = 1;  ///< doubled per attempt
+  long long max_backoff_us = 1000;
+};
+
+/// Counter pair a retry site reports to: `attempts` counts re-executions
+/// after a transient failure, `exhausted` counts budgets that ran out
+/// (the final TransientError then escapes as fatal).
+struct RetrySite {
+  obs::Counter* attempts = nullptr;
+  obs::Counter* exhausted = nullptr;
+};
+
+/// The default site (ft.retry.* counters) for callers without their own.
+RetrySite default_retry_site();
+
+class Retry {
+ public:
+  /// `plan` supplies backoff jitter for world rank `rank`; null means no
+  /// jitter (pure exponential), which keeps Retry usable outside fault
+  /// runs.
+  Retry(const RetryOptions& options, RetrySite site, FaultPlan* plan,
+        int rank)
+      : options_(options), site_(site), plan_(plan), rank_(rank) {}
+
+  template <typename F>
+  auto run(F&& body) -> decltype(body()) {
+    for (int attempt = 0;; ++attempt) {
+      try {
+        return body();
+      } catch (const TransientError&) {
+        if (attempt + 1 >= options_.max_attempts) {
+          if (site_.exhausted != nullptr) count_exhausted();
+          throw;
+        }
+        if (site_.attempts != nullptr) count_attempt();
+        backoff(attempt);
+      }
+    }
+  }
+
+ private:
+  void count_attempt();
+  void count_exhausted();
+  void backoff(int attempt);
+
+  RetryOptions options_;
+  RetrySite site_;
+  FaultPlan* plan_;
+  int rank_;
+};
+
+}  // namespace lrt::ft

@@ -56,67 +56,90 @@ DistKMeansResult dist_weighted_kmeans(par::Comm& comm,
   comm.allreduce(&pruned, 1, par::ReduceOp::kSum);
   result.num_pruned = pruned;
 
-  // Seeding: every rank contributes its k heaviest kept points; the
-  // globally heaviest k of the allgathered candidates seed the clusters
-  // identically on every rank.
-  struct Candidate {
-    Real weight;
-    Real x, y, z;
-  };
-  static_assert(std::is_trivially_copyable_v<Candidate>);
-  const Index c_per_rank = std::min<Index>(k, static_cast<Index>(kept.size()));
-  std::vector<Index> order = kept;
-  std::partial_sort(order.begin(), order.begin() + c_per_rank, order.end(),
-                    [&](Index a, Index b) {
-                      return weights[static_cast<std::size_t>(a)] >
-                             weights[static_cast<std::size_t>(b)];
-                    });
-  std::vector<Candidate> mine(static_cast<std::size_t>(k),
-                              Candidate{-1, 0, 0, 0});
-  for (Index j = 0; j < c_per_rank; ++j) {
-    const Index p = order[static_cast<std::size_t>(j)];
-    mine[static_cast<std::size_t>(j)] =
-        Candidate{weights[static_cast<std::size_t>(p)],
-                  points[static_cast<std::size_t>(p)][0],
-                  points[static_cast<std::size_t>(p)][1],
-                  points[static_cast<std::size_t>(p)][2]};
-  }
-  std::vector<Candidate> all(static_cast<std::size_t>(k * comm.size()));
-  comm.allgather(mine.data(), k, all.data());
-  std::sort(all.begin(), all.end(), [](const Candidate& a, const Candidate& b) {
-    return a.weight > b.weight;
-  });
-  result.centroids.resize(static_cast<std::size_t>(k));
-  for (Index c = 0; c < k; ++c) {
-    LRT_CHECK(all[static_cast<std::size_t>(c)].weight >= 0,
-              "not enough kept points to seed " << k << " clusters");
-    result.centroids[static_cast<std::size_t>(c)] = {
-        all[static_cast<std::size_t>(c)].x, all[static_cast<std::size_t>(c)].y,
-        all[static_cast<std::size_t>(c)].z};
+  Index start_iter = 0;
+  Real restored_objective = std::numeric_limits<Real>::max();
+  if (options.restore != nullptr) {
+    // Resume mid-run (every rank must be handed the same snapshot, like
+    // every other uniform-options contract of this collective routine):
+    // centroids and the previous objective come from the checkpoint, the
+    // kept sets were just recomputed deterministically, and the seeding
+    // exchange below is skipped on all ranks together.
+    const ft::KMeansState& ck = *options.restore;
+    LRT_CHECK(static_cast<Index>(ck.centroids.size()) == k,
+              "dist_kmeans restore: snapshot has "
+                  << ck.centroids.size() << " centroids, expected " << k);
+    result.centroids = ck.centroids;
+    start_iter = ck.iteration;
+    restored_objective = ck.objective;
+  } else {
+    // Seeding: every rank contributes its k heaviest kept points; the
+    // globally heaviest k of the allgathered candidates seed the clusters
+    // identically on every rank.
+    struct Candidate {
+      Real weight;
+      Real x, y, z;
+    };
+    static_assert(std::is_trivially_copyable_v<Candidate>);
+    const Index c_per_rank =
+        std::min<Index>(k, static_cast<Index>(kept.size()));
+    std::vector<Index> order = kept;
+    std::partial_sort(order.begin(), order.begin() + c_per_rank, order.end(),
+                      [&](Index a, Index b) {
+                        return weights[static_cast<std::size_t>(a)] >
+                               weights[static_cast<std::size_t>(b)];
+                      });
+    std::vector<Candidate> mine(static_cast<std::size_t>(k),
+                                Candidate{-1, 0, 0, 0});
+    for (Index j = 0; j < c_per_rank; ++j) {
+      const Index p = order[static_cast<std::size_t>(j)];
+      mine[static_cast<std::size_t>(j)] =
+          Candidate{weights[static_cast<std::size_t>(p)],
+                    points[static_cast<std::size_t>(p)][0],
+                    points[static_cast<std::size_t>(p)][1],
+                    points[static_cast<std::size_t>(p)][2]};
+    }
+    std::vector<Candidate> all(static_cast<std::size_t>(k * comm.size()));
+    comm.allgather(mine.data(), k, all.data());
+    std::sort(all.begin(), all.end(),
+              [](const Candidate& a, const Candidate& b) {
+                return a.weight > b.weight;
+              });
+    result.centroids.resize(static_cast<std::size_t>(k));
+    for (Index c = 0; c < k; ++c) {
+      LRT_CHECK(all[static_cast<std::size_t>(c)].weight >= 0,
+                "not enough kept points to seed " << k << " clusters");
+      result.centroids[static_cast<std::size_t>(c)] = {
+          all[static_cast<std::size_t>(c)].x,
+          all[static_cast<std::size_t>(c)].y,
+          all[static_cast<std::size_t>(c)].z};
+    }
   }
 
   // Lloyd iterations with one Allreduce per step.
   std::vector<Index> assignment(kept.size(), 0);
   // Packed reduction buffer: per cluster [w, wx, wy, wz], then objective.
   std::vector<Real> reduction(static_cast<std::size_t>(4 * k + 1));
-  Real previous_objective = std::numeric_limits<Real>::max();
+  Real previous_objective = restored_objective;
 
   // Elkan-lite pruning state, as in kmeans.cpp: lb[i] lower-bounds the
-  // distance to every center except the assigned one.
+  // distance to every center except the assigned one. have_move_state
+  // mirrors the serial solver: false on the first iteration and after a
+  // restore, forcing a full scan (bit-identical by the PR-4 invariant).
   const bool prune = options.pruned_assignment;
   std::vector<Real> lb(prune ? kept.size() : 0, Real{-1});
   std::vector<grid::Vec3> prev_centroids;
+  bool have_move_state = false;
   static obs::Counter& full_counter = obs::counter("kmeans.assign.full");
   static obs::Counter& skip_counter = obs::counter("kmeans.assign.skipped");
 
-  for (Index iter = 0; iter < options.max_iterations; ++iter) {
+  for (Index iter = start_iter; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
     std::fill(reduction.begin(), reduction.end(), Real{0});
 
     Real move1 = 0;
     Real move2 = 0;
     Index move_arg = -1;
-    if (prune && iter > 0) {
+    if (prune && have_move_state) {
       for (Index c = 0; c < k; ++c) {
         const Real moved = std::sqrt(squared_distance(
             prev_centroids[static_cast<std::size_t>(c)],
@@ -185,7 +208,10 @@ DistKMeansResult dist_weighted_kmeans(par::Comm& comm,
     }
     full_counter.add(full_scans);
     skip_counter.add(skips);
-    if (prune) prev_centroids = result.centroids;
+    if (prune) {
+      prev_centroids = result.centroids;
+      have_move_state = true;
+    }
 
     comm.allreduce(reduction.data(), static_cast<Index>(reduction.size()),
                    par::ReduceOp::kSum);
@@ -207,6 +233,18 @@ DistKMeansResult dist_weighted_kmeans(par::Comm& comm,
       break;
     }
     previous_objective = result.objective;
+
+    // End-of-iteration snapshot. The sink typically writes only on rank 0
+    // (centroids and objective are replicated by the allreduce above);
+    // has_rng stays false — this solver draws no randomness.
+    if (options.checkpoint_interval > 0 && options.checkpoint_sink &&
+        (iter + 1) % options.checkpoint_interval == 0) {
+      ft::KMeansState ck;
+      ck.centroids = result.centroids;
+      ck.iteration = iter + 1;
+      ck.objective = previous_objective;
+      options.checkpoint_sink(ck);
+    }
   }
 
   // Representative points: local nearest per cluster, then a global

@@ -171,9 +171,26 @@ KMeansResult weighted_kmeans(const std::vector<grid::Vec3>& points,
 
   const std::vector<Index>& kept = result.kept_points;
   const Index nkept = static_cast<Index>(kept.size());
-  result.centroids =
-      seed_centroids(points, weights, kept, k, options.seeding, rng,
-                     options.periodic_cell);
+  Index start_iter = 0;
+  Real restored_objective = std::numeric_limits<Real>::max();
+  if (options.restore != nullptr) {
+    // Resume mid-run: centroids, objective, and the Rng stream (which
+    // already consumed the seeding draws, and replays any empty-cluster
+    // reseeds after the restore point) come from the snapshot; pruning
+    // and kept_points were recomputed above, deterministically.
+    const ft::KMeansState& ck = *options.restore;
+    LRT_CHECK(static_cast<Index>(ck.centroids.size()) == k,
+              "kmeans restore: snapshot has " << ck.centroids.size()
+                                              << " centroids, expected " << k);
+    result.centroids = ck.centroids;
+    start_iter = ck.iteration;
+    restored_objective = ck.objective;
+    if (ck.has_rng) rng.set_state(ck.rng);
+  } else {
+    result.centroids =
+        seed_centroids(points, weights, kept, k, options.seeding, rng,
+                       options.periodic_cell);
+  }
 
   result.assignment.assign(static_cast<std::size_t>(nkept), 0);
   std::vector<Real> sum_w(static_cast<std::size_t>(k));
@@ -189,12 +206,17 @@ KMeansResult weighted_kmeans(const std::vector<grid::Vec3>& points,
   std::vector<Real> lb(prune ? static_cast<std::size_t>(nkept) : 0,
                        Real{-1});
   std::vector<grid::Vec3> prev_centroids;
+  // True once a completed iteration has left movement state behind
+  // (prev_centroids + lb). False on the first iteration and on the first
+  // iteration after a restore — the restored run full-scans every point,
+  // which is bit-identical to the pruned path (docs/PERFORMANCE.md §3).
+  bool have_move_state = false;
   static obs::Counter& full_counter = obs::counter("kmeans.assign.full");
   static obs::Counter& skip_counter = obs::counter("kmeans.assign.skipped");
 
   const obs::Span lloyd_span("kmeans.lloyd");
-  Real previous_objective = std::numeric_limits<Real>::max();
-  for (Index iter = 0; iter < options.max_iterations; ++iter) {
+  Real previous_objective = restored_objective;
+  for (Index iter = start_iter; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
 
     // How far each center moved in the last update step; a point's bound
@@ -204,7 +226,7 @@ KMeansResult weighted_kmeans(const std::vector<grid::Vec3>& points,
     Real move1 = 0;
     Real move2 = 0;
     Index move_arg = -1;
-    if (prune && iter > 0) {
+    if (prune && have_move_state) {
       for (Index c = 0; c < k; ++c) {
         const Real moved = std::sqrt(squared_distance(
             prev_centroids[static_cast<std::size_t>(c)],
@@ -269,7 +291,10 @@ KMeansResult weighted_kmeans(const std::vector<grid::Vec3>& points,
     result.objective = objective;
     full_counter.add(full_scans);
     skip_counter.add(skips);
-    if (prune) prev_centroids = result.centroids;
+    if (prune) {
+      prev_centroids = result.centroids;
+      have_move_state = true;
+    }
 
     // Update step: weighted centroid of each cluster (paper Eq 13). In
     // periodic mode the mean is taken over minimum-image DISPLACEMENTS
@@ -318,6 +343,17 @@ KMeansResult weighted_kmeans(const std::vector<grid::Vec3>& points,
       break;
     }
     previous_objective = objective;
+
+    if (options.checkpoint_interval > 0 && options.checkpoint_sink &&
+        (iter + 1) % options.checkpoint_interval == 0) {
+      ft::KMeansState ck;
+      ck.centroids = result.centroids;
+      ck.iteration = iter + 1;
+      ck.objective = previous_objective;
+      ck.has_rng = true;
+      ck.rng = rng.state();
+      options.checkpoint_sink(ck);
+    }
   }
 
   // Representative interpolation point per cluster: the kept point nearest

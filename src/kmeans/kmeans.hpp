@@ -12,8 +12,10 @@
 //  - weighted Lloyd updates with empty-cluster reseeding.
 #pragma once
 
+#include <functional>
 #include <vector>
 
+#include "ft/checkpoint.hpp"
 #include "grid/rsgrid.hpp"
 #include "la/matrix.hpp"
 
@@ -51,6 +53,16 @@ struct KMeansOptions {
   /// tests/test_perf_kernels.cpp) — so this is safe to leave on; the
   /// switch exists for the exactness test and the `--compare` bench.
   bool pruned_assignment = true;
+  /// Checkpoint/restart (docs/RESILIENCE.md): every `checkpoint_interval`
+  /// completed Lloyd iterations the solver hands its end-of-iteration
+  /// state to `checkpoint_sink` (0 disables); `restore` resumes from one.
+  /// A resumed run is bit-identical to an uninterrupted one: the first
+  /// resumed iteration full-scans every point (no Elkan bounds survive
+  /// the restart), which the PR-4 pruning invariant makes exact, and the
+  /// serialized Rng stream replays any later empty-cluster reseeds.
+  Index checkpoint_interval = 0;
+  std::function<void(const ft::KMeansState&)> checkpoint_sink;
+  const ft::KMeansState* restore = nullptr;
 };
 
 struct KMeansResult {

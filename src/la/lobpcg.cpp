@@ -43,27 +43,47 @@ LobpcgResult lobpcg(const BlockOperator& apply_h,
   result.eigenvalues.assign(static_cast<std::size_t>(k), Real{0});
   result.residual_norms.assign(static_cast<std::size_t>(k), Real{0});
 
-  RealMatrix x = std::move(x0);
-  cholqr2(x.view());
+  RealMatrix x;
+  RealMatrix hx;
+  RealMatrix p;   // previous direction block (empty in iteration 0)
+  RealMatrix hp;  // H * P maintained alongside
+  std::vector<Real> previous_values;
+  Index start_iter = 0;
 
-  RealMatrix hx(n, k);
-  apply_h(x.view(), hx.view());
+  if (options.restore != nullptr) {
+    // Resume mid-run: the snapshot holds the full end-of-iteration state
+    // (X, HX, P, HP, values), so the initial orthonormalization and
+    // Rayleigh-Ritz are skipped and the loop continues where it stopped —
+    // bit-identically, see docs/RESILIENCE.md.
+    const LobpcgCheckpoint& ck = *options.restore;
+    LRT_CHECK(ck.x.rows() == n && ck.x.cols() == k,
+              "lobpcg restore: snapshot block is "
+                  << ck.x.rows() << "x" << ck.x.cols() << ", expected " << n
+                  << "x" << k);
+    x = ck.x;
+    hx = ck.hx;
+    p = ck.p;
+    hp = ck.hp;
+    result.eigenvalues = ck.eigenvalues;
+    previous_values = ck.previous_values;
+    start_iter = ck.iteration;
+  } else {
+    x = std::move(x0);
+    cholqr2(x.view());
 
-  // Initial Rayleigh-Ritz inside span(X).
-  {
+    hx.resize(n, k);
+    apply_h(x.view(), hx.view());
+
+    // Initial Rayleigh-Ritz inside span(X).
     const RealMatrix xhx = gemm(Trans::kYes, Trans::kNo, x.view(), hx.view());
     EigResult rr = syev(xhx.view());
     x = gemm(Trans::kNo, Trans::kNo, x.view(), rr.vectors.view());
     hx = gemm(Trans::kNo, Trans::kNo, hx.view(), rr.vectors.view());
     result.eigenvalues = rr.values;
+    previous_values = result.eigenvalues;
   }
 
-  RealMatrix p;   // previous direction block (empty in iteration 0)
-  RealMatrix hp;  // H * P maintained alongside
-
-  std::vector<Real> previous_values = result.eigenvalues;
-
-  for (Index iter = 0; iter < options.max_iterations; ++iter) {
+  for (Index iter = start_iter; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
 
     // Residual block R = HX - X Θ.
@@ -200,6 +220,23 @@ LobpcgResult lobpcg(const BlockOperator& apply_h,
       result.eigenvalues = rr.values;
       p.resize(0, 0);
       hp.resize(0, 0);
+    }
+
+    // Snapshot *after* the drift-control block: it rewrites X/HX and
+    // drops P, all of which must land in the checkpoint for a resumed run
+    // to replay bit-identically.
+    if (options.checkpoint_interval > 0 && options.checkpoint_sink &&
+        (iter + 1) % options.checkpoint_interval == 0) {
+      LobpcgCheckpoint ck;
+      ck.x = x;
+      ck.hx = hx;
+      ck.p = p;
+      ck.hp = hp;
+      ck.eigenvalues = result.eigenvalues;
+      ck.previous_values = previous_values;
+      ck.residual_norms = result.residual_norms;
+      ck.iteration = iter + 1;
+      options.checkpoint_sink(ck);
     }
   }
 

@@ -23,6 +23,24 @@
 
 namespace lrt::la {
 
+/// Complete iteration state of a (distributed: per-rank row slab of a)
+/// LOBPCG run, snapshotted at the end of an iteration. The maintained
+/// images HX / HP are linear-combination updates, not recomputable
+/// bitwise from X and P alone, so they are part of the state: restoring a
+/// snapshot and running the remaining iterations is bit-identical to
+/// never having stopped (docs/RESILIENCE.md). Serialized to the lrt.ckpt/1
+/// format by ft::save_lobpcg / ft::load_lobpcg.
+struct LobpcgCheckpoint {
+  RealMatrix x;   ///< current block (n x k, orthonormal columns)
+  RealMatrix hx;  ///< maintained image H X
+  RealMatrix p;   ///< previous search directions (may be 0 x 0)
+  RealMatrix hp;  ///< maintained image H P
+  std::vector<Real> eigenvalues;
+  std::vector<Real> previous_values;  ///< for the value_tolerance test
+  std::vector<Real> residual_norms;   ///< informational (recomputed on resume)
+  Index iteration = 0;  ///< iterations completed when the snapshot was taken
+};
+
 struct LobpcgOptions {
   Index max_iterations = 200;
   /// Convergence: ||H x - θ x|| <= tolerance * max(1, |θ|) per column.
@@ -30,6 +48,15 @@ struct LobpcgOptions {
   /// Stop early when the Ritz values move less than this between
   /// iterations (0 disables).
   Real value_tolerance = 0.0;
+  /// Checkpoint/restart (docs/RESILIENCE.md): every `checkpoint_interval`
+  /// completed iterations the solver hands a snapshot to
+  /// `checkpoint_sink` (0 disables). `restore` resumes from a snapshot,
+  /// skipping the initial orthonormalization and Rayleigh-Ritz. Plain
+  /// std::function + value types so la stays below ft in the layer DAG;
+  /// file serialization lives in ft/checkpoint.hpp.
+  Index checkpoint_interval = 0;
+  std::function<void(const LobpcgCheckpoint&)> checkpoint_sink;
+  const LobpcgCheckpoint* restore = nullptr;
 };
 
 struct LobpcgResult {

@@ -27,6 +27,14 @@ inline constexpr const char* kFftFft3dPoints = "fft.fft3d.points";  // grid poin
 inline constexpr const char* kFftFft1dBatches = "fft.fft1d.batches";  // batched 1-D plan executions
 inline constexpr const char* kFftFft1dLines = "fft.fft1d.lines";  // 1-D lines transformed
 inline constexpr const char* kParDistLobpcgIterations = "par.dist_lobpcg.iterations";  // distributed LOBPCG outer iterations
+inline constexpr const char* kFtInjectQueries = "ft.inject.queries";  // fault-plan draw sites reached (sends + collectives)
+inline constexpr const char* kFtInjectSendFail = "ft.inject.send_fail";  // transient send failures injected
+inline constexpr const char* kFtInjectDelay = "ft.inject.delay";  // delays injected
+inline constexpr const char* kFtInjectCrash = "ft.inject.crash";  // rank crashes injected
+inline constexpr const char* kFtRetryAttempts = "ft.retry.attempts";  // retried attempts after a transient error (generic sites)
+inline constexpr const char* kFtRetryExhausted = "ft.retry.exhausted";  // retry budgets exhausted (generic sites)
+inline constexpr const char* kCommRetryAttempts = "comm.retry.attempts";  // Comm sends retried after an injected transient failure
+inline constexpr const char* kCommRetryExhausted = "comm.retry.exhausted";  // Comm sends that exhausted their retry budget
 inline constexpr const char* kCommP2pBytes = "comm.p2p.bytes";  // point-to-point payload bytes
 inline constexpr const char* kCommP2pCalls = "comm.p2p.calls";  // point-to-point sends/receives
 inline constexpr const char* kCommBcastBytes = "comm.bcast.bytes";  // broadcast payload bytes
@@ -58,6 +66,14 @@ inline constexpr const char* kAll[] = {
     kFftFft1dBatches,
     kFftFft1dLines,
     kParDistLobpcgIterations,
+    kFtInjectQueries,
+    kFtInjectSendFail,
+    kFtInjectDelay,
+    kFtInjectCrash,
+    kFtRetryAttempts,
+    kFtRetryExhausted,
+    kCommRetryAttempts,
+    kCommRetryExhausted,
     kCommP2pBytes,
     kCommP2pCalls,
     kCommBcastBytes,

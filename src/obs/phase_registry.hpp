@@ -29,6 +29,8 @@ inline constexpr const char* kIsdfSelectPoints = "isdf.select_points";  // point
 inline constexpr const char* kIsdfInterpVectors = "isdf.interp_vectors";  // least-squares interpolation vectors
 inline constexpr const char* kIsdfPointsKmeans = "isdf.points.kmeans";  // weighted K-Means selector
 inline constexpr const char* kIsdfPointsQrcp = "isdf.points.qrcp";  // QRCP selector
+inline constexpr const char* kFtCheckpointSave = "ft.checkpoint.save";  // checkpoint serialization + atomic write
+inline constexpr const char* kFtCheckpointLoad = "ft.checkpoint.load";  // checkpoint parse + CRC validation
 inline constexpr const char* kKmeansDist = "kmeans.dist";  // distributed K-Means iteration loop
 inline constexpr const char* kKmeansLloyd = "kmeans.lloyd";  // serial weighted K-Means Lloyd loop
 inline constexpr const char* kLaLobpcg = "la.lobpcg";  // serial LOBPCG solve
@@ -66,6 +68,8 @@ inline constexpr const char* kAll[] = {
     kIsdfInterpVectors,
     kIsdfPointsKmeans,
     kIsdfPointsQrcp,
+    kFtCheckpointSave,
+    kFtCheckpointLoad,
     kKmeansDist,
     kKmeansLloyd,
     kLaLobpcg,

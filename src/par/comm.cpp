@@ -5,6 +5,7 @@
 #include <cstring>
 #include <sstream>
 
+#include "ft/retry.hpp"
 #include "obs/counters.hpp"
 
 namespace lrt::par {
@@ -94,6 +95,7 @@ Comm::Comm(Runtime* runtime, int rank, std::vector<int> world_ranks,
   LRT_CHECK(runtime_ != nullptr, "null runtime");
   LRT_CHECK(rank_ >= 0 && rank_ < size(), "rank out of range");
   verifier_ = runtime_->verifier();
+  fault_plan_ = runtime_->fault_plan();
 }
 
 Comm::Comm(Comm&& other) noexcept
@@ -102,6 +104,7 @@ Comm::Comm(Comm&& other) noexcept
       world_ranks_(std::move(other.world_ranks_)),
       context_(other.context_),
       verifier_(other.verifier_),
+      fault_plan_(other.fault_plan_),
       split_counter_(other.split_counter_.load(std::memory_order_relaxed)),
       comm_seconds_(other.comm_seconds_),
       timer_depth_(other.timer_depth_),
@@ -120,6 +123,12 @@ Comm::Comm(Comm&& other) noexcept
 }
 
 void Comm::enter_collective(check::CollKind kind) {
+  // Injection site: a plan may delay this rank here or take it down
+  // (ft::RankCrashError propagates through the poison-all abort path).
+  // Transient failures are only injected on sends — a whole collective
+  // cannot be replayed locally once its signature reaches the verifier,
+  // but the p2p messages *inside* one can, so those stay fair game.
+  if (fault_plan_ != nullptr) fault_plan_->on_collective(world_rank_of(rank_));
   const Traffic traffic = traffic_of(kind);
   active_traffic_ = traffic;
   // Composite collectives (allreduce = reduce + bcast, split = allgather)
@@ -160,6 +169,25 @@ void Comm::send_bytes(const void* data, std::size_t bytes, int dst, int tag) {
   if (verifier_ != nullptr) {
     verifier_->on_p2p(world_rank_of(rank_), "send", dst, tag, bytes,
                       /*user_call=*/coll_depth_ == 0);
+  }
+  if (fault_plan_ != nullptr) {
+    // Transient-vs-fatal classification of the p2p error surface: an
+    // injected failure aborts only this *attempt* — nothing was billed or
+    // delivered yet — and Retry re-runs it with deterministic backoff.
+    // Only when the budget is exhausted does the TransientError escape as
+    // fatal; a RankCrashError passes through untouched. Healed attempts
+    // are invisible to byte/call accounting, so traffic totals stay exact
+    // under LRT_FAULT.
+    static obs::Counter& retry_attempts = obs::counter("comm.retry.attempts");
+    static obs::Counter& retry_exhausted =
+        obs::counter("comm.retry.exhausted");
+    ft::RetryOptions retry_options;
+    retry_options.max_attempts = fault_plan_->spec().max_attempts;
+    retry_options.base_backoff_us = fault_plan_->spec().backoff_us;
+    ft::Retry retry(retry_options,
+                    ft::RetrySite{&retry_attempts, &retry_exhausted},
+                    fault_plan_, world_rank_of(rank_));
+    retry.run([&] { fault_plan_->on_send(world_rank_of(rank_)); });
   }
   detail::Message message;
   message.src = rank_;

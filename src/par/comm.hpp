@@ -270,6 +270,9 @@ class Comm {
   std::vector<int> world_ranks_;
   long long context_;
   check::Verifier* verifier_ = nullptr;
+  /// Fault-injection plan cached from the runtime; null (the production
+  /// case) reduces every injection hook to one pointer test.
+  ft::FaultPlan* fault_plan_ = nullptr;
   std::atomic<int> split_counter_{0};
 
   double comm_seconds_ = 0.0;

@@ -76,13 +76,34 @@ la::LobpcgResult dist_lobpcg(Comm& comm, const DistBlockOperator& apply_h,
   result.eigenvalues.assign(static_cast<std::size_t>(k), Real{0});
   result.residual_norms.assign(static_cast<std::size_t>(k), Real{0});
 
-  la::RealMatrix x = std::move(x0_local);
-  dist_cholqr2(comm, x.view());
+  la::RealMatrix x;
+  la::RealMatrix hx;
+  la::RealMatrix p;
+  la::RealMatrix hp;
+  Index start_iter = 0;
 
-  la::RealMatrix hx(n_local, k);
-  apply_h(x.view(), hx.view());
+  // Resume from a per-rank slab snapshot or run the setup phase; every
+  // rank must agree on which branch it takes (same options on all ranks),
+  // exactly like the uniform-options contract of the collectives below.
+  if (options.restore != nullptr) {
+    const la::LobpcgCheckpoint& ck = *options.restore;
+    LRT_CHECK(ck.x.rows() == n_local && ck.x.cols() == k,
+              "dist_lobpcg restore: snapshot slab is "
+                  << ck.x.rows() << "x" << ck.x.cols() << ", expected "
+                  << n_local << "x" << k);
+    x = ck.x;
+    hx = ck.hx;
+    p = ck.p;
+    hp = ck.hp;
+    result.eigenvalues = ck.eigenvalues;
+    start_iter = ck.iteration;
+  } else {
+    x = std::move(x0_local);
+    dist_cholqr2(comm, x.view());
 
-  {
+    hx.resize(n_local, k);
+    apply_h(x.view(), hx.view());
+
     const la::RealMatrix xhx = dist_gemm_tn(comm, x.view(), hx.view());
     la::EigResult rr = la::syev(xhx.view());
     x = la::gemm(la::Trans::kNo, la::Trans::kNo, x.view(), rr.vectors.view());
@@ -91,10 +112,7 @@ la::LobpcgResult dist_lobpcg(Comm& comm, const DistBlockOperator& apply_h,
     result.eigenvalues = rr.values;
   }
 
-  la::RealMatrix p;
-  la::RealMatrix hp;
-
-  for (Index iter = 0; iter < options.max_iterations; ++iter) {
+  for (Index iter = start_iter; iter < options.max_iterations; ++iter) {
     result.iterations = iter + 1;
 
     la::RealMatrix r = la::to_matrix<Real>(hx.view());
@@ -213,6 +231,22 @@ la::LobpcgResult dist_lobpcg(Comm& comm, const DistBlockOperator& apply_h,
       result.eigenvalues = rr.values;
       p.resize(0, 0);
       hp.resize(0, 0);
+    }
+
+    // Per-rank slab snapshot, taken after the drift-control block for the
+    // same bit-replay reason as the serial solver (la/lobpcg.cpp).
+    if (options.checkpoint_interval > 0 && options.checkpoint_sink &&
+        (iter + 1) % options.checkpoint_interval == 0) {
+      la::LobpcgCheckpoint ck;
+      ck.x = x;
+      ck.hx = hx;
+      ck.p = p;
+      ck.hp = hp;
+      ck.eigenvalues = result.eigenvalues;
+      ck.previous_values = result.eigenvalues;
+      ck.residual_norms = result.residual_norms;
+      ck.iteration = iter + 1;
+      options.checkpoint_sink(ck);
     }
   }
 

@@ -55,7 +55,8 @@ std::vector<Message> Mailbox::unreceived() {
 
 }  // namespace detail
 
-Runtime::Runtime(int nranks, const check::Options& check_options) {
+Runtime::Runtime(int nranks, const check::Options& check_options,
+                 const ft::FaultSpec* fault_spec) {
   LRT_CHECK(nranks >= 1, "need at least one rank, got " << nranks);
   mailboxes_.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
@@ -64,19 +65,46 @@ Runtime::Runtime(int nranks, const check::Options& check_options) {
   if (check_options.enabled) {
     verifier_ = std::make_unique<check::Verifier>(nranks, check_options);
   }
+  if (fault_spec != nullptr) {
+    fault_plan_ = std::make_unique<ft::FaultPlan>(*fault_spec, nranks);
+  } else {
+    fault_plan_ = ft::FaultPlan::from_env(nranks);
+  }
 }
 
 void Runtime::poison_all() {
   for (auto& box : mailboxes_) box->poison();
 }
 
+namespace {
+
+void run_impl(int nranks, const std::function<void(Comm&)>& body,
+              const check::Options& check_options,
+              const ft::FaultSpec* fault_spec);
+
+}  // namespace
+
 void run(int nranks, const std::function<void(Comm&)>& body) {
-  run(nranks, body, check::Options::from_env());
+  run_impl(nranks, body, check::Options::from_env(), nullptr);
 }
 
 void run(int nranks, const std::function<void(Comm&)>& body,
          const check::Options& check_options) {
-  Runtime runtime(nranks, check_options);
+  run_impl(nranks, body, check_options, nullptr);
+}
+
+void run(int nranks, const std::function<void(Comm&)>& body,
+         const check::Options& check_options,
+         const ft::FaultSpec& fault_spec) {
+  run_impl(nranks, body, check_options, &fault_spec);
+}
+
+namespace {
+
+void run_impl(int nranks, const std::function<void(Comm&)>& body,
+              const check::Options& check_options,
+              const ft::FaultSpec* fault_spec) {
+  Runtime runtime(nranks, check_options, fault_spec);
   check::Verifier* verifier = runtime.verifier();
   if (verifier) verifier->start([&runtime] { runtime.poison_all(); });
 
@@ -139,5 +167,7 @@ void run(int nranks, const std::function<void(Comm&)>& body,
   }
   if (first_error) std::rethrow_exception(first_error);
 }
+
+}  // namespace
 
 }  // namespace lrt::par

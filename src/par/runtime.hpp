@@ -27,6 +27,7 @@
 
 #include "common/config.hpp"
 #include "common/error.hpp"
+#include "ft/fault.hpp"
 #include "par/check/verifier.hpp"
 
 namespace lrt::par {
@@ -84,7 +85,12 @@ class Runtime {
  public:
   /// `check_options.enabled` attaches a correctness verifier
   /// (par/check/verifier.hpp) that every Comm of this run reports to.
-  explicit Runtime(int nranks, const check::Options& check_options = {});
+  /// `fault_spec` attaches a deterministic fault-injection plan
+  /// (ft/fault.hpp); null falls back to the LRT_FAULT environment
+  /// variable (an explicit spec always wins, so tests stay deterministic
+  /// under an ambient CI fault environment).
+  explicit Runtime(int nranks, const check::Options& check_options = {},
+                   const ft::FaultSpec* fault_spec = nullptr);
 
   int size() const { return static_cast<int>(mailboxes_.size()); }
 
@@ -96,11 +102,16 @@ class Runtime {
   /// Null when checking is disabled.
   check::Verifier* verifier() { return verifier_.get(); }
 
+  /// Null when fault injection is disabled (the common case); Comm caches
+  /// this pointer, so the disabled-mode hot-path cost is one pointer test.
+  ft::FaultPlan* fault_plan() { return fault_plan_.get(); }
+
   void poison_all();
 
  private:
   std::vector<std::unique_ptr<detail::Mailbox>> mailboxes_;
   std::unique_ptr<check::Verifier> verifier_;
+  std::unique_ptr<ft::FaultPlan> fault_plan_;
 };
 
 /// Runs `body(comm)` on `nranks` rank threads and joins them. Rethrows the
@@ -114,5 +125,13 @@ void run(int nranks, const std::function<void(Comm&)>& body);
 /// throws check::VerifierError with the full per-rank report.
 void run(int nranks, const std::function<void(Comm&)>& body,
          const check::Options& check_options);
+
+/// Same, with an explicit fault-injection plan (overrides LRT_FAULT).
+/// Injected transient send failures are retried inside Comm and heal
+/// transparently; an exhausted retry budget rethrows ft::TransientError,
+/// and an injected rank crash surfaces as ft::RankCrashError after the
+/// surviving ranks are aborted — see docs/RESILIENCE.md.
+void run(int nranks, const std::function<void(Comm&)>& body,
+         const check::Options& check_options, const ft::FaultSpec& fault_spec);
 
 }  // namespace lrt::par

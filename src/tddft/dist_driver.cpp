@@ -4,6 +4,7 @@
 #include <cmath>
 #include <map>
 
+#include "ft/checkpoint.hpp"
 #include "isdf/pairproduct.hpp"
 #include "kmeans/dist_kmeans.hpp"
 #include "la/blas.hpp"
@@ -80,6 +81,67 @@ la::RealMatrix kernel_apply_distributed(par::Comm& comm,
       par::col_block_to_row_block(comm, kcols.view(), n_rows, n_cols);
   t_mpi2.stop();
   return result;
+}
+
+/// Serializes the replicated K-Means phase result for the phase-granular
+/// restart of the implicit path (docs/RESILIENCE.md): centroids and
+/// interpolation points pin the downstream sampling, objective and the
+/// counters just keep reporting consistent.
+void save_driver_kmeans(const std::string& path,
+                        const kmeans::DistKMeansResult& km) {
+  ft::CheckpointWriter writer;
+  const std::string kind = "driver_kmeans";
+  writer.add("kind", kind.data(), kind.size());
+  struct Meta {
+    long long nmu;
+    long long iterations;
+    long long num_pruned;
+    Real objective;
+  };
+  static_assert(std::is_trivially_copyable_v<Meta>);
+  Meta meta{static_cast<long long>(km.centroids.size()), km.iterations,
+            km.num_pruned, km.objective};
+  writer.add_pod("meta", meta);
+  writer.add_array("centroids", km.centroids);
+  std::vector<long long> ips(km.interpolation_points.begin(),
+                             km.interpolation_points.end());
+  writer.add_array("interpolation_points", ips);
+  writer.write(path);
+}
+
+kmeans::DistKMeansResult load_driver_kmeans(const std::string& path,
+                                            Index nmu) {
+  const ft::CheckpointReader reader(path);
+  const std::vector<unsigned char>& kind_bytes = reader.section("kind");
+  const std::string kind(kind_bytes.begin(), kind_bytes.end());
+  if (kind != "driver_kmeans") {
+    throw ft::CheckpointError(ft::CheckpointFault::kBadShape,
+                              "checkpoint kind is '" + kind +
+                                  "', expected 'driver_kmeans'");
+  }
+  struct Meta {
+    long long nmu;
+    long long iterations;
+    long long num_pruned;
+    Real objective;
+  };
+  static_assert(std::is_trivially_copyable_v<Meta>);
+  const Meta meta = reader.pod<Meta>("meta");
+  if (meta.nmu != static_cast<long long>(nmu)) {
+    throw ft::CheckpointError(
+        ft::CheckpointFault::kBadShape,
+        "checkpoint holds " + std::to_string(meta.nmu) +
+            " clusters, this run wants " + std::to_string(nmu));
+  }
+  kmeans::DistKMeansResult km;
+  km.iterations = static_cast<Index>(meta.iterations);
+  km.num_pruned = static_cast<Index>(meta.num_pruned);
+  km.objective = meta.objective;
+  km.centroids = reader.array<grid::Vec3>("centroids");
+  const std::vector<long long> ips =
+      reader.array<long long>("interpolation_points");
+  km.interpolation_points.assign(ips.begin(), ips.end());
+  return km;
 }
 
 /// H = D + 2 dv sym(V) applied in place to a replicated raw product V.
@@ -176,16 +238,34 @@ std::vector<Real> solve_implicit(par::Comm& comm,
   const la::RealConstView psi_v_loc = my_rows(problem.psi_v.view(), rows, me);
   const la::RealConstView psi_c_loc = my_rows(problem.psi_c.view(), rows, me);
 
-  // Distributed K-Means on local grid slabs (paper §4.2).
+  // Distributed K-Means on local grid slabs (paper §4.2), or its saved
+  // result when restarting (docs/RESILIENCE.md). The existence check is
+  // uniform across ranks — rank 0 only renames the checkpoint into place
+  // after the collective phase completes, so either every rank sees it or
+  // none does — and the restored result is replicated exactly like the
+  // allreduced one, so downstream sampling is bit-identical.
   PhaseTimer t_kmeans(clock, obs::phase::kKmeans);
-  const std::vector<Real> weights = kmeans::pair_weights(psi_v_loc, psi_c_loc);
-  std::vector<grid::Vec3> points(static_cast<std::size_t>(my_count));
-  for (Index i = 0; i < my_count; ++i) {
-    points[static_cast<std::size_t>(i)] = problem.grid.position(my_offset + i);
+  kmeans::DistKMeansResult km;
+  bool restored = false;
+  if (!options.checkpoint_path.empty() &&
+      ft::checkpoint_exists(options.checkpoint_path)) {
+    km = load_driver_kmeans(options.checkpoint_path, nmu);
+    restored = true;
+  } else {
+    const std::vector<Real> weights =
+        kmeans::pair_weights(psi_v_loc, psi_c_loc);
+    std::vector<grid::Vec3> points(static_cast<std::size_t>(my_count));
+    for (Index i = 0; i < my_count; ++i) {
+      points[static_cast<std::size_t>(i)] =
+          problem.grid.position(my_offset + i);
+    }
+    km = kmeans::dist_weighted_kmeans(comm, points, weights, my_offset, nmu,
+                                      options.kmeans);
   }
-  const kmeans::DistKMeansResult km = kmeans::dist_weighted_kmeans(
-      comm, points, weights, my_offset, nmu, options.kmeans);
   t_kmeans.stop();
+  if (!restored && !options.checkpoint_path.empty() && me == 0) {
+    save_driver_kmeans(options.checkpoint_path, km);
+  }
 
   // Sampled orbital rows, replicated by summation (each point is owned by
   // exactly one rank).

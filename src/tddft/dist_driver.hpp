@@ -19,6 +19,8 @@
 // time blocked in communication; see DESIGN.md).
 #pragma once
 
+#include <string>
+
 #include "kmeans/kmeans.hpp"
 #include "par/comm.hpp"
 #include "par/disteig.hpp"
@@ -43,6 +45,13 @@ struct DistDriverOptions {
   /// Dense eigensolver for the naive path: gathered SYEVD stand-in or the
   /// fully distributed one-sided Jacobi.
   par::DistEigMethod eig_method = par::DistEigMethod::kGathered;
+  /// Phase-granular restart (docs/RESILIENCE.md): when non-empty and the
+  /// file exists, the implicit path loads the distributed K-Means result
+  /// from it and skips the whole K-Means phase; otherwise rank 0 writes
+  /// the result there after the phase completes. Must be uniform across
+  /// ranks (like every other option — the existence check is a branch
+  /// around collectives).
+  std::string checkpoint_path;
 };
 
 struct DistDriverStats {

@@ -1,0 +1,12 @@
+// Seeds: layer-dag order violation — ft (between io and par) includes
+// tddft (top of the numeric stack). The resilience layer must never
+// depend on the solvers it checkpoints; adapters point the other way.
+// Expected: one `layer-dag` finding on the include line; no cycle (no
+// tddft file includes ft in this corpus).
+#pragma once
+
+#include "tddft/driver.hpp"
+
+namespace fixture {
+inline int uses_tddft() { return 3; }
+}  // namespace fixture

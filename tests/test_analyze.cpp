@@ -241,7 +241,7 @@ TEST(AnalyzeRegistry, SyncPassCleanOnRepo) {
 TEST(AnalyzeLayerDag, FindsOrderViolationsAndCycle) {
   const Report report = run_fixture(fixture_config({"layer-dag"}));
   const auto findings = findings_for(report, "layer-dag");
-  ASSERT_EQ(findings.size(), 3u)
+  ASSERT_EQ(findings.size(), 4u)
       << lrt::analyze::report_to_text(report, true);
 
   std::set<std::string> files;
@@ -258,6 +258,7 @@ TEST(AnalyzeLayerDag, FindsOrderViolationsAndCycle) {
   EXPECT_TRUE(saw_cycle);
   EXPECT_EQ(files.count("src/la/bad_layer.hpp"), 1u);
   EXPECT_EQ(files.count("src/common/cyc_a.hpp"), 1u);
+  EXPECT_EQ(files.count("src/ft/bad_edge.hpp"), 1u);  // ft -> tddft
 }
 
 TEST(AnalyzeLayerDag, BaselineEdgeGrandfathersViolationAndCycle) {
@@ -265,12 +266,15 @@ TEST(AnalyzeLayerDag, BaselineEdgeGrandfathersViolationAndCycle) {
   config.baseline_layer_edges = {"common->obs"};
   const Report report = run_fixture(config);
   const auto findings = findings_for(report, "layer-dag");
-  ASSERT_EQ(findings.size(), 3u);
+  ASSERT_EQ(findings.size(), 4u);
   EXPECT_EQ(count_status(findings, Finding::Status::kBaselined), 2);
-  EXPECT_EQ(count_status(findings, Finding::Status::kNew), 1);
+  EXPECT_EQ(count_status(findings, Finding::Status::kNew), 2);
   for (const Finding& f : findings) {
     if (f.status == Finding::Status::kNew) {
-      EXPECT_EQ(f.file, "src/la/bad_layer.hpp");  // la->par is not baselined
+      // la->par and ft->tddft are not baselined.
+      EXPECT_TRUE(f.file == "src/la/bad_layer.hpp" ||
+                  f.file == "src/ft/bad_edge.hpp")
+          << f.file;
     }
   }
 }
@@ -478,13 +482,13 @@ TEST(AnalyzeReport, FullFixtureRunCountsEveryState) {
     }
   }
   const Report report = run_fixture(fixture_config(std::move(passes)));
-  // 3 layer-dag + 3 collective-divergence + 4 omp-race +
+  // 4 layer-dag + 3 collective-divergence + 4 omp-race +
   // 6 hot-path-purity + 1 phase-registry + 2 counter-registry +
   // 2 naked-new-delete + 3 banned-volatile + 1 banned-thread +
   // 1 banned-sleep + 1 parent-include + 1 pragma-once.
-  EXPECT_EQ(report.findings.size(), 28u)
+  EXPECT_EQ(report.findings.size(), 29u)
       << lrt::analyze::report_to_text(report, true);
-  EXPECT_EQ(report.new_count, 23);
+  EXPECT_EQ(report.new_count, 24);
   EXPECT_EQ(report.suppressed_count, 5);
   EXPECT_EQ(report.baselined_count, 0);
   EXPECT_FALSE(report.clean());

@@ -1,0 +1,456 @@
+// Resilience subsystem: fault-spec grammar, deterministic injection,
+// retry-with-backoff, and the lrt.ckpt/1 checkpoint format including its
+// corruption taxonomy (docs/RESILIENCE.md).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ft/checkpoint.hpp"
+#include "ft/fault.hpp"
+#include "ft/retry.hpp"
+#include "obs/counters.hpp"
+#include "par/comm.hpp"
+
+namespace lrt::ft {
+namespace {
+
+// ----- FaultSpec grammar ------------------------------------------------------
+
+TEST(FaultSpec, ParsesFullGrammar) {
+  const FaultSpec spec = FaultSpec::parse(
+      "seed=42, fail=0.25,delay=0.5,\tdelay_us=7,crash=2@100,retries=3,"
+      "backoff_us=5");
+  EXPECT_EQ(spec.seed, 42u);
+  EXPECT_DOUBLE_EQ(spec.send_fail_prob, 0.25);
+  EXPECT_DOUBLE_EQ(spec.delay_prob, 0.5);
+  EXPECT_EQ(spec.delay_us, 7);
+  EXPECT_EQ(spec.crash_rank, 2);
+  EXPECT_EQ(spec.crash_at, 100);
+  EXPECT_EQ(spec.max_attempts, 3);
+  EXPECT_EQ(spec.backoff_us, 5);
+}
+
+TEST(FaultSpec, EmptyStringYieldsDefaults) {
+  const FaultSpec spec = FaultSpec::parse("");
+  EXPECT_EQ(spec.seed, 1u);
+  EXPECT_DOUBLE_EQ(spec.send_fail_prob, 0.0);
+  EXPECT_DOUBLE_EQ(spec.delay_prob, 0.0);
+  EXPECT_EQ(spec.crash_rank, -1);
+  EXPECT_EQ(spec.max_attempts, 6);
+}
+
+TEST(FaultSpec, RejectsMalformedInput) {
+  EXPECT_THROW(FaultSpec::parse("bogus_key=1"), Error);
+  EXPECT_THROW(FaultSpec::parse("fail=1.5"), Error);
+  EXPECT_THROW(FaultSpec::parse("fail=x"), Error);
+  EXPECT_THROW(FaultSpec::parse("crash=3"), Error);   // missing @query
+  EXPECT_THROW(FaultSpec::parse("retries=0"), Error); // needs >= 1
+  EXPECT_THROW(FaultSpec::parse("no_equals"), Error);
+}
+
+TEST(FaultPlan, FromEnvHonorsVariable) {
+  const char* saved = std::getenv("LRT_FAULT");
+  const std::string restore = saved != nullptr ? saved : "";
+
+  ASSERT_EQ(setenv("LRT_FAULT", "fail=0.5,seed=9", 1), 0);
+  const std::unique_ptr<FaultPlan> plan = FaultPlan::from_env(2);
+  ASSERT_NE(plan, nullptr);
+  EXPECT_DOUBLE_EQ(plan->spec().send_fail_prob, 0.5);
+  EXPECT_EQ(plan->spec().seed, 9u);
+
+  ASSERT_EQ(unsetenv("LRT_FAULT"), 0);
+  EXPECT_EQ(FaultPlan::from_env(2), nullptr);
+
+  if (saved != nullptr) setenv("LRT_FAULT", restore.c_str(), 1);
+}
+
+// ----- Retry ------------------------------------------------------------------
+
+TEST(Retry, HealsTransientFailuresAndCountsAttempts) {
+  obs::Counter& attempts = obs::counter("ft.retry.attempts");
+  obs::Counter& exhausted = obs::counter("ft.retry.exhausted");
+  const long long a0 = attempts.value();
+  const long long e0 = exhausted.value();
+
+  RetryOptions options;
+  options.max_attempts = 6;
+  options.base_backoff_us = 0;
+  Retry retry(options, default_retry_site(), nullptr, 0);
+  int calls = 0;
+  const int result = retry.run([&] {
+    if (++calls <= 2) throw TransientError("flaky");
+    return 42;
+  });
+  EXPECT_EQ(result, 42);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(attempts.value() - a0, 2);
+  EXPECT_EQ(exhausted.value() - e0, 0);
+}
+
+TEST(Retry, ExhaustedBudgetRethrowsTransientError) {
+  obs::Counter& attempts = obs::counter("ft.retry.attempts");
+  obs::Counter& exhausted = obs::counter("ft.retry.exhausted");
+  const long long a0 = attempts.value();
+  const long long e0 = exhausted.value();
+
+  RetryOptions options;
+  options.max_attempts = 3;
+  options.base_backoff_us = 0;
+  Retry retry(options, default_retry_site(), nullptr, 0);
+  int calls = 0;
+  EXPECT_THROW(retry.run([&]() -> int {
+    ++calls;
+    throw TransientError("always");
+  }),
+               TransientError);
+  EXPECT_EQ(calls, 3);
+  EXPECT_EQ(attempts.value() - a0, 2);
+  EXPECT_EQ(exhausted.value() - e0, 1);
+}
+
+TEST(Retry, OtherExceptionsPassThroughUnretried) {
+  RetryOptions options;
+  options.base_backoff_us = 0;
+  Retry retry(options, RetrySite{}, nullptr, 0);
+  int calls = 0;
+  EXPECT_THROW(retry.run([&]() -> int {
+    ++calls;
+    throw RankCrashError("down");
+  }),
+               RankCrashError);
+  EXPECT_EQ(calls, 1);
+}
+
+// ----- injection through par::Comm --------------------------------------------
+
+/// Mixed collective + p2p workload; returns rank 0's allreduced total so
+/// correctness under injection is easy to assert.
+double faulty_workload(par::Comm& comm) {
+  double total = 0;
+  for (int round = 0; round < 10; ++round) {
+    double value = 1.0;
+    comm.allreduce(&value, 1, par::ReduceOp::kSum);
+    total += value;
+    const int next = (comm.rank() + 1) % comm.size();
+    const int prev = (comm.rank() - 1 + comm.size()) % comm.size();
+    double token = comm.rank();
+    double received = 0;
+    comm.sendrecv(&token, 1, next, &received, 1, prev, 11);
+    EXPECT_DOUBLE_EQ(received, prev);
+    comm.barrier();
+  }
+  return total;
+}
+
+TEST(FaultInjection, TransientSendFailuresAreHealed) {
+  obs::Counter& fails = obs::counter("ft.inject.send_fail");
+  obs::Counter& retried = obs::counter("comm.retry.attempts");
+  const long long f0 = fails.value();
+  const long long r0 = retried.value();
+
+  FaultSpec spec;
+  spec.seed = 12;
+  spec.send_fail_prob = 0.2;
+  spec.max_attempts = 50;
+  spec.backoff_us = 0;
+  par::run(4, [&](par::Comm& comm) {
+    EXPECT_DOUBLE_EQ(faulty_workload(comm), 40.0);
+  }, {}, spec);
+
+  EXPECT_GT(fails.value() - f0, 0);
+  EXPECT_EQ(retried.value() - r0, fails.value() - f0);
+}
+
+TEST(FaultInjection, HealedRetriesDoNotPerturbTrafficTotals) {
+  // Byte/call accounting must be identical with and without injected
+  // transient failures: a failed attempt neither delivers nor bills.
+  std::map<std::string, long long> clean, faulty;
+  const auto traffic_delta = [](const FaultSpec& spec) {
+    std::map<std::string, long long> before;
+    for (const auto& [name, value] : obs::snapshot_counters()) {
+      if (name.rfind("comm.", 0) == 0 && name.find(".retry.") ==
+                                             std::string::npos) {
+        before[name] = value;
+      }
+    }
+    par::run(3, [](par::Comm& comm) { faulty_workload(comm); }, {}, spec);
+    std::map<std::string, long long> delta;
+    for (const auto& [name, value] : obs::snapshot_counters()) {
+      // Counters register on first use, so a name can be missing from the
+      // pre-run snapshot; treat that as a zero baseline.
+      if (name.rfind("comm.", 0) == 0 &&
+          name.find(".retry.") == std::string::npos) {
+        const auto it = before.find(name);
+        delta[name] = value - (it == before.end() ? 0 : it->second);
+      }
+    }
+    return delta;
+  };
+  FaultSpec benign;
+  benign.seed = 3;
+  clean = traffic_delta(benign);
+  FaultSpec spec;
+  spec.seed = 3;
+  spec.send_fail_prob = 0.25;
+  spec.max_attempts = 60;
+  spec.backoff_us = 0;
+  faulty = traffic_delta(spec);
+  EXPECT_EQ(clean, faulty);
+}
+
+TEST(FaultInjection, ExhaustedRetriesEscapeAsTransientError) {
+  obs::Counter& exhausted = obs::counter("comm.retry.exhausted");
+  const long long e0 = exhausted.value();
+
+  FaultSpec spec;
+  spec.seed = 5;
+  spec.send_fail_prob = 1.0;
+  spec.max_attempts = 2;
+  spec.backoff_us = 0;
+  EXPECT_THROW(par::run(2,
+                        [](par::Comm& comm) {
+                          double value = 1.0;
+                          comm.allreduce(&value, 1, par::ReduceOp::kSum);
+                        },
+                        {}, spec),
+               TransientError);
+  EXPECT_GT(exhausted.value() - e0, 0);
+}
+
+TEST(FaultInjection, CrashPropagatesAsRankCrashError) {
+  obs::Counter& crashes = obs::counter("ft.inject.crash");
+  const long long c0 = crashes.value();
+
+  FaultSpec spec;
+  spec.seed = 8;
+  spec.crash_rank = 1;
+  spec.crash_at = 3;
+  EXPECT_THROW(par::run(2,
+                        [](par::Comm& comm) {
+                          for (int i = 0; i < 50; ++i) {
+                            double value = 1.0;
+                            comm.allreduce(&value, 1, par::ReduceOp::kSum);
+                          }
+                        },
+                        {}, spec),
+               RankCrashError);
+  EXPECT_EQ(crashes.value() - c0, 1);
+}
+
+TEST(FaultInjection, DelaysAreInjectedWithoutChangingResults) {
+  obs::Counter& delays = obs::counter("ft.inject.delay");
+  const long long d0 = delays.value();
+
+  FaultSpec spec;
+  spec.seed = 21;
+  spec.delay_prob = 1.0;
+  spec.delay_us = 1;
+  par::run(2, [](par::Comm& comm) {
+    EXPECT_DOUBLE_EQ(faulty_workload(comm), 20.0);
+  }, {}, spec);
+  EXPECT_GT(delays.value() - d0, 0);
+}
+
+TEST(FaultInjection, IdenticalSeedReplaysIdenticalSchedule) {
+  // Acceptance gate: two runs with the same seed + spec produce the exact
+  // same injection and retry counter deltas.
+  const char* names[] = {"ft.inject.queries", "ft.inject.send_fail",
+                         "ft.inject.delay", "comm.retry.attempts"};
+  const auto run_once = [&] {
+    std::map<std::string, long long> before;
+    for (const char* name : names) before[name] = obs::counter(name).value();
+    FaultSpec spec;
+    spec.seed = 777;
+    spec.send_fail_prob = 0.15;
+    spec.delay_prob = 0.05;
+    spec.delay_us = 1;
+    spec.max_attempts = 40;
+    spec.backoff_us = 0;
+    par::run(4, [](par::Comm& comm) { faulty_workload(comm); }, {}, spec);
+    std::map<std::string, long long> delta;
+    for (const char* name : names) {
+      delta[name] = obs::counter(name).value() - before[name];
+    }
+    return delta;
+  };
+  const auto first = run_once();
+  const auto second = run_once();
+  EXPECT_EQ(first, second);
+  EXPECT_GT(first.at("ft.inject.queries"), 0);
+  EXPECT_GT(first.at("ft.inject.send_fail"), 0);
+}
+
+// ----- checkpoint format ------------------------------------------------------
+
+struct Meta {
+  std::int64_t iteration;
+  double objective;
+};
+static_assert(std::is_trivially_copyable_v<Meta>);
+
+std::string temp_path(const std::string& name) {
+  return ::testing::TempDir() + "lrt_ft_" + name + ".ckpt";
+}
+
+/// Writes a small well-formed checkpoint and returns its path.
+std::string write_sample(const std::string& name) {
+  const std::string path = temp_path(name);
+  std::remove(path.c_str());
+  CheckpointWriter writer;
+  writer.add_pod("meta", Meta{17, 2.5});
+  writer.add_array("values", std::vector<double>{1.0, 2.0, 3.0});
+  la::RealMatrix m(2, 3);
+  for (Index i = 0; i < 2; ++i) {
+    for (Index j = 0; j < 3; ++j) m(i, j) = static_cast<Real>(10 * i + j);
+  }
+  writer.add_matrix("m", m.view());
+  writer.write(path);
+  return path;
+}
+
+std::vector<char> slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void spit(const std::string& path, const std::vector<char>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(Checkpoint, RoundTripsAllSectionKinds) {
+  const std::string path = write_sample("roundtrip");
+  EXPECT_TRUE(checkpoint_exists(path));
+  // The atomic write leaves no temp file behind.
+  std::ifstream tmp(path + ".tmp", std::ios::binary);
+  EXPECT_FALSE(tmp.good());
+
+  const CheckpointReader reader(path);
+  EXPECT_TRUE(reader.has("meta"));
+  EXPECT_FALSE(reader.has("absent"));
+  const Meta meta = reader.pod<Meta>("meta");
+  EXPECT_EQ(meta.iteration, 17);
+  EXPECT_DOUBLE_EQ(meta.objective, 2.5);
+  const std::vector<double> values = reader.array<double>("values");
+  EXPECT_EQ(values, (std::vector<double>{1.0, 2.0, 3.0}));
+  const la::RealMatrix m = reader.matrix("m");
+  ASSERT_EQ(m.rows(), 2);
+  ASSERT_EQ(m.cols(), 3);
+  EXPECT_EQ(m(1, 2), 12.0);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, EmptyMatrixRoundTrips) {
+  const std::string path = temp_path("empty");
+  CheckpointWriter writer;
+  writer.add_matrix("p", la::RealMatrix(0, 0).view());
+  writer.write(path);
+  const CheckpointReader reader(path);
+  const la::RealMatrix p = reader.matrix("p");
+  EXPECT_EQ(p.rows(), 0);
+  EXPECT_EQ(p.cols(), 0);
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingFileIsIoFault) {
+  const std::string path = temp_path("nonexistent");
+  std::remove(path.c_str());
+  EXPECT_FALSE(checkpoint_exists(path));
+  try {
+    CheckpointReader reader(path);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.fault(), CheckpointFault::kIo);
+  }
+}
+
+TEST(Checkpoint, LeftoverTmpFromTornWriteNeverCounts) {
+  const std::string path = temp_path("torn");
+  std::remove(path.c_str());
+  spit(path + ".tmp", {'h', 'a', 'l', 'f'});
+  EXPECT_FALSE(checkpoint_exists(path));
+  std::remove((path + ".tmp").c_str());
+}
+
+TEST(Checkpoint, TruncationIsDetected) {
+  const std::string path = write_sample("truncated");
+  std::vector<char> bytes = slurp(path);
+  bytes.resize(bytes.size() - 5);
+  spit(path, bytes);
+  try {
+    CheckpointReader reader(path);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.fault(), CheckpointFault::kTruncated);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, FlippedPayloadByteFailsCrc) {
+  const std::string path = write_sample("bitrot");
+  std::vector<char> bytes = slurp(path);
+  bytes.back() = static_cast<char>(bytes.back() ^ 0x40);
+  spit(path, bytes);
+  try {
+    CheckpointReader reader(path);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.fault(), CheckpointFault::kBadCrc);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, WrongVersionIsRejected) {
+  const std::string path = write_sample("version");
+  std::vector<char> bytes = slurp(path);
+  bytes[8] = 99;  // u32 version follows the 8-byte magic
+  spit(path, bytes);
+  try {
+    CheckpointReader reader(path);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.fault(), CheckpointFault::kBadVersion);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, BadMagicIsRejected) {
+  const std::string path = write_sample("magic");
+  std::vector<char> bytes = slurp(path);
+  bytes[0] = 'X';
+  spit(path, bytes);
+  try {
+    CheckpointReader reader(path);
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.fault(), CheckpointFault::kBadMagic);
+  }
+  std::remove(path.c_str());
+}
+
+TEST(Checkpoint, MissingSectionAndBadShapeAreTyped) {
+  const std::string path = write_sample("shape");
+  const CheckpointReader reader(path);
+  try {
+    reader.section("absent");
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.fault(), CheckpointFault::kMissingSection);
+  }
+  try {
+    reader.pod<double>("meta");  // meta is 16 bytes, double is 8
+    FAIL() << "expected CheckpointError";
+  } catch (const CheckpointError& e) {
+    EXPECT_EQ(e.fault(), CheckpointFault::kBadShape);
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace lrt::ft

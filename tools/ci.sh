@@ -14,8 +14,14 @@
 #               seconds-long kernel benches with --compare correctness
 #               cross-checks, then lrt.bench/1 schema validation of the
 #               emitted reports (see docs/PERFORMANCE.md).
+#   fault       full ctest with deterministic fault injection ambient
+#               (fixed-seed LRT_FAULT: transient send failures + delays)
+#               and the verifier on — injected faults must heal
+#               transparently with zero result or traffic divergence
+#               (docs/RESILIENCE.md). Also repeated under ASan+UBSan in
+#               that flavor's tree when it exists.
 #
-# Usage: tools/ci.sh [plain|asan|tsan|lint|bench]...   (default: all)
+# Usage: tools/ci.sh [plain|asan|tsan|lint|bench|fault]...   (default: all)
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -31,9 +37,15 @@ run_flavor() {
   ctest --test-dir "$build_dir" --output-on-failure -j "$jobs"
 }
 
-do_lint=0 do_plain=0 do_asan=0 do_tsan=0 do_bench=0
+# Fixed-seed injection spec for the fault flavor: roughly one transient
+# failure and one delay per 500 sends, reproducible run to run. The
+# verifier rides along so any fault-induced divergence in the collective
+# call sequence fails loudly instead of hanging.
+fault_spec="seed=2026,fail=0.002,delay=0.002,delay_us=20"
+
+do_lint=0 do_plain=0 do_asan=0 do_tsan=0 do_bench=0 do_fault=0
 if [ "$#" -eq 0 ]; then
-  do_lint=1 do_plain=1 do_asan=1 do_tsan=1 do_bench=1
+  do_lint=1 do_plain=1 do_asan=1 do_tsan=1 do_bench=1 do_fault=1
 else
   for arg in "$@"; do
     case "$arg" in
@@ -42,6 +54,7 @@ else
       asan) do_asan=1 ;;
       tsan) do_tsan=1 ;;
       bench) do_bench=1 ;;
+      fault) do_fault=1 ;;
       *) echo "unknown flavor: $arg" >&2; exit 2 ;;
     esac
   done
@@ -110,10 +123,26 @@ if [ "$do_bench" -eq 1 ]; then
   fi
 fi
 
+if [ "$do_fault" -eq 1 ]; then
+  # Shares the plain flavor's tree; configure+build is a no-op when the
+  # plain flavor already ran in this invocation.
+  echo "=== [fault] configure + build (build-ci) ==="
+  cmake -B build-ci -S . -DLRT_WERROR=ON
+  cmake --build build-ci -j "$jobs"
+  echo "=== [fault] ctest with LRT_FAULT + LRT_CHECK=1 ==="
+  LRT_FAULT="$fault_spec" LRT_CHECK=1 LRT_CHECK_STALL_SECONDS=120 \
+    ctest --test-dir build-ci --output-on-failure -j "$jobs"
+fi
+
 if [ "$do_asan" -eq 1 ]; then
   ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
   UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
     run_flavor asan+ubsan build-asan "-DLRT_SANITIZE=address;undefined"
+  echo "=== [asan+ubsan] ctest with LRT_FAULT (injection under sanitizers) ==="
+  ASAN_OPTIONS="halt_on_error=1:detect_leaks=1" \
+  UBSAN_OPTIONS="halt_on_error=1:print_stacktrace=1" \
+  LRT_FAULT="$fault_spec" \
+    ctest --test-dir build-asan --output-on-failure -j "$jobs"
 fi
 
 if [ "$do_tsan" -eq 1 ]; then
