@@ -6,6 +6,7 @@
 #include <map>
 #include <sstream>
 
+#include "analyze/callgraph.hpp"
 #include "analyze/passes.hpp"
 #include "analyze/registry_gen.hpp"
 #include "common/error.hpp"
@@ -164,18 +165,43 @@ std::vector<std::string> discover_sources(const std::string& root) {
   return out;
 }
 
-Report analyze(const Config& config, const std::vector<std::string>& files) {
-  std::vector<LexedFile> lexed;
-  lexed.reserve(files.size());
-  for (const std::string& rel : files) {
-    lexed.push_back(lex(rel, read_file(config.root + "/" + rel)));
+namespace {
+
+/// Reads (serial — the I/O is ordered and cheap) then lexes (parallel —
+/// the lexer is pure per file) every input. Output order matches the
+/// input order regardless of thread count: each worker writes only its
+/// own index.
+std::vector<LexedFile> lex_files(const Config& config,
+                                 const std::vector<std::string>& files) {
+  std::vector<std::string> texts(files.size());
+  for (std::size_t i = 0; i < files.size(); ++i) {
+    texts[i] = read_file(config.root + "/" + files[i]);
   }
+  std::vector<LexedFile> lexed(files.size());
+  const std::ptrdiff_t n = static_cast<std::ptrdiff_t>(files.size());
+#ifdef _OPENMP
+#pragma omp parallel for schedule(dynamic) \
+    num_threads(effective_jobs(config.jobs))
+#endif
+  for (std::ptrdiff_t i = 0; i < n; ++i) {
+    const std::size_t u = static_cast<std::size_t>(i);
+    lexed[u] = lex(files[u], texts[u]);
+  }
+  return lexed;
+}
+
+}  // namespace
+
+Report analyze(const Config& config, const std::vector<std::string>& files) {
+  const std::vector<LexedFile> lexed = lex_files(config, files);
+  const CallGraph graph = CallGraph::build(lexed, config.jobs);
 
   std::vector<Finding> findings;
   PassContext ctx;
   ctx.config = &config;
   ctx.files = &lexed;
   ctx.findings = &findings;
+  ctx.graph = &graph;
 
   if (ctx.enabled("layer-dag")) run_layer_dag(ctx);
   if (ctx.enabled("collective-divergence")) run_collective_divergence(ctx);

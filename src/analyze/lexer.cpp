@@ -17,10 +17,10 @@ bool is_ident_char(char c) { return is_ident_start(c) || (c >= '0' && c <= '9');
 bool is_digit(char c) { return c >= '0' && c <= '9'; }
 
 /// Multi-character punctuators, longest first so the longest match wins.
-constexpr std::array<std::string_view, 26> kPuncts = {
+constexpr std::array<std::string_view, 27> kPuncts = {
     "...", "<=>", "<<=", ">>=", "->*", "::", "->", "<<", ">>", "<=", ">=",
     "==",  "!=",  "&&",  "||",  "++", "--", "+=", "-=", "*=", "/=", "%=",
-    "&=",  "|=",  "^=",  "##"};
+    "&=",  "|=",  "^=",  "##",  ".*"};
 
 /// Scans a comment body for `lrt-analyze: allow(a, b)` and records the
 /// named passes against `line` and `line + 1`.
@@ -201,16 +201,18 @@ class Lexer {
     const std::string name = text_.substr(start, pos_ - start);
     // Encoding / raw-string prefixes glued to a quote are literals, not
     // identifiers: R"(..)", u8"..", L'x', ...
-    if (peek() == '"' &&
-        (name == "R" || name == "u8R" || name == "uR" || name == "LR")) {
+    if (peek() == '"' && (name == "R" || name == "u8R" || name == "uR" ||
+                          name == "LR" || name == "UR")) {
       string_literal(/*raw=*/true);
       return;
     }
-    if (peek() == '"' && (name == "u8" || name == "u" || name == "L")) {
+    if (peek() == '"' &&
+        (name == "u8" || name == "u" || name == "L" || name == "U")) {
       string_literal(/*raw=*/false);
       return;
     }
-    if (peek() == '\'' && (name == "u8" || name == "u" || name == "L")) {
+    if (peek() == '\'' &&
+        (name == "u8" || name == "u" || name == "L" || name == "U")) {
       char_literal();
       return;
     }

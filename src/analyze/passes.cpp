@@ -7,6 +7,7 @@
 #include <sstream>
 #include <string>
 
+#include "analyze/callgraph.hpp"
 #include "analyze/registry_gen.hpp"
 
 namespace lrt::analyze {
@@ -207,8 +208,6 @@ void run_layer_dag(const PassContext& ctx) {
 
 // ----- collective-divergence --------------------------------------------------
 
-namespace {
-
 const std::set<std::string>& collective_names() {
   static const std::set<std::string> kNames = {
       "barrier",   "bcast",      "reduce", "allreduce", "alltoall",
@@ -217,7 +216,6 @@ const std::set<std::string>& collective_names() {
   return kNames;
 }
 
-/// Identifiers that mark a condition as rank-dependent.
 bool is_rank_marker(const Token& tok) {
   if (tok.kind != TokKind::kIdentifier) return false;
   return tok.text == "rank" || tok.text == "rank_" || tok.text == "myrank" ||
@@ -225,7 +223,10 @@ bool is_rank_marker(const Token& tok) {
          tok.text == "is_root";
 }
 
-void divergence_scan(const PassContext& ctx, const LexedFile& file) {
+namespace {
+
+void divergence_scan(const PassContext& ctx, const LexedFile& file,
+                     std::size_t file_index) {
   const Tokens& t = file.tokens;
   struct Region {
     bool brace;          ///< brace block vs single statement
@@ -288,6 +289,28 @@ void divergence_scan(const PassContext& ctx, const LexedFile& file) {
                       "' under rank-dependent control flow: every rank "
                       "must execute the same collective sequence "
                       "(see docs/CONCURRENCY.md)");
+    } else if (!regions.empty() && ctx.graph != nullptr &&
+               tok.kind == TokKind::kIdentifier && i + 1 < t.size() &&
+               is_punct(t[i + 1], "(") &&
+               !(i > 0 &&
+                 (is_punct(t[i - 1], ".") || is_punct(t[i - 1], "->")))) {
+      // Reachability: a free call whose callee (transitively) enters a
+      // collective diverges just as surely as the collective itself.
+      const std::size_t callee = ctx.graph->resolve_call(t, i, file_index);
+      if (callee != kNoFunction) {
+        const FunctionInfo& fn = ctx.graph->functions()[callee];
+        if (fn.enters_collective.holds) {
+          add_finding(
+              ctx, "collective-divergence", file.path, tok.line,
+              "call to '" + tok.text + "' reaches collective '" +
+                  fn.enters_collective.what + "' (via " +
+                  ctx.graph->fact_chain(callee,
+                                        &FunctionInfo::enters_collective) +
+                  ") under rank-dependent control flow: every rank must "
+                  "execute the same collective sequence "
+                  "(see docs/CONCURRENCY.md)");
+        }
+      }
     }
 
     auto maybe_close_region = [&](bool was_brace) {
@@ -315,7 +338,9 @@ void divergence_scan(const PassContext& ctx, const LexedFile& file) {
 }  // namespace
 
 void run_collective_divergence(const PassContext& ctx) {
-  for (const LexedFile& file : *ctx.files) divergence_scan(ctx, file);
+  for (std::size_t i = 0; i < ctx.files->size(); ++i) {
+    divergence_scan(ctx, (*ctx.files)[i], i);
+  }
 }
 
 // ----- phase-registry ---------------------------------------------------------

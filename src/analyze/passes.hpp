@@ -26,6 +26,7 @@
 // See docs/STATIC_ANALYSIS.md for the rationale behind each.
 #pragma once
 
+#include <set>
 #include <string>
 #include <vector>
 
@@ -34,16 +35,37 @@
 
 namespace lrt::analyze {
 
+class CallGraph;
+
 /// Shared input for one analysis run.
 struct PassContext {
   const Config* config = nullptr;
   const std::vector<LexedFile>* files = nullptr;
   std::vector<Finding>* findings = nullptr;
+  /// Project call graph + function summaries (analyze/callgraph.hpp);
+  /// null in reduced test setups — passes then skip the interprocedural
+  /// checks and degrade to their PR-5 lexical behavior.
+  const CallGraph* graph = nullptr;
 
   bool enabled(const std::string& pass) const {
     return config->passes.empty() || config->passes.count(pass) != 0;
   }
 };
+
+/// Shared token vocabulary. The scoped passes and the call-graph summary
+/// builder must agree on what counts as a write, an allocation, I/O, a
+/// lock, or a collective, so the sets live here rather than per-pass.
+const std::set<std::string>& assign_ops();        ///< =, +=, ..., >>=
+const std::set<std::string>& mutating_methods();  ///< push_back, resize, ...
+const std::set<std::string>& heap_fns();          ///< malloc, free, ...
+const std::set<std::string>& lock_types();        ///< mutex, lock_guard, ...
+const std::set<std::string>& io_fns();            ///< printf, fopen, ...
+const std::set<std::string>& io_streams();        ///< cout, ofstream, ...
+const std::set<std::string>& collective_names();  ///< barrier, allreduce, ...
+
+/// Identifiers that mark a condition as rank-dependent (rank, my_rank,
+/// is_root, ...), shared by collective-divergence and its tests.
+bool is_rank_marker(const Token& tok);
 
 /// The bottom-up module layering of src/ enforced by layer-dag. A module
 /// may include itself and anything at the same or a lower index.

@@ -255,6 +255,84 @@ std::vector<TokenRange> function_bodies(const Tokens& t) {
   return out;
 }
 
+namespace {
+
+/// Index of the open token matching the close token at `close`, scanning
+/// backward but not below `floor`; npos when unmatched.
+std::size_t match_group_back(const Tokens& t, std::size_t close,
+                             std::size_t floor, const char* open_text,
+                             const char* close_text) {
+  int depth = 0;
+  for (std::size_t j = close + 1; j-- > floor;) {
+    if (is_punct(t[j], close_text)) ++depth;
+    if (is_punct(t[j], open_text)) {
+      --depth;
+      if (depth == 0) return j;
+    }
+  }
+  return static_cast<std::size_t>(-1);
+}
+
+}  // namespace
+
+Lvalue walk_lvalue_back(const Tokens& t, std::size_t last,
+                        std::size_t floor) {
+  Lvalue lv;
+  if (last >= t.size() || last < floor) return lv;
+  std::size_t j = last;
+  const std::size_t npos = static_cast<std::size_t>(-1);
+  // Trailing subscript/call groups: v[i][j], m(r, c).
+  while (j > floor) {
+    std::size_t open = npos;
+    if (is_punct(t[j], "]")) {
+      open = match_group_back(t, j, floor, "[", "]");
+    } else if (is_punct(t[j], ")")) {
+      open = match_group_back(t, j, floor, "(", ")");
+    } else {
+      break;
+    }
+    if (open == npos || open == 0) return lv;
+    lv.groups.push_back(TokenRange{open + 1, j});
+    j = open - 1;
+  }
+  if (t[j].kind != TokKind::kIdentifier) return lv;
+  // Qualifier/member chain: a.b, p->c, ns::x, f(...).m, v[i].w.
+  while (j >= floor + 2 &&
+         (is_punct(t[j - 1], ".") || is_punct(t[j - 1], "->") ||
+          is_punct(t[j - 1], "::"))) {
+    const std::size_t before = j - 2;
+    if (t[before].kind == TokKind::kIdentifier) {
+      j = before;
+      continue;
+    }
+    std::size_t open = npos;
+    if (is_punct(t[before], "]")) {
+      open = match_group_back(t, before, floor, "[", "]");
+    } else if (is_punct(t[before], ")")) {
+      open = match_group_back(t, before, floor, "(", ")");
+    }
+    if (open == npos || open <= floor ||
+        t[open - 1].kind != TokKind::kIdentifier) {
+      break;
+    }
+    lv.groups.push_back(TokenRange{open + 1, before});
+    j = open - 1;
+  }
+  lv.base = t[j].text;
+  lv.chain_begin = j;
+  lv.chain_end = last + 1;
+  lv.ok = true;
+  return lv;
+}
+
+std::string chain_key(const Tokens& t, const Lvalue& lv) {
+  std::string key;
+  for (std::size_t j = lv.chain_begin; j < lv.chain_end; ++j) {
+    key += t[j].text;
+  }
+  return key;
+}
+
 std::vector<TokenRange> loop_ranges(const Tokens& t, std::size_t begin,
                                     std::size_t end) {
   std::vector<TokenRange> out;

@@ -89,4 +89,28 @@ std::vector<TokenRange> function_bodies(const std::vector<Token>& tokens);
 std::vector<TokenRange> loop_ranges(const std::vector<Token>& tokens,
                                     std::size_t begin, std::size_t end);
 
+/// A parsed lvalue expression ending at some token: the leftmost base
+/// identifier, the member/qualifier chain extent, and every subscript or
+/// call-operator argument group along the way. Shared by the scoped
+/// passes (omp-race write targets) and the call graph (parameter-write
+/// summaries).
+struct Lvalue {
+  bool ok = false;
+  std::string base;             ///< leftmost identifier
+  std::size_t chain_begin = 0;  ///< token index of the base identifier
+  std::size_t chain_end = 0;    ///< one past the lvalue's final token
+  std::vector<TokenRange> groups;  ///< [...] and (...) argument extents
+};
+
+/// Walks backward from `last` (the lvalue's final token) to its leftmost
+/// base identifier, collecting subscript/call groups; never looks below
+/// `floor`. Fails (ok=false) on anything it does not understand; callers
+/// stay silent then.
+Lvalue walk_lvalue_back(const std::vector<Token>& tokens, std::size_t last,
+                        std::size_t floor);
+
+/// The member chain as written ("result.kept_points"), used to pair
+/// growth calls with earlier reserve() calls on the same object.
+std::string chain_key(const std::vector<Token>& tokens, const Lvalue& lv);
+
 }  // namespace lrt::analyze

@@ -12,11 +12,60 @@
 #include <string>
 #include <vector>
 
+#include "analyze/callgraph.hpp"
 #include "analyze/passes.hpp"
 #include "analyze/registry_gen.hpp"
 #include "analyze/scope.hpp"
 
 namespace lrt::analyze {
+
+// Shared write/purity vocabulary (declared in passes.hpp): the call-graph
+// summary builder (callgraph.cpp) detects the same token shapes inside
+// callees that the scoped passes detect inside regions, so the sets live
+// in one place.
+
+const std::set<std::string>& assign_ops() {
+  static const std::set<std::string> kOps = {
+      "=",  "+=", "-=", "*=",  "/=", "%=",
+      "&=", "|=", "^=", "<<=", ">>="};
+  return kOps;
+}
+
+const std::set<std::string>& mutating_methods() {
+  static const std::set<std::string> kNames = {
+      "push_back", "emplace_back", "resize", "reserve", "insert",
+      "erase",     "clear",        "assign", "pop_back", "emplace"};
+  return kNames;
+}
+
+const std::set<std::string>& heap_fns() {
+  static const std::set<std::string> kNames = {
+      "malloc", "calloc", "realloc", "free", "aligned_alloc",
+      "posix_memalign"};
+  return kNames;
+}
+
+const std::set<std::string>& lock_types() {
+  static const std::set<std::string> kNames = {
+      "mutex",       "recursive_mutex", "shared_mutex",
+      "lock_guard",  "unique_lock",     "scoped_lock",
+      "shared_lock", "condition_variable", "condition_variable_any"};
+  return kNames;
+}
+
+const std::set<std::string>& io_fns() {
+  static const std::set<std::string> kNames = {
+      "printf", "fprintf", "puts",   "fputs",  "fputc",  "putchar",
+      "fwrite", "fread",   "fopen",  "fclose", "fflush", "fscanf",
+      "scanf",  "fgets",   "getchar"};
+  return kNames;
+}
+
+const std::set<std::string>& io_streams() {
+  static const std::set<std::string> kNames = {
+      "cout", "cerr", "clog", "ofstream", "ifstream", "fstream"};
+  return kNames;
+}
 
 namespace {
 
@@ -44,111 +93,7 @@ void add_finding(const PassContext& ctx, std::string pass, std::string file,
   ctx.findings->push_back(std::move(f));
 }
 
-/// Index of the open token matching the close token at `close`, scanning
-/// backward but not below `floor`; npos when unmatched.
-std::size_t match_group_back(const Tokens& t, std::size_t close,
-                             std::size_t floor, const char* open_text,
-                             const char* close_text) {
-  int depth = 0;
-  for (std::size_t j = close + 1; j-- > floor;) {
-    if (is_punct(t[j], close_text)) ++depth;
-    if (is_punct(t[j], open_text)) {
-      --depth;
-      if (depth == 0) return j;
-    }
-  }
-  return static_cast<std::size_t>(-1);
-}
-
-/// A parsed lvalue expression ending at token `last`: the leftmost base
-/// identifier, the member/qualifier chain extent, and every subscript or
-/// call-operator argument group along the way.
-struct Lvalue {
-  bool ok = false;
-  std::string base;            ///< leftmost identifier
-  std::size_t chain_begin = 0; ///< token index of the base identifier
-  std::size_t chain_end = 0;   ///< one past `last`
-  std::vector<TokenRange> groups;  ///< [...] and (...) argument extents
-};
-
-/// Walks backward from `last` (the lvalue's final token) to its leftmost
-/// base identifier, collecting subscript/call groups. Fails (ok=false) on
-/// anything it does not understand; callers stay silent then.
-Lvalue walk_lvalue_back(const Tokens& t, std::size_t last,
-                        std::size_t floor) {
-  Lvalue lv;
-  if (last >= t.size() || last < floor) return lv;
-  std::size_t j = last;
-  const std::size_t npos = static_cast<std::size_t>(-1);
-  // Trailing subscript/call groups: v[i][j], m(r, c).
-  while (j > floor) {
-    std::size_t open = npos;
-    if (is_punct(t[j], "]")) {
-      open = match_group_back(t, j, floor, "[", "]");
-    } else if (is_punct(t[j], ")")) {
-      open = match_group_back(t, j, floor, "(", ")");
-    } else {
-      break;
-    }
-    if (open == npos || open == 0) return lv;
-    lv.groups.push_back(TokenRange{open + 1, j});
-    j = open - 1;
-  }
-  if (t[j].kind != TokKind::kIdentifier) return lv;
-  // Qualifier/member chain: a.b, p->c, ns::x, f(...).m, v[i].w.
-  while (j >= floor + 2 &&
-         (is_punct(t[j - 1], ".") || is_punct(t[j - 1], "->") ||
-          is_punct(t[j - 1], "::"))) {
-    const std::size_t before = j - 2;
-    if (t[before].kind == TokKind::kIdentifier) {
-      j = before;
-      continue;
-    }
-    std::size_t open = npos;
-    if (is_punct(t[before], "]")) {
-      open = match_group_back(t, before, floor, "[", "]");
-    } else if (is_punct(t[before], ")")) {
-      open = match_group_back(t, before, floor, "(", ")");
-    }
-    if (open == npos || open <= floor ||
-        t[open - 1].kind != TokKind::kIdentifier) {
-      break;
-    }
-    lv.groups.push_back(TokenRange{open + 1, before});
-    j = open - 1;
-  }
-  lv.base = t[j].text;
-  lv.chain_begin = j;
-  lv.chain_end = last + 1;
-  lv.ok = true;
-  return lv;
-}
-
-/// The member chain as written ("result.kept_points"), used to pair
-/// growth calls with earlier reserve() calls on the same object.
-std::string chain_key(const Tokens& t, const Lvalue& lv) {
-  std::string key;
-  for (std::size_t j = lv.chain_begin; j < lv.chain_end; ++j) {
-    key += t[j].text;
-  }
-  return key;
-}
-
 // ----- omp-race ---------------------------------------------------------------
-
-const std::set<std::string>& assign_ops() {
-  static const std::set<std::string> kOps = {
-      "=",  "+=", "-=", "*=",  "/=", "%=",
-      "&=", "|=", "^=", "<<=", ">>="};
-  return kOps;
-}
-
-const std::set<std::string>& mutating_methods() {
-  static const std::set<std::string> kNames = {
-      "push_back", "emplace_back", "resize", "reserve", "insert",
-      "erase",     "clear",        "assign", "pop_back", "emplace"};
-  return kNames;
-}
 
 bool checkable_region(const OmpDirective& d) {
   return (d.has_kind("parallel") || d.has_kind("for") || d.has_kind("simd")) &&
@@ -198,9 +143,10 @@ bool in_ranges(const std::vector<TokenRange>& ranges, std::size_t i,
   return false;
 }
 
-bool lvalue_exempt(const Tokens& t, const Lvalue& lv,
-                   const std::set<std::string>& exempt) {
-  if (lv.base == "this" || exempt.count(lv.base) != 0) return true;
+/// A subscript/call group in the lvalue chain mentions a privatized name
+/// or the thread id: per-thread/per-iteration indexing, assumed disjoint.
+bool index_exempt(const Tokens& t, const Lvalue& lv,
+                  const std::set<std::string>& exempt) {
   for (const TokenRange& g : lv.groups) {
     for (std::size_t j = g.begin; j < g.end; ++j) {
       if (t[j].kind != TokKind::kIdentifier) continue;
@@ -213,16 +159,69 @@ bool lvalue_exempt(const Tokens& t, const Lvalue& lv,
   return false;
 }
 
+/// `NAME = ORIGIN.data()` assignments in [begin, end): NAME aliases the
+/// storage of ORIGIN, so a write through NAME is a write to ORIGIN.
+std::map<std::string, std::string> build_alias_map(const Tokens& t,
+                                                   std::size_t begin,
+                                                   std::size_t end) {
+  std::map<std::string, std::string> alias;
+  for (std::size_t w = begin + 2; w + 2 < end; ++w) {
+    if (!is_ident(t[w], "data") ||
+        !(is_punct(t[w - 1], ".") || is_punct(t[w - 1], "->")) ||
+        !is_punct(t[w + 1], "(") || !is_punct(t[w + 2], ")")) {
+      continue;
+    }
+    const Lvalue origin = walk_lvalue_back(t, w - 2, begin);
+    if (!origin.ok || origin.chain_begin < begin + 2) continue;
+    if (!is_punct(t[origin.chain_begin - 1], "=")) continue;
+    const Token& named = t[origin.chain_begin - 2];
+    if (named.kind != TokKind::kIdentifier) continue;
+    if (named.text == origin.base) continue;
+    alias[named.text] = origin.base;
+  }
+  return alias;
+}
+
+/// Final origin of `name` through the alias map; empty when `name` is not
+/// an alias. Visited guard: `a = b.data(); b = a.data();` is legal C++.
+std::string resolve_alias(const std::map<std::string, std::string>& alias,
+                          const std::string& name) {
+  std::set<std::string> visited;
+  std::string cur = name;
+  while (visited.insert(cur).second) {
+    const auto it = alias.find(cur);
+    if (it == alias.end()) break;
+    cur = it->second;
+  }
+  return cur == name ? std::string{} : cur;
+}
+
+/// The argument as a plain forwarded lvalue (`name`, `&name`, `*name`);
+/// empty otherwise. Mirrors the propagation rule in callgraph.cpp.
+std::string plain_arg(const Tokens& t, const TokenRange& r) {
+  if (r.end == r.begin + 1 && t[r.begin].kind == TokKind::kIdentifier) {
+    return t[r.begin].text;
+  }
+  if (r.end == r.begin + 2 &&
+      (is_punct(t[r.begin], "&") || is_punct(t[r.begin], "*")) &&
+      t[r.begin + 1].kind == TokKind::kIdentifier) {
+    return t[r.begin + 1].text;
+  }
+  return {};
+}
+
 std::string region_hint() {
   return " (make it private/reduction, declare it inside the region, "
          "index it per-thread, or guard with omp atomic/critical; "
          "suppress with `lrt-analyze: allow(omp-race)` if provably safe)";
 }
 
-void omp_race_scan(const PassContext& ctx, const LexedFile& file) {
+void omp_race_scan(const PassContext& ctx, const LexedFile& file,
+                   std::size_t file_index) {
   const Tokens& t = file.tokens;
   const std::vector<OmpDirective> dirs = parse_omp_directives(file);
   if (dirs.empty()) return;
+  const std::vector<TokenRange> fns = function_bodies(t);
 
   std::size_t scanned_until = 0;
   for (std::size_t di = 0; di < dirs.size(); ++di) {
@@ -234,6 +233,18 @@ void omp_race_scan(const PassContext& ctx, const LexedFile& file) {
     rs.exempt = d.privatized;
     rs.extents.push_back(TokenRange{d.begin, d.end});
     exempt_for_init_vars(t, d, &rs.exempt);
+    // Alias assignments anywhere in the enclosing function up to the
+    // region's end: `double* p = out.data();` saved before the pragma
+    // still aliases `out` inside the region.
+    std::size_t alias_begin = rs.region.begin;
+    for (const TokenRange& fn : fns) {
+      if (fn.contains(d.begin)) {
+        alias_begin = fn.begin;
+        break;
+      }
+    }
+    const std::map<std::string, std::string> alias =
+        build_alias_map(t, alias_begin, rs.region.end);
     for (std::size_t dj = di + 1;
          dj < dirs.size() && dirs[dj].begin < rs.region.end; ++dj) {
       const OmpDirective& n = dirs[dj];
@@ -292,48 +303,87 @@ void omp_race_scan(const PassContext& ctx, const LexedFile& file) {
         lv.chain_begin = w + 1;
         lv.chain_end = w + 2;
         what = "address of";
+      } else if (ctx.graph != nullptr && tok.kind == TokKind::kIdentifier &&
+                 w + 1 < rs.region.end && is_punct(t[w + 1], "(") &&
+                 !(w > rs.region.begin && (is_punct(t[w - 1], ".") ||
+                                           is_punct(t[w - 1], "->")))) {
+        // A call that forwards a shared variable to a callee writing its
+        // by-ref parameter races exactly like an in-region assignment.
+        const std::size_t callee = ctx.graph->resolve_call(t, w, file_index);
+        if (callee != kNoFunction) {
+          const FunctionInfo& cf = ctx.graph->functions()[callee];
+          if (!cf.writes.empty()) {
+            const std::vector<TokenRange> args = CallGraph::call_args(t, w);
+            for (const auto& [k, pw] : cf.writes) {
+              (void)pw;
+              if (k >= args.size()) continue;
+              const std::string arg = plain_arg(t, args[k]);
+              if (arg.empty()) continue;
+              std::string shown = arg;
+              std::string note;
+              if (arg == "this" || rs.exempt.count(arg) != 0) {
+                const std::string origin = resolve_alias(alias, arg);
+                if (origin.empty() || origin == "this" ||
+                    rs.exempt.count(origin) != 0) {
+                  continue;
+                }
+                shown = origin;
+                note = " forwarded as alias '" + arg + "'";
+              }
+              add_finding(
+                  ctx, "omp-race", file.path, tok.line,
+                  "call to '" + tok.text + "' writes shared '" + shown +
+                      "'" + note + " through parameter '" +
+                      cf.params[k].name + "' (" +
+                      ctx.graph->write_chain(callee, k) +
+                      ") inside an omp parallel region" + region_hint());
+            }
+          }
+        }
+        continue;
       } else {
         continue;
       }
-      if (!lv.ok || lvalue_exempt(t, lv, rs.exempt)) continue;
-      add_finding(ctx, "omp-race", file.path, tok.line,
-                  what + " shared '" + lv.base +
-                      "' inside an omp parallel region" + region_hint());
+      if (!lv.ok || index_exempt(t, lv, rs.exempt)) continue;
+      if (lv.base != "this" && rs.exempt.count(lv.base) == 0) {
+        add_finding(ctx, "omp-race", file.path, tok.line,
+                    what + " shared '" + lv.base +
+                        "' inside an omp parallel region" + region_hint());
+        continue;
+      }
+      // The base is exempt, but a region-local pointer saved from
+      // `.data()` is a window onto shared storage, not private state.
+      // Only dereferencing writes count (`p[0] = x`, `*p += y`) —
+      // reassigning or advancing the pointer itself touches nothing
+      // shared, and the saving declaration must not flag itself.
+      bool deref = !lv.groups.empty();
+      if (!deref && lv.chain_begin > rs.region.begin &&
+          is_punct(t[lv.chain_begin - 1], "*")) {
+        // `*p = x` dereferences; `Real* p = x.data()` declares. A star
+        // preceded by a type-ish token (identifier, '>', ')', ']') is
+        // part of a declarator, not a dereference.
+        const std::size_t before = lv.chain_begin - 1;
+        deref = before == rs.region.begin ||
+                !(t[before - 1].kind == TokKind::kIdentifier ||
+                  is_punct(t[before - 1], ">") ||
+                  is_punct(t[before - 1], ")") ||
+                  is_punct(t[before - 1], "]"));
+      }
+      if (!deref) continue;
+      const std::string origin = resolve_alias(alias, lv.base);
+      if (!origin.empty() && origin != "this" &&
+          rs.exempt.count(origin) == 0) {
+        add_finding(ctx, "omp-race", file.path, tok.line,
+                    what + " '" + lv.base + "', an alias of shared '" +
+                        origin + "' (saved from .data()), inside an omp "
+                        "parallel region" + region_hint());
+      }
     }
     scanned_until = rs.region.end;
   }
 }
 
 // ----- hot-path-purity --------------------------------------------------------
-
-const std::set<std::string>& heap_fns() {
-  static const std::set<std::string> kNames = {
-      "malloc", "calloc", "realloc", "free", "aligned_alloc",
-      "posix_memalign"};
-  return kNames;
-}
-
-const std::set<std::string>& lock_types() {
-  static const std::set<std::string> kNames = {
-      "mutex",       "recursive_mutex", "shared_mutex",
-      "lock_guard",  "unique_lock",     "scoped_lock",
-      "shared_lock", "condition_variable", "condition_variable_any"};
-  return kNames;
-}
-
-const std::set<std::string>& io_fns() {
-  static const std::set<std::string> kNames = {
-      "printf", "fprintf", "puts",   "fputs",  "fputc",  "putchar",
-      "fwrite", "fread",   "fopen",  "fclose", "fflush", "fscanf",
-      "scanf",  "fgets",   "getchar"};
-  return kNames;
-}
-
-const std::set<std::string>& io_streams() {
-  static const std::set<std::string> kNames = {
-      "cout", "cerr", "clog", "ofstream", "ifstream", "fstream"};
-  return kNames;
-}
 
 const std::set<std::string>& growth_methods() {
   static const std::set<std::string> kNames = {"push_back", "emplace_back",
@@ -346,7 +396,8 @@ std::string purity_hint() {
          "path or suppress with `lrt-analyze: allow(hot-path-purity)`)";
 }
 
-void purity_scan(const PassContext& ctx, const LexedFile& file) {
+void purity_scan(const PassContext& ctx, const LexedFile& file,
+                 std::size_t file_index) {
   if (!in_dir(file.path, "src")) return;
   const Tokens& t = file.tokens;
   const bool hot_tu = ctx.config->hot_files.count(file.path) != 0;
@@ -463,6 +514,40 @@ void purity_scan(const PassContext& ctx, const LexedFile& file) {
                     "'." + tok.text + "' on '" + lv.base +
                         "' inside a loop without a prior reserve()" +
                         purity_hint());
+        continue;
+      }
+      // Transitive: a resolvable call whose callee (through any depth)
+      // allocates, locks, or does I/O, sitting inside a hot-TU loop or an
+      // omp region. Setup-time calls at function scope (obs counters,
+      // spans) stay exempt — the impurity has to be *in the iteration*.
+      if (ctx.graph != nullptr && called && !member_call) {
+        bool in_loop = false;
+        for (const TokenRange& l : loops) in_loop = in_loop || l.contains(w);
+        bool in_region = false;
+        for (const auto& r : regions) {
+          in_region = in_region || r.first.contains(w);
+        }
+        if (!((hot_tu && in_loop) || in_region)) continue;
+        const std::size_t callee = ctx.graph->resolve_call(t, w, file_index);
+        if (callee == kNoFunction) continue;
+        const FunctionInfo& cf = ctx.graph->functions()[callee];
+        const struct {
+          Fact FunctionInfo::*fact;
+          const char* label;
+        } kChecks[] = {
+            {&FunctionInfo::allocates, "allocates ('"},
+            {&FunctionInfo::locks, "locks ('"},
+            {&FunctionInfo::does_io, "does I/O ('"},
+        };
+        for (const auto& c : kChecks) {
+          const Fact& fact = cf.*(c.fact);
+          if (!fact.holds) continue;
+          add_finding(ctx, "hot-path-purity", file.path, tok.line,
+                      "call to '" + tok.text + "' " + c.label + fact.what +
+                          "' via " +
+                          ctx.graph->fact_chain(callee, c.fact) +
+                          ") on a hot path" + purity_hint());
+        }
       }
     }
   }
@@ -479,14 +564,17 @@ bool counter_checked_file(const std::string& path) {
 }  // namespace
 
 void run_omp_race(const PassContext& ctx) {
-  for (const LexedFile& file : *ctx.files) {
+  for (std::size_t i = 0; i < ctx.files->size(); ++i) {
+    const LexedFile& file = (*ctx.files)[i];
     if (in_dir(file.path, "tests")) continue;
-    omp_race_scan(ctx, file);
+    omp_race_scan(ctx, file, i);
   }
 }
 
 void run_hot_path_purity(const PassContext& ctx) {
-  for (const LexedFile& file : *ctx.files) purity_scan(ctx, file);
+  for (std::size_t i = 0; i < ctx.files->size(); ++i) {
+    purity_scan(ctx, (*ctx.files)[i], i);
+  }
 }
 
 void run_counter_registry(const PassContext& ctx) {

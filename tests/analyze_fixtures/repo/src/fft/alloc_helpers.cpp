@@ -1,0 +1,17 @@
+// hot-path-purity fixture (interprocedural), helper half: these live in
+// a TU that is neither -O3-promoted nor omp-containing, so nothing here
+// is flagged directly. The malloc two calls down surfaces at the hot
+// call site in fft/deep_alloc.cpp via the call-graph summaries.
+
+namespace fx {
+
+double* make_scratch(int n) {
+  void* raw = malloc(static_cast<unsigned long>(n) * sizeof(double));
+  return static_cast<double*>(raw);
+}
+
+double* grab_scratch(int n) { return make_scratch(n); }
+
+double pure_helper(double x) { return x * 2.0; }
+
+}  // namespace fx

@@ -1,0 +1,24 @@
+// hot-path-purity fixture (interprocedural), hot half: this TU is
+// promoted to -O3 by the fixture src/CMakeLists.txt. A call inside one
+// of its loops whose callee allocates two levels down
+// (grab_scratch -> make_scratch, defined in fft/alloc_helpers.cpp)
+// flags at the call site — the impurity is invisible lexically. The
+// setup-time call outside the loop and the pure in-loop call are clean.
+
+namespace fx {
+
+double* grab_scratch(int n);
+double pure_helper(double x);
+
+double bad_deep_alloc(int n) {
+  double acc = 0.0;
+  double* setup = grab_scratch(n);  // clean: setup-time, outside any loop
+  for (int i = 0; i < n; ++i) {
+    double* t = grab_scratch(n);  // finding: allocates ('malloc') via
+                                  //   grab_scratch -> make_scratch
+    acc += pure_helper(t[0] + setup[0]);  // clean: callee is pure
+  }
+  return acc;
+}
+
+}  // namespace fx

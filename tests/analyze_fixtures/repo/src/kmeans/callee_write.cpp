@@ -1,0 +1,42 @@
+// omp-race fixture (interprocedural): forwarding a shared variable to a
+// callee that writes its non-const reference parameter races exactly
+// like an in-region assignment. bad_callee_write seeds two findings —
+// one through a two-hop chain (accumulate -> add_into), one direct
+// (bump). clean_callee_write exercises the exemptions: region-local and
+// reduction-clause arguments, and a callee that only reads.
+
+namespace fx {
+
+void add_into(double& acc, double v) { acc += v; }
+
+void accumulate(double& acc, double v) { add_into(acc, v); }
+
+void bump(int& h) { ++h; }
+
+double probe(const double& x) { return x * 2.0; }
+
+double bad_callee_write(int n) {
+  double total = 0.0;
+  int hits = 0;
+#pragma omp parallel for
+  for (int i = 0; i < n; ++i) {
+    accumulate(total, 1.0);  // finding: writes shared 'total'
+                             //   (accumulate -> add_into)
+    bump(hits);              // finding: writes shared 'hits'
+  }
+  return total + hits;
+}
+
+double clean_callee_write(int n) {
+  double total = 0.0;
+#pragma omp parallel for reduction(+ : total)
+  for (int i = 0; i < n; ++i) {
+    double local = 0.0;
+    accumulate(local, 1.0);    // clean: region-local target
+    local += probe(total);     // clean: probe only reads its argument
+    accumulate(total, local);  // clean: reduction-clause target
+  }
+  return total;
+}
+
+}  // namespace fx

@@ -1,0 +1,41 @@
+// omp-race fixture (aliasing): a region-local pointer saved from
+// `.data()` is a window onto shared storage, not private state, so a
+// dereferencing write through it races. bad_alias_store seeds exactly
+// one finding; clean_alias exercises the exemptions: loop-variable
+// indexing, pointer reassignment (writes nothing shared), and an alias
+// whose origin is itself region-local.
+
+namespace fx {
+
+struct Span {
+  double* data();
+};
+
+struct Local {
+  double* data();
+};
+
+double bad_alias_store(Span& out, int n) {
+  double sum = 0.0;
+#pragma omp parallel for reduction(+ : sum)
+  for (int i = 0; i < n; ++i) {
+    double* p = out.data();
+    p[0] += 1.0;  // finding: write through 'p', an alias of shared 'out'
+    sum += p[0];
+  }
+  return sum;
+}
+
+void clean_alias(Span& out, int n) {
+#pragma omp parallel for
+  for (int i = 0; i < n; ++i) {
+    double* q = out.data();
+    q[i] = 1.0;  // clean: indexed by the privatized loop variable
+    q = q + 1;   // clean: advancing the pointer itself is private
+    Local tmp;
+    double* r = tmp.data();
+    r[0] = 2.0;  // clean: the alias origin is region-local
+  }
+}
+
+}  // namespace fx

@@ -1,0 +1,34 @@
+// collective-divergence fixture (interprocedural): a call under
+// rank-dependent control flow whose callee transitively enters a
+// collective diverges just like a lexically nested collective.
+// bad_reach seeds exactly one finding through the finish -> sync_all
+// chain; clean_reach shows the unconditional call and a rank-guarded
+// call to a collective-free helper staying silent.
+
+namespace fixture {
+
+struct Comm2 {
+  int rank() const;
+  void barrier() const;
+};
+
+int note_rank(const Comm2& comm) { return comm.rank(); }
+
+void sync_all(const Comm2& comm) { comm.barrier(); }
+
+void finish(const Comm2& comm) { sync_all(comm); }
+
+void bad_reach(const Comm2& comm) {
+  if (comm.rank() == 0) {
+    finish(comm);  // finding: reaches 'barrier' via finish -> sync_all
+  }
+}
+
+void clean_reach(const Comm2& comm) {
+  finish(comm);  // clean: every rank reaches this call
+  if (comm.rank() == 0) {
+    note_rank(comm);  // clean: the callee enters no collective
+  }
+}
+
+}  // namespace fixture

@@ -50,9 +50,13 @@ TEST(ParCheck, CleanRunProducesNoFindings) {
         Comm sub = comm.split(comm.rank() % 2, comm.rank());
         if (comm.rank() % 2 == 0) {
           double s = 1;
+          // The divergence IS the fixture: this test checks that the
+          // runtime verifier detects sibling-subcommunicator patterns.
+          // lrt-analyze: allow(collective-divergence)
           sub.allreduce(&s, 1, ReduceOp::kSum);
         } else {
           double b = 2;
+          // lrt-analyze: allow(collective-divergence)
           sub.bcast(&b, 1, 0);
         }
         comm.barrier();
@@ -78,9 +82,13 @@ TEST(ParCheck, CollectiveKindMismatchDetected) {
       2,
       [](Comm& comm) {
         if (comm.rank() == 0) {
+          // Deliberately divergent: the verifier must report the
+          // barrier/bcast kind mismatch.
+          // lrt-analyze: allow(collective-divergence)
           comm.barrier();
         } else {
           double v = 0;
+          // lrt-analyze: allow(collective-divergence)
           comm.bcast(&v, 1, 0);
         }
       },

@@ -32,7 +32,7 @@ if [ ! -f "$build_dir/CMakeCache.txt" ]; then
 fi
 cmake --build "$build_dir" -j "$jobs" --target \
   bench_micro_substrates bench_fig8_breakdown bench_table3_point_selection \
-  validate_bench
+  bench_analyze validate_bench
 
 if [ "$smoke" -eq 1 ]; then
   out_dir="$build_dir/bench-smoke"
@@ -41,6 +41,12 @@ if [ "$smoke" -eq 1 ]; then
   echo "=== [bench] micro substrates (smoke, --compare) ==="
   LRT_BENCH_DIR="$out_dir" \
     "./$build_dir/bench/bench_micro_substrates" --smoke --compare
+  echo "=== [bench] analyzer self-bench (3 reps, gated at 30 s median) ==="
+  # A full analyze_repo run takes well under a second; the generous gate
+  # only exists to catch a complexity blowup in the lexer, call graph,
+  # or pass layer, not machine-to-machine jitter.
+  LRT_BENCH_DIR="$out_dir" \
+    "./$build_dir/bench/bench_analyze" --reps 3 --max-ms 30000
   echo "=== [bench] validate lrt.bench/1 schema ==="
   "./$build_dir/bench/validate_bench" "$out_dir"/BENCH_*.json
   echo "bench: smoke passed ($out_dir)"

@@ -9,6 +9,9 @@
 #   LRT_LINT_BUILD_DIR  build tree to (re)use for lrt-analyze and
 #                       compile_commands.json (default: build)
 #   LRT_ANALYZE         explicit path to an lrt-analyze binary
+#   LRT_ANALYZE_JOBS    worker threads for the analyzer's per-TU stages
+#                       (default 0 = OpenMP default team size; findings
+#                       are deterministic at any job count)
 #
 # Run from anywhere; exits non-zero on any finding.
 set -u
@@ -48,9 +51,15 @@ if [ -n "$analyze_bin" ]; then
   # the lrt.analyze/1 report is what external CI viewers ingest.
   report_dir="$(dirname "$(dirname "$analyze_bin")")"
   note "lint: running $analyze_bin ..."
-  if ! "$analyze_bin" --repo . --json "$report_dir/lrt-analyze.json" \
+  if ! "$analyze_bin" --repo . --jobs "${LRT_ANALYZE_JOBS:-0}" \
+         --json "$report_dir/lrt-analyze.json" \
          --sarif "$report_dir/lrt-analyze.sarif"; then
     finding 'lrt-analyze reported new findings (see above)'
+  fi
+  # The committed baseline must stay empty: regressions are fixed or
+  # suppressed inline with an explanatory comment, never grandfathered.
+  if grep -Ev '^[[:space:]]*(#|$)' tools/lrt-analyze.baseline; then
+    finding 'tools/lrt-analyze.baseline has entries (fix or allow() inline)'
   fi
 else
   # Minimal fallback for containers without a toolchain. Token-blind by
