@@ -210,9 +210,10 @@ void run_layer_dag(const PassContext& ctx) {
 
 const std::set<std::string>& collective_names() {
   static const std::set<std::string> kNames = {
-      "barrier",   "bcast",      "reduce", "allreduce", "alltoall",
-      "alltoallv", "allgather",  "allgatherv", "gather", "scatter",
-      "split"};
+      "barrier",    "bcast",       "reduce",        "allreduce",
+      "alltoall",   "alltoallv",   "allgather",     "allgatherv",
+      "gather",     "scatter",     "split",         "i_alltoallv",
+      "i_allgatherv"};
   return kNames;
 }
 

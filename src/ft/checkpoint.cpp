@@ -46,6 +46,17 @@ void append_u64(std::vector<unsigned char>& out, std::uint64_t v) {
   std::memcpy(out.data() + at, &v, sizeof(v));
 }
 
+// resize + memcpy rather than vector::insert: GCC 12's -Werror build
+// under -fsanitize=thread flags the insert's inlined reallocation path
+// with a spurious stringop-overflow warning.
+void append_bytes(std::vector<unsigned char>& out, const void* data,
+                  std::size_t n) {
+  if (n == 0) return;
+  const std::size_t at = out.size();
+  out.resize(at + n);
+  std::memcpy(out.data() + at, data, n);
+}
+
 /// Bounds-checked cursor over the raw file image.
 class Cursor {
  public:
@@ -161,15 +172,15 @@ void CheckpointWriter::add_matrix(const std::string& name,
 void CheckpointWriter::write(const std::string& path) const {
   const obs::Span span("ft.checkpoint.save");
   std::vector<unsigned char> image;
-  image.insert(image.end(), kMagic, kMagic + sizeof(kMagic));
+  append_bytes(image, kMagic, sizeof(kMagic));
   append_u32(image, kVersion);
   append_u32(image, static_cast<std::uint32_t>(sections_.size()));
   for (const Section& s : sections_) {
     append_u32(image, static_cast<std::uint32_t>(s.name.size()));
-    image.insert(image.end(), s.name.begin(), s.name.end());
+    append_bytes(image, s.name.data(), s.name.size());
     append_u64(image, s.payload.size());
     append_u32(image, crc32(s.payload.data(), s.payload.size()));
-    image.insert(image.end(), s.payload.begin(), s.payload.end());
+    append_bytes(image, s.payload.data(), s.payload.size());
   }
 
   const std::string tmp = path + ".tmp";

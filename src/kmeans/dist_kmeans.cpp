@@ -52,9 +52,13 @@ DistKMeansResult dist_weighted_kmeans(par::Comm& comm,
   for (Index i = 0; i < n_local; ++i) {
     if (weights[static_cast<std::size_t>(i)] >= cut) kept.push_back(i);
   }
+  // The global pruned-point count rides along in the first Lloyd
+  // reduction below (one fewer allreduce per solve); a plain allreduce
+  // only happens if the loop never executes. Counts up to 2^53 are exact
+  // in a Real, and the summation tree is the same, so the fold is
+  // bit-identical to the dedicated reduction it replaces.
   Index pruned = n_local - static_cast<Index>(kept.size());
-  comm.allreduce(&pruned, 1, par::ReduceOp::kSum);
-  result.num_pruned = pruned;
+  bool pruned_folded = false;
 
   Index start_iter = 0;
   Real restored_objective = std::numeric_limits<Real>::max();
@@ -117,8 +121,9 @@ DistKMeansResult dist_weighted_kmeans(par::Comm& comm,
 
   // Lloyd iterations with one Allreduce per step.
   std::vector<Index> assignment(kept.size(), 0);
-  // Packed reduction buffer: per cluster [w, wx, wy, wz], then objective.
-  std::vector<Real> reduction(static_cast<std::size_t>(4 * k + 1));
+  // Packed reduction buffer: per cluster [w, wx, wy, wz], then objective,
+  // then (first executed iteration only) the local pruned-point count.
+  std::vector<Real> reduction(static_cast<std::size_t>(4 * k + 2));
   Real previous_objective = restored_objective;
 
   // Elkan-lite pruning state, as in kmeans.cpp: lb[i] lower-bounds the
@@ -213,8 +218,17 @@ DistKMeansResult dist_weighted_kmeans(par::Comm& comm,
       have_move_state = true;
     }
 
+    if (!pruned_folded) {
+      reduction[static_cast<std::size_t>(4 * k + 1)] =
+          static_cast<Real>(pruned);
+    }
     comm.allreduce(reduction.data(), static_cast<Index>(reduction.size()),
                    par::ReduceOp::kSum);
+    if (!pruned_folded) {
+      result.num_pruned = static_cast<Index>(
+          std::llround(reduction[static_cast<std::size_t>(4 * k + 1)]));
+      pruned_folded = true;
+    }
     result.objective = reduction[static_cast<std::size_t>(4 * k)];
 
     for (Index c = 0; c < k; ++c) {
@@ -245,6 +259,12 @@ DistKMeansResult dist_weighted_kmeans(par::Comm& comm,
       ck.objective = previous_objective;
       options.checkpoint_sink(ck);
     }
+  }
+
+  if (!pruned_folded) {
+    // max_iterations left no executed Lloyd iteration to carry the count.
+    comm.allreduce(&pruned, 1, par::ReduceOp::kSum);
+    result.num_pruned = pruned;
   }
 
   // Representative points: local nearest per cluster, then a global

@@ -440,6 +440,118 @@ void gemm(Trans ta, Trans tb, Real alpha, RealConstView a, RealConstView b,
   }
 }
 
+void gemm_many(Trans ta, Trans tb, Real alpha,
+               const std::vector<GemmBatchItem>& items, RealConstView b,
+               Real beta) {
+  if (items.empty()) return;
+  const bool tab = ta == Trans::kYes;
+  const bool tbb = tb == Trans::kYes;
+  const Index n = tbb ? b.rows() : b.cols();
+  const Index k = tbb ? b.cols() : b.rows();
+
+  double total_flops = 0;
+  Index m_max = 0;
+  for (const GemmBatchItem& item : items) {
+    Index m, ni, ki;
+    check_gemm_shapes(ta, tb, item.a, b, item.c, m, ni, ki);
+    scale_c(beta, item.c);
+    total_flops += 2.0 * double(m) * double(n) * double(k);
+    m_max = std::max(m_max, m);
+  }
+
+  static obs::Counter& batched_calls = obs::counter("la.gemm.batched_calls");
+  static obs::Counter& batched_items = obs::counter("la.gemm.batched_items");
+  static obs::Counter& calls = obs::counter("la.gemm.calls");
+  static obs::Counter& flops = obs::counter("la.gemm.flops");
+  static obs::Counter& packed = obs::counter("la.gemm.packed_calls");
+  batched_calls.add(1);
+  batched_items.add(static_cast<long long>(items.size()));
+  calls.add(static_cast<long long>(items.size()));
+  flops.add(static_cast<long long>(total_flops));
+  packed.add(static_cast<long long>(items.size()));
+  if (m_max == 0 || n == 0 || k == 0 || alpha == Real{0}) return;
+
+  // Flattened (item, mc-block) task list: once a shared B panel is
+  // packed, threads pick any item's block, so small items never serialize
+  // the team.
+  struct Task {
+    std::size_t item;
+    Index ic;
+  };
+  const Blocking& blk = blocking();
+  std::size_t ntasks = 0;
+  for (const GemmBatchItem& item : items) {
+    ntasks += static_cast<std::size_t>((item.c.rows() + blk.mc - 1) / blk.mc);
+  }
+  std::vector<Task> tasks;
+  tasks.reserve(ntasks);
+  for (std::size_t t = 0; t < items.size(); ++t) {
+    const Index m = items[t].c.rows();
+    for (Index ic = 0; ic < m; ic += blk.mc) tasks.push_back({t, ic});
+  }
+  [[maybe_unused]] const bool parallel = total_flops > kParallelFlopThreshold;
+  const Index nc_max = std::min(((n + kNr - 1) / kNr) * kNr, blk.nc);
+  const Index mc_max = std::min(((m_max + kMr - 1) / kMr) * kMr, blk.mc);
+  const Index kc_max = std::min(k, blk.kc);
+  std::vector<Real> bpack(static_cast<std::size_t>(nc_max * kc_max));
+
+#pragma omp parallel if (parallel)
+  {
+    std::vector<Real> apack(static_cast<std::size_t>(mc_max * kc_max));
+    for (Index jc = 0; jc < n; jc += blk.nc) {
+      const Index ncur = std::min(blk.nc, n - jc);
+      const Index npanels = (ncur + kNr - 1) / kNr;
+      for (Index pc = 0; pc < k; pc += blk.kc) {
+        const Index kcur = std::min(blk.kc, k - pc);
+#pragma omp for schedule(static)
+        for (Index jp = 0; jp < npanels; ++jp) {
+          const Index j0 = jc + jp * kNr;
+          pack_b_panel(b, tbb, pc, kcur, j0, std::min(kNr, n - j0),
+                       bpack.data() + jp * kcur * kNr);
+        }
+#pragma omp for schedule(dynamic)
+        for (std::size_t t = 0; t < tasks.size(); ++t) {
+          const GemmBatchItem& item = items[tasks[t].item];
+          const Index m = item.c.rows();
+          const Index ic = tasks[t].ic;
+          const Index mcur = std::min(blk.mc, m - ic);
+          const Index mpanels = (mcur + kMr - 1) / kMr;
+          for (Index ip = 0; ip < mpanels; ++ip) {
+            const Index i0 = ic + ip * kMr;
+            pack_a_panel(item.a, tab, i0, std::min(kMr, m - i0), pc, kcur,
+                         alpha, apack.data() + ip * kcur * kMr);
+          }
+          for (Index jp = 0; jp < npanels; ++jp) {
+            const Real* bpan = bpack.data() + jp * kcur * kNr;
+            const Index j0 = jc + jp * kNr;
+            const Index nr = std::min(kNr, n - j0);
+            for (Index ip = 0; ip < mpanels; ++ip) {
+              const Index i0 = ic + ip * kMr;
+              const Index mr = std::min(kMr, m - i0);
+              Real acc[kMr * kNr] = {};
+              micro_kernel(kcur, apack.data() + ip * kcur * kMr, bpan, acc);
+              if (mr == kMr && nr == kNr) {
+                for (Index i = 0; i < kMr; ++i) {
+                  Real* ci = item.c.row_ptr(i0 + i) + j0;
+                  const Real* ai = acc + i * kNr;
+#pragma omp simd
+                  for (Index j = 0; j < kNr; ++j) ci[j] += ai[j];
+                }
+              } else {
+                for (Index i = 0; i < mr; ++i) {
+                  Real* ci = item.c.row_ptr(i0 + i) + j0;
+                  const Real* ai = acc + i * kNr;
+                  for (Index j = 0; j < nr; ++j) ci[j] += ai[j];
+                }
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+}
+
 void gemm_reference(Trans ta, Trans tb, Real alpha, RealConstView a,
                     RealConstView b, Real beta, RealView c) {
   Index m, n, k;

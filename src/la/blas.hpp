@@ -8,6 +8,8 @@
 // `bench_micro_substrates --compare` baseline. See docs/PERFORMANCE.md.
 #pragma once
 
+#include <vector>
+
 #include "la/matrix.hpp"
 
 namespace lrt::la {
@@ -48,6 +50,22 @@ RealMatrix gemm(Trans ta, Trans tb, RealConstView a, RealConstView b);
 /// baseline (tests, bench --compare). Same contract as gemm().
 void gemm_reference(Trans ta, Trans tb, Real alpha, RealConstView a,
                     RealConstView b, Real beta, RealView c);
+
+/// One (A_i, C_i) pair of a gemm_many batch; every item shares op(B).
+struct GemmBatchItem {
+  RealConstView a;
+  RealView c;
+};
+
+/// C_i = alpha * op(A_i) * op(B) + beta * C_i for every item. op(B) is
+/// packed once per cache block and all A panels stream through the packed
+/// micro-kernel, amortizing the packing cost that sends individually
+/// small gemm calls to the scalar fallback. Always takes the packed path;
+/// each item's result is bitwise identical to a packed gemm() of the same
+/// shapes (identical blocking, packing, and accumulation order).
+void gemm_many(Trans ta, Trans tb, Real alpha,
+               const std::vector<GemmBatchItem>& items, RealConstView b,
+               Real beta);
 
 /// Gram matrix Aᵀ A (n x n for an m x n input); exploits symmetry.
 RealMatrix gram(RealConstView a);

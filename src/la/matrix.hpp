@@ -246,6 +246,8 @@ using RealMatrix = Matrix<Real>;
 using ComplexMatrix = Matrix<std::complex<Real>>;
 using RealView = MatrixView<Real>;
 using RealConstView = ConstMatrixView<Real>;
+using ComplexView = MatrixView<std::complex<Real>>;
+using ComplexConstView = ConstMatrixView<std::complex<Real>>;
 
 /// Deep copy of an arbitrary (possibly strided) view into a fresh Matrix.
 template <typename T>

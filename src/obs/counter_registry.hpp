@@ -22,6 +22,8 @@ inline constexpr const char* kLaGemmCalls = "la.gemm.calls";  // gemm entry call
 inline constexpr const char* kLaGemmFlops = "la.gemm.flops";  // floating-point operations billed to gemm
 inline constexpr const char* kLaGemmPackedCalls = "la.gemm.packed_calls";  // gemm calls served by the packed kernel
 inline constexpr const char* kLaGemmFallbackCalls = "la.gemm.fallback_calls";  // gemm calls served by the naive fallback
+inline constexpr const char* kLaGemmBatchedCalls = "la.gemm.batched_calls";  // gemm_many batch invocations (B packed once)
+inline constexpr const char* kLaGemmBatchedItems = "la.gemm.batched_items";  // small-A panels streamed through gemm_many
 inline constexpr const char* kFftFft3dCalls = "fft.fft3d.calls";  // 3-D transforms executed
 inline constexpr const char* kFftFft3dPoints = "fft.fft3d.points";  // grid points transformed
 inline constexpr const char* kFftFft1dBatches = "fft.fft1d.batches";  // batched 1-D plan executions
@@ -41,6 +43,8 @@ inline constexpr const char* kCommBcastBytes = "comm.bcast.bytes";  // broadcast
 inline constexpr const char* kCommBcastCalls = "comm.bcast.calls";  // broadcast invocations
 inline constexpr const char* kCommReduceBytes = "comm.reduce.bytes";  // reduction payload bytes
 inline constexpr const char* kCommReduceCalls = "comm.reduce.calls";  // reduction invocations
+inline constexpr const char* kCommAllreduceBytes = "comm.allreduce.bytes";  // single-round allreduce payload bytes
+inline constexpr const char* kCommAllreduceCalls = "comm.allreduce.calls";  // single-round allreduce invocations
 inline constexpr const char* kCommAlltoallvBytes = "comm.alltoallv.bytes";  // all-to-all-v payload bytes
 inline constexpr const char* kCommAlltoallvCalls = "comm.alltoallv.calls";  // all-to-all-v invocations
 inline constexpr const char* kCommAllgathervBytes = "comm.allgatherv.bytes";  // allgather-v payload bytes
@@ -61,6 +65,8 @@ inline constexpr const char* kAll[] = {
     kLaGemmFlops,
     kLaGemmPackedCalls,
     kLaGemmFallbackCalls,
+    kLaGemmBatchedCalls,
+    kLaGemmBatchedItems,
     kFftFft3dCalls,
     kFftFft3dPoints,
     kFftFft1dBatches,
@@ -80,6 +86,8 @@ inline constexpr const char* kAll[] = {
     kCommBcastCalls,
     kCommReduceBytes,
     kCommReduceCalls,
+    kCommAllreduceBytes,
+    kCommAllreduceCalls,
     kCommAlltoallvBytes,
     kCommAlltoallvCalls,
     kCommAllgathervBytes,

@@ -39,10 +39,13 @@ inline constexpr const char* kParGramReduceMonolithic = "par.gram_reduce.monolit
 inline constexpr const char* kParGramReducePipelined = "par.gram_reduce.pipelined";  // Gram reduction, pipelined allreduce
 inline constexpr const char* kParSumma = "par.summa";  // SUMMA distributed GEMM
 inline constexpr const char* kParTranspose = "par.transpose";  // pencil transpose (alltoallv)
+inline constexpr const char* kParOverlapPack = "par.overlap.pack";  // slab packing overlapped with an i_* exchange
+inline constexpr const char* kParOverlapWait = "par.overlap.wait";  // drain of a nonblocking collective's receives
+inline constexpr const char* kParDistFft3d = "par.dist_fft3d";  // distributed 3-D FFT (slab/pencil, overlapped)
 inline constexpr const char* kBarrier = "barrier";  // dissemination barrier
 inline constexpr const char* kBcast = "bcast";  // binomial-tree broadcast
 inline constexpr const char* kReduce = "reduce";  // binomial-tree reduction
-inline constexpr const char* kAllreduce = "allreduce";  // reduce + bcast composite
+inline constexpr const char* kAllreduce = "allreduce";  // single-round fold + butterfly allreduce
 inline constexpr const char* kAlltoall = "alltoall";  // shifted pairwise exchange
 inline constexpr const char* kAlltoallv = "alltoallv";  // variable-count pairwise exchange
 inline constexpr const char* kAllgather = "allgather";  // ring allgather
@@ -50,6 +53,8 @@ inline constexpr const char* kAllgatherv = "allgatherv";  // variable-count ring
 inline constexpr const char* kGather = "gather";  // root gather
 inline constexpr const char* kScatter = "scatter";  // root scatter
 inline constexpr const char* kSplit = "split";  // communicator split (allgatherv composite)
+inline constexpr const char* kIAlltoallv = "i_alltoallv";  // nonblocking alltoallv issue (sends posted, recvs deferred)
+inline constexpr const char* kIAllgatherv = "i_allgatherv";  // nonblocking allgatherv issue (direct exchange)
 
 inline constexpr const char* kAll[] = {
     kKmeans,
@@ -78,6 +83,9 @@ inline constexpr const char* kAll[] = {
     kParGramReducePipelined,
     kParSumma,
     kParTranspose,
+    kParOverlapPack,
+    kParOverlapWait,
+    kParDistFft3d,
     kBarrier,
     kBcast,
     kReduce,
@@ -89,6 +97,8 @@ inline constexpr const char* kAll[] = {
     kGather,
     kScatter,
     kSplit,
+    kIAlltoallv,
+    kIAllgatherv,
 };
 
 inline constexpr std::size_t kCount = sizeof(kAll) / sizeof(kAll[0]);

@@ -35,21 +35,24 @@ const TrafficObs& traffic_obs(Traffic kind) {
 }
 
 // The user-facing traffic category each collective's internal messages
-// bill to. Composites bill to their leaves' own categories only via
-// nesting order: allreduce re-routes to reduce-then-bcast when the inner
-// guards activate, split's inner allgather re-routes to allgatherv.
+// bill to. The composite split bills to its leaf via nesting order (the
+// inner allgather re-routes to allgatherv); nonblocking i_* calls bill to
+// their blocking kind's category.
 Traffic traffic_of(check::CollKind kind) {
   switch (kind) {
     case check::CollKind::kBcast:
       return Traffic::kBcast;
     case check::CollKind::kReduce:
-    case check::CollKind::kAllreduce:
       return Traffic::kReduce;
+    case check::CollKind::kAllreduce:
+      return Traffic::kAllreduce;
     case check::CollKind::kAlltoall:
     case check::CollKind::kAlltoallv:
+    case check::CollKind::kIAlltoallv:
       return Traffic::kAlltoallv;
     case check::CollKind::kAllgather:
     case check::CollKind::kAllgatherv:
+    case check::CollKind::kIAllgatherv:
     case check::CollKind::kSplit:
       return Traffic::kAllgatherv;
     case check::CollKind::kGather:
@@ -72,6 +75,8 @@ const char* to_string(Traffic kind) {
       return "bcast";
     case Traffic::kReduce:
       return "reduce";
+    case Traffic::kAllreduce:
+      return "allreduce";
     case Traffic::kAlltoallv:
       return "alltoallv";
     case Traffic::kAllgatherv:
@@ -131,11 +136,10 @@ void Comm::enter_collective(check::CollKind kind) {
   if (fault_plan_ != nullptr) fault_plan_->on_collective(world_rank_of(rank_));
   const Traffic traffic = traffic_of(kind);
   active_traffic_ = traffic;
-  // Composite collectives (allreduce = reduce + bcast, split = allgather)
-  // are counted by their nested leaf calls, not here.
-  if (kind == check::CollKind::kAllreduce || kind == check::CollKind::kSplit) {
-    return;
-  }
+  // The composite split (= allgather) is counted by its nested leaf call,
+  // not here. Everything else — including the single-round allreduce and
+  // the nonblocking i_* issues — counts one user-facing call.
+  if (kind == check::CollKind::kSplit) return;
   calls_by_kind_[static_cast<int>(traffic)].fetch_add(
       1, std::memory_order_relaxed);
   traffic_obs(traffic).calls->add(1);
@@ -233,6 +237,41 @@ void Comm::recv_bytes(void* data, std::size_t bytes, int src, int tag) {
                                                << ", got "
                                                << message.payload.size());
   if (bytes > 0) std::memcpy(data, message.payload.data(), bytes);
+}
+
+void Comm::Request::wait() {
+  if (done_) return;
+  // Mark done before any receive can throw: a failed wait must not be
+  // retried against a mailbox in an unknown state, and the verifier's
+  // handle sweep should not re-report a handle whose wait already failed.
+  done_ = true;
+  Comm& comm = *comm_;
+  CommTimerGuard timer(comm);
+  // Not a CollectiveGuard: the collective was posted (verifier record,
+  // fault hook, call count) at issue time. This scope only marks the
+  // receives as collective-internal traffic — so tag validation accepts
+  // the reserved nonblocking tag — and labels watchdog dumps.
+  struct WaitScope {
+    Comm& c;
+    const char* prev;
+    WaitScope(Comm& c, const char* name) : c(c), prev(c.active_collective_) {
+      ++c.coll_depth_;
+      c.active_collective_ = name;
+    }
+    ~WaitScope() {
+      c.active_collective_ = prev;
+      --c.coll_depth_;
+    }
+  } scope(comm, name_);
+  const obs::Span span("par.overlap.wait");
+  for (const PendingRecv& r : recvs_) {
+    comm.recv_bytes(r.data, r.bytes, r.src, tag_);
+  }
+  recvs_.clear();
+  if (comm.verifier_ != nullptr) {
+    comm.verifier_->on_handle_completed(comm.world_rank_of(comm.rank_),
+                                        comm.context_, seq_);
+  }
 }
 
 void Comm::barrier() {

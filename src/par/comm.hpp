@@ -14,6 +14,7 @@
 
 #include <atomic>
 #include <type_traits>
+#include <utility>
 #include <vector>
 
 #include "common/timer.hpp"
@@ -27,12 +28,13 @@ enum class ReduceOp { kSum, kMax, kMin };
 
 /// Traffic accounting categories, matching the paper's cost model: bytes
 /// are attributed to the *user-facing* collective that caused them (an
-/// allreduce's tree messages count as reduce+bcast traffic, a split's as
-/// allgatherv), and anything sent outside a collective is p2p.
+/// allreduce's fold/butterfly messages count as allreduce traffic, a
+/// split's as allgatherv), and anything sent outside a collective is p2p.
 enum class Traffic {
   kP2p = 0,
   kBcast,
   kReduce,
+  kAllreduce,
   kAlltoallv,
   kAllgatherv,
   kGather,
@@ -40,7 +42,7 @@ enum class Traffic {
   kBarrier,
 };
 
-inline constexpr int kNumTrafficKinds = 8;
+inline constexpr int kNumTrafficKinds = 9;
 
 /// Short lowercase name ("p2p", "bcast", ...); static storage.
 const char* to_string(Traffic kind);
@@ -109,7 +111,12 @@ class Comm {
   template <typename T>
   void reduce(T* data, Index count, ReduceOp op, int root);
 
-  /// reduce to rank 0 + broadcast.
+  /// Single-round allreduce: a power-of-two butterfly (recursive doubling)
+  /// with a fold/unfold step for non-power-of-two sizes — one tree
+  /// traversal instead of the old reduce+bcast composite. Combination
+  /// order is fixed (lower rank's partial is always the left operand), so
+  /// the result is bitwise identical to reduce(op, 0) + bcast(0) on every
+  /// rank and for every op.
   template <typename T>
   void allreduce(T* data, Index count, ReduceOp op);
 
@@ -144,6 +151,61 @@ class Comm {
   template <typename T>
   void scatter(const T* send_buf, Index count, T* recv_buf, int root);
 
+  // ----- nonblocking collectives ---------------------------------------------
+
+  /// Handle for an in-flight nonblocking collective. All sends (and the
+  /// self-block copy) happen at issue time — mailboxes are unbounded, so
+  /// delivery cannot block — and the matching receives are deferred to
+  /// wait(). The recv buffer must stay alive and untouched until wait()
+  /// returns. Handles are move-only; destroying an un-waited handle does
+  /// NOT receive the pending messages (the verifier reports it as a
+  /// never-completed handle, and the leaked messages trip the leak sweep).
+  class Request {
+   public:
+    Request() = default;
+    Request(Request&& other) noexcept { *this = std::move(other); }
+    Request& operator=(Request&& other) noexcept;
+    Request(const Request&) = delete;
+    Request& operator=(const Request&) = delete;
+    ~Request() = default;
+
+    /// Blocks until every pending receive has landed. Idempotent.
+    void wait();
+    bool pending() const { return !done_; }
+
+   private:
+    friend class Comm;
+    struct PendingRecv {
+      void* data;
+      std::size_t bytes;
+      int src;
+    };
+    Comm* comm_ = nullptr;
+    const char* name_ = nullptr;
+    int tag_ = 0;
+    long long seq_ = 0;
+    std::vector<PendingRecv> recvs_;
+    bool done_ = true;
+  };
+
+  /// Nonblocking alltoallv: posts all sends immediately and returns a
+  /// handle whose wait() drains the receives, so callers can overlap
+  /// packing of the next slab with the exchange of this one.
+  template <typename T>
+  Request i_alltoallv(const T* send_buf, const std::vector<Index>& send_counts,
+                      const std::vector<Index>& send_displs, T* recv_buf,
+                      const std::vector<Index>& recv_counts,
+                      const std::vector<Index>& recv_displs);
+
+  /// Nonblocking allgatherv. Uses a direct exchange (each rank sends its
+  /// block to every peer) rather than the blocking ring — a ring forwards
+  /// received data and so cannot run ahead of its receives. Result layout
+  /// is identical to allgatherv.
+  template <typename T>
+  Request i_allgatherv(const T* send_buf, Index count, T* recv_buf,
+                       const std::vector<Index>& counts,
+                       const std::vector<Index>& displs);
+
   // ----- communicator management --------------------------------------------
 
   /// Collective: partitions ranks by `color`; within a color, ranks are
@@ -172,9 +234,11 @@ class Comm {
         std::memory_order_relaxed);
   }
 
-  /// User-facing calls of one traffic kind on this Comm (composite
-  /// collectives count via their leaves: allreduce counts one reduce plus
-  /// one bcast, split counts one allgatherv; p2p counts user sends).
+  /// User-facing calls of one traffic kind on this Comm (allreduce is a
+  /// single-round primitive and counts one allreduce call; the composite
+  /// split counts via its leaves as one allgatherv; nonblocking i_*
+  /// collectives count at issue time under their blocking kind; p2p
+  /// counts user sends).
   long long calls_made(Traffic kind) const {
     return calls_by_kind_[static_cast<int>(kind)].load(
         std::memory_order_relaxed);
@@ -320,6 +384,14 @@ inline constexpr int kTagAllgather = kUserTagLimit + 5;
 inline constexpr int kTagGather = kUserTagLimit + 6;
 inline constexpr int kTagScatter = kUserTagLimit + 7;
 inline constexpr int kTagSplit = kUserTagLimit + 8;
+inline constexpr int kTagAllreduce = kUserTagLimit + 9;
+/// Nonblocking collectives tag their traffic per issue (base + seq mod
+/// window) so overlapping handles on one communicator never cross-match,
+/// even when waited out of issue order. More than kNonblockingTagWindow
+/// simultaneously outstanding handles would alias; FIFO matching per
+/// (src, tag) keeps even that case ordered.
+inline constexpr int kTagNonblockingBase = kUserTagLimit + 16;
+inline constexpr int kNonblockingTagWindow = 4096;
 
 }  // namespace detail
 
@@ -381,11 +453,49 @@ void Comm::reduce(T* data, Index count, ReduceOp op, int root) {
 
 template <typename T>
 void Comm::allreduce(T* data, Index count, ReduceOp op) {
+  static_assert(std::is_trivially_copyable_v<T>);
   CommTimerGuard guard(*this);
   CollectiveGuard cguard(*this, check::CollKind::kAllreduce, /*root=*/-1,
                          static_cast<int>(op), sizeof(T), count);
-  reduce(data, count, op, /*root=*/0);
-  bcast(data, count, /*root=*/0);
+  const int p = size();
+  if (p == 1) return;
+  // Recursive doubling over the largest power of two q <= p, with a
+  // fold/unfold step absorbing the p - q extra ranks. Bitwise contract:
+  // after the butterfly round with offset o, rank w holds exactly the
+  // partial that the reduce+bcast composite's tree produced for root
+  // (w mod 2o) — every combine keeps the lower rank's partial as the left
+  // (accumulator) operand, matching the reversed binomial tree's order.
+  int q = 1;
+  while (q * 2 <= p) q <<= 1;
+  std::vector<T> incoming(static_cast<std::size_t>(count));
+  // Fold: ranks beyond the power-of-two block send their contribution down.
+  if (rank_ >= q) {
+    send(data, count, rank_ - q, detail::kTagAllreduce);
+  } else if (rank_ + q < p) {
+    recv(incoming.data(), count, rank_ + q, detail::kTagAllreduce);
+    detail::apply_reduce(op, data, incoming.data(), count);
+  }
+  if (rank_ < q) {
+    // Butterfly with descending offsets: pairs exchange partials and both
+    // sides keep the combination ordered lower-rank-first.
+    for (int offset = q >> 1; offset >= 1; offset >>= 1) {
+      const int peer = rank_ ^ offset;
+      sendrecv(data, count, peer, incoming.data(), count, peer,
+               detail::kTagAllreduce);
+      if (rank_ < peer) {
+        detail::apply_reduce(op, data, incoming.data(), count);
+      } else {
+        detail::apply_reduce(op, incoming.data(), data, count);
+        for (Index i = 0; i < count; ++i) data[i] = incoming[i];
+      }
+    }
+  }
+  // Unfold: folded ranks get the finished result back.
+  if (rank_ >= q) {
+    recv(data, count, rank_ - q, detail::kTagAllreduce);
+  } else if (rank_ + q < p) {
+    send(data, count, rank_ + q, detail::kTagAllreduce);
+  }
 }
 
 template <typename T>
@@ -510,6 +620,111 @@ void Comm::gather(const T* send_buf, Index count, T* recv_buf, int root) {
   } else {
     send(send_buf, count, root, detail::kTagGather);
   }
+}
+
+inline Comm::Request& Comm::Request::operator=(Request&& other) noexcept {
+  comm_ = other.comm_;
+  name_ = other.name_;
+  tag_ = other.tag_;
+  seq_ = other.seq_;
+  recvs_ = std::move(other.recvs_);
+  done_ = other.done_;
+  other.recvs_.clear();
+  other.done_ = true;
+  return *this;
+}
+
+template <typename T>
+Comm::Request Comm::i_alltoallv(const T* send_buf,
+                                const std::vector<Index>& send_counts,
+                                const std::vector<Index>& send_displs,
+                                T* recv_buf,
+                                const std::vector<Index>& recv_counts,
+                                const std::vector<Index>& recv_displs) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  CommTimerGuard guard(*this);
+  CollectiveGuard cguard(*this, check::CollKind::kIAlltoallv, sizeof(T),
+                         &send_counts, &recv_counts);
+  const int p = size();
+  LRT_CHECK(static_cast<int>(send_counts.size()) == p &&
+                static_cast<int>(recv_counts.size()) == p,
+            "i_alltoallv counts must have one entry per rank");
+  Request req;
+  req.comm_ = this;
+  req.name_ = "i_alltoallv";
+  req.seq_ = coll_seq_ - 1;  // the seq this call's guard just consumed
+  req.tag_ = detail::kTagNonblockingBase +
+             static_cast<int>(req.seq_ % detail::kNonblockingTagWindow);
+  req.done_ = false;
+  // All sends (and the self-block copy) happen now; only receives wait.
+  // Zero-count messages are still delivered so the traffic pattern (and
+  // the leak sweep's bookkeeping) matches the blocking alltoallv.
+  for (int s = 0; s < p; ++s) {
+    const int dst = (rank_ + s) % p;
+    const Index scount = send_counts[static_cast<std::size_t>(dst)];
+    const T* sptr = send_buf + send_displs[static_cast<std::size_t>(dst)];
+    if (dst == rank_) {
+      T* rptr = recv_buf + recv_displs[static_cast<std::size_t>(rank_)];
+      for (Index i = 0; i < scount; ++i) rptr[i] = sptr[i];
+      continue;
+    }
+    send(sptr, scount, dst, req.tag_);
+  }
+  for (int s = 1; s < p; ++s) {
+    const int src = (rank_ - s + p) % p;
+    req.recvs_.push_back(Request::PendingRecv{
+        recv_buf + recv_displs[static_cast<std::size_t>(src)],
+        sizeof(T) *
+            static_cast<std::size_t>(recv_counts[static_cast<std::size_t>(src)]),
+        src});
+  }
+  if (verifier_ != nullptr) {
+    verifier_->on_handle_issued(world_rank_of(rank_), req.name_, context_,
+                                req.seq_);
+  }
+  return req;
+}
+
+template <typename T>
+Comm::Request Comm::i_allgatherv(const T* send_buf, Index count, T* recv_buf,
+                                 const std::vector<Index>& counts,
+                                 const std::vector<Index>& displs) {
+  static_assert(std::is_trivially_copyable_v<T>);
+  CommTimerGuard guard(*this);
+  CollectiveGuard cguard(*this, check::CollKind::kIAllgatherv, sizeof(T),
+                         /*send_counts=*/nullptr, &counts);
+  const int p = size();
+  LRT_CHECK(static_cast<int>(counts.size()) == p, "i_allgatherv counts size");
+  LRT_CHECK(counts[static_cast<std::size_t>(rank_)] == count,
+            "i_allgatherv count mismatch on rank " << rank_);
+  Request req;
+  req.comm_ = this;
+  req.name_ = "i_allgatherv";
+  req.seq_ = coll_seq_ - 1;
+  req.tag_ = detail::kTagNonblockingBase +
+             static_cast<int>(req.seq_ % detail::kNonblockingTagWindow);
+  req.done_ = false;
+  for (Index i = 0; i < count; ++i) {
+    recv_buf[displs[static_cast<std::size_t>(rank_)] + i] = send_buf[i];
+  }
+  // Direct exchange: own block to every peer now, peers' blocks received
+  // in wait().
+  for (int s = 1; s < p; ++s) {
+    const int dst = (rank_ + s) % p;
+    send(send_buf, count, dst, req.tag_);
+  }
+  for (int s = 1; s < p; ++s) {
+    const int src = (rank_ - s + p) % p;
+    req.recvs_.push_back(Request::PendingRecv{
+        recv_buf + displs[static_cast<std::size_t>(src)],
+        sizeof(T) * static_cast<std::size_t>(counts[static_cast<std::size_t>(src)]),
+        src});
+  }
+  if (verifier_ != nullptr) {
+    verifier_->on_handle_issued(world_rank_of(rank_), req.name_, context_,
+                                req.seq_);
+  }
+  return req;
 }
 
 template <typename T>

@@ -26,13 +26,33 @@ using DistBlockOperator =
 using DistBlockPreconditioner =
     std::function<void(la::RealView r_local, const std::vector<Real>& theta)>;
 
+/// Strategy for the per-iteration Gram/projection reductions.
+///
+///  - kLegacy: the original iteration — CholQR², one projection (and one
+///    allreduce) per basis block. Bit-for-bit the pre-existing behavior.
+///  - kPerBlock: the communication-avoiding iteration (single-reduction
+///    classical Gram-Schmidt over [X P W] plus single-pass CholQR assembled
+///    from the same Gram matrix) with each logical block reduced in its own
+///    allreduce. Reference twin for kFused.
+///  - kFused: the same iteration with every block of a round concatenated
+///    into one contiguous buffer and reduced in a single allreduce — three
+///    reduction rounds per iteration (fused norms+Gram, the operator
+///    application, fused Rayleigh-Ritz). Bitwise identical to kPerBlock:
+///    the reduction is elementwise over the same tree, so packing blocks
+///    side by side cannot change a single bit. It is NOT bitwise identical
+///    to kLegacy, whose orthogonalization is a different (two-pass)
+///    algorithm; see docs/PERFORMANCE.md.
+enum class GramReduction { kLegacy, kPerBlock, kFused };
+
 /// Lowest-k eigenpairs; `x0_local` is this rank's slab of the initial
 /// block (global row count implied by the sum over ranks). The returned
 /// eigenvectors are this rank's slab. Deterministic across rank counts up
-/// to roundoff. Collective.
+/// to roundoff. Collective. `reduction` picks the communication schedule;
+/// every rank must pass the same value.
 la::LobpcgResult dist_lobpcg(Comm& comm, const DistBlockOperator& apply_h,
                              const DistBlockPreconditioner& preconditioner,
                              la::RealMatrix x0_local,
-                             const la::LobpcgOptions& options = {});
+                             const la::LobpcgOptions& options = {},
+                             GramReduction reduction = GramReduction::kLegacy);
 
 }  // namespace lrt::par

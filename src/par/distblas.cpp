@@ -20,6 +20,24 @@ la::RealMatrix dist_gram(Comm& comm, la::RealConstView a_local) {
   return g;
 }
 
+void local_gram_tn_blocks(const std::vector<la::RealConstView>& a_blocks,
+                          la::RealConstView b, la::RealView out) {
+  std::vector<la::GemmBatchItem> items;
+  Index r0 = 0;
+  for (const la::RealConstView& a : a_blocks) {
+    if (a.cols() == 0) continue;
+    LRT_CHECK(a.rows() == b.rows(),
+              "local_gram_tn_blocks: local row blocks must align");
+    items.push_back({a, out.rows_block(r0, a.cols())});
+    r0 += a.cols();
+  }
+  LRT_CHECK(r0 == out.rows() && out.cols() == b.cols(),
+            "local_gram_tn_blocks: output is " << out.rows() << "x"
+                                               << out.cols() << ", expected "
+                                               << r0 << "x" << b.cols());
+  la::gemm_many(la::Trans::kYes, la::Trans::kNo, Real{1}, items, b, Real{0});
+}
+
 la::RealMatrix local_gemm_nn(la::RealConstView a_local, la::RealConstView b) {
   return la::gemm(la::Trans::kNo, la::Trans::kNo, a_local, b);
 }

@@ -21,6 +21,14 @@ la::RealMatrix dist_gemm_tn(Comm& comm, la::RealConstView a_local,
 /// Replicated Gram matrix AᵀA of a row-block distributed A.
 la::RealMatrix dist_gram(Comm& comm, la::RealConstView a_local);
 
+/// Local partial of [A_0 | A_1 | ...]ᵀ B written into `out` as stacked row
+/// blocks, one per A_i (blocks with zero columns are skipped). B is packed
+/// once and every A_i streams through it (la::gemm_many). No communication:
+/// callers reduce `out` themselves, typically fused with whatever else
+/// rides in the same round (see dist_lobpcg's communication-avoiding path).
+void local_gram_tn_blocks(const std::vector<la::RealConstView>& a_blocks,
+                          la::RealConstView b, la::RealView out);
+
 /// C_local = A_local * B with A row-block distributed and B replicated;
 /// the result inherits A's row distribution. Pure local compute.
 la::RealMatrix local_gemm_nn(la::RealConstView a_local, la::RealConstView b);

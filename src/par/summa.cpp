@@ -84,9 +84,12 @@ la::RealMatrix summa_gemm(ProcessGrid2D& grid, la::RealConstView a_local,
     }
     grid.col_comm().bcast(b_panel.data(), width * n_loc, b_owner);
 
-    la::gemm(la::Trans::kNo, la::Trans::kNo, Real{1},
-             la::ConstMatrixView<Real>(ap), la::ConstMatrixView<Real>(bp),
-             Real{1}, c.view());
+    // Local panel product through the batched packed path: panels are
+    // short in k, so the flop-count dispatch in la::gemm would send them
+    // to the reference kernel; gemm_many always packs.
+    la::gemm_many(la::Trans::kNo, la::Trans::kNo, Real{1},
+                  {{la::ConstMatrixView<Real>(ap), c.view()}},
+                  la::ConstMatrixView<Real>(bp), Real{1});
     k0 = k1;
   }
   return c;

@@ -24,4 +24,31 @@ la::RealMatrix col_block_to_row_block(Comm& comm,
                                       la::RealConstView local_cols,
                                       Index n_rows, Index n_cols);
 
+/// Communication-overlapped variant: the global column range is sliced
+/// into `chunks` contiguous sub-exchanges, each posted as a nonblocking
+/// alltoallv (Comm::i_alltoallv); slice s+1 is packed while slice s is in
+/// flight, double-buffered. Pure data movement, so the result is bitwise
+/// identical to row_block_to_col_block. chunks <= 1 degenerates to one
+/// nonblocking round with nothing overlapped.
+la::RealMatrix row_block_to_col_block_overlapped(Comm& comm,
+                                                 la::RealConstView local_rows,
+                                                 Index n_rows, Index n_cols,
+                                                 Index chunks = 4);
+
+/// Inverse conversion, same overlap scheme.
+la::RealMatrix col_block_to_row_block_overlapped(Comm& comm,
+                                                 la::RealConstView local_cols,
+                                                 Index n_rows, Index n_cols,
+                                                 Index chunks = 4);
+
+/// Complex overloads of the overlapped exchanges (same core, same overlap
+/// scheme); the distributed FFT's slab <-> pencil redistributions are
+/// plain transposes of an (n0 x n1*n2) complex matrix.
+la::ComplexMatrix row_block_to_col_block_overlapped(
+    Comm& comm, la::ComplexConstView local_rows, Index n_rows, Index n_cols,
+    Index chunks = 4);
+la::ComplexMatrix col_block_to_row_block_overlapped(
+    Comm& comm, la::ComplexConstView local_cols, Index n_rows, Index n_cols,
+    Index chunks = 4);
+
 }  // namespace lrt::par

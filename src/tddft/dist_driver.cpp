@@ -66,9 +66,12 @@ la::RealMatrix kernel_apply_distributed(par::Comm& comm,
                                         la::RealConstView local_rows,
                                         Index n_rows, Index n_cols,
                                         PhaseClock& clock) {
+  // Overlapped exchanges: each alltoall is sliced and double-buffered so
+  // packing of one slice hides behind the flight time of the previous one
+  // (par.overlap.* spans); bitwise identical to the blocking variant.
   PhaseTimer t_mpi(clock, obs::phase::kMpi);
   la::RealMatrix cols =
-      par::row_block_to_col_block(comm, local_rows, n_rows, n_cols);
+      par::row_block_to_col_block_overlapped(comm, local_rows, n_rows, n_cols);
   t_mpi.stop();
 
   la::RealMatrix kcols(cols.rows(), cols.cols());
@@ -78,7 +81,7 @@ la::RealMatrix kernel_apply_distributed(par::Comm& comm,
 
   PhaseTimer t_mpi2(clock, obs::phase::kMpi);
   la::RealMatrix result =
-      par::col_block_to_row_block(comm, kcols.view(), n_rows, n_cols);
+      par::col_block_to_row_block_overlapped(comm, kcols.view(), n_rows, n_cols);
   t_mpi2.stop();
   return result;
 }
@@ -268,18 +271,25 @@ std::vector<Real> solve_implicit(par::Comm& comm,
   }
 
   // Sampled orbital rows, replicated by summation (each point is owned by
-  // exactly one rank).
+  // exactly one rank). Valence and conduction samples travel side by side
+  // in one buffer so replication is a single allreduce; the split after
+  // the reduction is an exact copy, so the result is bit-identical to
+  // reducing the two matrices separately.
   PhaseTimer t_mpi(clock, obs::phase::kMpi);
-  la::RealMatrix psi_v_mu(nmu, nv), psi_c_mu(nmu, nc);
+  la::RealMatrix samp(nmu, nv + nc);
   for (Index m = 0; m < nmu; ++m) {
     const Index gp = km.interpolation_points[static_cast<std::size_t>(m)];
     if (gp >= my_offset && gp < my_offset + my_count) {
-      for (Index j = 0; j < nv; ++j) psi_v_mu(m, j) = psi_v_loc(gp - my_offset, j);
-      for (Index j = 0; j < nc; ++j) psi_c_mu(m, j) = psi_c_loc(gp - my_offset, j);
+      Real* row = samp.row_ptr(m);
+      for (Index j = 0; j < nv; ++j) row[j] = psi_v_loc(gp - my_offset, j);
+      for (Index j = 0; j < nc; ++j) row[nv + j] = psi_c_loc(gp - my_offset, j);
     }
   }
-  comm.allreduce(psi_v_mu.data(), psi_v_mu.size(), par::ReduceOp::kSum);
-  comm.allreduce(psi_c_mu.data(), psi_c_mu.size(), par::ReduceOp::kSum);
+  comm.allreduce(samp.data(), samp.size(), par::ReduceOp::kSum);
+  const la::RealMatrix psi_v_mu =
+      la::to_matrix<Real>(samp.view().cols_block(0, nv));
+  const la::RealMatrix psi_c_mu =
+      la::to_matrix<Real>(samp.view().cols_block(nv, nc));
   t_mpi.stop();
 
   // Local rows of Θ via the separable products (paper Eq 10).

@@ -1,0 +1,39 @@
+// Seeds: nonblocking collectives in rank-dependent control flow.
+// Expected `collective-divergence` finding: the i_alltoallv issued only
+// on rank 0 — the matching ranks never post their sends, so the waits
+// deadlock. The unconditional double-buffered pipeline below it is the
+// clean twin: every rank issues and waits the same sequence.
+namespace fixture {
+
+struct Request {
+  void wait();
+};
+
+struct NbComm {
+  int rank() const { return 0; }
+  int size() const { return 1; }
+  Request i_alltoallv(const double* s, const int* sc, double* r,
+                      const int* rc) const;
+  Request i_allgatherv(const double* s, int n, double* r,
+                       const int* rc) const;
+};
+
+void skewed_exchange(const NbComm& comm, const double* s, const int* sc,
+                     double* r, const int* rc) {
+  if (comm.rank() == 0) {
+    Request req = comm.i_alltoallv(s, sc, r, rc);  // finding: rank-guarded
+    req.wait();
+  }
+}
+
+void overlapped_exchange(const NbComm& comm, const double* s, const int* sc,
+                         double* r, const int* rc) {
+  // Clean: both slices issue and wait on every rank; overlap does not
+  // make the schedule rank-dependent.
+  Request first = comm.i_alltoallv(s, sc, r, rc);
+  Request second = comm.i_allgatherv(s, 1, r, rc);
+  first.wait();
+  second.wait();
+}
+
+}  // namespace fixture

@@ -454,7 +454,7 @@ TEST(AnalyzeLayerDag, BaselineEdgeGrandfathersViolationAndCycle) {
 TEST(AnalyzeDivergence, FlagsCollectivesUnderRankDependentFlow) {
   const Report report = run_fixture(fixture_config({"collective-divergence"}));
   const auto findings = findings_for(report, "collective-divergence");
-  ASSERT_EQ(findings.size(), 4u)
+  ASSERT_EQ(findings.size(), 5u)
       << lrt::analyze::report_to_text(report, true);
   std::set<std::string> collectives;
   for (const Finding& f : findings) {
@@ -468,6 +468,16 @@ TEST(AnalyzeDivergence, FlagsCollectivesUnderRankDependentFlow) {
   // statement; the unconditional barrier and size-based loop are clean.
   EXPECT_EQ(collectives,
             (std::set<std::string>{"allreduce", "bcast", "barrier"}));
+  // The nonblocking i_alltoallv issued only on rank 0 is flagged too; the
+  // unconditional double-buffered pipeline in the same file stays clean.
+  int nonblocking = 0;
+  for (const Finding& f : findings) {
+    if (f.file != "src/par/nonblocking.cpp") continue;
+    ++nonblocking;
+    EXPECT_NE(f.message.find("'i_alltoallv'"), std::string::npos)
+        << f.message;
+  }
+  EXPECT_EQ(nonblocking, 1);
 }
 
 TEST(AnalyzeDivergence, ReachabilityFlagsCollectiveThroughHelperChain) {
@@ -491,8 +501,9 @@ TEST(AnalyzeDivergence, WholeFileBaselineResolvesFindings) {
   Config config = fixture_config({"collective-divergence"});
   config.baseline_files = {"collective-divergence:src/par/divergent.cpp"};
   const Report report = run_fixture(config);
-  // The reachability finding in reach_collective.cpp is not baselined.
-  EXPECT_EQ(report.new_count, 1);
+  // The reachability finding in reach_collective.cpp and the nonblocking
+  // finding in nonblocking.cpp are not baselined.
+  EXPECT_EQ(report.new_count, 2);
   EXPECT_EQ(report.baselined_count, 3);
   EXPECT_FALSE(report.clean());
 }
@@ -739,13 +750,13 @@ TEST(AnalyzeReport, FullFixtureRunCountsEveryState) {
     }
   }
   const Report report = run_fixture(fixture_config(std::move(passes)));
-  // 4 layer-dag + 4 collective-divergence + 7 omp-race +
+  // 4 layer-dag + 5 collective-divergence + 7 omp-race +
   // 7 hot-path-purity + 1 phase-registry + 2 counter-registry +
   // 2 naked-new-delete + 3 banned-volatile + 1 banned-thread +
   // 1 banned-sleep + 1 parent-include + 1 pragma-once.
-  EXPECT_EQ(report.findings.size(), 34u)
+  EXPECT_EQ(report.findings.size(), 35u)
       << lrt::analyze::report_to_text(report, true);
-  EXPECT_EQ(report.new_count, 29);
+  EXPECT_EQ(report.new_count, 30);
   EXPECT_EQ(report.suppressed_count, 5);
   EXPECT_EQ(report.baselined_count, 0);
   EXPECT_FALSE(report.clean());

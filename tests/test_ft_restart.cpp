@@ -230,13 +230,19 @@ TEST(DistKmeansRestart, CrashedRunRestartsBitIdentical) {
   const long long per_rank_queries = (queries.value() - q0) / p;
   ASSERT_GT(per_rank_queries, 4);
 
-  // Killed mid-run: rank 2 crashes halfway through its injection-site
-  // queries; rank 0 checkpoints every completed Lloyd iteration (the
-  // state is replicated, one file is the whole truth).
+  // Killed mid-run: rank 2 crashes three quarters of the way through its
+  // injection-site queries; rank 0 checkpoints every completed Lloyd
+  // iteration (the state is replicated, one file is the whole truth).
+  // The 3/4 point lands past iteration 2's allreduce, which rank 2 can
+  // only complete after receiving rank 0's butterfly partial — i.e. after
+  // rank 0 has sequentially finished iteration 1 and written its
+  // checkpoint. (The halfway point is not safe: the rootless butterfly
+  // lets rank 2 finish an allreduce round and crash before rank 0 —
+  // possibly still waiting on rank 1 — completes the same round.)
   ft::FaultSpec crash;
   crash.seed = 1;
   crash.crash_rank = 2;
-  crash.crash_at = per_rank_queries / 2;
+  crash.crash_at = 3 * per_rank_queries / 4;
   EXPECT_THROW(
       par::run(p,
                [&](par::Comm& comm) {

@@ -239,17 +239,16 @@ TEST(ObsTrace, ComposesWithRuntimeVerifier) {
     comm.bcast(&x, 1, /*root=*/0);
     comm.allreduce(&x, 1, par::ReduceOp::kSum);
     if (comm.rank() == 0) {
-      // The binomial-tree root sends in bcast but only receives in reduce.
+      // The binomial-tree root sends in bcast.
       EXPECT_GT(comm.bytes_sent(par::Traffic::kBcast), 0);
-    } else {
-      // Every non-root rank sends its contribution exactly once.
-      EXPECT_GT(comm.bytes_sent(par::Traffic::kReduce), 0);
     }
-    // Call counts are per leaf collective, so every rank sees them: the
-    // explicit bcast plus the allreduce's internal bcast give two bcasts;
-    // the allreduce's internal reduce gives one reduce.
-    EXPECT_EQ(comm.calls_made(par::Traffic::kBcast), 2);
-    EXPECT_EQ(comm.calls_made(par::Traffic::kReduce), 1);
+    // Every rank exchanges partials in the single-round allreduce.
+    EXPECT_GT(comm.bytes_sent(par::Traffic::kAllreduce), 0);
+    // Call counts are per user-facing collective: one explicit bcast and
+    // one allreduce (a single-round primitive, not a reduce+bcast pair).
+    EXPECT_EQ(comm.calls_made(par::Traffic::kBcast), 1);
+    EXPECT_EQ(comm.calls_made(par::Traffic::kReduce), 0);
+    EXPECT_EQ(comm.calls_made(par::Traffic::kAllreduce), 1);
     // Backward compat: the flat total is the sum over kinds.
     long long sum = 0;
     for (int k = 0; k < par::kNumTrafficKinds; ++k) {
@@ -260,7 +259,7 @@ TEST(ObsTrace, ComposesWithRuntimeVerifier) {
   // Collective spans were recorded while the verifier was active.
   const auto stats = obs::aggregate_phases();
   EXPECT_NE(find_phase(stats, "bcast"), nullptr);
-  EXPECT_NE(find_phase(stats, "reduce"), nullptr);
+  EXPECT_NE(find_phase(stats, "allreduce"), nullptr);
 }
 
 TEST(ObsShim, ScopedPhaseFeedsProfilerAndTrace) {

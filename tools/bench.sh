@@ -47,6 +47,15 @@ if [ "$smoke" -eq 1 ]; then
   # or pass layer, not machine-to-machine jitter.
   LRT_BENCH_DIR="$out_dir" \
     "./$build_dir/bench/bench_analyze" --reps 3 --max-ms 30000
+  echo "=== [bench] fig8 comm-budget gate (<= 432 collective calls at 8 ranks) ==="
+  # Collective call counts are deterministic (unlike timings), so the
+  # budget — reduce + bcast + allreduce invocations of the fused
+  # 8-rank driver, 4x under the pre-fusion schedule's 1728 — is safe to
+  # gate in CI. A regression here means someone reintroduced a
+  # per-block reduction or split a fused round.
+  LRT_BENCH_DIR="$out_dir" \
+    "./$build_dir/bench/bench_fig8_breakdown" --smoke \
+    --gate-max-collective-calls 432
   echo "=== [bench] validate lrt.bench/1 schema ==="
   "./$build_dir/bench/validate_bench" "$out_dir"/BENCH_*.json
   echo "bench: smoke passed ($out_dir)"
