@@ -10,13 +10,22 @@
 // immediately with the known vocabulary instead of "missing on every
 // rank". lrt-analyze enforces the same vocabulary statically.
 //
-//   validate_trace trace.json --require-phase fft --require-phase mpi
+// Flow events (ph:"s"/"f", the message arrows) are always checked for
+// well-formedness: every id must pair exactly one "s" with exactly one
+// "f", the send must not postdate the receive, and each endpoint must
+// bind to a complete slice on its row (Perfetto silently drops unbound
+// arrows). --require-flow additionally fails when the trace carries no
+// flow pairs at all (the ci.sh trace pass uses this).
+//
+//   validate_trace trace.json --require-phase fft --require-flow
+#include <algorithm>
 #include <cstdio>
 #include <fstream>
 #include <map>
 #include <set>
 #include <sstream>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obs/json.hpp"
@@ -27,25 +36,69 @@ namespace {
 // Must match the sentinel tid obs.cpp assigns to threads outside par::run.
 constexpr long long kNonRankTid = 1000000;
 
+// Merged [start, end] slice coverage per (pid, tid) row, for the flow
+// binding check: a flow endpoint binds iff some slice on its row covers
+// its timestamp.
+struct RowCoverage {
+  std::vector<std::pair<double, double>> raw;
+
+  bool covers(double ts) const {
+    // raw is merged+sorted by the time contains() is called.
+    auto it = std::upper_bound(
+        raw.begin(), raw.end(), ts,
+        [](double t, const std::pair<double, double>& iv) { return t < iv.first; });
+    if (it == raw.begin()) return false;
+    --it;
+    return ts <= it->second;
+  }
+
+  void merge() {
+    std::sort(raw.begin(), raw.end());
+    std::vector<std::pair<double, double>> merged;
+    for (const auto& [a, b] : raw) {
+      if (!merged.empty() && a <= merged.back().second) {
+        merged.back().second = std::max(merged.back().second, b);
+      } else {
+        merged.push_back({a, b});
+      }
+    }
+    raw = std::move(merged);
+  }
+};
+
+struct FlowEndpoint {
+  int sends = 0;
+  int recvs = 0;
+  double send_ts = 0.0;
+  double recv_ts = 0.0;
+};
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string path;
   std::vector<std::string> required;
+  bool require_flow = false;
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--require-phase" && i + 1 < argc) {
       required.emplace_back(argv[++i]);
+    } else if (arg == "--require-flow") {
+      require_flow = true;
     } else if (path.empty()) {
       path = arg;
     } else {
-      std::fprintf(stderr, "usage: %s TRACE.json [--require-phase NAME]...\n",
+      std::fprintf(stderr,
+                   "usage: %s TRACE.json [--require-phase NAME]... "
+                   "[--require-flow]\n",
                    argv[0]);
       return 2;
     }
   }
   if (path.empty()) {
-    std::fprintf(stderr, "usage: %s TRACE.json [--require-phase NAME]...\n",
+    std::fprintf(stderr,
+                 "usage: %s TRACE.json [--require-phase NAME]... "
+                 "[--require-flow]\n",
                  argv[0]);
     return 2;
   }
@@ -93,6 +146,18 @@ int main(int argc, char** argv) {
   std::map<std::string, std::set<long long>> phase_tids;
   std::set<long long> rank_tids;
   long long complete_events = 0;
+  // (pid, tid) -> slice coverage; flow id -> endpoints. A flow event's
+  // binding row is checked after all slices are collected.
+  std::map<std::pair<long long, long long>, RowCoverage> coverage;
+  std::map<std::string, FlowEndpoint> flows;
+  struct FlowSite {
+    std::string id;
+    char phase;
+    long long pid;
+    long long tid;
+    double ts;
+  };
+  std::vector<FlowSite> flow_sites;
   for (const auto& ev : events->array) {
     if (!ev.is_object()) {
       std::fprintf(stderr, "validate_trace: non-object trace event\n");
@@ -104,6 +169,38 @@ int main(int argc, char** argv) {
         !tid->is_number()) {
       std::fprintf(stderr, "validate_trace: event missing ph/tid\n");
       return 1;
+    }
+    const auto* pid = ev.find("pid");
+    const long long pid_v =
+        pid != nullptr && pid->is_number() ? static_cast<long long>(pid->number)
+                                           : 0;
+    if (ph->string == "s" || ph->string == "f") {
+      const auto* id = ev.find("id");
+      const auto* ts = ev.find("ts");
+      if (id == nullptr || !id->is_string() || ts == nullptr ||
+          !ts->is_number()) {
+        std::fprintf(stderr, "validate_trace: flow event missing id/ts\n");
+        return 1;
+      }
+      FlowEndpoint& f = flows[id->string];
+      if (ph->string == "s") {
+        f.sends += 1;
+        f.send_ts = ts->number;
+      } else {
+        f.recvs += 1;
+        f.recv_ts = ts->number;
+        const auto* bp = ev.find("bp");
+        if (bp == nullptr || !bp->is_string() || bp->string != "e") {
+          std::fprintf(stderr,
+                       "validate_trace: flow finish %s lacks bp:\"e\"\n",
+                       id->string.c_str());
+          return 1;
+        }
+      }
+      flow_sites.push_back(FlowSite{id->string, ph->string[0], pid_v,
+                                    static_cast<long long>(tid->number),
+                                    ts->number});
+      continue;
     }
     if (ph->string != "X") continue;
     const auto* name = ev.find("name");
@@ -121,14 +218,61 @@ int main(int argc, char** argv) {
       return 1;
     }
     ++complete_events;
+    coverage[{pid_v, static_cast<long long>(tid->number)}].raw.push_back(
+        {ts->number, ts->number + dur->number});
     const long long t = static_cast<long long>(tid->number);
     if (t == kNonRankTid) continue;
     rank_tids.insert(t);
     phase_tids[name->string].insert(t);
   }
 
-  std::printf("validate_trace: %s — %lld complete events, %zu rank tids\n",
-              path.c_str(), complete_events, rank_tids.size());
+  // Flow well-formedness: exact s/f pairing, causal order, bound slices.
+  bool flow_ok = true;
+  for (const auto& [id, f] : flows) {
+    if (f.sends != 1 || f.recvs != 1) {
+      std::fprintf(stderr,
+                   "validate_trace: flow %s has %d start(s)/%d finish(es), "
+                   "want exactly 1/1\n",
+                   id.c_str(), f.sends, f.recvs);
+      flow_ok = false;
+      continue;
+    }
+    if (f.send_ts > f.recv_ts) {
+      std::fprintf(stderr,
+                   "validate_trace: flow %s finishes (%.3f) before it starts "
+                   "(%.3f)\n",
+                   id.c_str(), f.recv_ts, f.send_ts);
+      flow_ok = false;
+    }
+  }
+  for (auto& [row, cov] : coverage) cov.merge();
+  for (const FlowSite& site : flow_sites) {
+    const auto it = coverage.find({site.pid, site.tid});
+    // %.3f µs rendering is exact at ns resolution, but leave a 1 ns slack.
+    if (it == coverage.end() || !it->second.covers(site.ts) ) {
+      if (it != coverage.end() && (it->second.covers(site.ts - 0.001) ||
+                                   it->second.covers(site.ts + 0.001))) {
+        continue;
+      }
+      std::fprintf(stderr,
+                   "validate_trace: flow %s endpoint '%c' at ts %.3f on "
+                   "pid %lld tid %lld binds to no slice\n",
+                   site.id.c_str(), site.phase, site.ts, site.pid, site.tid);
+      flow_ok = false;
+    }
+  }
+  if (!flow_ok) return 1;
+  if (require_flow && flows.empty()) {
+    std::fprintf(stderr,
+                 "validate_trace: --require-flow but the trace has no flow "
+                 "events\n");
+    return 1;
+  }
+
+  std::printf(
+      "validate_trace: %s — %lld complete events, %zu flow pairs, %zu rank "
+      "tids\n",
+      path.c_str(), complete_events, flows.size(), rank_tids.size());
 
   if (!required.empty() && rank_tids.empty()) {
     std::fprintf(stderr, "validate_trace: no rank threads in trace\n");

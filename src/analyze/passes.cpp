@@ -438,6 +438,65 @@ void run_phase_registry_shell(const PassContext& ctx, const std::string& path,
                         "\" is not registered in src/obs/phases.def");
       }
     }
+    // `lrt-report --gate METRIC:PCT` arguments must reference a registered
+    // phase, a registered counter, or a known bench metric — a typo'd gate
+    // matches nothing and the regression check silently never fires.
+    // Bench metric names are not registry-backed; enumerate the ones the
+    // bench mains emit.
+    static const std::set<std::string> kBenchMetrics = {
+        "wall_seconds",      "comm_seconds",
+        "busy_seconds",      "gemm_mpi_share_pct",
+        "speedup_vs_1rank",  "parallel_efficiency_pct",
+        "kmeans_seconds",    "qrcp_seconds",
+        "qrcp_randomized_seconds", "speedup_kmeans_vs_qrcp",
+        "isdf_err_kmeans",   "isdf_err_qrcp",
+        "seconds",           "seconds_best",
+        "gflops",            "speedup_vs_ref",
+        "bytes_per_point",   "kept_points",
+        "iterations",        "objective",
+    };
+    const std::string gate_flag = "--gate";
+    pos = 0;
+    while ((pos = line.find(gate_flag, pos)) != std::string::npos) {
+      pos += gate_flag.size();
+      // Word boundary: `--gate-max-collective-calls` (validate_bench)
+      // shares the prefix and is not a report gate.
+      if (pos < line.size() && line[pos] != ' ' && line[pos] != '\t') {
+        continue;
+      }
+      while (pos < line.size() && (line[pos] == ' ' || line[pos] == '\t')) {
+        ++pos;
+      }
+      std::string arg;
+      while (pos < line.size() && line[pos] != ' ' && line[pos] != '\t' &&
+             line[pos] != '\\') {
+        arg.push_back(line[pos]);
+        ++pos;
+      }
+      if (!arg.empty() && (arg.front() == '"' || arg.front() == '\'')) {
+        arg.erase(arg.begin());
+        if (!arg.empty() && (arg.back() == '"' || arg.back() == '\'')) {
+          arg.pop_back();
+        }
+      }
+      if (arg.empty() || arg[0] == '$') continue;  // variable: runtime check
+      const std::size_t colon = arg.rfind(':');
+      if (colon == std::string::npos || colon == 0 || colon + 1 >= arg.size()) {
+        add_finding(ctx, "phase-registry", path, lineno,
+                    "--gate \"" + arg +
+                        "\" is malformed; expected METRIC:MAX_REGRESS_PCT");
+        continue;
+      }
+      const std::string metric = arg.substr(0, colon);
+      if (ctx.config->phase_registry.count(metric) == 0 &&
+          ctx.config->counter_registry.count(metric) == 0 &&
+          kBenchMetrics.count(metric) == 0) {
+        add_finding(ctx, "phase-registry", path, lineno,
+                    "--gate metric \"" + metric +
+                        "\" names no registered phase, registered counter, "
+                        "or known bench metric");
+      }
+    }
   }
 }
 

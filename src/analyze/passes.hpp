@@ -92,8 +92,11 @@ void run_counter_registry(const PassContext& ctx);
 void run_counter_registry_sync(const PassContext& ctx);
 
 /// Scans one shell script for `--require-phase NAME` arguments (the
-/// validate_trace CI gate) and flags unregistered names. Separate entry
-/// point because shell scripts don't go through the C++ lexer.
+/// validate_trace CI gate) and `--gate METRIC:PCT` arguments (the
+/// lrt-report regression gate) and flags names that reference no
+/// registered phase, registered counter, or known bench metric.
+/// Separate entry point because shell scripts don't go through the C++
+/// lexer.
 void run_phase_registry_shell(const PassContext& ctx, const std::string& path,
                               const std::string& text);
 

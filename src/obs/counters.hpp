@@ -23,6 +23,15 @@ class Counter {
     value_.fetch_add(delta, std::memory_order_relaxed);
   }
 
+  /// Raises the counter to `v` if `v` is larger (high-water-mark
+  /// semantics, e.g. mem.hwm.bytes). Safe from any thread.
+  void record_max(long long v) {
+    long long cur = value_.load(std::memory_order_relaxed);
+    while (v > cur &&
+           !value_.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+    }
+  }
+
   long long value() const { return value_.load(std::memory_order_relaxed); }
 
   void reset() { value_.store(0, std::memory_order_relaxed); }

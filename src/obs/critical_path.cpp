@@ -1,0 +1,376 @@
+#include "obs/critical_path.hpp"
+
+#include <algorithm>
+#include <climits>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <utility>
+
+#include "obs/obs.hpp"
+
+namespace lrt::obs {
+namespace {
+
+// One outermost span interval on a rank row. Inner (nested) spans are
+// refinements of the same wall time; attribution always goes to the
+// outermost name so the per-phase totals tile the row without double
+// counting.
+struct Interval {
+  std::string name;
+  long long start_ns = 0;
+  long long end_ns = 0;
+};
+
+using WaitUnion = std::vector<std::pair<long long, long long>>;
+
+// Spans on one thread nest (RAII), so after sorting by (start asc, end
+// desc) an outermost span is exactly one that starts at or after the
+// previous outermost span's end.
+std::map<long long, std::vector<Interval>> outermost_by_tid(
+    const std::vector<TraceSpan>& spans) {
+  std::map<long long, std::vector<const TraceSpan*>> by_tid;
+  for (const TraceSpan& s : spans) by_tid[s.tid].push_back(&s);
+  std::map<long long, std::vector<Interval>> out;
+  for (auto& [tid, list] : by_tid) {
+    std::sort(list.begin(), list.end(),
+              [](const TraceSpan* a, const TraceSpan* b) {
+                if (a->start_ns != b->start_ns) return a->start_ns < b->start_ns;
+                return a->end_ns > b->end_ns;
+              });
+    std::vector<Interval>& rows = out[tid];
+    long long cur_end = LLONG_MIN;
+    for (const TraceSpan* s : list) {
+      if (s->start_ns >= cur_end) {
+        rows.push_back(Interval{s->name, s->start_ns, s->end_ns});
+        cur_end = s->end_ns;
+      }
+    }
+  }
+  return out;
+}
+
+bool is_wait_name(const std::string& name) {
+  static const std::string suffix = ".wait";
+  return name.size() > suffix.size() &&
+         name.compare(name.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+// Sorted disjoint union of the *.wait span intervals per rank row.
+std::map<long long, WaitUnion> wait_union_by_tid(
+    const std::vector<TraceSpan>& spans) {
+  std::map<long long, WaitUnion> raw;
+  for (const TraceSpan& s : spans) {
+    if (is_wait_name(s.name) && s.end_ns > s.start_ns) {
+      raw[s.tid].push_back({s.start_ns, s.end_ns});
+    }
+  }
+  for (auto& [tid, list] : raw) {
+    std::sort(list.begin(), list.end());
+    WaitUnion merged;
+    for (const auto& [a, b] : list) {
+      if (!merged.empty() && a <= merged.back().second) {
+        merged.back().second = std::max(merged.back().second, b);
+      } else {
+        merged.push_back({a, b});
+      }
+    }
+    list = std::move(merged);
+  }
+  return raw;
+}
+
+long long overlap_ns(const WaitUnion& wait, long long a, long long b) {
+  long long total = 0;
+  for (const auto& [s, e] : wait) {
+    const long long lo = std::max(a, s);
+    const long long hi = std::min(b, e);
+    if (hi > lo) total += hi - lo;
+    if (s >= b) break;
+  }
+  return total;
+}
+
+constexpr const char* kUntracked = "(untracked)";
+
+// Accumulates (work, wait) seconds per phase name in first-seen order.
+struct PhaseBuckets {
+  std::map<std::string, std::pair<double, double>> totals;
+  std::vector<std::string> order;
+
+  void add(const std::string& name, long long work_ns, long long wait_ns) {
+    auto [it, inserted] = totals.try_emplace(name);
+    if (inserted) order.push_back(name);
+    it->second.first += static_cast<double>(work_ns) * 1e-9;
+    it->second.second += static_cast<double>(wait_ns) * 1e-9;
+  }
+};
+
+// Splits one critical-path segment at its row's outermost boundaries and
+// banks each piece: wait segments (and *.wait overlap inside work
+// segments) count as wait, uncovered path time as "(untracked)".
+void attribute_segment(const CriticalSegment& seg,
+                       const std::map<long long, std::vector<Interval>>& outer,
+                       const std::map<long long, WaitUnion>& waits,
+                       PhaseBuckets& buckets) {
+  static const WaitUnion empty_union;
+  static const std::vector<Interval> empty_rows;
+  const auto oit = outer.find(seg.tid);
+  const std::vector<Interval>& rows =
+      oit == outer.end() ? empty_rows : oit->second;
+  const auto wit = waits.find(seg.tid);
+  const WaitUnion& wait = wit == waits.end() ? empty_union : wit->second;
+  const bool is_wait_seg = seg.kind == CriticalSegment::Kind::kWait;
+  long long cursor = seg.start_ns;
+  for (const Interval& iv : rows) {
+    if (iv.end_ns <= cursor) continue;
+    if (iv.start_ns >= seg.end_ns) break;
+    const long long a = std::max(cursor, iv.start_ns);
+    if (a > cursor) {  // gap before this interval: no span was open
+      const long long gap = std::min(a, seg.end_ns) - cursor;
+      buckets.add(kUntracked, is_wait_seg ? 0 : gap, is_wait_seg ? gap : 0);
+    }
+    const long long b = std::min(seg.end_ns, iv.end_ns);
+    if (b > a) {
+      const long long wait_in = is_wait_seg ? b - a : overlap_ns(wait, a, b);
+      buckets.add(iv.name, (b - a) - wait_in, wait_in);
+    }
+    cursor = std::max(cursor, b);
+    if (cursor >= seg.end_ns) break;
+  }
+  if (cursor < seg.end_ns) {
+    const long long gap = seg.end_ns - cursor;
+    buckets.add(kUntracked, is_wait_seg ? 0 : gap, is_wait_seg ? gap : 0);
+  }
+}
+
+double get_number(const json::Value& obj, const char* key, double fallback) {
+  const json::Value* v = obj.find(key);
+  return v != nullptr && v->is_number() ? v->number : fallback;
+}
+
+long long ns_from_us(double us) {
+  return static_cast<long long>(std::llround(us * 1000.0));
+}
+
+}  // namespace
+
+Trace snapshot_trace() {
+  Trace t;
+  for (const detail::SpanSnapshot& s : detail::snapshot_spans()) {
+    TraceSpan span;
+    span.name = s.name;
+    span.tid = s.rank < 0 ? kNonRankTid : s.rank;
+    span.start_ns = s.start_ns;
+    span.end_ns = s.end_ns;
+    t.spans.push_back(std::move(span));
+  }
+  // Only completed pairs ('f' carries both endpoints' stamps) become
+  // causal edges; an unmatched 's' cannot constrain anything.
+  for (const detail::FlowRecord& f : detail::snapshot_flows()) {
+    if (f.phase != 'f') continue;
+    TraceFlow flow;
+    flow.src_tid = f.src;
+    flow.dst_tid = f.dst;
+    flow.send_ns = f.send_ns;
+    flow.recv_start_ns = f.recv_start_ns >= 0 ? f.recv_start_ns : f.ts_ns;
+    flow.recv_end_ns = f.ts_ns;
+    t.flows.push_back(flow);
+  }
+  return t;
+}
+
+Trace trace_from_chrome_json(const json::Value& doc, long long pid) {
+  Trace t;
+  const json::Value* events = doc.find("traceEvents");
+  if (events == nullptr || !events->is_array()) return t;
+  if (pid < 0) {
+    // Merged multi-process traces: analyze the pid with the most span
+    // time (the driver process; tiny helper processes lose the vote).
+    std::map<long long, double> span_us_by_pid;
+    for (const json::Value& e : events->array) {
+      const json::Value* ph = e.find("ph");
+      if (ph == nullptr || !ph->is_string() || ph->string != "X") continue;
+      span_us_by_pid[static_cast<long long>(get_number(e, "pid", 0.0))] +=
+          get_number(e, "dur", 0.0);
+    }
+    double best = -1.0;
+    for (const auto& [p, us] : span_us_by_pid) {
+      if (us > best) {
+        best = us;
+        pid = p;
+      }
+    }
+  }
+  for (const json::Value& e : events->array) {
+    const json::Value* ph = e.find("ph");
+    if (ph == nullptr || !ph->is_string()) continue;
+    const long long event_pid =
+        static_cast<long long>(get_number(e, "pid", 0.0));
+    if (event_pid != pid) continue;
+    if (ph->string == "X") {
+      const json::Value* name = e.find("name");
+      TraceSpan span;
+      span.name = name != nullptr && name->is_string() ? name->string : "";
+      span.pid = event_pid;
+      span.tid = static_cast<long long>(get_number(e, "tid", 0.0));
+      span.start_ns = ns_from_us(get_number(e, "ts", 0.0));
+      span.end_ns = span.start_ns + ns_from_us(get_number(e, "dur", 0.0));
+      t.spans.push_back(std::move(span));
+    } else if (ph->string == "f") {
+      // The 'f' event is self-contained: args carry the matched send and
+      // wait-start stamps, and the id ("pid:run:ctx:src:dst:tag:seq")
+      // yields the sender's rank as its fourth field.
+      const json::Value* id = e.find("id");
+      const json::Value* args = e.find("args");
+      if (id == nullptr || !id->is_string() || args == nullptr) continue;
+      long long id_pid = 0, run = 0, ctx = 0, src = 0;
+      if (std::sscanf(id->string.c_str(), "%lld:%lld:%lld:%lld", &id_pid, &run,
+                      &ctx, &src) != 4) {
+        continue;
+      }
+      TraceFlow flow;
+      flow.pid = event_pid;
+      flow.src_tid = src;
+      flow.dst_tid = static_cast<long long>(get_number(e, "tid", 0.0));
+      flow.recv_end_ns = ns_from_us(get_number(e, "ts", 0.0));
+      flow.send_ns = ns_from_us(get_number(*args, "send_ts", 0.0));
+      flow.recv_start_ns = ns_from_us(
+          get_number(*args, "wait_start_ts",
+                     static_cast<double>(flow.recv_end_ns) * 1e-3));
+      t.flows.push_back(flow);
+    }
+  }
+  return t;
+}
+
+CriticalPathReport critical_path(const Trace& trace) {
+  CriticalPathReport out;
+  if (trace.spans.empty()) return out;
+  long long min_start = LLONG_MAX;
+  long long max_end = LLONG_MIN;
+  long long end_tid = 0;
+  for (const TraceSpan& s : trace.spans) {
+    min_start = std::min(min_start, s.start_ns);
+    if (s.end_ns > max_end) {
+      max_end = s.end_ns;
+      end_tid = s.tid;
+    }
+  }
+  // Backward walk: from the last span end, repeatedly jump along the
+  // latest message edge whose receiver was already blocked when the
+  // sender sent (recv_start < send) — those are the edges that gate
+  // progress. Everything between two jumps is work on the current row.
+  long long cur_t = max_end;
+  long long cur_tid = end_tid;
+  std::size_t guard = trace.spans.size() + trace.flows.size() + 2;
+  while (guard-- > 0) {
+    const TraceFlow* best = nullptr;
+    for (const TraceFlow& f : trace.flows) {
+      if (f.dst_tid != cur_tid || f.recv_end_ns > cur_t) continue;
+      if (f.recv_start_ns >= f.send_ns) continue;  // message was not awaited
+      if (f.send_ns >= f.recv_end_ns) continue;    // degenerate stamp
+      if (best == nullptr || f.recv_end_ns > best->recv_end_ns) best = &f;
+    }
+    if (best == nullptr) break;
+    if (cur_t > best->recv_end_ns) {
+      out.segments.push_back(CriticalSegment{
+          cur_tid, CriticalSegment::Kind::kWork, best->recv_end_ns, cur_t});
+    }
+    out.segments.push_back(CriticalSegment{cur_tid,
+                                           CriticalSegment::Kind::kWait,
+                                           best->send_ns, best->recv_end_ns});
+    cur_tid = best->src_tid;
+    cur_t = best->send_ns;
+    ++out.hops;
+  }
+  const long long path_floor = std::min(min_start, cur_t);
+  if (cur_t > path_floor) {
+    out.segments.push_back(CriticalSegment{
+        cur_tid, CriticalSegment::Kind::kWork, path_floor, cur_t});
+  }
+  out.total_seconds = static_cast<double>(max_end - min_start) * 1e-9;
+  long long attributed_ns = 0;
+  for (const CriticalSegment& seg : out.segments) {
+    attributed_ns += seg.end_ns - seg.start_ns;
+  }
+  out.attributed_seconds = static_cast<double>(attributed_ns) * 1e-9;
+
+  const auto outer = outermost_by_tid(trace.spans);
+  const auto waits = wait_union_by_tid(trace.spans);
+  PhaseBuckets buckets;
+  for (const CriticalSegment& seg : out.segments) {
+    attribute_segment(seg, outer, waits, buckets);
+  }
+  for (const std::string& name : buckets.order) {
+    const auto& [work, wait] = buckets.totals.at(name);
+    CriticalPhase phase;
+    phase.name = name;
+    phase.work_seconds = work;
+    phase.wait_seconds = wait;
+    phase.share_pct = out.total_seconds > 0.0
+                          ? (work + wait) / out.total_seconds * 100.0
+                          : 0.0;
+    out.phases.push_back(std::move(phase));
+  }
+  std::sort(out.phases.begin(), out.phases.end(),
+            [](const CriticalPhase& a, const CriticalPhase& b) {
+              return a.share_pct > b.share_pct;
+            });
+  return out;
+}
+
+CriticalPathReport critical_path() { return critical_path(snapshot_trace()); }
+
+std::vector<PhaseWorkWait> work_wait_by_phase(const Trace& trace) {
+  const auto outer = outermost_by_tid(trace.spans);
+  const auto waits = wait_union_by_tid(trace.spans);
+  struct Accum {
+    long long count = 0;
+    double work = 0.0;
+    double wait = 0.0;
+    std::map<long long, double> per_tid_seconds;
+  };
+  std::map<std::string, Accum> totals;
+  std::vector<std::string> order;
+  static const WaitUnion empty_union;
+  for (const auto& [tid, rows] : outer) {
+    const auto wit = waits.find(tid);
+    const WaitUnion& wait = wit == waits.end() ? empty_union : wit->second;
+    for (const Interval& iv : rows) {
+      const long long dur = iv.end_ns - iv.start_ns;
+      const long long wait_in = overlap_ns(wait, iv.start_ns, iv.end_ns);
+      auto [it, inserted] = totals.try_emplace(iv.name);
+      if (inserted) order.push_back(iv.name);
+      Accum& acc = it->second;
+      acc.count += 1;
+      acc.work += static_cast<double>(dur - wait_in) * 1e-9;
+      acc.wait += static_cast<double>(wait_in) * 1e-9;
+      acc.per_tid_seconds[tid] += static_cast<double>(dur) * 1e-9;
+    }
+  }
+  std::vector<PhaseWorkWait> out;
+  out.reserve(order.size());
+  for (const std::string& name : order) {
+    const Accum& acc = totals.at(name);
+    PhaseWorkWait w;
+    w.name = name;
+    w.count = acc.count;
+    w.ranks = static_cast<int>(acc.per_tid_seconds.size());
+    w.work_seconds = acc.work;
+    w.wait_seconds = acc.wait;
+    double total = 0.0;
+    for (const auto& [tid, secs] : acc.per_tid_seconds) {
+      w.max_rank_seconds = std::max(w.max_rank_seconds, secs);
+      total += secs;
+    }
+    w.mean_rank_seconds = w.ranks > 0 ? total / w.ranks : 0.0;
+    w.imbalance = w.mean_rank_seconds > 0.0
+                      ? w.max_rank_seconds / w.mean_rank_seconds
+                      : 1.0;
+    out.push_back(std::move(w));
+  }
+  return out;
+}
+
+}  // namespace lrt::obs

@@ -1,8 +1,11 @@
 #include "obs/obs.hpp"
 
+#include <fcntl.h>
+#include <sys/file.h>
 #include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -28,10 +31,9 @@ struct SpanRecord {
   int rank;
 };
 
-constexpr long long kNonRankTid = 1000000;  // Chrome tid for rank -1 threads
-
 struct ThreadBuffer {
   std::vector<SpanRecord> records;
+  std::vector<detail::FlowRecord> flows;
 };
 
 thread_local ThreadBuffer* t_buffer = nullptr;
@@ -114,6 +116,41 @@ void append_chrome_event(std::string& out, const SpanRecord& r,
   out += buf;
 }
 
+// Flow events pair a send ('s') with its receive completion ('f', with
+// bp:"e" so the arrow lands at the end of the enclosing slice). The id
+// embeds the pid so merged multi-process traces never collide; the 'f'
+// event additionally carries the matched send/wait-start stamps in args
+// so trace_from_chrome_json can reconstruct the causal edge without
+// re-pairing events.
+void append_flow_event(std::string& out, const detail::FlowRecord& f,
+                       long long epoch_ns, long long pid) {
+  const double ts_us = static_cast<double>(f.ts_ns - epoch_ns) * 1e-3;
+  const long long tid = f.rank < 0 ? kNonRankTid : f.rank;
+  char buf[192];
+  std::snprintf(buf, sizeof buf,
+                "{\"name\":\"msg\",\"cat\":\"msg\",\"ph\":\"%c\",%s"
+                "\"id\":\"%lld:%lld:%lld:%d:%d:%d:%lld\",\"ts\":",
+                f.phase, f.phase == 'f' ? "\"bp\":\"e\"," : "", pid, f.run,
+                f.context, f.src, f.dst, f.tag, f.seq);
+  out += buf;
+  std::snprintf(buf, sizeof buf, "%.3f", ts_us);
+  out += buf;
+  std::snprintf(buf, sizeof buf, ",\"pid\":%lld,\"tid\":%lld", pid, tid);
+  out += buf;
+  if (f.phase == 'f') {
+    const double send_us = static_cast<double>(f.send_ns - epoch_ns) * 1e-3;
+    const double wait_us =
+        static_cast<double>((f.recv_start_ns >= 0 ? f.recv_start_ns : f.ts_ns) -
+                            epoch_ns) *
+        1e-3;
+    std::snprintf(buf, sizeof buf,
+                  ",\"args\":{\"send_ts\":%.3f,\"wait_start_ts\":%.3f}",
+                  send_us, wait_us);
+    out += buf;
+  }
+  out.push_back('}');
+}
+
 void append_thread_name_event(std::string& out, long long tid,
                               const std::string& label, long long pid) {
   char buf[96];
@@ -155,6 +192,11 @@ std::string render_chrome_trace(Registry& reg,
           tids_seen.push_back(tid);
         }
       }
+      for (const detail::FlowRecord& f : buffer->flows) {
+        if (!first) out.push_back(',');
+        first = false;
+        append_flow_event(out, f, reg.epoch_ns, pid);
+      }
     }
   }
   for (const long long tid : tids_seen) {
@@ -195,15 +237,27 @@ void write_profile_report(const std::vector<PhaseStats>& stats) {
 
 Registry::~Registry() {
   if (!trace_path.empty()) {
-    json::Value existing;
-    const json::Value* merge_with = nullptr;
-    {
-      std::ifstream in(trace_path);
-      if (in) {
-        std::ostringstream buf;
-        buf << in.rdbuf();
+    // Read-merge-rewrite under an exclusive flock so concurrent exiting
+    // processes (parallel ctest with one shared LRT_TRACE path) serialize
+    // instead of clobbering each other's read-modify-write — each process
+    // sees the previous writer's completed merge.
+    const int fd = ::open(trace_path.c_str(), O_RDWR | O_CREAT, 0644);
+    if (fd < 0) {
+      std::fprintf(stderr, "[obs] cannot write trace to '%s'\n",
+                   trace_path.c_str());
+    } else {
+      while (::flock(fd, LOCK_EX) != 0 && errno == EINTR) {}
+      std::string previous;
+      char chunk[1 << 16];
+      ssize_t n;
+      while ((n = ::read(fd, chunk, sizeof chunk)) > 0) {
+        previous.append(chunk, static_cast<std::size_t>(n));
+      }
+      json::Value existing;
+      const json::Value* merge_with = nullptr;
+      if (!previous.empty()) {
         try {
-          existing = json::parse(buf.str());
+          existing = json::parse(previous);
           if (const json::Value* events = existing.find("traceEvents");
               events != nullptr && events->is_array()) {
             merge_with = events;
@@ -212,14 +266,22 @@ Registry::~Registry() {
           // Unreadable previous trace: overwrite it.
         }
       }
-    }
-    const std::string rendered = render_chrome_trace(*this, merge_with);
-    std::ofstream out(trace_path, std::ios::trunc);
-    if (out) {
-      out << rendered;
-    } else {
-      std::fprintf(stderr, "[obs] cannot write trace to '%s'\n",
-                   trace_path.c_str());
+      const std::string rendered = render_chrome_trace(*this, merge_with);
+      if (::ftruncate(fd, 0) == 0 && ::lseek(fd, 0, SEEK_SET) == 0) {
+        std::size_t written = 0;
+        while (written < rendered.size()) {
+          const ssize_t w = ::write(fd, rendered.data() + written,
+                                    rendered.size() - written);
+          if (w <= 0) {
+            if (errno == EINTR) continue;
+            std::fprintf(stderr, "[obs] short write to '%s'\n",
+                         trace_path.c_str());
+            break;
+          }
+          written += static_cast<std::size_t>(w);
+        }
+      }
+      ::close(fd);  // releases the flock
     }
   }
   if (profile_on_exit) write_profile_report(aggregate_phases());
@@ -247,7 +309,60 @@ void record_span(const char* name, long long start_ns, long long end_ns) {
   buffer.records.push_back(r);
 }
 
+void record_flow(const FlowRecord& flow) {
+  ThreadBuffer& buffer = thread_buffer();
+  FlowRecord f = flow;
+  f.rank = t_rank;
+  buffer.flows.push_back(f);
+}
+
+std::vector<SpanSnapshot> snapshot_spans() {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  std::vector<SpanSnapshot> out;
+  for (const auto& buffer : reg.buffers) {
+    for (const SpanRecord& r : buffer->records) {
+      SpanSnapshot s;
+      s.name = r.name;
+      s.rank = r.rank;
+      s.start_ns = r.start_ns;
+      s.end_ns = r.end_ns;
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+std::vector<FlowRecord> snapshot_flows() {
+  Registry& reg = registry();
+  const std::lock_guard<std::mutex> lock(reg.mutex);
+  std::vector<FlowRecord> out;
+  for (const auto& buffer : reg.buffers) {
+    out.insert(out.end(), buffer->flows.begin(), buffer->flows.end());
+  }
+  return out;
+}
+
 }  // namespace detail
+
+long long vm_hwm_bytes() {
+#ifdef __linux__
+  std::ifstream in("/proc/self/status");
+  if (!in) return -1;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind("VmHWM:", 0) == 0) {
+      // Format: "VmHWM:   123456 kB"
+      long long kb = 0;
+      if (std::sscanf(line.c_str() + 6, "%lld", &kb) == 1) return kb * 1024;
+      return -1;
+    }
+  }
+  return -1;
+#else
+  return -1;
+#endif
+}
 
 void set_tracing_enabled(bool enabled) {
   detail::g_tracing_enabled.store(enabled, std::memory_order_relaxed);
@@ -314,7 +429,10 @@ std::size_t span_count() {
 void reset_trace() {
   Registry& reg = registry();
   const std::lock_guard<std::mutex> lock(reg.mutex);
-  for (const auto& buffer : reg.buffers) buffer->records.clear();
+  for (const auto& buffer : reg.buffers) {
+    buffer->records.clear();
+    buffer->flows.clear();
+  }
 }
 
 bool write_chrome_trace(const std::string& path) {

@@ -47,7 +47,51 @@ long long now_ns();
 /// copied; the pointer need not outlive the call.
 void record_span(const char* name, long long start_ns, long long end_ns);
 
+/// One endpoint of a matched message (par::Comm stamps these when
+/// tracing is on). The (context, src, dst, tag, seq) tuple identifies
+/// the message: seq is the sender's monotone per-(dst, tag) channel
+/// sequence number, so a send and its matching receive carry the same
+/// tuple and the exporter can emit paired Chrome flow events
+/// (ph:"s"/"f") that Perfetto draws as arrows between rank rows.
+struct FlowRecord {
+  long long run = 0;          ///< process-unique runtime instance id
+  long long context = 0;      ///< communicator context id
+  int src = -1;               ///< sender world rank
+  int dst = -1;               ///< receiver world rank
+  int tag = 0;
+  long long seq = 0;          ///< per-(dst, tag) channel sequence number
+  long long send_ns = 0;      ///< sender's stamp (travels with the message)
+  long long recv_start_ns = -1;  ///< 'f' only: when the receive began
+  long long ts_ns = 0;        ///< event time: send for 's', completion for 'f'
+  char phase = 's';           ///< 's' = send, 'f' = receive completion
+  int rank = -1;              ///< recording thread's rank (filled by record_flow)
+};
+
+/// Appends one flow endpoint to the calling thread's buffer.
+void record_flow(const FlowRecord& flow);
+
+/// Copies of the raw recorded data, for obs::snapshot_trace() and tests.
+/// Quiescence required (see file comment).
+struct SpanSnapshot {
+  std::string name;
+  int rank = -1;
+  long long start_ns = 0;
+  long long end_ns = 0;
+};
+std::vector<SpanSnapshot> snapshot_spans();
+std::vector<FlowRecord> snapshot_flows();
+
 }  // namespace detail
+
+/// Chrome-trace tid used for threads outside any par::run region
+/// (thread_rank() == -1). validate_trace and the critical-path analysis
+/// rely on this value to tell rank rows from the main thread.
+inline constexpr long long kNonRankTid = 1000000;
+
+/// Peak resident set size (VmHWM from /proc/self/status) in bytes, or -1
+/// when unavailable (non-Linux). Cheap enough for phase boundaries — one
+/// small procfs read — but not for hot loops.
+long long vm_hwm_bytes();
 
 /// True when spans are being recorded.
 inline bool tracing_enabled() {

@@ -55,6 +55,33 @@ inline constexpr const char* kScatter = "scatter";  // root scatter
 inline constexpr const char* kSplit = "split";  // communicator split (allgatherv composite)
 inline constexpr const char* kIAlltoallv = "i_alltoallv";  // nonblocking alltoallv issue (sends posted, recvs deferred)
 inline constexpr const char* kIAllgatherv = "i_allgatherv";  // nonblocking allgatherv issue (direct exchange)
+inline constexpr const char* kP2p = "p2p";  // user point-to-point send/recv outside any collective
+inline constexpr const char* kBarrierWait = "barrier.wait";  // barrier: straggler wait
+inline constexpr const char* kBarrierXfer = "barrier.xfer";  // barrier: exchange rounds
+inline constexpr const char* kBcastWait = "bcast.wait";  // bcast: straggler wait
+inline constexpr const char* kBcastXfer = "bcast.xfer";  // bcast: tree transfer
+inline constexpr const char* kReduceWait = "reduce.wait";  // reduce: straggler wait
+inline constexpr const char* kReduceXfer = "reduce.xfer";  // reduce: tree transfer
+inline constexpr const char* kAllreduceWait = "allreduce.wait";  // allreduce: straggler wait
+inline constexpr const char* kAllreduceXfer = "allreduce.xfer";  // allreduce: fold/butterfly transfer
+inline constexpr const char* kAlltoallWait = "alltoall.wait";  // alltoall: straggler wait
+inline constexpr const char* kAlltoallXfer = "alltoall.xfer";  // alltoall: pairwise transfer
+inline constexpr const char* kAlltoallvWait = "alltoallv.wait";  // alltoallv: straggler wait
+inline constexpr const char* kAlltoallvXfer = "alltoallv.xfer";  // alltoallv: pairwise transfer
+inline constexpr const char* kAllgatherWait = "allgather.wait";  // allgather: straggler wait
+inline constexpr const char* kAllgatherXfer = "allgather.xfer";  // allgather: ring transfer
+inline constexpr const char* kAllgathervWait = "allgatherv.wait";  // allgatherv: straggler wait
+inline constexpr const char* kAllgathervXfer = "allgatherv.xfer";  // allgatherv: ring transfer
+inline constexpr const char* kGatherWait = "gather.wait";  // gather: straggler wait
+inline constexpr const char* kGatherXfer = "gather.xfer";  // gather: root transfer
+inline constexpr const char* kScatterWait = "scatter.wait";  // scatter: straggler wait
+inline constexpr const char* kScatterXfer = "scatter.xfer";  // scatter: root transfer
+inline constexpr const char* kSplitWait = "split.wait";  // split: straggler wait
+inline constexpr const char* kSplitXfer = "split.xfer";  // split: composite transfer
+inline constexpr const char* kIAlltoallvWait = "i_alltoallv.wait";  // i_alltoallv issue: straggler wait
+inline constexpr const char* kIAlltoallvXfer = "i_alltoallv.xfer";  // i_alltoallv issue: send posting
+inline constexpr const char* kIAllgathervWait = "i_allgatherv.wait";  // i_allgatherv issue: straggler wait
+inline constexpr const char* kIAllgathervXfer = "i_allgatherv.xfer";  // i_allgatherv issue: send posting
 
 inline constexpr const char* kAll[] = {
     kKmeans,
@@ -99,6 +126,33 @@ inline constexpr const char* kAll[] = {
     kSplit,
     kIAlltoallv,
     kIAllgatherv,
+    kP2p,
+    kBarrierWait,
+    kBarrierXfer,
+    kBcastWait,
+    kBcastXfer,
+    kReduceWait,
+    kReduceXfer,
+    kAllreduceWait,
+    kAllreduceXfer,
+    kAlltoallWait,
+    kAlltoallXfer,
+    kAlltoallvWait,
+    kAlltoallvXfer,
+    kAllgatherWait,
+    kAllgatherXfer,
+    kAllgathervWait,
+    kAllgathervXfer,
+    kGatherWait,
+    kGatherXfer,
+    kScatterWait,
+    kScatterXfer,
+    kSplitWait,
+    kSplitXfer,
+    kIAlltoallvWait,
+    kIAlltoallvXfer,
+    kIAllgathervWait,
+    kIAllgathervXfer,
 };
 
 inline constexpr std::size_t kCount = sizeof(kAll) / sizeof(kAll[0]);

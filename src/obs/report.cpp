@@ -1,0 +1,358 @@
+#include "obs/report.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+
+#include "obs/bench_report.hpp"
+
+namespace lrt::obs {
+namespace {
+
+json::Value make_string(const std::string& s) {
+  json::Value v;
+  v.kind = json::Value::Kind::kString;
+  v.string = s;
+  return v;
+}
+
+json::Value make_number(double d) {
+  json::Value v;
+  v.kind = json::Value::Kind::kNumber;
+  v.number = d;
+  return v;
+}
+
+json::Value make_object() {
+  json::Value v;
+  v.kind = json::Value::Kind::kObject;
+  return v;
+}
+
+json::Value make_array() {
+  json::Value v;
+  v.kind = json::Value::Kind::kArray;
+  return v;
+}
+
+std::string format_seconds(double s) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.6f", s);
+  return buf;
+}
+
+std::string format_number(double v) {
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+bool parse_gate(const std::string& text, GateSpec& out) {
+  const std::size_t colon = text.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 == text.size()) {
+    return false;
+  }
+  const std::string pct = text.substr(colon + 1);
+  char* end = nullptr;
+  const double value = std::strtod(pct.c_str(), &end);
+  if (end == pct.c_str() || *end != '\0' || value < 0.0) return false;
+  out.metric = text.substr(0, colon);
+  out.max_regress_pct = value;
+  return true;
+}
+
+const char* to_string(GateStatus status) {
+  switch (status) {
+    case GateStatus::kPass:
+      return "pass";
+    case GateStatus::kFail:
+      return "fail";
+    case GateStatus::kMissing:
+      return "missing";
+  }
+  return "unknown";
+}
+
+int gate_exit_code(const std::vector<GateResult>& results) {
+  bool failed = false;
+  for (const GateResult& r : results) {
+    if (r.status == GateStatus::kMissing) return 2;
+    if (r.status == GateStatus::kFail) failed = true;
+  }
+  return failed ? 1 : 0;
+}
+
+void PerfReport::add_trace(const Trace& trace) {
+  phases_ = work_wait_by_phase(trace);
+  critical_path_ = critical_path(trace);
+  has_trace_ = true;
+}
+
+void PerfReport::add_trace(const json::Value& chrome_doc) {
+  add_trace(trace_from_chrome_json(chrome_doc));
+}
+
+bool PerfReport::parse_bench(const json::Value& doc, std::string* name,
+                             std::vector<BenchRecord>* records) {
+  const json::Value* schema = doc.find("schema");
+  if (schema == nullptr || !schema->is_string() ||
+      schema->string != kBenchSchema) {
+    return false;
+  }
+  if (const json::Value* n = doc.find("name");
+      n != nullptr && n->is_string()) {
+    *name = n->string;
+  }
+  records->clear();
+  const json::Value* recs = doc.find("records");
+  if (recs == nullptr || !recs->is_array()) return true;  // empty report
+  for (const json::Value& r : recs->array) {
+    BenchRecord record;
+    if (const json::Value* label = r.find("label");
+        label != nullptr && label->is_string()) {
+      record.label = label->string;
+    }
+    auto copy_numbers = [](const json::Value* obj,
+                           std::vector<std::pair<std::string, double>>* dst) {
+      if (obj == nullptr || !obj->is_object()) return;
+      for (const auto& [key, value] : obj->object) {
+        if (value.is_number()) dst->push_back({key, value.number});
+      }
+    };
+    copy_numbers(r.find("phases"), &record.phases);
+    copy_numbers(r.find("counters"), &record.counters);
+    copy_numbers(r.find("metrics"), &record.metrics);
+    records->push_back(std::move(record));
+  }
+  return true;
+}
+
+bool PerfReport::add_bench(const json::Value& doc) {
+  has_bench_ = parse_bench(doc, &bench_name_, &bench_);
+  return has_bench_;
+}
+
+bool PerfReport::add_baseline(const json::Value& doc) {
+  has_baseline_ = parse_bench(doc, &baseline_name_, &baseline_);
+  return has_baseline_;
+}
+
+bool PerfReport::lookup(const BenchRecord& record, const std::string& metric,
+                        double* value) {
+  for (const auto* section : {&record.phases, &record.counters,
+                              &record.metrics}) {
+    for (const auto& [key, v] : *section) {
+      if (key == metric) {
+        *value = v;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+void PerfReport::run_gates() {
+  gate_results_.clear();
+  counter_deltas_.clear();
+  // Matched (current, baseline) record pairs by label, current order.
+  std::vector<std::pair<const BenchRecord*, const BenchRecord*>> matched;
+  for (const BenchRecord& cur : bench_) {
+    for (const BenchRecord& base : baseline_) {
+      if (cur.label == base.label) {
+        matched.push_back({&cur, &base});
+        break;
+      }
+    }
+  }
+  for (const GateSpec& gate : gates_) {
+    if (matched.empty()) {
+      GateResult r;
+      r.metric = gate.metric;
+      r.allowed_pct = gate.max_regress_pct;
+      r.status = GateStatus::kMissing;
+      gate_results_.push_back(std::move(r));
+      continue;
+    }
+    for (const auto& [cur, base] : matched) {
+      GateResult r;
+      r.metric = gate.metric;
+      r.label = cur->label;
+      r.allowed_pct = gate.max_regress_pct;
+      double cur_value = 0.0;
+      double base_value = 0.0;
+      if (!lookup(*cur, gate.metric, &cur_value) ||
+          !lookup(*base, gate.metric, &base_value)) {
+        r.status = GateStatus::kMissing;
+      } else {
+        r.baseline = base_value;
+        r.current = cur_value;
+        if (base_value > 0.0) {
+          r.change_pct = (cur_value - base_value) / base_value * 100.0;
+          r.status = r.change_pct > gate.max_regress_pct ? GateStatus::kFail
+                                                         : GateStatus::kPass;
+        } else {
+          // Zero baseline: any growth is an infinite regression.
+          r.change_pct = cur_value > 0.0 ? 100.0 : 0.0;
+          r.status =
+              cur_value > 0.0 ? GateStatus::kFail : GateStatus::kPass;
+        }
+      }
+      gate_results_.push_back(std::move(r));
+    }
+  }
+  // Counter deltas: counters present in both records of a matched pair
+  // whose values differ.
+  for (const auto& [cur, base] : matched) {
+    for (const auto& [name, cur_value] : cur->counters) {
+      for (const auto& [base_name, base_value] : base->counters) {
+        if (base_name != name) continue;
+        if (base_value != cur_value) {
+          counter_deltas_.push_back(
+              CounterDelta{cur->label, name, base_value, cur_value});
+        }
+        break;
+      }
+    }
+  }
+}
+
+json::Value PerfReport::to_json() const {
+  json::Value doc = make_object();
+  doc.object.push_back({"schema", make_string(kReportSchema)});
+  if (has_trace_) {
+    json::Value phases = make_array();
+    for (const PhaseWorkWait& p : phases_) {
+      json::Value row = make_object();
+      row.object.push_back({"name", make_string(p.name)});
+      row.object.push_back({"count", make_number(static_cast<double>(p.count))});
+      row.object.push_back({"ranks", make_number(static_cast<double>(p.ranks))});
+      row.object.push_back({"work_seconds", make_number(p.work_seconds)});
+      row.object.push_back({"wait_seconds", make_number(p.wait_seconds)});
+      row.object.push_back(
+          {"max_rank_seconds", make_number(p.max_rank_seconds)});
+      row.object.push_back(
+          {"mean_rank_seconds", make_number(p.mean_rank_seconds)});
+      row.object.push_back({"imbalance", make_number(p.imbalance)});
+      phases.array.push_back(std::move(row));
+    }
+    doc.object.push_back({"phases", std::move(phases)});
+
+    json::Value cp = make_object();
+    cp.object.push_back(
+        {"total_seconds", make_number(critical_path_.total_seconds)});
+    cp.object.push_back(
+        {"attributed_seconds", make_number(critical_path_.attributed_seconds)});
+    cp.object.push_back(
+        {"hops", make_number(static_cast<double>(critical_path_.hops))});
+    json::Value cp_phases = make_array();
+    for (const CriticalPhase& p : critical_path_.phases) {
+      json::Value row = make_object();
+      row.object.push_back({"name", make_string(p.name)});
+      row.object.push_back({"work_seconds", make_number(p.work_seconds)});
+      row.object.push_back({"wait_seconds", make_number(p.wait_seconds)});
+      row.object.push_back({"share_pct", make_number(p.share_pct)});
+      cp_phases.array.push_back(std::move(row));
+    }
+    cp.object.push_back({"phases", std::move(cp_phases)});
+    doc.object.push_back({"critical_path", std::move(cp)});
+  }
+  if (has_bench_) {
+    doc.object.push_back({"bench", make_string(bench_name_)});
+  }
+  if (has_baseline_) {
+    doc.object.push_back({"baseline", make_string(baseline_name_)});
+  }
+  if (!gate_results_.empty() || !gates_.empty()) {
+    json::Value gates = make_array();
+    for (const GateResult& r : gate_results_) {
+      json::Value row = make_object();
+      row.object.push_back({"metric", make_string(r.metric)});
+      row.object.push_back({"label", make_string(r.label)});
+      row.object.push_back({"baseline", make_number(r.baseline)});
+      row.object.push_back({"current", make_number(r.current)});
+      row.object.push_back({"change_pct", make_number(r.change_pct)});
+      row.object.push_back({"allowed_pct", make_number(r.allowed_pct)});
+      row.object.push_back({"status", make_string(to_string(r.status))});
+      gates.array.push_back(std::move(row));
+    }
+    doc.object.push_back({"gates", std::move(gates)});
+    const int code = gate_exit_code(gate_results_);
+    doc.object.push_back(
+        {"verdict", make_string(code == 0   ? "pass"
+                                : code == 1 ? "fail"
+                                            : "missing")});
+  }
+  if (!counter_deltas_.empty()) {
+    json::Value deltas = make_array();
+    for (const CounterDelta& d : counter_deltas_) {
+      json::Value row = make_object();
+      row.object.push_back({"label", make_string(d.label)});
+      row.object.push_back({"counter", make_string(d.counter)});
+      row.object.push_back({"baseline", make_number(d.baseline)});
+      row.object.push_back({"current", make_number(d.current)});
+      row.object.push_back({"delta", make_number(d.current - d.baseline)});
+      deltas.array.push_back(std::move(row));
+    }
+    doc.object.push_back({"counter_deltas", std::move(deltas)});
+  }
+  return doc;
+}
+
+std::string PerfReport::to_markdown() const {
+  std::string md = "# lrt-report\n";
+  if (has_trace_) {
+    md += "\n## Phases (work / wait / imbalance)\n\n";
+    md += "| phase | count | ranks | work s | wait s | imbalance |\n";
+    md += "|---|---|---|---|---|---|\n";
+    for (const PhaseWorkWait& p : phases_) {
+      md += "| " + p.name + " | " + std::to_string(p.count) + " | " +
+            std::to_string(p.ranks) + " | " + format_seconds(p.work_seconds) +
+            " | " + format_seconds(p.wait_seconds) + " | " +
+            format_number(p.imbalance) + " |\n";
+    }
+    md += "\n## Critical path\n\n";
+    md += "- total: " + format_seconds(critical_path_.total_seconds) +
+          " s, attributed: " +
+          format_seconds(critical_path_.attributed_seconds) + " s, hops: " +
+          std::to_string(critical_path_.hops) + "\n\n";
+    md += "| phase | work s | wait s | share % |\n";
+    md += "|---|---|---|---|\n";
+    for (const CriticalPhase& p : critical_path_.phases) {
+      md += "| " + p.name + " | " + format_seconds(p.work_seconds) + " | " +
+            format_seconds(p.wait_seconds) + " | " +
+            format_number(p.share_pct) + " |\n";
+    }
+  }
+  if (!counter_deltas_.empty()) {
+    md += "\n## Counter deltas vs baseline\n\n";
+    md += "| label | counter | baseline | current | delta |\n";
+    md += "|---|---|---|---|---|\n";
+    for (const CounterDelta& d : counter_deltas_) {
+      md += "| " + d.label + " | " + d.counter + " | " +
+            format_number(d.baseline) + " | " + format_number(d.current) +
+            " | " + format_number(d.current - d.baseline) + " |\n";
+    }
+  }
+  if (!gate_results_.empty()) {
+    md += "\n## Gates\n\n";
+    md += "| metric | label | baseline | current | change % | allowed % | "
+          "status |\n";
+    md += "|---|---|---|---|---|---|---|\n";
+    for (const GateResult& r : gate_results_) {
+      md += "| " + r.metric + " | " + r.label + " | " +
+            format_number(r.baseline) + " | " + format_number(r.current) +
+            " | " + format_number(r.change_pct) + " | " +
+            format_number(r.allowed_pct) + " | " + to_string(r.status) +
+            " |\n";
+    }
+    const int code = gate_exit_code(gate_results_);
+    md += std::string("\nverdict: ") +
+          (code == 0 ? "pass" : code == 1 ? "FAIL" : "MISSING") + "\n";
+  }
+  return md;
+}
+
+}  // namespace lrt::obs

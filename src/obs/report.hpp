@@ -1,0 +1,119 @@
+// lrt.report/1: the performance report and regression gate.
+//
+// PerfReport ingests what a run leaves behind — a Chrome trace (flow
+// edges included) and lrt.bench/1 files — and renders one artifact in
+// two forms: schema-versioned JSON for machines and markdown for
+// humans. Given a baseline bench file and gates ("metric:pct", lower is
+// better, pct = allowed regression), it also compares matched records
+// and yields per-gate verdicts; gate_exit_code() maps them onto the
+// tools/lrt-report CLI's exit codes (0 pass, 1 regression, 2 missing
+// metric/label), which is what bench.sh --smoke and ci.sh enforce.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "obs/critical_path.hpp"
+#include "obs/json.hpp"
+
+namespace lrt::obs {
+
+/// Schema identifier stamped into every report; bump on breaking layout
+/// changes.
+inline constexpr const char* kReportSchema = "lrt.report/1";
+
+/// One regression gate: `metric` may name a phase, a counter, or a
+/// metric of the bench records (looked up in that order); the gate
+/// fails when current exceeds baseline by more than max_regress_pct
+/// percent (all gated quantities are lower-is-better).
+struct GateSpec {
+  std::string metric;
+  double max_regress_pct = 0.0;
+};
+
+/// Parses "metric:pct" (e.g. "wall_seconds:10", "comm.allreduce.calls:0").
+/// Returns false on malformed input.
+bool parse_gate(const std::string& text, GateSpec& out);
+
+enum class GateStatus { kPass, kFail, kMissing };
+
+const char* to_string(GateStatus status);
+
+/// Verdict of one gate on one matched record label.
+struct GateResult {
+  std::string metric;
+  std::string label;  ///< record label; empty when no labels matched
+  GateStatus status = GateStatus::kMissing;
+  double baseline = 0.0;
+  double current = 0.0;
+  double change_pct = 0.0;
+  double allowed_pct = 0.0;
+};
+
+/// CLI exit code: 2 if any gate is kMissing, else 1 if any failed,
+/// else 0. Missing outranks fail so a typo'd metric never reads as a
+/// mere regression.
+int gate_exit_code(const std::vector<GateResult>& results);
+
+class PerfReport {
+ public:
+  /// Ingests a trace: computes the per-phase work/wait table and the
+  /// critical-path breakdown. Either overload may be called once.
+  void add_trace(const Trace& trace);
+  void add_trace(const json::Value& chrome_doc);
+
+  /// Ingests the fresh run's lrt.bench/1 document / the committed
+  /// baseline. Returns false when the schema field is wrong.
+  bool add_bench(const json::Value& doc);
+  bool add_baseline(const json::Value& doc);
+
+  void add_gate(const GateSpec& gate) { gates_.push_back(gate); }
+
+  /// Evaluates every gate against every record label present in both
+  /// bench and baseline, and computes the counter deltas. Idempotent.
+  void run_gates();
+
+  const std::vector<GateResult>& gate_results() const { return gate_results_; }
+
+  /// The report as an lrt.report/1 JSON document / as markdown.
+  json::Value to_json() const;
+  std::string to_markdown() const;
+
+ private:
+  struct BenchRecord {
+    std::string label;
+    std::vector<std::pair<std::string, double>> phases;
+    std::vector<std::pair<std::string, double>> counters;
+    std::vector<std::pair<std::string, double>> metrics;
+  };
+
+  static bool parse_bench(const json::Value& doc, std::string* name,
+                          std::vector<BenchRecord>* records);
+  /// phases -> counters -> metrics lookup; false when absent.
+  static bool lookup(const BenchRecord& record, const std::string& metric,
+                     double* value);
+
+  bool has_trace_ = false;
+  std::vector<PhaseWorkWait> phases_;
+  CriticalPathReport critical_path_;
+
+  bool has_bench_ = false;
+  std::string bench_name_;
+  std::vector<BenchRecord> bench_;
+  bool has_baseline_ = false;
+  std::string baseline_name_;
+  std::vector<BenchRecord> baseline_;
+
+  std::vector<GateSpec> gates_;
+  std::vector<GateResult> gate_results_;
+
+  struct CounterDelta {
+    std::string label;
+    std::string counter;
+    double baseline = 0.0;
+    double current = 0.0;
+  };
+  std::vector<CounterDelta> counter_deltas_;
+};
+
+}  // namespace lrt::obs

@@ -116,7 +116,8 @@ Comm::Comm(Comm&& other) noexcept
       coll_depth_(other.coll_depth_),
       active_collective_(other.active_collective_),
       coll_seq_(other.coll_seq_),
-      active_traffic_(other.active_traffic_) {
+      active_traffic_(other.active_traffic_),
+      flow_seq_(std::move(other.flow_seq_)) {
   for (int k = 0; k < kNumTrafficKinds; ++k) {
     bytes_by_kind_[k].store(
         other.bytes_by_kind_[k].load(std::memory_order_relaxed),
@@ -167,6 +168,31 @@ void Comm::post_collective(check::CollKind kind, int root, int reduce_op,
                            record);
 }
 
+long long Comm::collective_entered(long long seq) {
+  if (!obs::tracing_enabled()) return -1;
+  const long long now = obs::detail::now_ns();
+  runtime_->collective_clock().enter(context_, seq, size(), now);
+  return now;
+}
+
+void Comm::collective_exited(check::CollKind kind, long long seq,
+                             long long entry_ns) {
+  if (entry_ns < 0) return;
+  const long long end_ns = obs::detail::now_ns();
+  const long long all_ns =
+      runtime_->collective_clock().last_entry_ns(context_, seq);
+  // Wait = from my entry until the last rank entered; a rank that exited
+  // before the stragglers arrived (bcast root) was never blocked on them,
+  // so its wait is zero. Exact, not estimated: one process, one clock.
+  long long wait_end = entry_ns;
+  if (all_ns > entry_ns) wait_end = std::min(all_ns, end_ns);
+  const std::string base = check::to_string(kind);
+  if (wait_end > entry_ns) {
+    obs::detail::record_span((base + ".wait").c_str(), entry_ns, wait_end);
+  }
+  obs::detail::record_span((base + ".xfer").c_str(), wait_end, end_ns);
+}
+
 void Comm::send_bytes(const void* data, std::size_t bytes, int dst, int tag) {
   LRT_CHECK(dst >= 0 && dst < size(), "send to bad rank " << dst);
   CommTimerGuard guard(*this);
@@ -199,6 +225,28 @@ void Comm::send_bytes(const void* data, std::size_t bytes, int dst, int tag) {
   message.context = context_;
   message.payload.resize(bytes);
   if (bytes > 0) std::memcpy(message.payload.data(), data, bytes);
+  // Flow tracing: stamp the per-(dst, tag) channel sequence and the send
+  // time into the message and record the ph:"s" endpoint. The stamps
+  // travel with the payload, so the matching receive closes the pair
+  // without any shared counter (FIFO per key makes the match exact).
+  const bool traced = obs::tracing_enabled();
+  long long send_ns = 0;
+  if (traced) {
+    send_ns = obs::detail::now_ns();
+    message.flow_seq = flow_seq_[{dst, tag}]++;
+    message.flow_send_ns = send_ns;
+    obs::detail::FlowRecord flow;
+    flow.run = runtime_->run_id();
+    flow.context = context_;
+    flow.src = world_rank_of(rank_);
+    flow.dst = world_rank_of(dst);
+    flow.tag = tag;
+    flow.seq = message.flow_seq;
+    flow.send_ns = send_ns;
+    flow.ts_ns = send_ns;
+    flow.phase = 's';
+    obs::detail::record_flow(flow);
+  }
   // Bill the bytes to the enclosing collective's traffic kind, or to p2p
   // for user sends outside any collective (which also count as calls).
   const Traffic kind = coll_depth_ == 0 ? Traffic::kP2p : active_traffic_;
@@ -212,11 +260,18 @@ void Comm::send_bytes(const void* data, std::size_t bytes, int dst, int tag) {
     global.calls->add(1);
   }
   runtime_->mailbox(world_rank_of(dst)).push(std::move(message));
+  // User p2p gets a wrapper span so the flow arrow has a slice to bind
+  // to (collective-internal sends bind to the collective's own span).
+  if (traced && coll_depth_ == 0) {
+    obs::detail::record_span("p2p", send_ns, obs::detail::now_ns());
+  }
 }
 
 void Comm::recv_bytes(void* data, std::size_t bytes, int src, int tag) {
   LRT_CHECK(src >= 0 && src < size(), "recv from bad rank " << src);
   CommTimerGuard guard(*this);
+  const long long recv_start_ns =
+      obs::tracing_enabled() ? obs::detail::now_ns() : -1;
   detail::Message message = [&] {
     detail::Mailbox& box = runtime_->mailbox(world_rank_of(rank_));
     if (verifier_ == nullptr) return box.pop(src, tag, context_);
@@ -237,6 +292,26 @@ void Comm::recv_bytes(void* data, std::size_t bytes, int src, int tag) {
                                                << ", got "
                                                << message.payload.size());
   if (bytes > 0) std::memcpy(data, message.payload.data(), bytes);
+  // Close the flow pair whenever the *send* was traced — even if tracing
+  // was toggled off meanwhile — so every exported ph:"s" has its ph:"f".
+  if (message.flow_seq >= 0) {
+    const long long end_ns = obs::detail::now_ns();
+    obs::detail::FlowRecord flow;
+    flow.run = runtime_->run_id();
+    flow.context = context_;
+    flow.src = world_rank_of(src);
+    flow.dst = world_rank_of(rank_);
+    flow.tag = tag;
+    flow.seq = message.flow_seq;
+    flow.send_ns = message.flow_send_ns;
+    flow.recv_start_ns = recv_start_ns;
+    flow.ts_ns = end_ns;
+    flow.phase = 'f';
+    obs::detail::record_flow(flow);
+    if (recv_start_ns >= 0 && coll_depth_ == 0) {
+      obs::detail::record_span("p2p", recv_start_ns, end_ns);
+    }
+  }
 }
 
 void Comm::Request::wait() {

@@ -13,6 +13,7 @@
 #pragma once
 
 #include <atomic>
+#include <map>
 #include <type_traits>
 #include <utility>
 #include <vector>
@@ -275,6 +276,7 @@ class Comm {
     CollectiveGuard(Comm& comm, check::CollKind kind, int root,
                     int reduce_op, std::size_t dtype_size, long long count)
         : comm_(comm),
+          kind_(kind),
           prev_(comm.active_collective_),
           prev_traffic_(comm.active_traffic_),
           span_(check::to_string(kind)) {
@@ -283,6 +285,8 @@ class Comm {
       comm_.enter_collective(kind);
       comm_.post_collective(kind, root, reduce_op, dtype_size, count,
                             nullptr, nullptr);
+      seq_ = comm_.coll_seq_ - 1;
+      entry_ns_ = comm_.collective_entered(seq_);
     }
     /// v-variant: count vectors instead of a uniform count.
     CollectiveGuard(Comm& comm, check::CollKind kind,
@@ -290,6 +294,7 @@ class Comm {
                     const std::vector<Index>* send_counts,
                     const std::vector<Index>* recv_counts)
         : comm_(comm),
+          kind_(kind),
           prev_(comm.active_collective_),
           prev_traffic_(comm.active_traffic_),
           span_(check::to_string(kind)) {
@@ -298,8 +303,11 @@ class Comm {
       comm_.enter_collective(kind);
       comm_.post_collective(kind, /*root=*/-1, /*reduce_op=*/-1, dtype_size,
                             /*count=*/-1, send_counts, recv_counts);
+      seq_ = comm_.coll_seq_ - 1;
+      entry_ns_ = comm_.collective_entered(seq_);
     }
     ~CollectiveGuard() {
+      comm_.collective_exited(kind_, seq_, entry_ns_);
       comm_.active_collective_ = prev_;
       comm_.active_traffic_ = prev_traffic_;
       --comm_.coll_depth_;
@@ -310,9 +318,12 @@ class Comm {
 
    private:
     Comm& comm_;
+    check::CollKind kind_;
     const char* prev_;
     Traffic prev_traffic_;
     obs::Span span_;
+    long long seq_ = -1;       ///< this call's collective sequence number
+    long long entry_ns_ = -1;  ///< rendezvous stamp; -1 when tracing is off
   };
 
   /// Routes subsequent byte accounting to `kind`'s traffic category and
@@ -328,6 +339,18 @@ class Comm {
                        std::size_t dtype_size, long long count,
                        const std::vector<Index>* send_counts,
                        const std::vector<Index>* recv_counts);
+
+  /// Stamps this rank's entry into collective generation `seq` on the
+  /// runtime's rendezvous clock. Returns the entry time, or -1 when
+  /// tracing is disabled (the disabled-mode cost is one relaxed load).
+  long long collective_entered(long long seq);
+
+  /// Closes generation `seq`: reads the last rank's entry stamp and
+  /// records `<kind>.wait` (this rank's entry until the last entry — the
+  /// straggler wait, exact in the threads-as-ranks runtime) and
+  /// `<kind>.xfer` (the rest) trace spans. No-op when entry_ns < 0.
+  void collective_exited(check::CollKind kind, long long seq,
+                         long long entry_ns);
 
   Runtime* runtime_;
   int rank_;
@@ -351,6 +374,10 @@ class Comm {
   /// Traffic kind bytes are currently attributed to; rank-private like
   /// coll_depth_ (each rank accounts its own sends).
   Traffic active_traffic_ = Traffic::kP2p;
+  /// Per-(dst group rank, tag) monotone send sequence for trace flow
+  /// edges; rank-private, only touched when tracing is enabled. The seq
+  /// travels inside the message, so the receiver needs no counterpart.
+  std::map<std::pair<int, int>, long long> flow_seq_;
   /// Per-kind byte/call totals. Atomic for the same reason bytes_sent_
   /// was: diagnostics may read while rank threads send.
   std::atomic<long long> bytes_by_kind_[kNumTrafficKinds] = {};

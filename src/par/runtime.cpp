@@ -1,5 +1,6 @@
 #include "par/runtime.hpp"
 
+#include <atomic>
 #include <exception>
 #include <thread>
 
@@ -53,11 +54,36 @@ std::vector<Message> Mailbox::unreceived() {
   return {queue_.begin(), queue_.end()};
 }
 
+void CollectiveClock::enter(long long context, long long seq, int expected,
+                            long long now_ns) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Generation& g = generations_[{context, seq}];
+  g.expected = expected;
+  g.entered += 1;
+  if (now_ns > g.last_ns) g.last_ns = now_ns;
+}
+
+long long CollectiveClock::last_entry_ns(long long context, long long seq) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = generations_.find({context, seq});
+  if (it == generations_.end()) return -1;
+  Generation& g = it->second;
+  // A rank can exit before the stragglers entered (a bcast root blocks on
+  // nobody); its read fails but still counts toward retirement — each
+  // rank reads exactly once, after its own enter, so reads == expected
+  // implies entered == expected and the record can go.
+  const long long last = g.entered >= g.expected ? g.last_ns : -1;
+  if (++g.reads >= g.expected) generations_.erase(it);
+  return last;
+}
+
 }  // namespace detail
 
 Runtime::Runtime(int nranks, const check::Options& check_options,
                  const ft::FaultSpec* fault_spec) {
   LRT_CHECK(nranks >= 1, "need at least one rank, got " << nranks);
+  static std::atomic<long long> run_counter{0};
+  run_id_ = run_counter.fetch_add(1, std::memory_order_relaxed) + 1;
   mailboxes_.reserve(static_cast<std::size_t>(nranks));
   for (int r = 0; r < nranks; ++r) {
     mailboxes_.push_back(std::make_unique<detail::Mailbox>());

@@ -21,8 +21,10 @@
 #include <cstring>
 #include <deque>
 #include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
+#include <utility>
 #include <vector>
 
 #include "common/config.hpp"
@@ -47,6 +49,13 @@ struct Message {
   int tag = 0;
   long long context = 0;
   std::vector<std::byte> payload;
+  // Flow-tracing stamps (obs): the sender's per-(dst, tag) channel
+  // sequence number and send timestamp travel with the message so the
+  // receiver can close the matched ph:"s"/"f" Chrome flow pair without
+  // shared counters. flow_seq < 0 means the send was not traced. The
+  // verifier never reads these, so tracing cannot perturb signatures.
+  long long flow_seq = -1;
+  long long flow_send_ns = 0;
 };
 
 /// One mailbox per rank: a condition-variable protected queue with
@@ -75,6 +84,35 @@ class Mailbox {
   std::condition_variable cv_;
   std::deque<Message> queue_;
   bool poisoned_ = false;
+};
+
+/// Rendezvous clock for the *.wait vs *.xfer decomposition: every rank
+/// entering a collective stamps its entry time; once all expected ranks
+/// have both stamped and read, the generation's record is retired. In
+/// the threads-as-ranks runtime the last entry time is exact (one
+/// steady clock), which is what makes the wait split computable rather
+/// than estimated. Only touched when tracing is enabled.
+class CollectiveClock {
+ public:
+  /// Rank `enter`s generation (context, seq) of an `expected`-rank
+  /// collective at time `now_ns`.
+  void enter(long long context, long long seq, int expected, long long now_ns);
+
+  /// The latest entry stamp of generation (context, seq), or -1 if not
+  /// every rank has entered yet. Each caller reads at most once; the
+  /// record is erased after `expected` reads (every rank enters before
+  /// it reads, so all-read implies all-entered).
+  long long last_entry_ns(long long context, long long seq);
+
+ private:
+  struct Generation {
+    int entered = 0;
+    int expected = 0;
+    int reads = 0;
+    long long last_ns = 0;
+  };
+  std::mutex mutex_;
+  std::map<std::pair<long long, long long>, Generation> generations_;
 };
 
 }  // namespace detail
@@ -106,12 +144,22 @@ class Runtime {
   /// this pointer, so the disabled-mode hot-path cost is one pointer test.
   ft::FaultPlan* fault_plan() { return fault_plan_.get(); }
 
+  /// Rendezvous stamps for the *.wait/*.xfer trace decomposition; only
+  /// consulted when tracing is enabled.
+  detail::CollectiveClock& collective_clock() { return collective_clock_; }
+
+  /// Process-unique id of this runtime instance. Flow-trace ids embed it
+  /// so two par::run invocations writing into one trace never collide.
+  long long run_id() const { return run_id_; }
+
   void poison_all();
 
  private:
   std::vector<std::unique_ptr<detail::Mailbox>> mailboxes_;
   std::unique_ptr<check::Verifier> verifier_;
   std::unique_ptr<ft::FaultPlan> fault_plan_;
+  detail::CollectiveClock collective_clock_;
+  long long run_id_ = 0;
 };
 
 /// Runs `body(comm)` on `nranks` rank threads and joins them. Rethrows the

@@ -9,6 +9,7 @@
 #include "kmeans/dist_kmeans.hpp"
 #include "la/blas.hpp"
 #include "la/lstsq.hpp"
+#include "obs/counters.hpp"
 #include "obs/obs.hpp"
 #include "par/disteig.hpp"
 #include "par/pipeline.hpp"
@@ -38,6 +39,13 @@ class PhaseTimer {
       span_.end();
       clock_->add(name_, t_.seconds());
       clock_ = nullptr;
+      // Peak-memory gauge at the phase boundary: one procfs read, off
+      // the hot path (phases run for milliseconds to seconds). VmHWM is
+      // process-wide, so the counter is the run's high-water mark, not a
+      // per-phase delta.
+      static obs::Counter& hwm = obs::counter("mem.hwm.bytes");
+      const long long bytes = obs::vm_hwm_bytes();
+      if (bytes > 0) hwm.record_max(bytes);
     }
   }
 

@@ -14,6 +14,7 @@
 #include "analyze/analyzer.hpp"
 #include "analyze/callgraph.hpp"
 #include "analyze/lexer.hpp"
+#include "analyze/passes.hpp"
 #include "analyze/registry_gen.hpp"
 #include "analyze/sarif.hpp"
 #include "common/error.hpp"
@@ -528,6 +529,55 @@ TEST(AnalyzePhaseRegistry, EmptyRegistryIsAConfigFinding) {
   EXPECT_EQ(report.findings[0].file, "src/obs/phases.def");
   EXPECT_NE(report.findings[0].message.find("empty or missing"),
             std::string::npos);
+}
+
+// ----- phase-registry shell scan (--gate) -------------------------------------
+
+/// Minimal PassContext over an in-memory shell script: the scan has no
+/// fixture directory because it reads script text directly.
+std::vector<Finding> scan_shell(const std::string& script) {
+  Config config;
+  config.root = kFixtureRepo;
+  config.phase_registry = {"gemm"};
+  config.counter_registry = {"comm.allreduce.calls"};
+  std::vector<lrt::analyze::LexedFile> files;
+  std::vector<Finding> findings;
+  lrt::analyze::PassContext ctx;
+  ctx.config = &config;
+  ctx.files = &files;
+  ctx.findings = &findings;
+  lrt::analyze::run_phase_registry_shell(ctx, "tools/x.sh", script);
+  return findings;
+}
+
+TEST(AnalyzePhaseRegistry, ShellGateScanAcceptsRegisteredNames) {
+  EXPECT_TRUE(scan_shell("lrt-report --gate comm.allreduce.calls:0 \\\n"
+                         "  --gate gemm:5 --gate wall_seconds:10\n")
+                  .empty());
+}
+
+TEST(AnalyzePhaseRegistry, ShellGateScanFlagsTypos) {
+  const auto findings =
+      scan_shell("lrt-report --gate comm.allreduec.calls:0\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("comm.allreduec.calls"),
+            std::string::npos);
+  EXPECT_EQ(findings[0].line, 1);
+}
+
+TEST(AnalyzePhaseRegistry, ShellGateScanFlagsMalformedSpecs) {
+  const auto findings = scan_shell("lrt-report --gate wall_seconds\n");
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("malformed"), std::string::npos);
+}
+
+TEST(AnalyzePhaseRegistry, ShellGateScanSkipsPrefixFlagsAndVariables) {
+  // --gate-max-collective-calls shares the prefix but is a different
+  // flag; $var gates are runtime-checked.
+  EXPECT_TRUE(scan_shell("bench --gate-max-collective-calls 432\n"
+                         "report --gate \"$dynamic_gate\"\n"
+                         "# --gate commented.out:1\n")
+                  .empty());
 }
 
 // ----- omp-race ---------------------------------------------------------------

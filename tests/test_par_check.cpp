@@ -8,6 +8,7 @@
 #include <string>
 #include <vector>
 
+#include "obs/obs.hpp"
 #include "par/comm.hpp"
 
 namespace lrt::par {
@@ -62,6 +63,33 @@ TEST(ParCheck, CleanRunProducesNoFindings) {
         comm.barrier();
       },
       checked()));
+}
+
+TEST(ParCheck, FlowTracingDoesNotPerturbVerifierSignatures) {
+  // The tracer stamps flow sequence ids into in-flight messages
+  // (Message::flow_seq / flow_send_ns); the verifier must never see
+  // them, so a traced run stays signature-identical to an untraced one.
+  const bool saved = obs::tracing_enabled();
+  obs::set_tracing_enabled(true);
+  EXPECT_NO_THROW(run(
+      4,
+      [](Comm& comm) {
+        comm.barrier();
+        double v = comm.rank();
+        comm.allreduce(&v, 1, ReduceOp::kSum);
+        if (comm.rank() == 0) {
+          comm.send(&v, 1, /*dst=*/3, /*tag=*/5);
+        } else if (comm.rank() == 3) {
+          comm.recv(&v, 1, /*src=*/0, /*tag=*/5);
+        }
+        std::vector<double> all(static_cast<std::size_t>(comm.size()));
+        const double mine = comm.rank();
+        comm.allgather(&mine, 1, all.data());
+        comm.barrier();
+      },
+      checked()));
+  obs::set_tracing_enabled(saved);
+  obs::reset_trace();
 }
 
 TEST(ParCheck, CollectiveCountMismatchDetected) {

@@ -32,7 +32,7 @@ if [ ! -f "$build_dir/CMakeCache.txt" ]; then
 fi
 cmake --build "$build_dir" -j "$jobs" --target \
   bench_micro_substrates bench_fig8_breakdown bench_table3_point_selection \
-  bench_analyze validate_bench
+  bench_analyze validate_bench lrt-report
 
 if [ "$smoke" -eq 1 ]; then
   out_dir="$build_dir/bench-smoke"
@@ -58,7 +58,21 @@ if [ "$smoke" -eq 1 ]; then
     --gate-max-collective-calls 432
   echo "=== [bench] validate lrt.bench/1 schema ==="
   "./$build_dir/bench/validate_bench" "$out_dir"/BENCH_*.json
-  echo "bench: smoke passed ($out_dir)"
+  echo "=== [bench] lrt-report regression gate vs bench/results/BENCH_fig8.json ==="
+  # Gate on collective *call counts*, not timings: the fused driver's
+  # schedule is deterministic, so any growth over the committed snapshot
+  # is a real regression, while wall-clock gates would flake across CI
+  # boxes. 0 = no regression allowed.
+  "./$build_dir/tools/lrt-report" --quiet \
+    --bench "$out_dir/BENCH_fig8.json" \
+    --baseline bench/results/BENCH_fig8.json \
+    --gate comm.allreduce.calls:0 \
+    --gate comm.alltoallv.calls:0 \
+    --gate comm.reduce.calls:0 \
+    --gate comm.bcast.calls:0 \
+    --out-json "$out_dir/report.json" \
+    --out-md "$out_dir/report.md"
+  echo "bench: smoke passed ($out_dir; report at $out_dir/report.{json,md})"
   exit 0
 fi
 

@@ -98,14 +98,21 @@ if [ "$do_plain" -eq 1 ]; then
   echo "=== [plain] disabled-span overhead gate ==="
   ./build-ci/bench/bench_obs_overhead --max-ns 20
   echo "=== [plain] trace-enabled ctest + Chrome-JSON validation ==="
-  # Serial on purpose: each test process merges its spans into the shared
-  # trace file at exit, which assumes one writer at a time.
+  # Parallel on purpose: each test process merges its spans into the
+  # shared trace file at exit under flock(2), so concurrent writers
+  # serialize instead of clobbering each other (docs/OBSERVABILITY.md §2).
   rm -f build-ci/ctest.trace.json
   LRT_TRACE="$PWD/build-ci/ctest.trace.json" \
-    ctest --test-dir build-ci -R tddft_dist --output-on-failure
+    ctest --test-dir build-ci -R tddft_dist --output-on-failure -j "$jobs"
   ./build-ci/bench/validate_trace build-ci/ctest.trace.json \
     --require-phase kmeans --require-phase fft --require-phase mpi \
-    --require-phase gemm --require-phase diag
+    --require-phase gemm --require-phase diag --require-flow
+  echo "=== [plain] critical-path report from the merged trace ==="
+  mkdir -p build-ci/artifacts
+  ./build-ci/tools/lrt-report --quiet \
+    --trace build-ci/ctest.trace.json \
+    --out-json build-ci/artifacts/trace-report.json \
+    --out-md build-ci/artifacts/trace-report.md
 fi
 
 if [ "$do_bench" -eq 1 ]; then
@@ -121,6 +128,10 @@ if [ "$do_bench" -eq 1 ]; then
     # bench reports.
     ./build-ci/bench/validate_bench build-ci/lrt-analyze.json
   fi
+  echo "=== [bench] publish regression report as CI artifact ==="
+  mkdir -p build-ci/artifacts
+  cp build-ci/bench-smoke/report.json build-ci/bench-smoke/report.md \
+    build-ci/artifacts/
 fi
 
 if [ "$do_fault" -eq 1 ]; then

@@ -1,0 +1,155 @@
+// lrt-report: render lrt.report/1 from a run's artifacts and gate on
+// regressions.
+//
+//   lrt-report [--trace TRACE.json] [--bench BENCH_x.json]
+//              [--baseline BENCH_x.json] [--gate METRIC:PCT]...
+//              [--out-json PATH] [--out-md PATH] [--quiet]
+//
+// Ingests a Chrome trace (as written under LRT_TRACE) and/or lrt.bench/1
+// files, prints the markdown report to stdout (unless --quiet), and
+// optionally writes the JSON/markdown artifacts. With --baseline and at
+// least one --gate, compares every record label present in both files:
+// exit 0 = all gates pass, 1 = a gated metric regressed past its
+// allowance, 2 = a gate references a metric/label absent from the
+// matched records (typo or schema drift). See docs/OBSERVABILITY.md §6.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "obs/report.hpp"
+
+namespace {
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: lrt-report [--trace TRACE.json] [--bench BENCH.json]\n"
+      "                  [--baseline BENCH.json] [--gate METRIC:PCT]...\n"
+      "                  [--out-json PATH] [--out-md PATH] [--quiet]\n");
+  return 2;
+}
+
+bool read_file(const std::string& path, std::string* out) {
+  std::ifstream in(path);
+  if (!in) return false;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  *out = buf.str();
+  return true;
+}
+
+bool load_json(const std::string& path, lrt::obs::json::Value* out) {
+  std::string text;
+  if (!read_file(path, &text)) {
+    std::fprintf(stderr, "lrt-report: cannot read '%s'\n", path.c_str());
+    return false;
+  }
+  try {
+    *out = lrt::obs::json::parse(text);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "lrt-report: '%s': %s\n", path.c_str(), e.what());
+    return false;
+  }
+  return true;
+}
+
+bool write_file(const std::string& path, const std::string& content) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    std::fprintf(stderr, "lrt-report: cannot write '%s'\n", path.c_str());
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string trace_path;
+  std::string bench_path;
+  std::string baseline_path;
+  std::string out_json_path;
+  std::string out_md_path;
+  std::vector<lrt::obs::GateSpec> gates;
+  bool quiet = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto next = [&](std::string* dst) {
+      if (i + 1 >= argc) return false;
+      *dst = argv[++i];
+      return true;
+    };
+    if (arg == "--trace") {
+      if (!next(&trace_path)) return usage();
+    } else if (arg == "--bench") {
+      if (!next(&bench_path)) return usage();
+    } else if (arg == "--baseline") {
+      if (!next(&baseline_path)) return usage();
+    } else if (arg == "--gate") {
+      std::string spec_text;
+      if (!next(&spec_text)) return usage();
+      lrt::obs::GateSpec spec;
+      if (!lrt::obs::parse_gate(spec_text, spec)) {
+        std::fprintf(stderr, "lrt-report: bad gate '%s' (want METRIC:PCT)\n",
+                     spec_text.c_str());
+        return 2;
+      }
+      gates.push_back(std::move(spec));
+    } else if (arg == "--out-json") {
+      if (!next(&out_json_path)) return usage();
+    } else if (arg == "--out-md") {
+      if (!next(&out_md_path)) return usage();
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else {
+      return usage();
+    }
+  }
+  if (trace_path.empty() && bench_path.empty() && baseline_path.empty()) {
+    return usage();
+  }
+  if (!gates.empty() && baseline_path.empty()) {
+    std::fprintf(stderr, "lrt-report: --gate requires --baseline\n");
+    return 2;
+  }
+
+  lrt::obs::PerfReport report;
+  lrt::obs::json::Value doc;
+  if (!trace_path.empty()) {
+    if (!load_json(trace_path, &doc)) return 2;
+    report.add_trace(doc);
+  }
+  if (!bench_path.empty()) {
+    if (!load_json(bench_path, &doc)) return 2;
+    if (!report.add_bench(doc)) {
+      std::fprintf(stderr, "lrt-report: '%s' is not an lrt.bench/1 file\n",
+                   bench_path.c_str());
+      return 2;
+    }
+  }
+  if (!baseline_path.empty()) {
+    if (!load_json(baseline_path, &doc)) return 2;
+    if (!report.add_baseline(doc)) {
+      std::fprintf(stderr, "lrt-report: '%s' is not an lrt.bench/1 file\n",
+                   baseline_path.c_str());
+      return 2;
+    }
+  }
+  for (const lrt::obs::GateSpec& g : gates) report.add_gate(g);
+  report.run_gates();
+
+  const std::string markdown = report.to_markdown();
+  if (!quiet) std::fputs(markdown.c_str(), stdout);
+  if (!out_json_path.empty() &&
+      !write_file(out_json_path, lrt::obs::json::dump(report.to_json()))) {
+    return 2;
+  }
+  if (!out_md_path.empty() && !write_file(out_md_path, markdown)) return 2;
+
+  return lrt::obs::gate_exit_code(report.gate_results());
+}
